@@ -1,0 +1,78 @@
+"""FIG10: the §4 optimization example — alternatives measured.
+
+Benchmarks the original expression, the paper's intermediate and final
+rewritten forms, and the cost-based optimizer's chosen plan, plus the
+optimizer's own planning time.  All forms are asserted equivalent.
+"""
+
+import pytest
+
+from repro.core.expression import Intersect, ref
+from repro.optimizer import Optimizer
+
+
+def original_expr():
+    return ref("A") * (
+        ref("B") * ref("E") * ref("F")
+        + ref("B") * Intersect(ref("C") * ref("D") * ref("H"), ref("C") * ref("G"))
+    )
+
+
+def step2_expr():
+    return ref("A") * (ref("B") * ref("E") * ref("F")) + ref("A") * Intersect(
+        ref("B") * (ref("C") * ref("D") * ref("H")),
+        ref("B") * (ref("C") * ref("G")),
+        ["B", "C"],
+    )
+
+
+def final_expr():
+    return ref("A") * (ref("B") * ref("E") * ref("F")) + Intersect(
+        ref("A") * (ref("B") * (ref("C") * ref("D") * ref("H"))),
+        ref("A") * (ref("B") * (ref("C") * ref("G"))),
+        ["A", "B", "C"],
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(fig10):
+    return original_expr().evaluate(fig10.graph)
+
+
+@pytest.mark.parametrize(
+    "label,form", [("original", original_expr), ("step2", step2_expr), ("final", final_expr)]
+)
+def test_forms(benchmark, fig10, reference, label, form):
+    expr = form()
+    result = benchmark(expr.evaluate, fig10.graph)
+    assert result == reference
+
+
+def test_optimizer_chosen_plan(benchmark, fig10, reference):
+    optimizer = Optimizer(fig10.graph, max_candidates=150)
+    best = optimizer.optimize(original_expr())
+    result = benchmark(best.expr.evaluate, fig10.graph)
+    assert result == reference
+
+
+def test_planning_time(benchmark, fig10):
+    def plan():
+        return Optimizer(fig10.graph, max_candidates=150).optimize(original_expr())
+
+    best = benchmark(plan)
+    assert best.estimate.cost > 0
+
+
+def test_parallel_branches_separately(benchmark, fig10):
+    """§4: the final form's A-Union branches evaluated independently (the
+    paper's parallel-system argument — here: their summed sequential cost)."""
+    final = final_expr()
+
+    def both_branches():
+        return (
+            final.left.evaluate(fig10.graph),
+            final.right.evaluate(fig10.graph),
+        )
+
+    left, right = benchmark(both_branches)
+    assert left and right

@@ -1,0 +1,51 @@
+"""Front-end overheads: OQL compile/print, completeness synthesis, DDL.
+
+Measures the machinery around the algebra — parsing, pretty-printing,
+constructive completeness (§5), DDL parsing — so that regressions in the
+front ends are as visible as regressions in the operators.
+"""
+
+import pytest
+
+from repro.core.completeness import expression_for
+from repro.core.expression import ref
+from repro.oql import compile_oql, to_oql
+from repro.schema import parse_ddl, schema_to_ddl
+
+QUERY_2 = """
+pi(sigma(Name)[Name = 'CIS'] * Department * Course *
+   (Section * Teacher * Faculty * Specialty
+    + Section * (Student * GPA & Student * EarnedCredit)))
+  [Section, Specialty, GPA, EarnedCredit;
+   Section:Specialty, Section:GPA, Section:EarnedCredit]
+"""
+
+
+def test_oql_compile(benchmark, uni_db):
+    expr = benchmark(compile_oql, QUERY_2, uni_db.schema)
+    assert expr is not None
+
+
+def test_oql_print(benchmark, uni_db):
+    expr = compile_oql(QUERY_2, uni_db.schema)
+    text = benchmark(to_oql, expr)
+    assert compile_oql(text, uni_db.schema) == expr
+
+
+def test_completeness_synthesis(benchmark, uni_db):
+    """Synthesize an expression for a mid-size derivable subdatabase."""
+    target = (ref("Student") * ref("Section") * ref("Course")).evaluate(
+        uni_db.graph
+    )
+    expr = benchmark(expression_for, target, uni_db.graph)
+    assert expr.evaluate(uni_db.graph) == target
+
+
+def test_ddl_round_trip(benchmark, uni_db):
+    text = schema_to_ddl(uni_db.schema)
+
+    def round_trip():
+        return parse_ddl(text)
+
+    schema = benchmark(round_trip)
+    assert set(schema.class_names) == set(uni_db.schema.class_names)

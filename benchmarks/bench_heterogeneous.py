@@ -1,0 +1,71 @@
+"""BENCH-HET: heterogeneous vs homogeneous association-set processing.
+
+§4 argues that processing a homogeneous association-set "will be more
+efficient than the processing over heterogeneous association-set" — the
+justification for rewriting Figure 10 into a union of homogeneous
+branches.  Measured here on three downstream operations applied to (a) a
+heterogeneous union and (b) its two homogeneous halves separately:
+A-Project, the homogeneity test itself, and A-Intersect.
+"""
+
+import pytest
+
+from repro.core.homogeneity import is_homogeneous
+from repro.core.operators import a_intersect, a_project, a_union
+from repro.core.expression import ref
+from repro.datagen import figure10_dataset
+
+
+@pytest.fixture(scope="module")
+def branches():
+    ds = figure10_dataset(extent_size=25, density=0.12, seed=9)
+    left = (ref("B") * ref("E") * ref("F")).evaluate(ds.graph)
+    right = (ref("B") * ref("C") * ref("G")).evaluate(ds.graph)
+    mixed = a_union(left, right)
+    assert is_homogeneous(left) and is_homogeneous(right)
+    assert not is_homogeneous(mixed)
+    return left, right, mixed
+
+
+def test_project_heterogeneous(benchmark, branches):
+    _, _, mixed = branches
+    result = benchmark(a_project, mixed, ["B"])
+    assert result
+
+
+def test_project_homogeneous_halves(benchmark, branches):
+    left, right, _ = branches
+
+    def both():
+        return a_union(a_project(left, ["B"]), a_project(right, ["B"]))
+
+    result = benchmark(both)
+    assert result
+
+
+def test_homogeneity_check_heterogeneous(benchmark, branches):
+    _, _, mixed = branches
+    assert benchmark(is_homogeneous, mixed) is False
+
+
+def test_homogeneity_check_homogeneous(benchmark, branches):
+    left, _, _ = branches
+    assert benchmark(is_homogeneous, left) is True
+
+
+def test_intersect_heterogeneous(benchmark, branches):
+    _, _, mixed = branches
+    result = benchmark(a_intersect, mixed, mixed, ["B"])
+    assert result
+
+
+def test_intersect_homogeneous_halves(benchmark, branches):
+    left, right, _ = branches
+
+    def both():
+        return a_union(
+            a_intersect(left, left, ["B"]), a_intersect(right, right, ["B"])
+        )
+
+    result = benchmark(both)
+    assert result

@@ -1,0 +1,219 @@
+"""FIG8a–8g: one benchmark per operator.
+
+Each operator is measured twice: on the paper's exact Figure 8 operands
+(micro — answers are asserted to match the figures) and on a scaled
+synthetic association-set workload (macro).
+"""
+
+import pytest
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import complement, inter
+from repro.core.operators import (
+    a_complement,
+    a_difference,
+    a_divide,
+    a_intersect,
+    a_project,
+    a_select,
+    a_union,
+    associate,
+    non_associate,
+)
+from repro.core.pattern import Pattern
+from repro.core.predicates import Callback
+
+
+def P(*parts):
+    return Pattern.build(*parts)
+
+
+# ----------------------------------------------------------------------
+# micro: the exact Figure 8 examples
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fig8_operands(fig7):
+    f = fig7
+    return {
+        "8a": (
+            AssociationSet([P(inter(f.a1, f.b1)), P(f.a2), P(inter(f.a3, f.b2))]),
+            AssociationSet(
+                [
+                    P(inter(f.c1, f.d1)),
+                    P(inter(f.c2, f.d2)),
+                    P(f.c3),
+                    P(inter(f.c4, f.d3)),
+                ]
+            ),
+        ),
+        "8b": (
+            AssociationSet([P(inter(f.a1, f.b1)), P(f.a2), P(inter(f.a4, f.b3))]),
+            AssociationSet([P(inter(f.c1, f.d1)), P(inter(f.c2, f.d2)), P(f.c3)]),
+        ),
+        "8c": AssociationSet(
+            [
+                P(inter(f.a1, f.b1), inter(f.b1, f.c1), complement(f.c1, f.d1)),
+                P(inter(f.a1, f.b1), inter(f.b1, f.c2), complement(f.c2, f.d2)),
+                P(inter(f.b2, f.c3), inter(f.c3, f.d3)),
+            ]
+        ),
+        "8d": (
+            AssociationSet([P(inter(f.a1, f.b1)), P(f.a2), P(inter(f.a3, f.b2))]),
+            AssociationSet(
+                [P(inter(f.c2, f.d2)), P(inter(f.c4, f.d3)), P(f.c3), P(f.d4)]
+            ),
+        ),
+        "8e": (
+            AssociationSet(
+                [
+                    P(inter(f.b1, f.c2), inter(f.c2, f.d1)),
+                    P(inter(f.a1, f.b1), inter(f.b1, f.c2)),
+                ]
+            ),
+            AssociationSet(
+                [
+                    P(inter(f.b1, f.c2), inter(f.c2, f.d2)),
+                    P(inter(f.b1, f.c2), inter(f.c2, f.d3)),
+                ]
+            ),
+        ),
+        "8f": (
+            AssociationSet(
+                [
+                    P(inter(f.a1, f.b1), inter(f.b1, f.c1)),
+                    P(inter(f.a3, f.b2), inter(f.b2, f.c2)),
+                    P(inter(f.a1, f.b1), inter(f.b1, f.c2)),
+                ]
+            ),
+            AssociationSet([P(inter(f.a1, f.b1)), P(inter(f.a3, f.b3))]),
+        ),
+        "8g": (
+            AssociationSet(
+                [
+                    P(inter(f.a1, f.b1), inter(f.b1, f.c1)),
+                    P(inter(f.b1, f.c2), inter(f.c2, f.d1)),
+                    P(inter(f.b1, f.c4), inter(f.c4, f.d4)),
+                ]
+            ),
+            AssociationSet(
+                [
+                    P(f.d1),
+                    P(inter(f.a1, f.b1)),
+                    P(inter(f.b1, f.c2)),
+                    P(inter(f.c4, f.d4)),
+                ]
+            ),
+        ),
+    }
+
+
+def test_fig8a_associate(benchmark, fig7, fig8_operands):
+    alpha, beta = fig8_operands["8a"]
+    result = benchmark(associate, alpha, beta, fig7.graph, fig7.bc)
+    assert len(result) == 2
+
+
+def test_fig8b_complement(benchmark, fig7, fig8_operands):
+    alpha, beta = fig8_operands["8b"]
+    result = benchmark(a_complement, alpha, beta, fig7.graph, fig7.bc)
+    assert len(result) == 4
+
+
+def test_fig8c_project(benchmark, fig8_operands):
+    alpha = fig8_operands["8c"]
+    result = benchmark(a_project, alpha, ["A*B", "D"], ["B:D"])
+    assert len(result) == 3
+
+
+def test_fig8d_nonassociate(benchmark, fig7, fig8_operands):
+    alpha, beta = fig8_operands["8d"]
+    result = benchmark(non_associate, alpha, beta, fig7.graph, fig7.bc)
+    assert len(result) == 2
+
+
+def test_fig8e_intersect(benchmark, fig8_operands):
+    alpha, beta = fig8_operands["8e"]
+    result = benchmark(a_intersect, alpha, beta, ["B", "C"])
+    assert len(result) == 4
+
+
+def test_fig8f_difference(benchmark, fig8_operands):
+    alpha, beta = fig8_operands["8f"]
+    result = benchmark(a_difference, alpha, beta)
+    assert len(result) == 1
+
+
+def test_fig8g_divide(benchmark, fig8_operands):
+    alpha, beta = fig8_operands["8g"]
+    result = benchmark(a_divide, alpha, beta, ["B"])
+    assert len(result) == 3
+
+
+# ----------------------------------------------------------------------
+# macro: scaled synthetic operands (chain K0—K1—K2—K3, 200 per extent)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def scaled_sets(chain200):
+    graph = chain200.graph
+    k1 = AssociationSet.of_inners(graph.extent("K1"))
+    k2 = AssociationSet.of_inners(graph.extent("K2"))
+    assoc = chain200.schema.resolve("K1", "K2")
+    chains = associate(k1, k2, graph, assoc)
+    return graph, assoc, k1, k2, chains
+
+
+def test_scaled_associate(benchmark, scaled_sets):
+    graph, assoc, k1, k2, _ = scaled_sets
+    result = benchmark(associate, k1, k2, graph, assoc)
+    assert result
+
+
+def test_scaled_complement(benchmark, scaled_sets):
+    graph, assoc, k1, k2, _ = scaled_sets
+    result = benchmark(a_complement, k1, k2, graph, assoc)
+    assert result
+
+
+def test_scaled_nonassociate(benchmark, scaled_sets):
+    graph, assoc, k1, k2, _ = scaled_sets
+    benchmark(non_associate, k1, k2, graph, assoc)
+
+
+def test_scaled_select(benchmark, scaled_sets):
+    graph, _, _, _, chains = scaled_sets
+    predicate = Callback(lambda p, g: min(v.oid for v in p.vertices) % 2 == 0)
+    result = benchmark(a_select, chains, predicate, graph)
+    assert len(result) < len(chains)
+
+
+def test_scaled_project(benchmark, scaled_sets):
+    _, _, _, _, chains = scaled_sets
+    result = benchmark(a_project, chains, ["K1"])
+    assert result
+
+
+def test_scaled_intersect(benchmark, scaled_sets):
+    _, _, _, _, chains = scaled_sets
+    result = benchmark(a_intersect, chains, chains, ["K1"])
+    assert result
+
+
+def test_scaled_union(benchmark, scaled_sets):
+    _, _, k1, _, chains = scaled_sets
+    result = benchmark(a_union, k1, chains)
+    assert len(result) == len(k1) + len(chains)
+
+
+def test_scaled_difference(benchmark, scaled_sets):
+    _, _, k1, _, chains = scaled_sets
+    result = benchmark(a_difference, chains, k1)
+    assert len(result) == 0  # every chain contains a K1 inner pattern
+
+
+def test_scaled_divide(benchmark, scaled_sets):
+    _, _, _, k2, chains = scaled_sets
+    benchmark(a_divide, chains, k2, ["K1"])

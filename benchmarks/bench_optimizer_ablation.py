@@ -1,0 +1,90 @@
+"""ABLATION: which rewrite-rule families earn their keep?
+
+DESIGN.md calls out three optimizer design choices; each is ablated here
+on the Figure 10 workload plus a selective-filter workload:
+
+* rule families — planning with no rules, rotations only, distributions
+  only, and the full safe set; the *chosen plan* of each configuration is
+  then evaluated (so the benchmark measures realized, not estimated, cost);
+* select-pushdown — σ late vs σ pushed against a low-selectivity filter;
+* exploration budget — planning time at 25 / 100 / 400 candidates.
+"""
+
+import pytest
+
+from repro.core.expression import Intersect, Select, ref
+from repro.datagen import figure10_dataset
+from repro.optimizer import Optimizer, SAFE_RULES
+
+
+def fig10_expr():
+    return ref("A") * (
+        ref("B") * ref("E") * ref("F")
+        + ref("B") * Intersect(ref("C") * ref("D") * ref("H"), ref("C") * ref("G"))
+    )
+
+
+ROTATIONS = tuple(r for r in SAFE_RULES if r.name.startswith("rotate"))
+DISTRIBUTIONS = tuple(
+    r for r in SAFE_RULES if "over" in r.name and "select" not in r.name
+)
+
+CONFIGS = {
+    "none": (),
+    "rotations": ROTATIONS,
+    "distributions": DISTRIBUTIONS,
+    "all-safe": SAFE_RULES,
+}
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return figure10_dataset(extent_size=18, density=0.12, seed=7)
+
+
+@pytest.fixture(scope="module")
+def reference(ds):
+    return fig10_expr().evaluate(ds.graph)
+
+
+@pytest.mark.parametrize("config", list(CONFIGS))
+def test_rule_family(benchmark, ds, reference, config):
+    optimizer = Optimizer(ds.graph, rules=CONFIGS[config], max_candidates=150)
+    best = optimizer.optimize(fig10_expr())
+    result = benchmark(best.expr.evaluate, ds.graph)
+    assert result == reference
+
+
+@pytest.fixture(scope="module")
+def filter_workload(ds):
+    """σ over a long chain: a single F-instance pinned at the far end."""
+    from repro.core.predicates import Callback
+
+    some_f = sorted(ds.graph.extent("F"))[0]
+    predicate = Callback(
+        lambda p, g, pin=some_f: pin in p.vertices, f"F == {some_f.label}"
+    )
+    chain = ref("A") * ref("B") * (ref("E") * ref("F"))
+    return Select(chain, predicate), predicate
+
+
+def test_select_late(benchmark, ds, filter_workload):
+    late, _ = filter_workload
+    result = benchmark(late.evaluate, ds.graph)
+    assert result is not None
+
+
+def test_select_pushed(benchmark, ds, filter_workload):
+    late, predicate = filter_workload
+    pushed = ref("A") * ref("B") * Select(ref("E") * ref("F"), predicate)
+    result = benchmark(pushed.evaluate, ds.graph)
+    assert result == late.evaluate(ds.graph)
+
+
+@pytest.mark.parametrize("budget", [25, 100, 400])
+def test_exploration_budget(benchmark, ds, budget):
+    def plan():
+        return Optimizer(ds.graph, max_candidates=budget).optimize(fig10_expr())
+
+    best = benchmark(plan)
+    assert best.estimate.cost > 0

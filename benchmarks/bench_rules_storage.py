@@ -1,0 +1,78 @@
+"""Rule-engine overhead and persistence throughput.
+
+* DML with 0 / 1 / 5 registered rules (the per-mutation cost of condition
+  evaluation — the price of declarative constraints);
+* JSON save / load of the scaled university database;
+* snapshot / restore round-trip (the save-point mechanism).
+"""
+
+import pytest
+
+from repro.core.expression import ref
+from repro.datasets import university
+from repro.engine.database import Database
+from repro.rules import Rule, RuleEngine
+from repro.storage import load_database, save_database
+
+
+def fresh_db():
+    return Database.from_dataset(university())
+
+
+def _noop_action(db, event, result):
+    pass
+
+
+def _make_rules(count):
+    conditions = [
+        ref("Section") ^ ref("Room#"),
+        ref("Section") ^ ref("Teacher"),
+        ref("GPA"),
+        ref("Student") ^ ref("Department"),
+        ref("TA"),
+    ]
+    return [
+        Rule.make(f"rule-{i}", conditions[i % len(conditions)], _noop_action)
+        for i in range(count)
+    ]
+
+
+@pytest.mark.parametrize("n_rules", [0, 1, 5])
+def test_dml_with_rules(benchmark, n_rules):
+    db = fresh_db()
+    engine = RuleEngine(db)
+    for rule in _make_rules(n_rules):
+        engine.register(rule)
+
+    def mutate():
+        gpa = db.insert_value("GPA", 1.23)
+        db.delete(gpa)
+
+    benchmark(mutate)
+    if n_rules:
+        assert engine.firings  # the conditions really evaluated
+
+
+def test_save(benchmark, tmp_path, scaled_uni):
+    db = Database.from_dataset(scaled_uni)
+    path = tmp_path / "scaled.json"
+    benchmark(save_database, db, path)
+    assert path.stat().st_size > 10_000
+
+
+def test_load(benchmark, tmp_path, scaled_uni):
+    db = Database.from_dataset(scaled_uni)
+    path = tmp_path / "scaled.json"
+    save_database(db, path)
+    restored = benchmark(load_database, path)
+    assert len(restored.graph.extent("Student")) == 200
+
+
+def test_snapshot_restore(benchmark, scaled_uni):
+    db = Database.from_dataset(scaled_uni)
+
+    def round_trip():
+        db.restore(db.snapshot())
+
+    benchmark(round_trip)
+    assert len(db.extent("Student")) == 200

@@ -1,0 +1,58 @@
+"""BENCH-SCALE: operator scaling sweeps on synthetic chains.
+
+Three sweeps the cost model (and any OODB engine) must respect:
+
+* Associate chain length (2–4 classes) at fixed extent/density;
+* extent size (50–400) at fixed density for one Associate;
+* density (0.02–0.3) at fixed extent for Associate vs A-Complement —
+  complement work *grows* as regular density falls, the crossover the
+  derived-complement-edge design implies.
+"""
+
+import pytest
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.expression import ref
+from repro.core.operators import a_complement, associate
+from repro.datagen import chain_dataset
+
+
+@pytest.mark.parametrize("n_classes", [2, 3, 4])
+def test_chain_length(benchmark, n_classes):
+    ds = chain_dataset(n_classes=n_classes, extent_size=100, density=0.05, seed=1)
+    expr = ref("K0")
+    for index in range(1, n_classes):
+        expr = expr * ref(f"K{index}")
+    result = benchmark(expr.evaluate, ds.graph)
+    assert result
+
+
+@pytest.mark.parametrize("extent", [50, 100, 200, 400])
+def test_extent_size(benchmark, extent):
+    ds = chain_dataset(n_classes=2, extent_size=extent, density=0.05, seed=2)
+    expr = ref("K0") * ref("K1")
+    result = benchmark(expr.evaluate, ds.graph)
+    assert result
+
+
+@pytest.mark.parametrize("density", [0.02, 0.1, 0.3])
+def test_associate_density(benchmark, density):
+    ds = chain_dataset(n_classes=2, extent_size=150, density=density, seed=3)
+    graph = ds.graph
+    assoc = ds.schema.resolve("K0", "K1")
+    k0 = AssociationSet.of_inners(graph.extent("K0"))
+    k1 = AssociationSet.of_inners(graph.extent("K1"))
+    result = benchmark(associate, k0, k1, graph, assoc)
+    assert result
+
+
+@pytest.mark.parametrize("density", [0.02, 0.1, 0.3])
+def test_complement_density(benchmark, density):
+    """Complement cost falls as density rises (fewer complement edges)."""
+    ds = chain_dataset(n_classes=2, extent_size=150, density=density, seed=3)
+    graph = ds.graph
+    assoc = ds.schema.resolve("K0", "K1")
+    k0 = AssociationSet.of_inners(graph.extent("K0"))
+    k1 = AssociationSet.of_inners(graph.extent("K1"))
+    result = benchmark(a_complement, k0, k1, graph, assoc)
+    assert result

@@ -1,0 +1,53 @@
+"""Mixed-workload throughput: 50 random navigation queries end to end.
+
+The closest thing to a "TPC" for this engine: a deterministic mix of
+chains, unions, non-association hops and projections over the scaled
+university database, evaluated back to back — plus the same mix through
+the optimizer first (does planning pay for itself on small queries?).
+"""
+
+import pytest
+
+from repro.datagen.workloads import workload
+from repro.optimizer import Optimizer
+
+
+@pytest.fixture(scope="module")
+def queries(scaled_db):
+    return workload(scaled_db.schema, n_queries=50, max_hops=4, seed=11)
+
+
+def test_mixed_workload(benchmark, scaled_db, queries):
+    def run_all():
+        total = 0
+        for query in queries:
+            total += len(query.evaluate(scaled_db.graph))
+        return total
+
+    total = benchmark(run_all)
+    assert total > 0
+
+
+def test_mixed_workload_optimized(benchmark, scaled_db, queries):
+    optimizer = Optimizer(scaled_db.graph, max_candidates=20)
+    plans = [optimizer.optimize(query).expr for query in queries]
+
+    def run_all():
+        total = 0
+        for plan in plans:
+            total += len(plan.evaluate(scaled_db.graph))
+        return total
+
+    total = benchmark(run_all)
+    reference = sum(len(q.evaluate(scaled_db.graph)) for q in queries)
+    assert total == reference
+
+
+def test_planning_amortization(benchmark, scaled_db, queries):
+    optimizer = Optimizer(scaled_db.graph, max_candidates=20)
+
+    def plan_all():
+        return [optimizer.optimize(query) for query in queries]
+
+    plans = benchmark(plan_all)
+    assert len(plans) == len(queries)

@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures (built once per session)."""
+
+import pytest
+
+from repro.datagen import chain_dataset, figure10_dataset, university_scaled
+from repro.datasets import figure7, university
+from repro.engine.database import Database
+from repro.relational import map_object_graph
+
+
+@pytest.fixture(scope="session")
+def fig7():
+    return figure7()
+
+
+@pytest.fixture(scope="session")
+def uni_db():
+    return Database.from_dataset(university())
+
+
+@pytest.fixture(scope="session")
+def scaled_uni():
+    return university_scaled(n_students=200, n_courses=20, seed=11)
+
+
+@pytest.fixture(scope="session")
+def scaled_db(scaled_uni):
+    return Database.from_dataset(scaled_uni)
+
+
+@pytest.fixture(scope="session")
+def scaled_rdb(scaled_uni):
+    return map_object_graph(scaled_uni.graph)
+
+
+@pytest.fixture(scope="session")
+def fig10():
+    return figure10_dataset(extent_size=20, density=0.12, seed=7)
+
+
+@pytest.fixture(scope="session")
+def chain200():
+    return chain_dataset(n_classes=4, extent_size=200, density=0.05, seed=5)

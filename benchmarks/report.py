@@ -1,0 +1,289 @@
+"""Regenerate the measured tables of EXPERIMENTS.md.
+
+Runs every experiment family directly (no pytest) and prints markdown
+tables: figure exactness, law spot-checks, the relational comparison, the
+scaling sweeps, the heterogeneity comparison, and the Figure 10
+alternatives.
+
+Usage:
+    python benchmarks/report.py           # full run (~1 min)
+    python benchmarks/report.py --quick   # smaller sweeps (~15 s)
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+
+
+def timed(fn, repeat: int = 5) -> float:
+    """Median wall-clock milliseconds of ``fn()``."""
+    samples = []
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - started) * 1e3)
+    return statistics.median(samples)
+
+
+def table(title: str, header: list[str], rows: list[list[str]]) -> None:
+    print(f"\n### {title}\n")
+    print("| " + " | ".join(header) + " |")
+    print("|" + "|".join("---" for _ in header) + "|")
+    for row in rows:
+        print("| " + " | ".join(str(cell) for cell in row) + " |")
+
+
+# ----------------------------------------------------------------------
+# A. figure exactness
+# ----------------------------------------------------------------------
+
+
+def report_figures() -> None:
+    import subprocess
+
+    targets = [
+        ("FIG5/6", "tests/test_pattern.py tests/test_homogeneity.py"),
+        ("FIG7", "tests/test_figure7_dataset.py"),
+        (
+            "FIG8a-8g",
+            "tests/test_op_associate.py tests/test_op_complement.py "
+            "tests/test_op_nonassociate.py tests/test_op_intersect.py "
+            "tests/test_op_union_difference.py tests/test_op_divide.py "
+            "tests/test_op_project.py",
+        ),
+        ("Q1-Q5", "tests/integration/test_paper_queries.py"),
+        ("FIG10", "tests/test_optimizer_figure10.py"),
+    ]
+    rows = []
+    for label, paths in targets:
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "-q", *paths.split()],
+            capture_output=True,
+            text=True,
+        )
+        verdict = "✓ exact" if proc.returncode == 0 else "✗ FAILED"
+        summary = proc.stdout.strip().splitlines()[-1] if proc.stdout else ""
+        rows.append([label, verdict, summary])
+    table("A. Figure / query exactness", ["experiment", "verdict", "pytest"], rows)
+
+
+# ----------------------------------------------------------------------
+# B. law spot-checks
+# ----------------------------------------------------------------------
+
+
+def report_laws() -> None:
+    from repro.core import laws
+    from repro.core.assoc_set import AssociationSet
+    from repro.core.edges import inter
+    from repro.core.pattern import Pattern
+    from repro.datasets import figure7
+
+    f = figure7()
+    P = Pattern.build
+    alpha = AssociationSet([P(inter(f.a1, f.b1)), P(f.b2)])
+    beta = AssociationSet([P(f.c1), P(f.c3)])
+    homogeneous = AssociationSet([P(inter(f.b1, f.c1)), P(inter(f.b1, f.c2))])
+
+    checks = [
+        ("*-commutativity", laws.commutativity_associate(f.graph, f.bc, alpha, beta, "B", "C")),
+        ("|-commutativity", laws.commutativity_complement(f.graph, f.bc, alpha, beta, "B", "C")),
+        ("!-commutativity", laws.commutativity_nonassociate(f.graph, f.bc, alpha, beta, "B", "C")),
+        ("•-commutativity", laws.commutativity_intersect(alpha, beta)),
+        ("+-commutativity", laws.commutativity_union(alpha, beta)),
+        ("+-idempotency", laws.idempotency_union(alpha)),
+        ("•-idempotency (homog.)", laws.idempotency_intersect(homogeneous)),
+        (
+            "a) * over +",
+            laws.dist_associate_over_union(f.graph, f.bc, alpha, beta, beta, ("B", "C")),
+        ),
+        (
+            "c) • over +",
+            laws.dist_intersect_over_union(alpha, beta, beta, frozenset({"C"})),
+        ),
+    ]
+    rows = [[name, "holds" if check.holds else "VIOLATED"] for name, check in checks]
+    table("B. Law spot-checks (Figure 7 domain)", ["law", "verdict"], rows)
+    print("\n(full property-based runs: pytest tests/properties/)")
+
+
+# ----------------------------------------------------------------------
+# C.1 relational comparison
+# ----------------------------------------------------------------------
+
+
+def report_relational(quick: bool) -> None:
+    from repro.datagen import university_scaled
+    from repro.engine.database import Database
+    from repro.relational import map_object_graph
+    from repro.relational import queries as rq
+
+    n = 80 if quick else 200
+    scaled = university_scaled(n_students=n, n_courses=20, seed=11)
+    adb = Database.from_dataset(scaled)
+    rdb = map_object_graph(scaled.graph)
+
+    algebra = {
+        "Q1": adb.compile("pi(TA * Grad * Student * Person * SS#)[SS#]"),
+        "Q3": adb.compile(
+            "pi(Student * Person * Name & Student * Department"
+            " & Student * Grad * TA * Teacher * Department)[Name]"
+        ),
+        "Q4": adb.compile(
+            "pi(Section# * (Section ! Room# + Section ! Teacher))[Section#]"
+        ),
+    }
+    relational = {"Q1": rq.query1, "Q3": rq.query3, "Q4": rq.query4}
+    rows = []
+    for name in algebra:
+        a_ms = timed(lambda q=algebra[name]: q.evaluate(adb.graph))
+        r_ms = timed(lambda f=relational[name]: f(rdb))
+        rows.append([name, f"{a_ms:.2f}", f"{r_ms:.2f}"])
+    rows.append(["shred", "—", f"{timed(lambda: map_object_graph(scaled.graph)):.2f}"])
+    table(
+        f"C.1 A-algebra vs relational (scaled university, {n} students; ms)",
+        ["query", "A-algebra", "relational"],
+        rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# C.2 scaling sweeps
+# ----------------------------------------------------------------------
+
+
+def report_scaling(quick: bool) -> None:
+    from repro.core.assoc_set import AssociationSet
+    from repro.core.operators import a_complement, associate
+    from repro.datagen import chain_dataset
+
+    extents = [50, 100, 200] if quick else [50, 100, 200, 400]
+    rows = []
+    for extent in extents:
+        ds = chain_dataset(n_classes=2, extent_size=extent, density=0.05, seed=2)
+        k0 = AssociationSet.of_inners(ds.graph.extent("K0"))
+        k1 = AssociationSet.of_inners(ds.graph.extent("K1"))
+        assoc = ds.schema.resolve("K0", "K1")
+        ms = timed(lambda: associate(k0, k1, ds.graph, assoc), repeat=3)
+        rows.append([extent, f"{ms:.2f}"])
+    table("C.2a Associate vs extent size (d=0.05; ms)", ["extent", "ms"], rows)
+
+    rows = []
+    for density in (0.02, 0.1, 0.3):
+        ds = chain_dataset(n_classes=2, extent_size=150, density=density, seed=3)
+        k0 = AssociationSet.of_inners(ds.graph.extent("K0"))
+        k1 = AssociationSet.of_inners(ds.graph.extent("K1"))
+        assoc = ds.schema.resolve("K0", "K1")
+        a_ms = timed(lambda: associate(k0, k1, ds.graph, assoc), repeat=3)
+        c_ms = timed(lambda: a_complement(k0, k1, ds.graph, assoc), repeat=3)
+        rows.append([density, f"{a_ms:.2f}", f"{c_ms:.2f}"])
+    table(
+        "C.2b Associate vs A-Complement across density (n=150; ms)",
+        ["density", "associate", "complement"],
+        rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# C.3 heterogeneous vs homogeneous + C.4 Figure 10
+# ----------------------------------------------------------------------
+
+
+def report_heterogeneous() -> None:
+    from repro.core.expression import ref
+    from repro.core.homogeneity import is_homogeneous
+    from repro.core.operators import a_intersect, a_union
+    from repro.datagen import figure10_dataset
+
+    ds = figure10_dataset(extent_size=25, density=0.12, seed=9)
+    left = (ref("B") * ref("E") * ref("F")).evaluate(ds.graph)
+    right = (ref("B") * ref("C") * ref("G")).evaluate(ds.graph)
+    mixed = a_union(left, right)
+    rows = [
+        [
+            "• over {B}",
+            f"{timed(lambda: a_intersect(mixed, mixed, ['B']), repeat=3):.2f}",
+            f"{timed(lambda: a_union(a_intersect(left, left, ['B']), a_intersect(right, right, ['B'])), repeat=3):.2f}",
+        ],
+        [
+            "homogeneity test",
+            f"{timed(lambda: is_homogeneous(mixed), repeat=3):.4f}",
+            f"{timed(lambda: is_homogeneous(left), repeat=3):.4f}",
+        ],
+    ]
+    table(
+        "C.3 heterogeneous union vs homogeneous halves (ms)",
+        ["operation", "heterogeneous", "homogeneous"],
+        rows,
+    )
+
+
+def report_figure10(quick: bool) -> None:
+    from repro.core.expression import EvalTrace, Intersect, ref
+    from repro.datagen import figure10_dataset
+    from repro.optimizer import Optimizer
+
+    ds = figure10_dataset(extent_size=14 if quick else 20, density=0.12, seed=7)
+
+    def original():
+        return ref("A") * (
+            ref("B") * ref("E") * ref("F")
+            + ref("B") * Intersect(ref("C") * ref("D") * ref("H"), ref("C") * ref("G"))
+        )
+
+    def final():
+        return ref("A") * (ref("B") * ref("E") * ref("F")) + Intersect(
+            ref("A") * (ref("B") * (ref("C") * ref("D") * ref("H"))),
+            ref("A") * (ref("B") * (ref("C") * ref("G"))),
+            ["A", "B", "C"],
+        )
+
+    best = Optimizer(ds.graph, max_candidates=150).optimize(original())
+    reference = original().evaluate(ds.graph)
+    assert final().evaluate(ds.graph) == reference
+    assert best.expr.evaluate(ds.graph) == reference
+
+    rows = []
+    for label, expr in (
+        ("original", original()),
+        ("paper final", final()),
+        ("optimizer choice", best.expr),
+    ):
+        trace = EvalTrace()
+        ms = timed(lambda e=expr: e.evaluate(ds.graph), repeat=3)
+        expr.evaluate(ds.graph, trace)
+        rows.append([label, f"{ms:.2f}", trace.total_patterns])
+    table(
+        "C.4 Figure 10 alternatives (ms / intermediate patterns)",
+        ["form", "ms", "intermediate patterns"],
+        rows,
+    )
+    print(f"\noptimizer derivation: {' → '.join(best.derivation) or '(original)'}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smaller sweeps")
+    parser.add_argument(
+        "--skip-exactness",
+        action="store_true",
+        help="skip the pytest-based figure exactness section",
+    )
+    args = parser.parse_args(argv)
+
+    print("# EXPERIMENTS report (regenerated)")
+    if not args.skip_exactness:
+        report_figures()
+    report_laws()
+    report_relational(args.quick)
+    report_scaling(args.quick)
+    report_heterogeneous()
+    report_figure10(args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

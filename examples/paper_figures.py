@@ -1,0 +1,161 @@
+"""Render every Figure 8 operator example in the paper's notation.
+
+For each of the seven worked examples (8a–8g) this prints the operands,
+the operator applied, and the resulting association-set, using the figure
+glyphs (``——`` inter, ``- -`` complement, ``~~``/``~/~`` derived).  The
+outputs are the same association-sets the regression tests assert.
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import complement, inter
+from repro.core.operators import (
+    a_complement,
+    a_difference,
+    a_divide,
+    a_intersect,
+    a_project,
+    associate,
+    non_associate,
+)
+from repro.core.pattern import Pattern
+from repro.datasets import figure7
+from repro.viz import render_side_by_side, render_set
+
+
+def P(*parts):
+    return Pattern.build(*parts)
+
+
+def show(title, operands, result):
+    print(f"\n=== {title} ===")
+    for label, aset in operands:
+        print(render_set(aset, f"{label}:"))
+    print(render_set(result, "result:"))
+
+
+def main() -> None:
+    f = figure7()
+    g = f.graph
+
+    print("The Figure 7 domain (regular edges):")
+    for assoc in (f.ab, f.bc, f.cd):
+        pairs = ", ".join(f"{a.label}—{b.label}" for a, b in sorted(g.edges(assoc)))
+        print(f"  {assoc}: {pairs}")
+
+    # Figure 8a — Associate.
+    alpha = AssociationSet([P(inter(f.a1, f.b1)), P(f.a2), P(inter(f.a3, f.b2))])
+    beta = AssociationSet(
+        [P(inter(f.c1, f.d1)), P(inter(f.c2, f.d2)), P(f.c3), P(inter(f.c4, f.d3))]
+    )
+    show(
+        "Figure 8a: α *[R(B,C)] β",
+        [("α", alpha), ("β", beta)],
+        associate(alpha, beta, g, f.bc),
+    )
+
+    # Figure 8b — A-Complement.
+    alpha = AssociationSet([P(inter(f.a1, f.b1)), P(f.a2), P(inter(f.a4, f.b3))])
+    beta = AssociationSet([P(inter(f.c1, f.d1)), P(inter(f.c2, f.d2)), P(f.c3)])
+    show(
+        "Figure 8b: α |[R(B,C)] β",
+        [("α", alpha), ("β", beta)],
+        a_complement(alpha, beta, g, f.bc),
+    )
+
+    # Figure 8c — A-Project.
+    alpha = AssociationSet(
+        [
+            P(inter(f.a1, f.b1), inter(f.b1, f.c1), complement(f.c1, f.d1)),
+            P(inter(f.a1, f.b1), inter(f.b1, f.c2), complement(f.c2, f.d2)),
+            P(inter(f.b2, f.c3), inter(f.c3, f.d3)),
+        ]
+    )
+    show(
+        "Figure 8c: Π(α)[(A*B, D); (B:D)]",
+        [("α", alpha)],
+        a_project(alpha, ["A*B", "D"], ["B:D"]),
+    )
+
+    # Figure 8d — NonAssociate.
+    alpha = AssociationSet([P(inter(f.a1, f.b1)), P(f.a2), P(inter(f.a3, f.b2))])
+    beta = AssociationSet(
+        [P(inter(f.c2, f.d2)), P(inter(f.c4, f.d3)), P(f.c3), P(f.d4)]
+    )
+    show(
+        "Figure 8d: α ![R(B,C)] β",
+        [("α", alpha), ("β", beta)],
+        non_associate(alpha, beta, g, f.bc),
+    )
+
+    # Figure 8e — A-Intersect.
+    alpha = AssociationSet(
+        [
+            P(inter(f.b1, f.c2), inter(f.c2, f.d1)),
+            P(inter(f.a1, f.b1), inter(f.b1, f.c2)),
+            P(inter(f.a3, f.b2)),
+            P(inter(f.c4, f.d4)),
+        ]
+    )
+    beta = AssociationSet(
+        [
+            P(inter(f.b1, f.c2), inter(f.c2, f.d2)),
+            P(inter(f.b1, f.c2), inter(f.c2, f.d3)),
+            P(inter(f.b1, f.c1), inter(f.c1, f.d3)),
+            P(inter(f.c4, f.d4)),
+        ]
+    )
+    show(
+        "Figure 8e: α •{B,C} β",
+        [("α", alpha), ("β", beta)],
+        a_intersect(alpha, beta, ["B", "C"]),
+    )
+
+    # Figure 8f — A-Difference.
+    alpha = AssociationSet(
+        [
+            P(inter(f.a1, f.b1), inter(f.b1, f.c1)),
+            P(inter(f.a3, f.b2), inter(f.b2, f.c2)),
+            P(inter(f.a1, f.b1), inter(f.b1, f.c2)),
+        ]
+    )
+    beta = AssociationSet([P(inter(f.a1, f.b1)), P(inter(f.a3, f.b3))])
+    show(
+        "Figure 8f: α - β",
+        [("α", alpha), ("β", beta)],
+        a_difference(alpha, beta),
+    )
+
+    # Figure 8g — A-Divide.
+    alpha = AssociationSet(
+        [
+            P(inter(f.a1, f.b1), inter(f.b1, f.c1)),
+            P(inter(f.b1, f.c2), inter(f.c2, f.d1)),
+            P(inter(f.b1, f.c4), inter(f.c4, f.d4)),
+        ]
+    )
+    beta = AssociationSet(
+        [P(f.d1), P(inter(f.a1, f.b1)), P(inter(f.b1, f.c2)), P(inter(f.c4, f.d4))]
+    )
+    show(
+        "Figure 8g: α ÷{B} β",
+        [("α", alpha), ("β", beta)],
+        a_divide(alpha, beta, ["B"]),
+    )
+
+    # Bonus: side-by-side, Figure 8a style.
+    print("\n=== Figure 8a, side by side ===")
+    alpha = AssociationSet([P(inter(f.a1, f.b1)), P(f.a2), P(inter(f.a3, f.b2))])
+    beta = AssociationSet(
+        [P(inter(f.c1, f.d1)), P(inter(f.c2, f.d2)), P(f.c3), P(inter(f.c4, f.d3))]
+    )
+    print(
+        render_side_by_side(
+            alpha, associate(alpha, beta, g, f.bc), "α", "α *[R(B,C)] β"
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Knowledge rules: constraints-as-patterns over the university database.
+
+The OSAM* context of the paper pairs the algebra with a rule language:
+association semantics are "declared by rules which are then processed by a
+rule processing component".  This demo declares two rules whose conditions
+are the paper's own Query 4 patterns:
+
+* ``room-required`` — corrective: a section inserted without a room gets
+  the default room assigned automatically;
+* ``teacher-watch`` — monitoring: unlinking a teacher from its last
+  section logs a staffing violation.
+
+Run:  python examples/rules_demo.py
+"""
+
+from repro import ref
+from repro.datasets import university
+from repro.engine.database import Database
+from repro.rules import Rule, RuleEngine
+
+
+def main() -> None:
+    dataset = university()
+    db = Database.from_dataset(dataset)
+    engine = RuleEngine(db)
+    log: list[str] = []
+
+    def assign_default_room(database, event, result):
+        default = database.insert_value("Room#", "R-DEFAULT")
+        for pattern in result:
+            for section in pattern.instances_of("Section"):
+                database.link(section, default)
+                log.append(f"assigned {default.label} to {section.label}")
+
+    engine.register(
+        Rule.make(
+            "room-required",
+            ref("Section") ^ ref("Room#"),
+            assign_default_room,
+            on=["insert"],
+            classes=["Section"],
+            description="every section must have a room",
+        )
+    )
+
+    engine.register(
+        Rule.make(
+            "teacher-watch",
+            ref("Section") ^ ref("Teacher"),
+            lambda database, event, result: log.append(
+                f"WARNING: {len(result)} staffing pattern(s) after {event.kind}"
+            ),
+            on=["unlink"],
+            classes=["Section", "Teacher"],
+            description="report sections losing their teacher",
+        )
+    )
+
+    print("=== initial constraint check ===")
+    for name, fires in engine.check_all().items():
+        print(f"  {name}: {'VIOLATED' if fires else 'ok'}")
+    print(
+        "(the paper's own dataset ships section 102 without a room and\n"
+        " section 201 without a teacher — both conditions fire)"
+    )
+
+    print("\n=== inserting a new section triggers the corrective rule ===")
+    created = db.insert("Section")
+    print(f"inserted {created['Section'].label}")
+    for line in log:
+        print(" ", line)
+    log.clear()
+
+    print("\n=== unlinking a teacher triggers the watcher ===")
+    teachers = db.schema.resolve("Teacher", "Section")
+    newton = dataset.people["newton"]["Teacher"]
+    section = next(iter(sorted(db.graph.partners(teachers, newton))))
+    db.unlink(newton, section)
+    for line in log:
+        print(" ", line)
+
+    print("\n=== firing history ===")
+    for firing in engine.firings:
+        print(" ", firing)
+
+    print("\n=== remaining violations ===")
+    print(" ", engine.violations())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,192 @@
+"""Interactive OQL shell.
+
+A small REPL over one :class:`~repro.engine.database.Database`, in the
+spirit of ``sqlite3``'s shell: OQL queries evaluate and print as
+figure-notation association-sets; backslash commands inspect the database.
+
+Commands::
+
+    \\schema              list classes and associations
+    \\extent <Class>      show a class extent
+    \\trace <query>       evaluate with a per-operator cardinality trace
+    \\plan <query>        show the optimizer's candidate plans
+    \\values <Class> <query>   print the primitive values of one class
+    \\table <C1,C2> <query>    render the result as a value table
+    \\save <path>         write a JSON snapshot of the database
+    \\dot                 emit the schema as Graphviz DOT
+    \\help                this text
+    \\quit                leave
+
+Run programmatically (and in tests) via :func:`run_shell` with arbitrary
+input/output streams, or from the command line::
+
+    python -m repro.cli              # opens the paper's university DB
+    python -m repro.cli snapshot.json
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO
+
+from repro.engine.database import Database
+from repro.errors import ReproError
+from repro.core.expression import EvalTrace
+from repro.viz import render_set, schema_to_dot
+
+__all__ = ["run_shell", "main"]
+
+_PROMPT = "oql> "
+_HELP = __doc__.split("Commands::", 1)[1].split("Run programmatically", 1)[0]
+
+
+def _cmd_schema(db: Database, args: str, out: IO[str]) -> None:
+    print(f"schema {db.schema.name!r}:", file=out)
+    for cdef in db.schema.classes:
+        kind = "circle" if cdef.is_primitive else "box"
+        size = len(db.graph.extent(cdef.name))
+        print(f"  {cdef.name:<16} [{kind}]  {size} instance(s)", file=out)
+    print("associations:", file=out)
+    for assoc in db.schema.associations:
+        print(f"  {assoc}  ({assoc.kind.value})", file=out)
+
+
+def _cmd_extent(db: Database, args: str, out: IO[str]) -> None:
+    cls = args.strip()
+    if not cls:
+        print("usage: \\extent <Class>", file=out)
+        return
+    rows = []
+    for instance in sorted(db.graph.extent(cls)):
+        value = db.graph.value(instance)
+        rows.append(
+            f"  {instance.label}" + (f" = {value!r}" if value is not None else "")
+        )
+    print(f"{cls}: {len(rows)} instance(s)", file=out)
+    for row in rows:
+        print(row, file=out)
+
+
+def _cmd_trace(db: Database, args: str, out: IO[str]) -> None:
+    trace = EvalTrace()
+    result = db.compile(args).evaluate(db.graph, trace)
+    print(trace.pretty(), file=out)
+    print(render_set(result, f"result ({len(result)} pattern(s)):"), file=out)
+
+
+def _cmd_plan(db: Database, args: str, out: IO[str]) -> None:
+    from repro.optimizer import Optimizer
+
+    expr = db.compile(args)
+    print(Optimizer(db.graph).explain(expr), file=out)
+
+
+def _cmd_values(db: Database, args: str, out: IO[str]) -> None:
+    parts = args.strip().split(None, 1)
+    if len(parts) != 2:
+        print("usage: \\values <Class> <query>", file=out)
+        return
+    cls, query = parts
+    result = db.evaluate(query)
+    print(sorted(db.values(result, cls), key=repr), file=out)
+
+
+def _cmd_table(db: Database, args: str, out: IO[str]) -> None:
+    parts = args.strip().split(None, 1)
+    if len(parts) != 2:
+        print("usage: \\table <Class,Class,...> <query>", file=out)
+        return
+    columns, query = parts[0].split(","), parts[1]
+    from repro.viz import render_table
+
+    print(render_table(db.evaluate(query), db.graph, columns), file=out)
+
+
+def _cmd_dot(db: Database, args: str, out: IO[str]) -> None:
+    print(schema_to_dot(db.schema), file=out)
+
+
+def _cmd_save(db: Database, args: str, out: IO[str]) -> None:
+    path = args.strip()
+    if not path:
+        print("usage: \\save <path>", file=out)
+        return
+    from repro.storage import save_database
+
+    save_database(db, path)
+    print(f"saved to {path}", file=out)
+
+
+def _cmd_help(db: Database, args: str, out: IO[str]) -> None:
+    print(_HELP.strip("\n"), file=out)
+
+
+_COMMANDS = {
+    "schema": _cmd_schema,
+    "extent": _cmd_extent,
+    "trace": _cmd_trace,
+    "plan": _cmd_plan,
+    "values": _cmd_values,
+    "table": _cmd_table,
+    "dot": _cmd_dot,
+    "save": _cmd_save,
+    "help": _cmd_help,
+}
+
+
+def run_shell(
+    db: Database,
+    stdin: IO[str] | None = None,
+    stdout: IO[str] | None = None,
+    show_prompt: bool = True,
+) -> None:
+    """Run the REPL until EOF or ``\\quit``."""
+    inp = stdin if stdin is not None else sys.stdin
+    out = stdout if stdout is not None else sys.stdout
+    print(f"A-algebra shell — {db} — \\help for commands", file=out)
+    while True:
+        if show_prompt:
+            print(_PROMPT, end="", file=out, flush=True)
+        line = inp.readline()
+        if not line:
+            break
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("\\"):
+            name, _, args = line[1:].partition(" ")
+            if name in ("quit", "q", "exit"):
+                break
+            handler = _COMMANDS.get(name)
+            if handler is None:
+                print(f"unknown command \\{name} — try \\help", file=out)
+                continue
+            try:
+                handler(db, args, out)
+            except ReproError as exc:
+                print(f"error: {exc}", file=out)
+            continue
+        try:
+            result = db.evaluate(line)
+            print(render_set(result, f"{len(result)} pattern(s):"), file=out)
+        except ReproError as exc:
+            print(f"error: {exc}", file=out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: open a snapshot file, or the paper's university DB."""
+    args = argv if argv is not None else sys.argv[1:]
+    if args:
+        from repro.storage import load_database
+
+        db = load_database(args[0])
+    else:
+        from repro.datasets import university
+
+        db = Database.from_dataset(university())
+    run_shell(db)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

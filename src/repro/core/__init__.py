@@ -1,0 +1,59 @@
+"""Core of the reproduction: patterns, association-sets, operators, expressions."""
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import Edge, Polarity, complement, d_complement, d_inter, inter
+from repro.core.expression import (
+    AssocSpec,
+    Associate,
+    ClassExtent,
+    Complement,
+    Difference,
+    Divide,
+    EvalTrace,
+    Expr,
+    Intersect,
+    Literal,
+    NonAssociate,
+    Project,
+    Select,
+    Union,
+    ref,
+)
+from repro.core.homogeneity import heterogeneity_report, is_homogeneous
+from repro.core.identity import IID, OIDAllocator, iid
+from repro.core.pattern import Pattern, Relationship
+from repro.core.template import PatternTemplate, match
+
+__all__ = [
+    "IID",
+    "OIDAllocator",
+    "iid",
+    "Edge",
+    "Polarity",
+    "inter",
+    "complement",
+    "d_inter",
+    "d_complement",
+    "Pattern",
+    "Relationship",
+    "AssociationSet",
+    "is_homogeneous",
+    "heterogeneity_report",
+    "Expr",
+    "ClassExtent",
+    "Literal",
+    "Associate",
+    "Complement",
+    "NonAssociate",
+    "Intersect",
+    "Union",
+    "Difference",
+    "Divide",
+    "Select",
+    "Project",
+    "AssocSpec",
+    "EvalTrace",
+    "ref",
+    "PatternTemplate",
+    "match",
+]

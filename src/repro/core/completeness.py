@@ -1,0 +1,150 @@
+"""Constructive completeness (§5).
+
+The paper claims: "The A-algebra is complete in the sense that all
+possible subdatabases that are derivable from an O-O database can be
+expressed in terms of A-algebra expressions" (proof deferred to [SU90]).
+
+This module makes the claim executable: :func:`expression_for` synthesizes,
+for any target association-set whose patterns are consistent with the
+object graph (regular edges present in 𝒜, complement edges absent from 𝒜,
+edges spanning schema-adjacent classes), an algebra expression built only
+from class extents, A-Select, Associate, A-Complement and A-Union that
+evaluates to exactly that association-set.
+
+Construction per pattern (the inductive step of the completeness proof):
+
+1. pin the root instance with an instance-selecting σ;
+2. add every further edge in BFS order — Associate for Inter-patterns,
+   A-Complement for Complement-patterns, each annotated with the explicit
+   ``[R(A,B)]`` the edge crosses.  Associate/A-Complement happily connect
+   back into vertices already present, so cyclic patterns need no special
+   machinery;
+3. a final exact-match σ removes the variants introduced when a class has
+   several instances in the pattern (the operators join through *any*
+   instance of the end class).
+
+The association-set is then the A-Union of its pattern expressions; the
+empty set is ``σ(C)[false]`` for an arbitrary class.
+"""
+
+from __future__ import annotations
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import Edge
+from repro.core.expression import (
+    AssocSpec,
+    Associate,
+    Complement,
+    Expr,
+    Select,
+    Union,
+    ref,
+)
+from repro.core.identity import IID
+from repro.core.pattern import Pattern
+from repro.core.predicates import (
+    Callback,
+    ClassInstances,
+    Comparison,
+    Const,
+    Not,
+    TruePredicate,
+)
+from repro.errors import AlgebraError
+from repro.objects.graph import ObjectGraph
+
+__all__ = ["expression_for", "expression_for_pattern", "CompletenessError"]
+
+
+class CompletenessError(AlgebraError):
+    """The target is not a subdatabase derivable from this object graph."""
+
+
+def _instance_selector(instance: IID) -> Expr:
+    """``σ(C)[instances(C) = instance]`` — pins one Inner-pattern."""
+    predicate = Comparison(ClassInstances(instance.cls), "=", Const(instance))
+    return Select(ref(instance.cls), predicate)
+
+
+def _exact_match(target: Pattern) -> Callback:
+    return Callback(lambda pattern, graph: pattern == target, f"= {target}")
+
+
+def _check_edge(graph: ObjectGraph, edge: Edge) -> AssocSpec:
+    """Validate the edge against 𝒜 and produce its [R(A,B)] annotation."""
+    try:
+        assoc = graph.schema.resolve(edge.u.cls, edge.v.cls)
+    except Exception as exc:
+        raise CompletenessError(
+            f"edge {edge} does not cross a schema association: {exc}"
+        ) from exc
+    if edge.is_regular and not graph.are_associated(assoc, edge.u, edge.v):
+        raise CompletenessError(f"Inter-pattern {edge} is not present in 𝒜")
+    if edge.is_complement and graph.are_associated(assoc, edge.u, edge.v):
+        raise CompletenessError(f"Complement-pattern {edge} contradicts 𝒜")
+    return AssocSpec(edge.u.cls, edge.v.cls, assoc.name)
+
+
+def expression_for_pattern(pattern: Pattern, graph: ObjectGraph) -> Expr:
+    """An algebra expression evaluating to exactly ``{pattern}``."""
+    for vertex in pattern.vertices:
+        graph.require_instance(vertex)
+    if not pattern.is_connected():
+        raise CompletenessError(f"{pattern} is not a connected pattern")
+
+    root = min(pattern.vertices)
+    expr = _instance_selector(root)
+    visited = {root}
+    pending: set[Edge] = set(pattern.edges)
+
+    # Attach edges as their anchor end becomes visited; cycle-closing edges
+    # connect two visited vertices and attach like any other (Associate and
+    # A-Complement tolerate the right operand's vertex already occurring in
+    # the left pattern).
+    while pending:
+        progressed = False
+        for edge in sorted(
+            pending, key=lambda e: (e.u, e.v, e.polarity.value)
+        ):
+            anchored = edge.u in visited or edge.v in visited
+            if not anchored:
+                continue
+            u, v = edge.u, edge.v
+            if u not in visited:
+                u, v = v, u  # orient: u is the visited anchor
+            spec = _check_edge(graph, Edge(u, v, edge.polarity))
+            spec = AssocSpec(u.cls, v.cls, spec.name)
+            node = Associate if edge.is_regular else Complement
+            expr = node(expr, _instance_selector(v), spec)
+            visited.add(v)
+            pending.discard(edge)
+            progressed = True
+            break
+        if not progressed:
+            break
+    if pending:  # pragma: no cover - unreachable for connected patterns
+        raise CompletenessError(f"could not anchor edges {sorted(map(str, pending))}")
+
+    if len(pattern.vertices) > 1 or pattern.edges:
+        expr = Select(expr, _exact_match(pattern))
+    return expr
+
+
+def expression_for(target: AssociationSet, graph: ObjectGraph) -> Expr:
+    """An algebra expression evaluating to exactly ``target``.
+
+    Raises :class:`CompletenessError` when ``target`` is not derivable
+    from ``graph`` (dangling instances, edges contradicting 𝒜, or edges
+    between non-adjacent classes — derived patterns are *results* of
+    algebra operations, not stored subdatabase content).
+    """
+    patterns = sorted(target, key=str)
+    if not patterns:
+        some_class = next(iter(graph.schema.class_names), None)
+        if some_class is None:
+            raise CompletenessError("cannot express φ over an empty schema")
+        return Select(ref(some_class), Not(TruePredicate()))
+    expr = expression_for_pattern(patterns[0], graph)
+    for pattern in patterns[1:]:
+        expr = Union(expr, expression_for_pattern(pattern, graph))
+    return expr

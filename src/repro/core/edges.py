@@ -1,0 +1,181 @@
+"""Primitive binary association patterns (edges).
+
+Section 3.1 of the paper defines five primitive patterns.  Four of them are
+binary and are modelled here as :class:`Edge` values:
+
+* **Inter-pattern** ``(a_i b_j)`` — a regular edge: the two instances are
+  associated in the object graph.
+* **Complement-pattern** ``(~a_i b_j)`` — a complement edge: the two
+  instances are *not* associated although their classes are.
+* **D-Inter-pattern** ``(a_i~~b_j)`` — a *derived* regular edge standing for
+  a path of regular edges whose interior is irrelevant.
+* **D-Complement-pattern** — a derived complement edge standing for a path
+  containing at least one complement edge.
+
+The paper states: "A D-Inter-pattern is treated as an Inter-pattern and a
+D-Complement-pattern is treated as a Complement-pattern in the algebraic
+operations" (§3.1).  We therefore give an edge two independent properties:
+
+* its :class:`Polarity` (``REGULAR`` or ``COMPLEMENT``) — part of the edge's
+  *identity* (equality, hashing, containment);
+* a ``derived`` flag — provenance only, excluded from identity, kept so that
+  renderers can draw the paper's distinct arrow styles.
+
+Patterns are non-directional graphs (``(a_i b_j) = (b_j a_i)``, §3.1), so an
+edge canonicalizes its endpoints into a deterministic order at construction.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator
+
+from repro.core.identity import IID
+from repro.errors import PatternError
+
+__all__ = ["Polarity", "Edge", "inter", "complement", "d_inter", "d_complement"]
+
+
+class Polarity(enum.Enum):
+    """Whether an edge asserts association or non-association."""
+
+    REGULAR = "regular"
+    COMPLEMENT = "complement"
+
+    def __invert__(self) -> "Polarity":
+        if self is Polarity.REGULAR:
+            return Polarity.COMPLEMENT
+        return Polarity.REGULAR
+
+
+class Edge:
+    """An undirected, polarized edge between two object instances.
+
+    Identity (equality and hash) is ``(endpoints, polarity)``; the
+    ``derived`` provenance flag is deliberately excluded so that a derived
+    inter-pattern collapses with the equivalent plain inter-pattern inside an
+    association-set, exactly as §3.1 prescribes.
+    """
+
+    __slots__ = ("_u", "_v", "_polarity", "_derived", "_hash")
+
+    def __init__(
+        self,
+        u: IID,
+        v: IID,
+        polarity: Polarity = Polarity.REGULAR,
+        *,
+        derived: bool = False,
+    ) -> None:
+        if u == v:
+            raise PatternError(f"self-loop edge on {u}: patterns are simple graphs")
+        if v < u:
+            u, v = v, u
+        self._u = u
+        self._v = v
+        self._polarity = polarity
+        self._derived = derived
+        self._hash = hash((u, v, polarity))
+
+    @property
+    def u(self) -> IID:
+        """First endpoint in canonical order."""
+        return self._u
+
+    @property
+    def v(self) -> IID:
+        """Second endpoint in canonical order."""
+        return self._v
+
+    @property
+    def polarity(self) -> Polarity:
+        return self._polarity
+
+    @property
+    def derived(self) -> bool:
+        """Provenance flag: was this edge produced by A-Project?"""
+        return self._derived
+
+    @property
+    def is_regular(self) -> bool:
+        return self._polarity is Polarity.REGULAR
+
+    @property
+    def is_complement(self) -> bool:
+        return self._polarity is Polarity.COMPLEMENT
+
+    @property
+    def endpoints(self) -> tuple[IID, IID]:
+        return (self._u, self._v)
+
+    @property
+    def classes(self) -> frozenset[str]:
+        """The (one or two) class names the edge spans."""
+        return frozenset((self._u.cls, self._v.cls))
+
+    def other(self, iid: IID) -> IID:
+        """The endpoint opposite ``iid``."""
+        if iid == self._u:
+            return self._v
+        if iid == self._v:
+            return self._u
+        raise PatternError(f"{iid} is not an endpoint of {self}")
+
+    def touches(self, iid: IID) -> bool:
+        return iid == self._u or iid == self._v
+
+    def with_polarity(self, polarity: Polarity) -> "Edge":
+        """A copy of this edge with the given polarity (same provenance)."""
+        return Edge(self._u, self._v, polarity, derived=self._derived)
+
+    def as_derived(self) -> "Edge":
+        """A copy flagged as derived (identity unchanged)."""
+        return Edge(self._u, self._v, self._polarity, derived=True)
+
+    def __iter__(self) -> Iterator[IID]:
+        yield self._u
+        yield self._v
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Edge):
+            return NotImplemented
+        return (
+            self._u == other._u
+            and self._v == other._v
+            and self._polarity is other._polarity
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        if self._polarity is Polarity.REGULAR:
+            body = f"{self._u.label} {self._v.label}"
+        else:
+            body = f"~{self._u.label} {self._v.label}"
+        return f"({body})"
+
+    def __repr__(self) -> str:
+        kind = "d_" if self._derived else ""
+        kind += "inter" if self.is_regular else "complement"
+        return f"Edge[{kind}]({self._u!r}, {self._v!r})"
+
+
+def inter(u: IID, v: IID) -> Edge:
+    """An Inter-pattern ``(u v)``: the instances are associated."""
+    return Edge(u, v, Polarity.REGULAR)
+
+
+def complement(u: IID, v: IID) -> Edge:
+    """A Complement-pattern ``(~u v)``: the instances are not associated."""
+    return Edge(u, v, Polarity.COMPLEMENT)
+
+
+def d_inter(u: IID, v: IID) -> Edge:
+    """A D-Inter-pattern: derived regular edge (identity equals ``inter``)."""
+    return Edge(u, v, Polarity.REGULAR, derived=True)
+
+
+def d_complement(u: IID, v: IID) -> Edge:
+    """A D-Complement-pattern: derived complement edge."""
+    return Edge(u, v, Polarity.COMPLEMENT, derived=True)

@@ -1,0 +1,83 @@
+"""Homogeneous association-sets (§3.2).
+
+An association-set is *homogeneous* iff:
+
+1. all patterns are formed by Inner-patterns from the same set of object
+   classes; and
+2. all patterns have the same number of Inner-patterns from each class in
+   the set; and
+3. all patterns have the same topology and their corresponding primitive
+   patterns are of the same type.
+
+Criteria (1) and (2) are the class multiset; criterion (3) is graph
+isomorphism preserving class labels and edge polarity (recall that derived
+edges are identified with their base type, so "same type" reduces to same
+polarity).
+
+Several of the paper's laws hold only for homogeneous operands
+(idempotency of A-Intersect; the §4 distributivity conditions), so this
+check is load-bearing for the optimizer, not just descriptive.
+"""
+
+from __future__ import annotations
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.pattern import Pattern
+
+__all__ = ["is_homogeneous", "heterogeneity_report", "representative"]
+
+
+def is_homogeneous(aset: AssociationSet) -> bool:
+    """Whether ``aset`` satisfies the three §3.2 homogeneity criteria.
+
+    The empty set and singleton sets are trivially homogeneous.
+    """
+    patterns = list(aset)
+    if len(patterns) <= 1:
+        return True
+    representative = patterns[0]
+    rep_counts = representative.class_counts()
+    for other in patterns[1:]:
+        if other.class_counts() != rep_counts:
+            return False
+        if not representative.isomorphic_to(other):
+            return False
+    return True
+
+
+def heterogeneity_report(aset: AssociationSet) -> list[str]:
+    """Human-readable reasons why ``aset`` is heterogeneous.
+
+    Returns an empty list when the set is homogeneous.  Used by the
+    optimizer's explain output and by error messages.
+    """
+    patterns = sorted(aset, key=str)
+    if len(patterns) <= 1:
+        return []
+    reasons: list[str] = []
+    representative = patterns[0]
+    rep_counts = representative.class_counts()
+    for other in patterns[1:]:
+        counts = other.class_counts()
+        if set(counts) != set(rep_counts):
+            reasons.append(
+                f"{other} draws from classes {sorted(set(counts))} but "
+                f"{representative} draws from {sorted(set(rep_counts))}"
+            )
+        elif counts != rep_counts:
+            diff = {
+                cls: (counts.get(cls, 0), rep_counts.get(cls, 0))
+                for cls in set(counts) | set(rep_counts)
+                if counts.get(cls, 0) != rep_counts.get(cls, 0)
+            }
+            reasons.append(f"{other} differs from {representative} in counts {diff}")
+        elif not representative.isomorphic_to(other):
+            reasons.append(f"{other} is not topology-isomorphic to {representative}")
+    return reasons
+
+
+def representative(aset: AssociationSet) -> Pattern | None:
+    """A deterministic representative pattern (``None`` for the empty set)."""
+    if not aset:
+        return None
+    return min(aset, key=str)

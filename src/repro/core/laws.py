@@ -1,0 +1,412 @@
+"""Executable statements of the paper's algebraic laws (§3.3, §4).
+
+Each law is a function that evaluates both sides on concrete operands and
+returns a :class:`LawCheck` carrying the two association-sets and whether
+they coincide.  The property-based test-suite drives these over random
+object graphs, and the optimizer's rewrite rules cite them as their
+soundness witnesses.
+
+Side conditions are first-class: :func:`associativity_condition` and
+:func:`distributivity_condition` decide whether the paper's preconditions
+hold for given operands, so tests can assert the law *under* its condition
+and exhibit the paper's counterexamples outside it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.homogeneity import is_homogeneous
+from repro.core.operators import (
+    a_complement,
+    a_intersect,
+    a_union,
+    associate,
+    non_associate,
+)
+from repro.objects.graph import ObjectGraph
+from repro.schema.graph import Association
+
+__all__ = [
+    "LawCheck",
+    "commutativity_associate",
+    "commutativity_complement",
+    "commutativity_nonassociate",
+    "commutativity_intersect",
+    "commutativity_union",
+    "idempotency_union",
+    "idempotency_intersect",
+    "associativity_condition",
+    "associativity_associate",
+    "associativity_complement",
+    "associativity_intersect",
+    "intersect_associativity_condition",
+    "distributivity_condition",
+    "dist_associate_over_union",
+    "dist_complement_over_union",
+    "dist_intersect_over_union",
+    "dist_associate_over_intersect",
+    "dist_complement_over_intersect",
+    "dist_nonassociate_over_intersect",
+]
+
+
+@dataclass(frozen=True)
+class LawCheck:
+    """Result of evaluating both sides of a law."""
+
+    name: str
+    lhs: AssociationSet
+    rhs: AssociationSet
+
+    @property
+    def holds(self) -> bool:
+        return self.lhs == self.rhs
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def explain(self) -> str:
+        if self.holds:
+            return f"{self.name}: holds ({len(self.lhs)} patterns)"
+        only_l = self.lhs.patterns - self.rhs.patterns
+        only_r = self.rhs.patterns - self.lhs.patterns
+        return (
+            f"{self.name}: VIOLATED\n"
+            f"  lhs-only: {sorted(map(str, only_l))}\n"
+            f"  rhs-only: {sorted(map(str, only_r))}"
+        )
+
+
+# ----------------------------------------------------------------------
+# commutativity (§3.3.2)
+# ----------------------------------------------------------------------
+
+
+def commutativity_associate(
+    graph: ObjectGraph,
+    assoc: Association,
+    alpha: AssociationSet,
+    beta: AssociationSet,
+    a_cls: str | None = None,
+    b_cls: str | None = None,
+) -> LawCheck:
+    """``α *[R(A,B)] β = β *[R(B,A)] α``."""
+    lhs = associate(alpha, beta, graph, assoc, a_cls, b_cls)
+    rhs = associate(beta, alpha, graph, assoc, b_cls, a_cls)
+    return LawCheck("associate-commutativity", lhs, rhs)
+
+
+def commutativity_complement(
+    graph: ObjectGraph,
+    assoc: Association,
+    alpha: AssociationSet,
+    beta: AssociationSet,
+    a_cls: str | None = None,
+    b_cls: str | None = None,
+) -> LawCheck:
+    """``α |[R(A,B)] β = β |[R(B,A)] α``."""
+    lhs = a_complement(alpha, beta, graph, assoc, a_cls, b_cls)
+    rhs = a_complement(beta, alpha, graph, assoc, b_cls, a_cls)
+    return LawCheck("complement-commutativity", lhs, rhs)
+
+
+def commutativity_nonassociate(
+    graph: ObjectGraph,
+    assoc: Association,
+    alpha: AssociationSet,
+    beta: AssociationSet,
+    a_cls: str | None = None,
+    b_cls: str | None = None,
+) -> LawCheck:
+    """``α ![R(A,B)] β = β ![R(B,A)] α``."""
+    lhs = non_associate(alpha, beta, graph, assoc, a_cls, b_cls)
+    rhs = non_associate(beta, alpha, graph, assoc, b_cls, a_cls)
+    return LawCheck("nonassociate-commutativity", lhs, rhs)
+
+
+def commutativity_intersect(
+    alpha: AssociationSet,
+    beta: AssociationSet,
+    classes: frozenset[str] | None = None,
+) -> LawCheck:
+    """``α •{W} β = β •{W} α``."""
+    lhs = a_intersect(alpha, beta, classes)
+    rhs = a_intersect(beta, alpha, classes)
+    return LawCheck("intersect-commutativity", lhs, rhs)
+
+
+def commutativity_union(alpha: AssociationSet, beta: AssociationSet) -> LawCheck:
+    """``α + β = β + α``."""
+    return LawCheck("union-commutativity", a_union(alpha, beta), a_union(beta, alpha))
+
+
+# ----------------------------------------------------------------------
+# idempotency (§3.3.2)
+# ----------------------------------------------------------------------
+
+
+def idempotency_union(alpha: AssociationSet) -> LawCheck:
+    """``α + α = α``."""
+    return LawCheck("union-idempotency", a_union(alpha, alpha), alpha)
+
+
+def idempotency_intersect(alpha: AssociationSet) -> LawCheck:
+    """``α • α = α`` — valid when ``α`` is homogeneous.
+
+    The caller is responsible for the homogeneity side condition; use
+    :func:`repro.core.homogeneity.is_homogeneous`.
+    """
+    return LawCheck("intersect-idempotency", a_intersect(alpha, alpha, None), alpha)
+
+
+# ----------------------------------------------------------------------
+# conditional associativity (§3.3.2(1), (2), (6))
+# ----------------------------------------------------------------------
+
+
+def associativity_condition(
+    alpha: AssociationSet,
+    gamma: AssociationSet,
+    inner_beta_class: str,
+    inner_gamma_class: str,
+) -> bool:
+    """The ``C ∉ {X} ∧ B ∉ {Z}`` condition of `*`/`|` associativity.
+
+    ``inner_gamma_class`` is ``C`` (the class through which ``β`` joins
+    ``γ``); it must not occur in ``α``'s classes ``{X}``.
+    ``inner_beta_class`` is ``B`` (the class through which ``α`` joins
+    ``β``); it must not occur in ``γ``'s classes ``{Z}``.
+    """
+    return (
+        inner_gamma_class not in alpha.classes()
+        and inner_beta_class not in gamma.classes()
+    )
+
+
+def associativity_associate(
+    graph: ObjectGraph,
+    assoc_ab: Association,
+    assoc_cd: Association,
+    alpha: AssociationSet,
+    beta: AssociationSet,
+    gamma: AssociationSet,
+    ab: tuple[str, str],
+    cd: tuple[str, str],
+) -> LawCheck:
+    """``(α *[R(A,B)] β) *[R(C,D)] γ = α *[R(A,B)] (β *[R(C,D)] γ)``.
+
+    ``ab`` = (A, B) orientation for the α/β join; ``cd`` = (C, D) for the
+    join with γ.  Holds under :func:`associativity_condition`.
+    """
+    lhs = associate(
+        associate(alpha, beta, graph, assoc_ab, *ab), gamma, graph, assoc_cd, *cd
+    )
+    rhs = associate(
+        alpha, associate(beta, gamma, graph, assoc_cd, *cd), graph, assoc_ab, *ab
+    )
+    return LawCheck("associate-associativity", lhs, rhs)
+
+
+def associativity_complement(
+    graph: ObjectGraph,
+    assoc_ab: Association,
+    assoc_cd: Association,
+    alpha: AssociationSet,
+    beta: AssociationSet,
+    gamma: AssociationSet,
+    ab: tuple[str, str],
+    cd: tuple[str, str],
+) -> LawCheck:
+    """``(α |[R(A,B)] β) |[R(C,D)] γ = α |[R(A,B)] (β |[R(C,D)] γ)``."""
+    lhs = a_complement(
+        a_complement(alpha, beta, graph, assoc_ab, *ab), gamma, graph, assoc_cd, *cd
+    )
+    rhs = a_complement(
+        alpha, a_complement(beta, gamma, graph, assoc_cd, *cd), graph, assoc_ab, *ab
+    )
+    return LawCheck("complement-associativity", lhs, rhs)
+
+
+def intersect_associativity_condition(
+    alpha: AssociationSet,
+    gamma: AssociationSet,
+    w1: frozenset[str],
+    w2: frozenset[str],
+) -> bool:
+    """``({W₁}-{W₂}) ∩ {Z} = φ ∧ ({W₂}-{W₁}) ∩ {X} = φ``."""
+    return not ((w1 - w2) & gamma.classes()) and not ((w2 - w1) & alpha.classes())
+
+
+def associativity_intersect(
+    alpha: AssociationSet,
+    beta: AssociationSet,
+    gamma: AssociationSet,
+    w1: frozenset[str],
+    w2: frozenset[str],
+) -> LawCheck:
+    """``(α •{W₁} β) •{W₂} γ = α •{W₁} (β •{W₂} γ)``."""
+    lhs = a_intersect(a_intersect(alpha, beta, w1), gamma, w2)
+    rhs = a_intersect(alpha, a_intersect(beta, gamma, w2), w1)
+    return LawCheck("intersect-associativity", lhs, rhs)
+
+
+# ----------------------------------------------------------------------
+# distributivity (§4 a–f)
+# ----------------------------------------------------------------------
+
+
+def dist_associate_over_union(
+    graph: ObjectGraph,
+    assoc: Association,
+    alpha: AssociationSet,
+    beta: AssociationSet,
+    gamma: AssociationSet,
+    ab: tuple[str | None, str | None] = (None, None),
+) -> LawCheck:
+    """a) ``α *[R] (β + γ) = α *[R] β + α *[R] γ`` (unconditional)."""
+    lhs = associate(alpha, a_union(beta, gamma), graph, assoc, *ab)
+    rhs = a_union(
+        associate(alpha, beta, graph, assoc, *ab),
+        associate(alpha, gamma, graph, assoc, *ab),
+    )
+    return LawCheck("associate-over-union", lhs, rhs)
+
+
+def dist_complement_over_union(
+    graph: ObjectGraph,
+    assoc: Association,
+    alpha: AssociationSet,
+    beta: AssociationSet,
+    gamma: AssociationSet,
+    ab: tuple[str | None, str | None] = (None, None),
+) -> LawCheck:
+    """b) ``α |[R] (β + γ) = α |[R] β + α |[R] γ`` (unconditional)."""
+    lhs = a_complement(alpha, a_union(beta, gamma), graph, assoc, *ab)
+    rhs = a_union(
+        a_complement(alpha, beta, graph, assoc, *ab),
+        a_complement(alpha, gamma, graph, assoc, *ab),
+    )
+    return LawCheck("complement-over-union", lhs, rhs)
+
+
+def dist_intersect_over_union(
+    alpha: AssociationSet,
+    beta: AssociationSet,
+    gamma: AssociationSet,
+    classes: frozenset[str] | None = None,
+) -> LawCheck:
+    """c) ``α •{X} (β + γ) = α •{X} β + α •{X} γ`` (unconditional)."""
+    lhs = a_intersect(alpha, a_union(beta, gamma), classes)
+    rhs = a_union(
+        a_intersect(alpha, beta, classes), a_intersect(alpha, gamma, classes)
+    )
+    return LawCheck("intersect-over-union", lhs, rhs)
+
+
+def distributivity_condition(
+    alpha: AssociationSet,
+    beta: AssociationSet,
+    gamma: AssociationSet,
+    cl2: str,
+    w: frozenset[str],
+) -> bool:
+    """The three §4 conditions for laws d), e), f).
+
+    i)   ``CL₂ ∈ W`` — the operand end class is intersected over;
+    ii)  ``X ∩ Y = X ∩ Z = φ`` — α's classes are disjoint from β's and γ's;
+    iii) ``α`` is a homogeneous association-set.
+    """
+    x = alpha.classes()
+    return (
+        cl2 in w
+        and not (x & beta.classes())
+        and not (x & gamma.classes())
+        and is_homogeneous(alpha)
+    )
+
+
+def _dist_over_intersect(
+    name: str,
+    op,
+    graph: ObjectGraph,
+    assoc: Association,
+    alpha: AssociationSet,
+    beta: AssociationSet,
+    gamma: AssociationSet,
+    w: frozenset[str],
+    ab: tuple[str | None, str | None],
+) -> LawCheck:
+    lhs = op(alpha, a_intersect(beta, gamma, w), graph, assoc, *ab)
+    w_union_x = w | alpha.classes()
+    rhs = a_intersect(
+        op(alpha, beta, graph, assoc, *ab),
+        op(alpha, gamma, graph, assoc, *ab),
+        w_union_x,
+    )
+    return LawCheck(name, lhs, rhs)
+
+
+def dist_associate_over_intersect(
+    graph: ObjectGraph,
+    assoc: Association,
+    alpha: AssociationSet,
+    beta: AssociationSet,
+    gamma: AssociationSet,
+    w: frozenset[str],
+    ab: tuple[str | None, str | None] = (None, None),
+) -> LawCheck:
+    """d) ``α *[R] (β •{W} γ) = (α *[R] β) •{W∪X} (α *[R] γ)``.
+
+    Holds under :func:`distributivity_condition`.
+    """
+    return _dist_over_intersect(
+        "associate-over-intersect", associate, graph, assoc, alpha, beta, gamma, w, ab
+    )
+
+
+def dist_complement_over_intersect(
+    graph: ObjectGraph,
+    assoc: Association,
+    alpha: AssociationSet,
+    beta: AssociationSet,
+    gamma: AssociationSet,
+    w: frozenset[str],
+    ab: tuple[str | None, str | None] = (None, None),
+) -> LawCheck:
+    """e) ``α |[R] (β •{W} γ) = (α |[R] β) •{W∪X} (α |[R] γ)``."""
+    return _dist_over_intersect(
+        "complement-over-intersect",
+        a_complement,
+        graph,
+        assoc,
+        alpha,
+        beta,
+        gamma,
+        w,
+        ab,
+    )
+
+
+def dist_nonassociate_over_intersect(
+    graph: ObjectGraph,
+    assoc: Association,
+    alpha: AssociationSet,
+    beta: AssociationSet,
+    gamma: AssociationSet,
+    w: frozenset[str],
+    ab: tuple[str | None, str | None] = (None, None),
+) -> LawCheck:
+    """f) ``α ![R] (β •{W} γ) = (α ![R] β) •{W∪X} (α ![R] γ)``."""
+    return _dist_over_intersect(
+        "nonassociate-over-intersect",
+        non_associate,
+        graph,
+        assoc,
+        alpha,
+        beta,
+        gamma,
+        w,
+        ab,
+    )

@@ -1,0 +1,37 @@
+"""The nine association operators (§3.3).
+
+Two unary operators — A-Select ``σ`` and A-Project ``Π`` — and seven binary
+operators — Associate ``*``, A-Complement ``|``, A-Union ``+``,
+A-Difference ``-``, A-Divide ``÷``, NonAssociate ``!`` and A-Intersect
+``•``.  Each operator is a pure function from association-sets to an
+association-set; the three graph-dependent ones (Associate, A-Complement,
+NonAssociate) additionally take the object graph and the association
+``[R(A,B)]`` they operate over.
+
+All operators are closed over association-sets and never mutate their
+operands, which is the paper's closure property in code.
+"""
+
+from repro.core.operators.associate import associate
+from repro.core.operators.complement import a_complement
+from repro.core.operators.difference import a_difference
+from repro.core.operators.divide import a_divide
+from repro.core.operators.intersect import a_intersect
+from repro.core.operators.nonassociate import non_associate
+from repro.core.operators.project import ChainTemplate, PathLink, a_project
+from repro.core.operators.select import a_select
+from repro.core.operators.union import a_union
+
+__all__ = [
+    "associate",
+    "a_complement",
+    "non_associate",
+    "a_intersect",
+    "a_union",
+    "a_difference",
+    "a_divide",
+    "a_select",
+    "a_project",
+    "ChainTemplate",
+    "PathLink",
+]

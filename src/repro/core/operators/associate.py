@@ -1,0 +1,55 @@
+"""Associate (``*``) — §3.3.2(1).
+
+``α *[R(A,B)] β`` concatenates every pattern of ``α`` holding an A-instance
+``a_m`` with every pattern of ``β`` holding a B-instance ``b_n`` such that
+the Inter-pattern ``(a_m b_n)`` exists in the domain 𝒜, the connection being
+that Inter-pattern::
+
+    α *[R(A,B)] β = { γ | γᵏ = (αⁱ, βʲ, a_m b_n) :
+                       (a_m b_n) ∈ [R(A,B)] ∧ a_m ∈ αⁱ ∧ b_n ∈ βʲ }
+
+Patterns of either operand that cannot be concatenated are dropped (the
+example of Figure 8a drops ``α²`` for lacking a B-instance, ``α³``/``β³``/
+``β⁴`` for lacking a qualifying edge).
+"""
+
+from __future__ import annotations
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import inter
+from repro.core.operators.base import index_by_instance, orient
+from repro.objects.graph import ObjectGraph
+from repro.core.pattern import Pattern
+from repro.schema.graph import Association
+
+__all__ = ["associate"]
+
+
+def associate(
+    alpha: AssociationSet,
+    beta: AssociationSet,
+    graph: ObjectGraph,
+    assoc: Association,
+    alpha_class: str | None = None,
+    beta_class: str | None = None,
+) -> AssociationSet:
+    """Evaluate ``α *[R(A,B)] β`` against ``graph``.
+
+    ``alpha_class``/``beta_class`` pin which end of ``assoc`` each operand
+    joins through (needed for recursive associations or explicit
+    orientation); by default ``α`` joins through ``assoc.left``.
+    """
+    a_cls, b_cls = orient(assoc, alpha_class, beta_class)
+    beta_index = index_by_instance(beta, b_cls)
+    if not beta_index:
+        return AssociationSet.empty()
+
+    out: set[Pattern] = set()
+    for pattern_a, a_instances in alpha.patterns_with_class(a_cls):
+        for a_m in a_instances:
+            for b_n in graph.partners(assoc, a_m):
+                if b_n.cls != b_cls:
+                    continue
+                for pattern_b in beta_index.get(b_n, ()):
+                    out.add(pattern_a.union(pattern_b, inter(a_m, b_n)))
+    return AssociationSet(out)

@@ -1,0 +1,60 @@
+"""Shared plumbing for the binary graph operators.
+
+Associate, A-Complement and NonAssociate all operate "over ``[R(A,B)]``":
+the left operand connects through its instances of one end class, the right
+operand through the other.  :func:`orient` resolves which end is which, and
+:func:`index_by_instance` builds the instance → patterns index the inner
+loops consume.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Mapping
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.identity import IID
+from repro.core.pattern import Pattern
+from repro.errors import EvaluationError
+from repro.schema.graph import Association
+
+__all__ = ["orient", "index_by_instance"]
+
+
+def orient(
+    assoc: Association,
+    alpha_class: str | None,
+    beta_class: str | None,
+) -> tuple[str, str]:
+    """Resolve the (alpha-end, beta-end) classes of ``assoc``.
+
+    With no hint, the declared orientation is used (``alpha`` joins through
+    ``assoc.left``).  A single hint fixes one side; both hints are validated.
+    Commutativity — ``α *[R(A,B)] β = β *[R(B,A)] α`` — is obtained by
+    swapping the hints along with the operands.
+    """
+    if alpha_class is None and beta_class is None:
+        return assoc.left, assoc.right
+    if alpha_class is None and beta_class is not None:
+        return assoc.other(beta_class), beta_class
+    if beta_class is None and alpha_class is not None:
+        return alpha_class, assoc.other(alpha_class)
+    assert alpha_class is not None and beta_class is not None
+    if not assoc.joins(alpha_class, beta_class):
+        raise EvaluationError(
+            f"association {assoc} does not join {alpha_class!r} and {beta_class!r}"
+        )
+    if assoc.left == assoc.right and alpha_class == beta_class:
+        return alpha_class, beta_class
+    return alpha_class, beta_class
+
+
+def index_by_instance(
+    aset: AssociationSet, cls: str
+) -> Mapping[IID, tuple[Pattern, ...]]:
+    """Map each instance of ``cls`` to the patterns containing it."""
+    index: dict[IID, list[Pattern]] = defaultdict(list)
+    for pattern, instances in aset.patterns_with_class(cls):
+        for instance in instances:
+            index[instance].append(pattern)
+    return {iid: tuple(pats) for iid, pats in index.items()}

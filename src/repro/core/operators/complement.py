@@ -1,0 +1,60 @@
+"""A-Complement (``|``) — §3.3.2(2).
+
+``α |[R(A,B)] β`` concatenates pattern pairs over *Complement-patterns*:
+``a_m ∈ αⁱ`` and ``b_n ∈ βʲ`` are joined iff ``(~a_m b_n) ∈ [R(A,B)]`` —
+i.e. the instances are **not** associated in the domain although their
+classes are.
+
+Special retention cases (from the formal definition)::
+
+    γᵏ = αⁱ  if ∃ a_m ∈ αⁱ  and  (β = φ  ∨  no b_n occurs in β)
+    γᵏ = βʲ  if ∃ b_n ∈ βʲ  and  (α = φ  ∨  no a_m occurs in α)
+
+i.e. when one operand cannot participate at all (it is empty or holds no
+instance of its end class), the other operand's participating patterns are
+retained verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import complement
+from repro.core.operators.base import orient
+from repro.core.pattern import Pattern
+from repro.objects.graph import ObjectGraph
+from repro.schema.graph import Association
+
+__all__ = ["a_complement"]
+
+
+def a_complement(
+    alpha: AssociationSet,
+    beta: AssociationSet,
+    graph: ObjectGraph,
+    assoc: Association,
+    alpha_class: str | None = None,
+    beta_class: str | None = None,
+) -> AssociationSet:
+    """Evaluate ``α |[R(A,B)] β`` against ``graph``."""
+    a_cls, b_cls = orient(assoc, alpha_class, beta_class)
+    alpha_rows = tuple(alpha.patterns_with_class(a_cls))
+    beta_rows = tuple(beta.patterns_with_class(b_cls))
+
+    out: set[Pattern] = set()
+    if not beta_rows:
+        # β empty or without B-instances: retain α's participating patterns.
+        for pattern_a, _ in alpha_rows:
+            out.add(pattern_a)
+        return AssociationSet(out)
+    if not alpha_rows:
+        for pattern_b, _ in beta_rows:
+            out.add(pattern_b)
+        return AssociationSet(out)
+
+    for pattern_a, a_instances in alpha_rows:
+        for a_m in a_instances:
+            non_partners = graph.complement_partners(assoc, a_m)
+            for pattern_b, b_instances in beta_rows:
+                for b_n in b_instances & non_partners:
+                    out.add(pattern_a.union(pattern_b, complement(a_m, b_n)))
+    return AssociationSet(out)

@@ -1,0 +1,57 @@
+"""Containment index: fast "does any subtrahend embed here?" checks.
+
+A-Difference and A-Divide repeatedly test whether candidate patterns
+contain divisor/subtrahend patterns.  The naive loop is O(|α|·|β|)
+containment checks; since ``p ⊆ q`` requires every vertex of ``p`` to be a
+vertex of ``q``, indexing each divisor under one *anchor vertex* (its
+minimum — any deterministic choice works) lets a candidate consult only
+the divisors whose anchor it actually holds.
+
+For the common workloads (divisors are small patterns over a handful of
+instances, candidates hold a few vertices each) this reduces the check to
+a few dictionary probes per candidate.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.core.identity import IID
+from repro.core.pattern import Pattern
+
+__all__ = ["ContainmentIndex"]
+
+
+class ContainmentIndex:
+    """Index a set of patterns for containment probes against candidates."""
+
+    __slots__ = ("_by_anchor", "_count")
+
+    def __init__(self, patterns: Iterable[Pattern]) -> None:
+        by_anchor: dict[IID, list[Pattern]] = defaultdict(list)
+        count = 0
+        for pattern in patterns:
+            by_anchor[min(pattern.vertices)].append(pattern)
+            count += 1
+        self._by_anchor = dict(by_anchor)
+        self._count = count
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def contained_in(self, candidate: Pattern) -> Iterable[Pattern]:
+        """Yield every indexed pattern contained in ``candidate``."""
+        for vertex in candidate.vertices:
+            for pattern in self._by_anchor.get(vertex, ()):
+                if candidate.contains(pattern):
+                    yield pattern
+
+    def any_contained_in(self, candidate: Pattern) -> bool:
+        """Whether some indexed pattern is contained in ``candidate``."""
+        for _ in self.contained_in(candidate):
+            return True
+        return False

@@ -1,0 +1,25 @@
+"""A-Difference (``-``) — §3.3.2(8).
+
+``α - β = { γ | γᵏ = αⁱ : ∄ βʲ (βʲ ⊆ αⁱ) }``
+
+A minuend pattern is retained iff it does not *contain* any subtrahend
+pattern (containment in the §3.2 subpattern sense), which differs from the
+relational DIFFERENCE in two ways the paper calls out: the operands need
+not be union-compatible, and the test is containment rather than equality.
+Figure 8f drops ``α¹`` and ``α³`` because both contain ``β¹``.
+"""
+
+from __future__ import annotations
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.operators.containment import ContainmentIndex
+
+__all__ = ["a_difference"]
+
+
+def a_difference(alpha: AssociationSet, beta: AssociationSet) -> AssociationSet:
+    """Evaluate ``α - β``."""
+    index = ContainmentIndex(beta)
+    if not index:
+        return alpha
+    return alpha.filter(lambda pattern: not index.any_contained_in(pattern))

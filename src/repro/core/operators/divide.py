@@ -1,0 +1,85 @@
+"""A-Divide (``÷``) — §3.3.2(9).
+
+``α ÷{W} β`` implements "a group of patterns with certain common features
+contains another set of patterns"::
+
+    α ÷_{W} β = { γ | γᵏ = α_sⁱ : ∀ j (βʲ ⊆ α_s) }
+
+where ``α_s`` ranges over the groups of α-patterns sharing the same
+Inner-patterns for every class of ``{W}``.  A group is emitted *whole* iff
+every divisor pattern is contained in some member of the group (collective
+containment — Figure 8g: α¹, α², α³ all share ``(b₁)`` and *together*
+contain all four patterns of β).
+
+When ``{W}`` is not specified, the operation retains all α-patterns that
+each contain at least one β-pattern, provided that collectively they
+contain every β-pattern; otherwise the result is empty.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.operators.containment import ContainmentIndex
+from repro.core.pattern import Pattern
+
+__all__ = ["a_divide"]
+
+
+def a_divide(
+    alpha: AssociationSet,
+    beta: AssociationSet,
+    classes: Iterable[str] | None = None,
+) -> AssociationSet:
+    """Evaluate ``α ÷{W} β``."""
+    divisors = tuple(beta)
+    if classes is None:
+        return _divide_ungrouped(alpha, divisors)
+    ordered = tuple(sorted(set(classes)))
+    index = ContainmentIndex(divisors)
+
+    groups: dict[tuple[frozenset, ...], list[Pattern]] = defaultdict(list)
+    for pattern in alpha:
+        signature = []
+        for cls in ordered:
+            instances = pattern.instances_of(cls)
+            if not instances:
+                signature = None
+                break
+            signature.append(instances)
+        if signature is not None:
+            groups[tuple(signature)].append(pattern)
+
+    out: set[Pattern] = set()
+    for members in groups.values():
+        if _covers(members, divisors, index):
+            out.update(members)
+    return AssociationSet(out)
+
+
+def _divide_ungrouped(
+    alpha: AssociationSet, divisors: tuple[Pattern, ...]
+) -> AssociationSet:
+    index = ContainmentIndex(divisors)
+    candidates = [
+        pattern for pattern in alpha if index.any_contained_in(pattern)
+    ]
+    if divisors and not _covers(candidates, divisors, index):
+        return AssociationSet.empty()
+    return AssociationSet(candidates)
+
+
+def _covers(
+    members: list[Pattern],
+    divisors: tuple[Pattern, ...],
+    index: ContainmentIndex,
+) -> bool:
+    """Whether every divisor is contained in some member (collectively)."""
+    found: set[Pattern] = set()
+    for member in members:
+        found.update(index.contained_in(member))
+        if len(found) == len(divisors):
+            return True
+    return len(found) == len(divisors)

@@ -1,0 +1,77 @@
+"""A-Intersect (``•``) — §3.3.2(6).
+
+``α •{W} β`` merges a pattern of ``α`` with a pattern of ``β`` whenever the
+two hold exactly the same instances for every class of ``{W}``::
+
+    α_{X} •{W} β_{Y} = { γ | γᵏ = (αⁱ, βʲ) :
+        ∀ CLₙ ∈ {W} ∀ @ ∈ CLₙ,αⁱ (@ ∈ βʲ)  ∧
+        ∀ CLₙ ∈ {W} ∀ @ ∈ CLₙ,βʲ (@ ∈ αⁱ) }
+
+Conceptually the JOIN of the relational algebra; it is the natural way to
+build branch, lattice and network patterns.  When ``{W}`` is omitted the
+intersection is over all common classes of the two operands
+(``{W} = {X} ∩ {Y}``).
+
+Pinned reading (DESIGN.md §2.3): both patterns must hold at least one
+instance of *every* class of ``{W}`` — Figure 8e rejects patterns that
+"have no Inner-pattern in both classes B and C", which rules out the
+vacuous interpretation of the two ∀ clauses.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.pattern import Pattern
+
+__all__ = ["a_intersect"]
+
+
+def _signature(
+    pattern: Pattern, classes: tuple[str, ...]
+) -> tuple[frozenset, ...] | None:
+    """Per-class instance sets over ``classes``; None if any class is absent."""
+    out = []
+    for cls in classes:
+        instances = pattern.instances_of(cls)
+        if not instances:
+            return None
+        out.append(instances)
+    return tuple(out)
+
+
+def a_intersect(
+    alpha: AssociationSet,
+    beta: AssociationSet,
+    classes: Iterable[str] | None = None,
+) -> AssociationSet:
+    """Evaluate ``α •{W} β``.
+
+    ``classes`` is ``{W}``; ``None`` means the common classes of the two
+    operands.  An explicitly empty ``{W}`` (or no common classes) yields the
+    empty association-set — intersecting over nothing is meaningless.
+    """
+    if classes is None:
+        shared = alpha.classes() & beta.classes()
+    else:
+        shared = frozenset(classes)
+    if not shared:
+        return AssociationSet.empty()
+    ordered = tuple(sorted(shared))
+
+    beta_index: dict[tuple[frozenset, ...], list[Pattern]] = defaultdict(list)
+    for pattern in beta:
+        signature = _signature(pattern, ordered)
+        if signature is not None:
+            beta_index[signature].append(pattern)
+
+    out: set[Pattern] = set()
+    for pattern_a in alpha:
+        signature = _signature(pattern_a, ordered)
+        if signature is None:
+            continue
+        for pattern_b in beta_index.get(signature, ()):
+            out.add(pattern_a.union(pattern_b))
+    return AssociationSet(out)

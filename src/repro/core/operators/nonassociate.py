@@ -1,0 +1,117 @@
+"""NonAssociate (``!``) — §3.3.2(5).
+
+``α ![R(A,B)] β`` identifies patterns in one operand that are not associated
+(over ``R``) with **any** pattern in the other operand, and vice versa.  It
+produces a subset of what A-Complement produces.
+
+Main clause: ``γᵏ = (αⁱ, βʲ, ~a_m b_n)`` where ``(~a_m b_n) ∈ [R(A,B)]`` and
+additionally ``a_m`` is associated with *no* B-instance occurring anywhere
+in ``β`` and ``b_n`` with *no* A-instance occurring anywhere in ``α`` (the
+Figure 8d prose: "γ¹ is in the resultant association-set because (b₂) is not
+associated with (c₄) in 𝒜 ... and none other pattern in α is associated
+with (c₄)").
+
+Retention clauses: a pattern ``αⁱ`` holding A-instances, none of which is
+associated with any B-instance of ``β``, and which joined nothing under the
+main clause, is retained verbatim when either
+
+1. ``β`` is empty, or
+2. no pattern of ``β`` holds a B-instance, or
+3. every B-instance occurring in ``β`` is associated with some A-instance
+   of ``α`` **outside** ``αⁱ`` — the ``∃(p, p≠m)`` of the formal
+   definition.
+
+Symmetrically for ``βʲ``.  Clause 3's ``p ≠ m`` is what makes Query 4's
+``Section ! Room#`` retain exactly the unroomed sections when every room
+is assigned: an unroomed section sees every room taken by *some other*
+section, while a roomed section fails the clause on its own room.
+"""
+
+from __future__ import annotations
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import complement
+from repro.core.identity import IID
+from repro.core.operators.base import orient
+from repro.core.pattern import Pattern
+from repro.objects.graph import ObjectGraph
+from repro.schema.graph import Association
+
+__all__ = ["non_associate"]
+
+
+def non_associate(
+    alpha: AssociationSet,
+    beta: AssociationSet,
+    graph: ObjectGraph,
+    assoc: Association,
+    alpha_class: str | None = None,
+    beta_class: str | None = None,
+) -> AssociationSet:
+    """Evaluate ``α ![R(A,B)] β`` against ``graph``."""
+    a_cls, b_cls = orient(assoc, alpha_class, beta_class)
+    alpha_rows = tuple(alpha.patterns_with_class(a_cls))
+    beta_rows = tuple(beta.patterns_with_class(b_cls))
+
+    all_a = frozenset(i for _, insts in alpha_rows for i in insts)
+    all_b = frozenset(i for _, insts in beta_rows for i in insts)
+
+    # "Free" instances: associated with no instance of the other operand.
+    free_a = frozenset(a for a in all_a if graph.partners(assoc, a).isdisjoint(all_b))
+    free_b = frozenset(b for b in all_b if graph.partners(assoc, b).isdisjoint(all_a))
+
+    out: set[Pattern] = set()
+    paired_alpha: set[Pattern] = set()
+    paired_beta: set[Pattern] = set()
+
+    for pattern_a, a_instances in alpha_rows:
+        usable_a = a_instances & free_a
+        if not usable_a:
+            continue
+        for pattern_b, b_instances in beta_rows:
+            usable_b = b_instances & free_b
+            if not usable_b:
+                continue
+            for a_m in usable_a:
+                for b_n in usable_b:
+                    # a_m free w.r.t. all of β implies (a_m, b_n) ∉ R.
+                    out.add(pattern_a.union(pattern_b, complement(a_m, b_n)))
+            paired_alpha.add(pattern_a)
+            paired_beta.add(pattern_b)
+
+    _retain(out, graph, assoc, alpha_rows, paired_alpha, free_a, all_a, all_b)
+    _retain(out, graph, assoc, beta_rows, paired_beta, free_b, all_b, all_a)
+    return AssociationSet(out)
+
+
+def _retain(
+    out: set[Pattern],
+    graph: ObjectGraph,
+    assoc: Association,
+    rows: tuple[tuple[Pattern, frozenset[IID]], ...],
+    paired: set[Pattern],
+    free_own: frozenset[IID],
+    all_own: frozenset[IID],
+    all_other: frozenset[IID],
+) -> None:
+    """Apply the retention clauses to one operand side (symmetric helper).
+
+    ``rows`` are the operand's patterns holding end-class instances;
+    ``all_other`` are the opposite operand's end-class instances.
+    """
+    for pattern, instances in rows:
+        if pattern in paired:
+            continue
+        if not instances <= free_own:
+            # The pattern IS associated with some pattern of the other
+            # operand — it is not "non-associated" and is dropped.
+            continue
+        if not all_other:
+            out.add(pattern)  # clauses (1)/(2): nothing to pair against
+            continue
+        outside = all_own - instances
+        if all(
+            not graph.partners(assoc, other).isdisjoint(outside)
+            for other in all_other
+        ):
+            out.add(pattern)  # clause (3), with the ∃(p, p≠m) reading

@@ -1,0 +1,179 @@
+"""A-Project (``Π``) — §3.3.2(4).
+
+``Π(α)[E; T]`` keeps, inside each pattern, only the subpatterns matching
+the expressions of ``E``, and re-links the kept subpatterns with *derived*
+edges according to the paths of ``T``:
+
+* Each ``e ∈ E`` here is a :class:`ChainTemplate` — a linear class sequence
+  such as ``A*B`` or the single class ``D``.  A chain matches every
+  instance sequence of those classes connected consecutively by *regular*
+  edges within the pattern.  (The paper's projected subexpressions are
+  algebra expressions over the pattern; linear chains are the only shape
+  its examples and queries use, and arbitrary shapes can be assembled from
+  chains plus links.)
+* Each ``t ∈ T`` is a :class:`PathLink` — an ordered class sequence
+  ``C₁:…:Cₖ`` naming "a minimal number of classes along the path which can
+  uniquely identify that path".  For every pair of projected instances of
+  ``C₁`` and ``Cₖ``, the original pattern is searched for a simple path
+  whose class sequence contains the link's classes as a subsequence; the
+  pair is then connected by a **D-Inter-pattern** if some such path uses
+  only regular edges, else by a **D-Complement-pattern** (Figure 8c).
+
+A pattern that matches none of the ``E`` expressions contributes nothing;
+a pattern matching only some of them keeps the matched parts (Figure 8c
+keeps the lone ``(d₃)`` of ``α²``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import Edge, inter
+from repro.core.identity import IID
+from repro.core.pattern import Pattern
+from repro.errors import ProjectionError
+
+__all__ = ["ChainTemplate", "PathLink", "a_project"]
+
+
+@dataclass(frozen=True)
+class ChainTemplate:
+    """A linear projection template ``C₁*C₂*…*Cₖ`` (``k ≥ 1``)."""
+
+    classes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ProjectionError("a projection template needs at least one class")
+
+    @classmethod
+    def parse(cls, text: str) -> "ChainTemplate":
+        """Parse ``"A*B"`` / ``"D"`` into a template."""
+        parts = tuple(part.strip() for part in text.split("*"))
+        if any(not part for part in parts):
+            raise ProjectionError(f"malformed projection template {text!r}")
+        return cls(parts)
+
+    def matches(self, pattern: Pattern) -> list[tuple[Pattern, tuple[IID, ...]]]:
+        """Every match of the chain inside ``pattern``.
+
+        Returns ``(subpattern, instance-sequence)`` pairs; the subpattern
+        holds the matched vertices and the regular edges joining them.
+        """
+        out: list[tuple[Pattern, tuple[IID, ...]]] = []
+        first = sorted(pattern.instances_of(self.classes[0]))
+        stack: list[tuple[tuple[IID, ...], list[Edge]]] = [
+            ((start,), []) for start in first
+        ]
+        while stack:
+            sequence, edges = stack.pop()
+            position = len(sequence)
+            if position == len(self.classes):
+                out.append((Pattern.from_edges(edges, extra_vertices=sequence), sequence))
+                continue
+            wanted = self.classes[position]
+            here = sequence[-1]
+            for edge in pattern.edges_at(here):
+                if not edge.is_regular:
+                    continue
+                nxt = edge.other(here)
+                if nxt.cls != wanted or nxt in sequence:
+                    continue
+                stack.append((sequence + (nxt,), edges + [edge]))
+        return out
+
+    def __str__(self) -> str:
+        return "*".join(self.classes)
+
+
+@dataclass(frozen=True)
+class PathLink:
+    """An ordered class path ``C₁:…:Cₖ`` re-linking projected subpatterns."""
+
+    classes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.classes) < 2:
+            raise ProjectionError("a path link needs at least two classes")
+
+    @classmethod
+    def parse(cls, text: str) -> "PathLink":
+        parts = tuple(part.strip() for part in text.split(":"))
+        if any(not part for part in parts):
+            raise ProjectionError(f"malformed path link {text!r}")
+        return cls(parts)
+
+    def __str__(self) -> str:
+        return ":".join(self.classes)
+
+
+def _coerce_template(item: "ChainTemplate | str | Sequence[str]") -> ChainTemplate:
+    if isinstance(item, ChainTemplate):
+        return item
+    if isinstance(item, str):
+        return ChainTemplate.parse(item)
+    return ChainTemplate(tuple(item))
+
+
+def _coerce_link(item: "PathLink | str | Sequence[str]") -> PathLink:
+    if isinstance(item, PathLink):
+        return item
+    if isinstance(item, str):
+        return PathLink.parse(item)
+    return PathLink(tuple(item))
+
+
+def a_project(
+    alpha: AssociationSet,
+    templates: Iterable["ChainTemplate | str | Sequence[str]"],
+    links: Iterable["PathLink | str | Sequence[str]"] = (),
+) -> AssociationSet:
+    """Evaluate ``Π(α)[E; T]``.
+
+    ``templates`` is ``E`` (chains, parseable from ``"A*B"`` strings);
+    ``links`` is ``T`` (paths, parseable from ``"B:D"`` strings).
+    """
+    chain_list = [_coerce_template(t) for t in templates]
+    link_list = [_coerce_link(t) for t in links]
+    if not chain_list:
+        raise ProjectionError("A-Project requires at least one E expression")
+
+    out: set[Pattern] = set()
+    for pattern in alpha:
+        projected = _project_one(pattern, chain_list, link_list)
+        if projected is not None:
+            out.add(projected)
+    return AssociationSet(out)
+
+
+def _project_one(
+    pattern: Pattern,
+    chains: list[ChainTemplate],
+    links: list[PathLink],
+) -> Pattern | None:
+    vertices: set[IID] = set()
+    edges: set[Edge] = set()
+    for chain in chains:
+        for subpattern, _ in chain.matches(pattern):
+            vertices |= subpattern.vertices
+            edges |= subpattern.edges
+    if not vertices:
+        return None
+
+    for link in links:
+        sources = sorted(v for v in vertices if v.cls == link.classes[0])
+        targets = sorted(v for v in vertices if v.cls == link.classes[-1])
+        for src in sources:
+            for dst in targets:
+                if src == dst:
+                    continue
+                direct = inter(src, dst)
+                if direct in edges:
+                    continue  # already linked by a kept regular edge
+                polarity = pattern.path_polarity(src, dst, link.classes)
+                if polarity is None:
+                    continue
+                edges.add(Edge(src, dst, polarity, derived=True))
+    return Pattern(vertices, edges)

@@ -1,0 +1,22 @@
+"""A-Select (``σ``) — §3.3.2(3).
+
+``σ(α)[P] = { γ | γʲ = αⁱ : P(αⁱ) = true }``
+
+A pattern of the operand is retained iff the predicate evaluates true for
+that pattern.  Predicates are built with :mod:`repro.core.predicates`.
+"""
+
+from __future__ import annotations
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.predicates import Predicate
+from repro.objects.graph import ObjectGraph
+
+__all__ = ["a_select"]
+
+
+def a_select(
+    alpha: AssociationSet, predicate: Predicate, graph: ObjectGraph
+) -> AssociationSet:
+    """Evaluate ``σ(α)[P]`` against ``graph``."""
+    return alpha.filter(lambda pattern: predicate.evaluate(pattern, graph))

@@ -1,0 +1,21 @@
+"""A-Union (``+``) — §3.3.2(7).
+
+``α + β = { γ | γⁱ ∈ α ∨ γⁱ ∈ β }``.
+
+Unlike relational UNION, the operands need **not** be union-compatible: the
+result may be a heterogeneous association-set, which subsequent operators
+accept.  This is the paper's headline expressiveness claim — Query 2's OR
+branch merges ``Section—Specialty`` patterns with
+``GPA—Student—Section—EarnedCredit`` patterns in one expression.
+"""
+
+from __future__ import annotations
+
+from repro.core.assoc_set import AssociationSet
+
+__all__ = ["a_union"]
+
+
+def a_union(alpha: AssociationSet, beta: AssociationSet) -> AssociationSet:
+    """Evaluate ``α + β`` (duplicate-free set union)."""
+    return AssociationSet(alpha.patterns | beta.patterns)

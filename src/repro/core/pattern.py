@@ -1,0 +1,462 @@
+"""Association patterns (§3.1).
+
+An association pattern is a connected subgraph of the object graph extended
+with complement edges.  Algebraically a pattern is "uniquely defined by its
+algebraic representation as a set of primitive patterns" — a set of vertices
+(Inner-patterns) plus a set of polarized edges (Inter-/Complement-patterns,
+derived or not).
+
+:class:`Pattern` is immutable and hashable, so association-sets can be plain
+(frozen) sets of patterns, which gives the paper's duplicate-free semantics
+for free.
+
+Design notes
+------------
+* Vertex set and edge set are stored explicitly.  For any connected pattern
+  with more than one vertex the vertex set is derivable from the edges, but
+  a pattern may be a single Inner-pattern ``(a)`` with no edge at all, and
+  intermediate results of A-Project may momentarily hold several components.
+* Equality is extensional: equal vertex sets and equal edge sets (recall
+  that a derived edge equals its non-derived counterpart — see
+  :mod:`repro.core.edges`).
+* The containment/overlap relationships of §3.2 are methods here.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter, defaultdict, deque
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.edges import Edge, Polarity
+from repro.core.identity import IID
+from repro.errors import PatternError
+
+__all__ = ["Relationship", "Pattern"]
+
+
+class Relationship(enum.Enum):
+    """The four possible relationships between two patterns (§3.2)."""
+
+    NON_OVERLAP = "non-overlap"
+    OVERLAP = "overlap"
+    CONTAINS = "contains"  # self ⊇ other
+    CONTAINED = "contained"  # self ⊆ other
+    EQUAL = "equal"
+
+
+class Pattern:
+    """An immutable association pattern.
+
+    Construct via the classmethods :meth:`inner`, :meth:`from_edges`, or
+    :meth:`build`; the raw constructor validates that every edge endpoint is
+    a declared vertex.
+    """
+
+    __slots__ = ("_vertices", "_edges", "_hash", "_adj")
+
+    def __init__(self, vertices: Iterable[IID], edges: Iterable[Edge] = ()) -> None:
+        vset = frozenset(vertices)
+        eset = frozenset(edges)
+        for edge in eset:
+            if edge.u not in vset or edge.v not in vset:
+                raise PatternError(
+                    f"edge {edge} has an endpoint outside the vertex set"
+                )
+        if not vset:
+            raise PatternError("a pattern must contain at least one Inner-pattern")
+        self._vertices = vset
+        self._edges = eset
+        self._hash = hash((vset, eset))
+        self._adj: Mapping[IID, frozenset[Edge]] | None = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def inner(cls, vertex: IID) -> "Pattern":
+        """The Inner-pattern ``(a)``: a single vertex, no edges."""
+        return cls((vertex,))
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Edge], extra_vertices: Iterable[IID] = ()
+    ) -> "Pattern":
+        """A pattern whose vertex set is induced by ``edges``.
+
+        ``extra_vertices`` adds isolated Inner-patterns (used by A-Project
+        when only a single-vertex subexpression matched).
+        """
+        edge_list = list(edges)
+        vertices = set(extra_vertices)
+        for edge in edge_list:
+            vertices.add(edge.u)
+            vertices.add(edge.v)
+        return cls(vertices, edge_list)
+
+    @classmethod
+    def build(cls, *parts: "Pattern | Edge | IID") -> "Pattern":
+        """Union arbitrary patterns, edges, and vertices into one pattern."""
+        vertices: set[IID] = set()
+        edges: set[Edge] = set()
+        for part in parts:
+            if isinstance(part, Pattern):
+                vertices |= part._vertices
+                edges |= part._edges
+            elif isinstance(part, Edge):
+                edges.add(part)
+                vertices.add(part.u)
+                vertices.add(part.v)
+            elif isinstance(part, IID):
+                vertices.add(part)
+            else:  # pragma: no cover - defensive
+                raise PatternError(f"cannot build a pattern from {part!r}")
+        return cls(vertices, edges)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def vertices(self) -> frozenset[IID]:
+        """The Inner-patterns of this pattern."""
+        return self._vertices
+
+    @property
+    def edges(self) -> frozenset[Edge]:
+        """The binary primitive patterns of this pattern."""
+        return self._edges
+
+    @property
+    def is_inner(self) -> bool:
+        """Whether this is a single Inner-pattern."""
+        return len(self._vertices) == 1 and not self._edges
+
+    def __len__(self) -> int:
+        """Number of Inner-patterns (vertices)."""
+        return len(self._vertices)
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, IID):
+            return item in self._vertices
+        if isinstance(item, Edge):
+            return item in self._edges
+        return False
+
+    def __iter__(self) -> Iterator[IID]:
+        return iter(self._vertices)
+
+    def classes(self) -> frozenset[str]:
+        """The set of classes whose instances appear in the pattern."""
+        return frozenset(v.cls for v in self._vertices)
+
+    def class_counts(self) -> Counter:
+        """Multiset of classes: how many Inner-patterns per class."""
+        return Counter(v.cls for v in self._vertices)
+
+    def instances_of(self, cls: str) -> frozenset[IID]:
+        """The Inner-patterns belonging to class ``cls``."""
+        return frozenset(v for v in self._vertices if v.cls == cls)
+
+    def has_class(self, cls: str) -> bool:
+        """Whether the pattern has at least one Inner-pattern of ``cls``."""
+        return any(v.cls == cls for v in self._vertices)
+
+    def oids(self) -> frozenset[int]:
+        """All object identifiers present in the pattern."""
+        return frozenset(v.oid for v in self._vertices)
+
+    # ------------------------------------------------------------------
+    # adjacency and connectivity
+    # ------------------------------------------------------------------
+
+    def _adjacency(self) -> Mapping[IID, frozenset[Edge]]:
+        if self._adj is None:
+            adj: dict[IID, set[Edge]] = {v: set() for v in self._vertices}
+            for edge in self._edges:
+                adj[edge.u].add(edge)
+                adj[edge.v].add(edge)
+            self._adj = {v: frozenset(s) for v, s in adj.items()}
+        return self._adj
+
+    def edges_at(self, vertex: IID) -> frozenset[Edge]:
+        """All edges incident to ``vertex``."""
+        try:
+            return self._adjacency()[vertex]
+        except KeyError:
+            raise PatternError(f"{vertex} is not a vertex of this pattern") from None
+
+    def neighbors(self, vertex: IID) -> frozenset[IID]:
+        """Vertices adjacent to ``vertex`` (over either edge polarity)."""
+        return frozenset(e.other(vertex) for e in self.edges_at(vertex))
+
+    def degree(self, vertex: IID) -> int:
+        """Number of edges (any polarity) incident to ``vertex``."""
+        return len(self.edges_at(vertex))
+
+    def is_connected(self) -> bool:
+        """Connectivity in the extended sense of §3.1.
+
+        Complement edges count as edges: "a connected graph is a graph in
+        which there exists at least one path between any two vertices and
+        each path may contain regular-edges, complement-edges, or a
+        combination of the two."
+        """
+        start = next(iter(self._vertices))
+        seen = {start}
+        frontier = deque((start,))
+        while frontier:
+            here = frontier.popleft()
+            for nxt in self.neighbors(here):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return len(seen) == len(self._vertices)
+
+    def components(self) -> list["Pattern"]:
+        """Connected components, each as its own pattern."""
+        remaining = set(self._vertices)
+        out: list[Pattern] = []
+        while remaining:
+            start = next(iter(remaining))
+            seen = {start}
+            frontier = deque((start,))
+            comp_edges: set[Edge] = set()
+            while frontier:
+                here = frontier.popleft()
+                for edge in self.edges_at(here):
+                    comp_edges.add(edge)
+                    nxt = edge.other(here)
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+            remaining -= seen
+            out.append(Pattern(seen, comp_edges))
+        return out
+
+    # ------------------------------------------------------------------
+    # §3.2 relationships
+    # ------------------------------------------------------------------
+
+    def contains(self, other: "Pattern") -> bool:
+        """Whether ``other`` is a subpattern of ``self`` (``other ⊆ self``).
+
+        All primitive patterns (Inner-patterns and edges) of ``other`` must
+        appear in ``self``.
+        """
+        return other._vertices <= self._vertices and other._edges <= self._edges
+
+    def overlaps(self, other: "Pattern") -> bool:
+        """Whether the two patterns share at least one Inner-pattern."""
+        return not self._vertices.isdisjoint(other._vertices)
+
+    def relationship(self, other: "Pattern") -> Relationship:
+        """Classify the §3.2 relationship between ``self`` and ``other``."""
+        fwd = self.contains(other)
+        bwd = other.contains(self)
+        if fwd and bwd:
+            return Relationship.EQUAL
+        if fwd:
+            return Relationship.CONTAINS
+        if bwd:
+            return Relationship.CONTAINED
+        if self.overlaps(other):
+            return Relationship.OVERLAP
+        return Relationship.NON_OVERLAP
+
+    # ------------------------------------------------------------------
+    # combination
+    # ------------------------------------------------------------------
+
+    def union(self, other: "Pattern", *extra_edges: Edge) -> "Pattern":
+        """Concatenate two patterns, optionally via connecting edges.
+
+        This is the raw merge used by Associate / A-Complement /
+        NonAssociate / A-Intersect: the vertex and edge sets are unioned and
+        ``extra_edges`` (the connecting primitive pattern) added.
+        """
+        vertices = self._vertices | other._vertices
+        edges = set(self._edges | other._edges)
+        for edge in extra_edges:
+            edges.add(edge)
+            if edge.u not in vertices or edge.v not in vertices:
+                raise PatternError(
+                    f"connecting edge {edge} has an endpoint outside both operands"
+                )
+        return Pattern(vertices, edges)
+
+    def restricted_to(self, vertices: Iterable[IID]) -> "Pattern | None":
+        """Induced subpattern on ``vertices`` (``None`` if empty)."""
+        keep = self._vertices & frozenset(vertices)
+        if not keep:
+            return None
+        edges = [e for e in self._edges if e.u in keep and e.v in keep]
+        return Pattern(keep, edges)
+
+    # ------------------------------------------------------------------
+    # paths (used by A-Project)
+    # ------------------------------------------------------------------
+
+    def simple_paths(self, src: IID, dst: IID) -> Iterator[list[Edge]]:
+        """Yield every simple path (as an edge list) from ``src`` to ``dst``."""
+        if src not in self._vertices or dst not in self._vertices:
+            return
+        stack: list[tuple[IID, list[Edge], set[IID]]] = [(src, [], {src})]
+        while stack:
+            here, path, seen = stack.pop()
+            for edge in self.edges_at(here):
+                nxt = edge.other(here)
+                if nxt == dst:
+                    yield path + [edge]
+                elif nxt not in seen:
+                    stack.append((nxt, path + [edge], seen | {nxt}))
+
+    def path_polarity(
+        self, src: IID, dst: IID, via_classes: Sequence[str] = ()
+    ) -> Polarity | None:
+        """Polarity of the derived pattern linking ``src`` to ``dst``.
+
+        Considers every simple path from ``src`` to ``dst`` whose vertex
+        class sequence contains ``via_classes`` as a subsequence (the
+        "minimal number of classes along the path which can uniquely
+        identify that path", §3.3.2(4)).  Returns ``Polarity.REGULAR`` if
+        some qualifying path consists only of regular edges, otherwise
+        ``Polarity.COMPLEMENT`` if any qualifying path exists at all, and
+        ``None`` if none does.
+        """
+        found = False
+        for path in self.simple_paths(src, dst):
+            if via_classes and not _class_subsequence(src, path, via_classes):
+                continue
+            found = True
+            if all(edge.is_regular for edge in path):
+                return Polarity.REGULAR
+        return Polarity.COMPLEMENT if found else None
+
+    # ------------------------------------------------------------------
+    # topology (used by the homogeneity test, §3.2)
+    # ------------------------------------------------------------------
+
+    def topology_signature(self) -> tuple:
+        """An isomorphism-invariant certificate of the pattern's shape.
+
+        Two patterns with different signatures are guaranteed
+        non-isomorphic under class-preserving, polarity-preserving
+        isomorphism.  Equal signatures are confirmed by the exact
+        :meth:`isomorphic_to` check.  The signature is a
+        Weisfeiler-Lehman-style colour refinement over (class, degree,
+        incident polarities).
+        """
+        colors: dict[IID, tuple] = {
+            v: (v.cls, len(self.edges_at(v))) for v in self._vertices
+        }
+        for _ in range(max(1, len(self._vertices))):
+            new_colors: dict[IID, tuple] = {}
+            for v in self._vertices:
+                neigh = sorted(
+                    (e.polarity.value, colors[e.other(v)]) for e in self.edges_at(v)
+                )
+                new_colors[v] = (colors[v], tuple(neigh))
+            if len(set(new_colors.values())) == len(set(colors.values())):
+                colors = new_colors
+                break
+            colors = new_colors
+        return tuple(sorted(Counter(colors.values()).items()))
+
+    def isomorphic_to(self, other: "Pattern") -> bool:
+        """Exact class- and polarity-preserving graph isomorphism.
+
+        Patterns are small (they live inside queries), so a straightforward
+        backtracking matcher is adequate and keeps the core dependency-free.
+        """
+        if len(self._vertices) != len(other._vertices):
+            return False
+        if len(self._edges) != len(other._edges):
+            return False
+        if self.class_counts() != other.class_counts():
+            return False
+        if self.topology_signature() != other.topology_signature():
+            return False
+        return _find_isomorphism(self, other)
+
+    # ------------------------------------------------------------------
+    # dunder / rendering
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return self._vertices == other._vertices and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        covered: set[IID] = set()
+        for edge in sorted(
+            self._edges, key=lambda e: (e.u, e.v, e.polarity.value)
+        ):
+            mark = "~" if edge.is_complement else ""
+            parts.append(f"{mark}{edge.u.label} {edge.v.label}")
+            covered.add(edge.u)
+            covered.add(edge.v)
+        for vertex in sorted(self._vertices - covered):
+            parts.append(vertex.label)
+        return "(" + ", ".join(parts) + ")"
+
+    def __repr__(self) -> str:
+        return f"Pattern{self}"
+
+
+def _class_subsequence(src: IID, path: list[Edge], via_classes: Sequence[str]) -> bool:
+    """Whether the path's vertex class sequence contains ``via_classes``.
+
+    The vertex sequence starts at ``src`` and follows the edges in order.
+    """
+    sequence = [src.cls]
+    here = src
+    for edge in path:
+        here = edge.other(here)
+        sequence.append(here.cls)
+    it = iter(sequence)
+    return all(cls in it for cls in via_classes)
+
+
+def _find_isomorphism(a: Pattern, b: Pattern) -> bool:
+    """Backtracking search for a class/polarity-preserving isomorphism."""
+    b_by_class: dict[str, list[IID]] = defaultdict(list)
+    for v in b.vertices:
+        b_by_class[v.cls].append(v)
+    # Order a's vertices to keep the search tree connected where possible.
+    a_vertices = sorted(a.vertices, key=lambda v: (-a.degree(v), v))
+
+    def extend(mapping: dict[IID, IID], used: set[IID], index: int) -> bool:
+        if index == len(a_vertices):
+            return True
+        av = a_vertices[index]
+        for bv in b_by_class[av.cls]:
+            if bv in used:
+                continue
+            if a.degree(av) != b.degree(bv):
+                continue
+            ok = True
+            for edge in a.edges_at(av):
+                other_a = edge.other(av)
+                if other_a in mapping:
+                    image = Edge(bv, mapping[other_a], edge.polarity)
+                    if image not in b.edges:
+                        ok = False
+                        break
+            if not ok:
+                continue
+            mapping[av] = bv
+            used.add(bv)
+            if extend(mapping, used, index + 1):
+                return True
+            del mapping[av]
+            used.discard(bv)
+        return False
+
+    return extend({}, set(), 0)

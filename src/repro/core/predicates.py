@@ -1,0 +1,392 @@
+"""Predicate language for A-Select (§3.3.2(3)).
+
+The paper defines a predicate as ``P = T₁ θ₁ T₂ θ₂ ... θₙ₋₁ Tₙ`` where each
+term ``Tᵢ`` compares two expressions and each ``θᵢ`` is a Boolean operator.
+Expressions may apply *computed-value functions* to class instances (the
+paper's ``top(S)``, ``front(Q)`` example) as long as they are side-effect
+free.
+
+Value expressions evaluate to a **list of values** because a pattern may
+hold several instances of a class; a comparison is satisfied
+*existentially* — some pair of operand values must satisfy the comparison —
+which matches how the paper's example queries read (``Name = "CIS"`` holds
+if the pattern's Name instance carries the value ``CIS``).  A universal
+reading is available via :class:`Comparison`'s ``quantifier`` argument.
+
+Functions are looked up in a :class:`FunctionRegistry`; they receive the
+object graph and one instance, and must be pure.
+"""
+
+from __future__ import annotations
+
+import operator
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+from repro.core.identity import IID
+from repro.core.pattern import Pattern
+from repro.errors import PredicateError
+from repro.objects.graph import ObjectGraph
+
+__all__ = [
+    "FunctionRegistry",
+    "ValueExpr",
+    "Const",
+    "ClassValues",
+    "ClassInstances",
+    "Apply",
+    "ValueUnion",
+    "Predicate",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "Callback",
+    "TruePredicate",
+    "value_equals",
+    "DEFAULT_REGISTRY",
+]
+
+
+class FunctionRegistry:
+    """Named, side-effect-free computed-value functions.
+
+    The algebra "allows an attribute [to] have a computed value ... the
+    implementations of the function and the procedure are invisible to the
+    algebra" (§3.3.2(1)).  Registered callables receive
+    ``(graph, instance)`` and return a value.
+    """
+
+    def __init__(self) -> None:
+        self._functions: dict[str, Callable[[ObjectGraph, IID], Any]] = {}
+
+    def register(
+        self, name: str, fn: Callable[[ObjectGraph, IID], Any]
+    ) -> None:
+        if name in self._functions:
+            raise PredicateError(f"function {name!r} already registered")
+        self._functions[name] = fn
+
+    def lookup(self, name: str) -> Callable[[ObjectGraph, IID], Any]:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise PredicateError(f"unknown function {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._functions
+
+
+#: A process-wide default registry; the engine owns its own copy normally.
+DEFAULT_REGISTRY = FunctionRegistry()
+
+
+class ValueExpr(ABC):
+    """An expression yielding a list of values for a pattern."""
+
+    @abstractmethod
+    def values(self, pattern: Pattern, graph: ObjectGraph) -> list[Any]:
+        """Evaluate against one pattern."""
+
+    def __str__(self) -> str:  # pragma: no cover - subclasses override
+        return self.__class__.__name__
+
+
+class Const(ValueExpr):
+    """A literal constant."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("Const", repr(self.value)))
+
+    def values(self, pattern: Pattern, graph: ObjectGraph) -> list[Any]:
+        return [self.value]
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+class ClassValues(ValueExpr):
+    """The self-describing values of the pattern's instances of a class.
+
+    This is what a bare primitive-class name means inside a predicate:
+    ``Name = 'CIS'`` compares the values of the pattern's ``Name``
+    instances with the constant.
+    """
+
+    def __init__(self, cls: str) -> None:
+        self.cls = cls
+
+    def values(self, pattern: Pattern, graph: ObjectGraph) -> list[Any]:
+        return [graph.value(i) for i in sorted(pattern.instances_of(self.cls))]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ClassValues) and other.cls == self.cls
+
+    def __hash__(self) -> int:
+        return hash(("ClassValues", self.cls))
+
+    def __str__(self) -> str:
+        return self.cls
+
+
+class ClassInstances(ValueExpr):
+    """The pattern's instances (IIDs) of a class — inputs for functions."""
+
+    def __init__(self, cls: str) -> None:
+        self.cls = cls
+
+    def values(self, pattern: Pattern, graph: ObjectGraph) -> list[Any]:
+        return sorted(pattern.instances_of(self.cls))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ClassInstances) and other.cls == self.cls
+
+    def __hash__(self) -> int:
+        return hash(("ClassInstances", self.cls))
+
+    def __str__(self) -> str:
+        return f"instances({self.cls})"
+
+
+class Apply(ValueExpr):
+    """Apply a registered function to every value of the operand."""
+
+    def __init__(
+        self,
+        fn_name: str,
+        operand: ValueExpr,
+        registry: FunctionRegistry | None = None,
+    ) -> None:
+        self.fn_name = fn_name
+        self.operand = operand
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
+
+    def values(self, pattern: Pattern, graph: ObjectGraph) -> list[Any]:
+        fn = self.registry.lookup(self.fn_name)
+        return [fn(graph, value) for value in self.operand.values(pattern, graph)]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Apply)
+            and other.fn_name == self.fn_name
+            and other.operand == self.operand
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Apply", self.fn_name, self.operand))
+
+    def __str__(self) -> str:
+        return f"{self.fn_name}({self.operand})"
+
+
+class ValueUnion(ValueExpr):
+    """Set-union of values (the ``front(Q) ∪ tail(Q)`` of the paper)."""
+
+    def __init__(self, *operands: ValueExpr) -> None:
+        self.operands = operands
+
+    def values(self, pattern: Pattern, graph: ObjectGraph) -> list[Any]:
+        out: list[Any] = []
+        for operand in self.operands:
+            out.extend(operand.values(pattern, graph))
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ValueUnion) and other.operands == self.operands
+
+    def __hash__(self) -> int:
+        return hash(("ValueUnion", self.operands))
+
+    def __str__(self) -> str:
+        return " ∪ ".join(str(o) for o in self.operands)
+
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "in": lambda l, r: l in r if isinstance(r, (set, frozenset, list, tuple)) else l == r,
+}
+
+
+class Predicate(ABC):
+    """A Boolean condition on a single association pattern."""
+
+    @abstractmethod
+    def evaluate(self, pattern: Pattern, graph: ObjectGraph) -> bool:
+        """Whether the pattern satisfies the predicate."""
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+class Comparison(Predicate):
+    """``T = lhs op rhs`` with existential (default) or universal matching."""
+
+    def __init__(
+        self,
+        left: ValueExpr,
+        op: str,
+        right: ValueExpr,
+        quantifier: str = "exists",
+    ) -> None:
+        if op not in _COMPARATORS:
+            raise PredicateError(f"unknown comparison operator {op!r}")
+        if quantifier not in ("exists", "forall"):
+            raise PredicateError(f"unknown quantifier {quantifier!r}")
+        self.left = left
+        self.op = op
+        self.right = right
+        self.quantifier = quantifier
+
+    def evaluate(self, pattern: Pattern, graph: ObjectGraph) -> bool:
+        compare = _COMPARATORS[self.op]
+        lefts = self.left.values(pattern, graph)
+        rights = self.right.values(pattern, graph)
+        if self.op == "in":
+            pool = list(rights)
+            results = [l in pool for l in lefts]
+        else:
+            results = []
+            for l in lefts:
+                for r in rights:
+                    try:
+                        results.append(bool(compare(l, r)))
+                    except TypeError:
+                        results.append(False)
+        if not results:
+            return False
+        if self.quantifier == "exists":
+            return any(results)
+        return all(results)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Comparison)
+            and other.left == self.left
+            and other.op == self.op
+            and other.right == self.right
+            and other.quantifier == self.quantifier
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Comparison", self.left, self.op, self.right, self.quantifier))
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+class And(Predicate):
+    """Conjunction: every operand predicate must hold."""
+
+    def __init__(self, *operands: Predicate) -> None:
+        self.operands = operands
+
+    def evaluate(self, pattern: Pattern, graph: ObjectGraph) -> bool:
+        return all(p.evaluate(pattern, graph) for p in self.operands)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, And) and other.operands == self.operands
+
+    def __hash__(self) -> int:
+        return hash(("And", self.operands))
+
+    def __str__(self) -> str:
+        return "(" + " and ".join(str(p) for p in self.operands) + ")"
+
+
+class Or(Predicate):
+    """Disjunction: at least one operand predicate must hold."""
+
+    def __init__(self, *operands: Predicate) -> None:
+        self.operands = operands
+
+    def evaluate(self, pattern: Pattern, graph: ObjectGraph) -> bool:
+        return any(p.evaluate(pattern, graph) for p in self.operands)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Or) and other.operands == self.operands
+
+    def __hash__(self) -> int:
+        return hash(("Or", self.operands))
+
+    def __str__(self) -> str:
+        return "(" + " or ".join(str(p) for p in self.operands) + ")"
+
+
+class Not(Predicate):
+    """Negation of one predicate."""
+
+    def __init__(self, operand: Predicate) -> None:
+        self.operand = operand
+
+    def evaluate(self, pattern: Pattern, graph: ObjectGraph) -> bool:
+        return not self.operand.evaluate(pattern, graph)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and other.operand == self.operand
+
+    def __hash__(self) -> int:
+        return hash(("Not", self.operand))
+
+    def __str__(self) -> str:
+        return f"not {self.operand}"
+
+
+class Callback(Predicate):
+    """Escape hatch: an arbitrary pure Python condition."""
+
+    def __init__(
+        self, fn: Callable[[Pattern, ObjectGraph], bool], label: str = "<callback>"
+    ) -> None:
+        self.fn = fn
+        self.label = label
+
+    def evaluate(self, pattern: Pattern, graph: ObjectGraph) -> bool:
+        return bool(self.fn(pattern, graph))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Callback) and other.fn is self.fn
+
+    def __hash__(self) -> int:
+        return hash(("Callback", id(self.fn)))
+
+    def __str__(self) -> str:
+        return self.label
+
+
+class TruePredicate(Predicate):
+    """The always-true predicate (identity of conjunction)."""
+
+    def evaluate(self, pattern: Pattern, graph: ObjectGraph) -> bool:
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TruePredicate)
+
+    def __hash__(self) -> int:
+        return hash("TruePredicate")
+
+    def __str__(self) -> str:
+        return "true"
+
+
+def value_equals(cls: str, value: Any) -> Comparison:
+    """Shorthand for the ubiquitous ``Class = constant`` predicate."""
+    return Comparison(ClassValues(cls), "=", Const(value))
+

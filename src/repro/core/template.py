@@ -1,0 +1,245 @@
+"""Query-by-pattern templates (§2, Figure 3).
+
+The paper's user model: "the user can query the database by specifying
+patterns of object associations as the search condition ... A complex
+pattern of object associations may contain branches with logical AND and
+OR conditions".  Figure 3 draws Query 2 as a class-level tree whose edges
+are labelled with the operator to apply (``*``, ``|``) and whose branch
+points carry an arc: a single arc = OR ("the two branches should be
+A-Unioned"), a double arc = AND (the instance "be associated with both").
+
+:class:`PatternTemplate` is that drawing as a data structure, rooted at a
+class, with:
+
+* an optional A-Select predicate per node;
+* an edge *mode* (``"*"`` Associate or ``"|"`` A-Complement) and optional
+  association name per child;
+* a *branch* condition (``"and"`` / ``"or"``) per node with several
+  children.
+
+Two independent semantics are provided:
+
+* :meth:`PatternTemplate.compile` — the paper's translation into the
+  algebra: chains for edges, ``+`` for OR branches, ``•{branch class}``
+  for AND branches (exactly how §3.3.4 builds the Query 2 expression);
+* :func:`match` — a direct backtracking subgraph matcher over the object
+  graph that never touches the algebra.
+
+The two must agree on every template (property-tested in
+``tests/properties/test_template_differential.py``), which makes the
+matcher a differential-testing oracle for the whole operator pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import Edge, Polarity
+from repro.core.expression import AssocSpec, Associate, Complement, Expr, Intersect, Select, Union, ref
+from repro.core.identity import IID
+from repro.core.pattern import Pattern
+from repro.core.predicates import Predicate
+from repro.errors import AlgebraError
+from repro.objects.graph import ObjectGraph
+from repro.schema.graph import SchemaGraph
+
+__all__ = ["PatternTemplate", "TemplateError", "match"]
+
+
+class TemplateError(AlgebraError):
+    """The template is malformed for the schema it targets."""
+
+
+@dataclass
+class _ChildEdge:
+    mode: str  # "*" or "|"
+    child: "PatternTemplate"
+    assoc_name: str | None = None
+
+
+@dataclass
+class PatternTemplate:
+    """One node of a query-by-pattern tree (and the subtree below it)."""
+
+    cls: str
+    predicate: Predicate | None = None
+    branch: str = "and"
+    children: list[_ChildEdge] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # construction DSL
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def node(
+        cls,
+        class_name: str,
+        predicate: Predicate | None = None,
+        branch: str = "and",
+    ) -> "PatternTemplate":
+        if branch not in ("and", "or"):
+            raise TemplateError(f"branch condition must be 'and' or 'or', got {branch!r}")
+        return cls(class_name, predicate, branch)
+
+    def link(
+        self,
+        child: "PatternTemplate | str",
+        mode: str = "*",
+        assoc_name: str | None = None,
+    ) -> "PatternTemplate":
+        """Attach a child (returns *self* for chaining)."""
+        if mode not in ("*", "|"):
+            raise TemplateError(f"edge mode must be '*' or '|', got {mode!r}")
+        if isinstance(child, str):
+            child = PatternTemplate.node(child)
+        self.children.append(_ChildEdge(mode, child, assoc_name))
+        return self
+
+    def chain(self, *classes: str, mode: str = "*") -> "PatternTemplate":
+        """Attach a linear chain of classes below this node."""
+        here = self
+        for class_name in classes:
+            nxt = PatternTemplate.node(class_name)
+            here.link(nxt, mode)
+            here = nxt
+        return self
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def validate(self, schema: SchemaGraph) -> None:
+        """Check classes, associations, and class-uniqueness per path."""
+        self._validate(schema, seen_on_path=set())
+
+    def _validate(self, schema: SchemaGraph, seen_on_path: set[str]) -> None:
+        if not schema.has_class(self.cls):
+            raise TemplateError(f"unknown class {self.cls!r} in template")
+        if self.cls in seen_on_path:
+            raise TemplateError(
+                f"class {self.cls!r} repeats along a template path; "
+                f"the AND-branch • semantics require unique classes per path"
+            )
+        for edge in self.children:
+            schema.resolve(self.cls, edge.child.cls, edge.assoc_name)
+            edge.child._validate(schema, seen_on_path | {self.cls})
+
+    # ------------------------------------------------------------------
+    # compilation to the algebra (the §3.3.4 construction)
+    # ------------------------------------------------------------------
+
+    def compile(self, schema: SchemaGraph) -> Expr:
+        """The template's A-algebra expression (head class = root class)."""
+        self.validate(schema)
+        return self._compile(schema)
+
+    def _compile(self, schema: SchemaGraph) -> Expr:
+        base: Expr = ref(self.cls)
+        if self.predicate is not None:
+            base = Select(base, self.predicate)
+        if not self.children:
+            return base
+        branch_exprs: list[Expr] = []
+        for edge in self.children:
+            assoc = schema.resolve(self.cls, edge.child.cls, edge.assoc_name)
+            spec = AssocSpec(self.cls, edge.child.cls, assoc.name)
+            node = Associate if edge.mode == "*" else Complement
+            branch_exprs.append(node(base, edge.child._compile(schema), spec))
+        combined = branch_exprs[0]
+        for expr in branch_exprs[1:]:
+            if self.branch == "or":
+                combined = Union(combined, expr)
+            else:
+                combined = Intersect(combined, expr, frozenset({self.cls}))
+        return combined
+
+
+# ----------------------------------------------------------------------
+# direct matching (the oracle)
+# ----------------------------------------------------------------------
+
+
+def match(template: PatternTemplate, graph: ObjectGraph) -> AssociationSet:
+    """All embeddings of the template, found WITHOUT the algebra.
+
+    Returns the association-set of embedding patterns; must coincide with
+    ``template.compile(schema).evaluate(graph)``.
+    """
+    template.validate(graph.schema)
+    patterns: set[Pattern] = set()
+    for anchor in sorted(graph.extent(template.cls)):
+        for vertices, edges in _embeddings(template, graph, anchor):
+            patterns.add(Pattern(vertices, edges))
+    return AssociationSet(patterns)
+
+
+def _embeddings(
+    template: PatternTemplate, graph: ObjectGraph, anchor: IID
+) -> Iterator[tuple[frozenset[IID], frozenset[Edge]]]:
+    """Yield (vertices, edges) of every embedding rooted at ``anchor``."""
+    if template.predicate is not None:
+        if not template.predicate.evaluate(Pattern.inner(anchor), graph):
+            return
+    if not template.children:
+        yield (frozenset({anchor}), frozenset())
+        return
+
+    per_child: list[list[tuple[frozenset[IID], frozenset[Edge]]]] = []
+    for edge in template.children:
+        assoc = graph.schema.resolve(
+            template.cls, edge.child.cls, edge.assoc_name
+        )
+        if edge.mode == "*":
+            partners = [
+                p
+                for p in graph.partners(assoc, anchor)
+                if p.cls == edge.child.cls
+            ]
+            polarity = Polarity.REGULAR
+        else:
+            partners = list(graph.complement_partners(assoc, anchor))
+            polarity = Polarity.COMPLEMENT
+        found: list[tuple[frozenset[IID], frozenset[Edge]]] = []
+        for partner in sorted(partners):
+            connecting = Edge(anchor, partner, polarity)
+            for vertices, edges in _embeddings(edge.child, graph, partner):
+                found.append(
+                    (vertices | {anchor}, edges | {connecting})
+                )
+        if edge.mode == "|" and not found and _subtree_is_empty(edge.child, graph):
+            # A-Complement retention: when the child operand evaluates to φ
+            # (no embedding anywhere), the compiled | retains the anchor
+            # verbatim; mirror that so the oracle agrees.  (The symmetric
+            # α-empty retention cannot arise here: the anchor exists.)
+            found.append((frozenset({anchor}), frozenset()))
+        per_child.append(found)
+
+    if template.branch == "or" and len(template.children) > 1:
+        for found in per_child:
+            yield from found
+        return
+    # AND: the cross product of per-child embeddings, all sharing `anchor`.
+    yield from _cross(per_child)
+
+
+def _subtree_is_empty(template: PatternTemplate, graph: ObjectGraph) -> bool:
+    """Whether the template subtree has no embedding anywhere in the graph."""
+    for anchor in graph.extent(template.cls):
+        for _ in _embeddings(template, graph, anchor):
+            return False
+    return True
+
+
+def _cross(
+    groups: list[list[tuple[frozenset[IID], frozenset[Edge]]]]
+) -> Iterator[tuple[frozenset[IID], frozenset[Edge]]]:
+    if any(not group for group in groups):
+        return
+    if len(groups) == 1:
+        yield from groups[0]
+        return
+    for vertices, edges in groups[0]:
+        for rest_vertices, rest_edges in _cross(groups[1:]):
+            yield (vertices | rest_vertices, edges | rest_edges)

@@ -1,0 +1,163 @@
+"""Static validation of algebra expressions against a schema.
+
+OQL-compiled expressions are schema-checked during parsing, but
+expressions built with the Python DSL are not — a typo'd class name
+surfaces only at evaluation time, possibly deep inside a large query.
+:func:`validate_expression` walks a tree up front and reports *all*
+problems at once:
+
+* unknown classes in :class:`ClassExtent`, projection templates, links,
+  intersect/divide class sets, and predicates;
+* explicit :class:`AssocSpec` annotations that do not resolve;
+* binary graph operators whose shorthand cannot resolve statically
+  (non-linear operands without an annotation, missing or ambiguous
+  associations).
+
+The result is a list of human-readable problem strings; an empty list
+means the expression is statically well-formed (evaluation may of course
+still produce φ).
+"""
+
+from __future__ import annotations
+
+from repro.core.expression import (
+    Associate,
+    ClassExtent,
+    Complement,
+    Difference,
+    Divide,
+    Expr,
+    Intersect,
+    Literal,
+    NonAssociate,
+    Project,
+    Select,
+    Union,
+)
+from repro.core.predicates import (
+    And,
+    Apply,
+    ClassInstances,
+    ClassValues,
+    Comparison,
+    Not,
+    Or,
+    Predicate,
+    ValueExpr,
+    ValueUnion,
+)
+from repro.errors import EvaluationError
+from repro.schema.graph import SchemaGraph
+
+__all__ = ["validate_expression", "assert_valid"]
+
+
+def validate_expression(expr: Expr, schema: SchemaGraph) -> list[str]:
+    """All statically detectable problems of ``expr`` under ``schema``."""
+    problems: list[str] = []
+    _walk(expr, schema, problems)
+    return problems
+
+
+def assert_valid(expr: Expr, schema: SchemaGraph) -> None:
+    """Raise :class:`EvaluationError` listing every static problem."""
+    problems = validate_expression(expr, schema)
+    if problems:
+        raise EvaluationError(
+            f"invalid expression {expr}:\n  - " + "\n  - ".join(problems)
+        )
+
+
+def _check_class(name: str, schema: SchemaGraph, problems: list[str], where: str) -> None:
+    if not schema.has_class(name):
+        problems.append(f"unknown class {name!r} {where}")
+
+
+def _walk(expr: Expr, schema: SchemaGraph, problems: list[str]) -> None:
+    if isinstance(expr, ClassExtent):
+        _check_class(expr.name, schema, problems, "as a class extent")
+        return
+    if isinstance(expr, Literal):
+        return  # literals carry already-materialized data
+    if isinstance(expr, (Associate, Complement, NonAssociate)):
+        _walk(expr.left, schema, problems)
+        _walk(expr.right, schema, problems)
+        _check_graph_op(expr, schema, problems)
+        return
+    if isinstance(expr, (Intersect, Divide)):
+        _walk(expr.left, schema, problems)
+        _walk(expr.right, schema, problems)
+        if expr.classes is not None:
+            for name in expr.classes:
+                _check_class(
+                    name, schema, problems, f"in the {{W}} of {type(expr).__name__}"
+                )
+        return
+    if isinstance(expr, (Union, Difference)):
+        _walk(expr.left, schema, problems)
+        _walk(expr.right, schema, problems)
+        return
+    if isinstance(expr, Select):
+        _walk(expr.operand, schema, problems)
+        _check_predicate(expr.predicate, schema, problems)
+        return
+    if isinstance(expr, Project):
+        _walk(expr.operand, schema, problems)
+        for template in expr.templates:
+            for name in template.classes:
+                _check_class(name, schema, problems, f"in template {template}")
+        for link in expr.links:
+            for name in link.classes:
+                _check_class(name, schema, problems, f"in link {link}")
+        return
+    problems.append(f"unknown expression node {type(expr).__name__}")
+
+
+def _check_graph_op(expr, schema: SchemaGraph, problems: list[str]) -> None:
+    symbol = expr.symbol
+    if expr.spec is not None:
+        try:
+            schema.resolve(
+                expr.spec.alpha_class, expr.spec.beta_class, expr.spec.name
+            )
+        except Exception as exc:
+            problems.append(f"annotation {expr.spec} on {symbol!r}: {exc}")
+        return
+    a_cls = expr.left.tail_class
+    b_cls = expr.right.head_class
+    if a_cls is None or b_cls is None:
+        problems.append(
+            f"{symbol!r} cannot resolve its association statically "
+            f"(operands not linear); add an explicit [R(A,B)]"
+        )
+        return
+    if not (schema.has_class(a_cls) and schema.has_class(b_cls)):
+        return  # the unknown-class problem is already reported
+    try:
+        schema.resolve(a_cls, b_cls)
+    except Exception as exc:
+        problems.append(f"{symbol!r} between {a_cls!r} and {b_cls!r}: {exc}")
+
+
+def _check_predicate(
+    predicate: Predicate, schema: SchemaGraph, problems: list[str]
+) -> None:
+    if isinstance(predicate, Comparison):
+        _check_value(predicate.left, schema, problems)
+        _check_value(predicate.right, schema, problems)
+    elif isinstance(predicate, (And, Or)):
+        for operand in predicate.operands:
+            _check_predicate(operand, schema, problems)
+    elif isinstance(predicate, Not):
+        _check_predicate(predicate.operand, schema, problems)
+    # Callbacks and TruePredicate are opaque/trivial: nothing to check.
+
+
+def _check_value(value: ValueExpr, schema: SchemaGraph, problems: list[str]) -> None:
+    if isinstance(value, (ClassValues, ClassInstances)):
+        _check_class(value.cls, schema, problems, "in a predicate")
+    elif isinstance(value, Apply):
+        _check_value(value.operand, schema, problems)
+    elif isinstance(value, ValueUnion):
+        for operand in value.operands:
+            _check_value(operand, schema, problems)

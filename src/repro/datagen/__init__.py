@@ -1,0 +1,22 @@
+"""Synthetic workload generators for benchmarks and the optimizer tests."""
+
+from repro.datagen.synthetic import (
+    SyntheticDataset,
+    chain_dataset,
+    figure10_dataset,
+    random_graph,
+    star_dataset,
+    university_scaled,
+)
+from repro.datagen.workloads import random_walk_query, workload
+
+__all__ = [
+    "random_walk_query",
+    "workload",
+    "SyntheticDataset",
+    "chain_dataset",
+    "star_dataset",
+    "figure10_dataset",
+    "random_graph",
+    "university_scaled",
+]

@@ -1,0 +1,224 @@
+"""Parameterized synthetic object graphs.
+
+The paper has no performance evaluation of its own, so the benchmark
+harness sweeps synthetic databases whose shape is controlled by three
+knobs: schema topology (chain / star / the Figure 10 shape), extent size
+per class, and edge density per association.  Everything is seeded and
+deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.objects.graph import ObjectGraph
+from repro.schema.graph import SchemaGraph
+
+__all__ = [
+    "SyntheticDataset",
+    "random_graph",
+    "chain_dataset",
+    "star_dataset",
+    "figure10_dataset",
+    "university_scaled",
+]
+
+
+@dataclass(frozen=True)
+class SyntheticDataset:
+    """A generated schema + object graph with its generation parameters."""
+
+    schema: SchemaGraph
+    graph: ObjectGraph
+    extent_size: int
+    density: float
+    seed: int
+
+
+def random_graph(
+    schema: SchemaGraph,
+    sizes: Mapping[str, int] | int,
+    density: float = 0.1,
+    seed: int = 0,
+) -> ObjectGraph:
+    """Populate ``schema`` with random instances and edges.
+
+    ``sizes`` is either one extent size for every class or a per-class
+    mapping.  Each potential edge of each association is kept with
+    probability ``density`` (a float in [0, 1]); every instance of the
+    association's left class additionally receives at least one partner
+    when the extent opposite is non-empty, so chains do not dead-end at
+    low densities.
+    """
+    rng = random.Random(seed)
+    graph = ObjectGraph(schema)
+    oid = 0
+    for cdef in schema.classes:
+        count = sizes if isinstance(sizes, int) else sizes.get(cdef.name, 0)
+        for index in range(count):
+            oid += 1
+            value = f"{cdef.name}-{index}" if cdef.is_primitive else None
+            graph.add_instance(cdef.name, oid, value)
+    for assoc in schema.associations:
+        left = sorted(graph.extent(assoc.left))
+        right = sorted(graph.extent(assoc.right))
+        if not left or not right:
+            continue
+        for a in left:
+            linked = False
+            for b in right:
+                if a != b and rng.random() < density:
+                    graph.add_edge(assoc, a, b)
+                    linked = True
+            if not linked:
+                b = rng.choice(right)
+                if a != b:
+                    graph.add_edge(assoc, a, b)
+    return graph
+
+
+def chain_dataset(
+    n_classes: int = 4,
+    extent_size: int = 50,
+    density: float = 0.1,
+    seed: int = 0,
+) -> SyntheticDataset:
+    """A linear schema ``K0—K1—…—K(n-1)`` — the Associate-chain workload."""
+    schema = SchemaGraph(f"chain-{n_classes}")
+    names = [f"K{i}" for i in range(n_classes)]
+    for name in names:
+        schema.add_entity_class(name)
+    for left, right in zip(names, names[1:]):
+        schema.add_association(left, right)
+    graph = random_graph(schema, extent_size, density, seed)
+    return SyntheticDataset(schema, graph, extent_size, density, seed)
+
+
+def star_dataset(
+    n_arms: int = 4,
+    extent_size: int = 50,
+    density: float = 0.1,
+    seed: int = 0,
+) -> SyntheticDataset:
+    """A hub class ``Hub`` with ``n_arms`` spoke classes — the A-Intersect
+    (branch-building) workload."""
+    schema = SchemaGraph(f"star-{n_arms}")
+    schema.add_entity_class("Hub")
+    for index in range(n_arms):
+        name = f"S{index}"
+        schema.add_entity_class(name)
+        schema.add_association("Hub", name)
+    graph = random_graph(schema, extent_size, density, seed)
+    return SyntheticDataset(schema, graph, extent_size, density, seed)
+
+
+def figure10_dataset(
+    extent_size: int = 20,
+    density: float = 0.15,
+    seed: int = 7,
+) -> SyntheticDataset:
+    """The schema behind Figure 10's optimization example.
+
+    ``expr = A * (B*E*F + B * (C*D*H • C*G))`` navigates the associations
+    A—B, B—E, E—F, B—C, C—D, D—H, C—G.
+    """
+    schema = SchemaGraph("figure10")
+    for name in "ABCDEFGH":
+        schema.add_entity_class(name)
+    for left, right in (
+        ("A", "B"),
+        ("B", "E"),
+        ("E", "F"),
+        ("B", "C"),
+        ("C", "D"),
+        ("D", "H"),
+        ("C", "G"),
+    ):
+        schema.add_association(left, right)
+    graph = random_graph(schema, extent_size, density, seed)
+    return SyntheticDataset(schema, graph, extent_size, density, seed)
+
+
+def university_scaled(
+    n_students: int = 100,
+    n_courses: int = 20,
+    seed: int = 0,
+):
+    """A scaled-up university population for the relational comparison.
+
+    Reuses the Figure 1 schema but draws a parameterized population:
+    ``n_students`` students (10% of them TAs), ``n_courses`` courses with
+    two sections each, and random takes/teaches/enrollment edges.
+    Returns a populated :class:`~repro.datasets.university.UniversityDB`-
+    shaped object (schema + graph only).
+    """
+    from repro.datasets.university import university_schema
+    from repro.objects.builder import GraphBuilder
+
+    rng = random.Random(seed)
+    schema = university_schema()
+    builder = GraphBuilder(schema)
+    graph = builder.graph
+
+    departments = []
+    for name in ("CIS", "EE", "Math"):
+        dept = graph.add_instance("Department")
+        builder.attach(dept, "Name", name)
+        departments.append(dept)
+
+    courses = []
+    sections = []
+    for index in range(n_courses):
+        course = graph.add_instance("Course")
+        builder.attach(course, "Course#", 1000 + index)
+        builder.link(rng.choice(departments), course)
+        courses.append(course)
+        for sub in range(2):
+            section = graph.add_instance("Section")
+            builder.attach(section, "Section#", (1000 + index) * 10 + sub)
+            if rng.random() < 0.9:
+                builder.attach(section, "Room#", f"R{rng.randrange(40)}")
+            builder.link(course, section)
+            sections.append(section)
+
+    faculty = []
+    for index in range(max(2, n_students // 20)):
+        created = builder.add_object(["Faculty", "Teacher", "Person"])
+        builder.attach(created["Person"], "Name", f"Fac{index}")
+        builder.attach(created["Person"], "SS#", 10_000 + index)
+        builder.attach(created["Faculty"], "Specialty", f"Field{index % 7}")
+        builder.link(created["Teacher"], rng.choice(departments))
+        faculty.append(created)
+
+    for index in range(n_students):
+        is_ta = index % 10 == 0
+        classes = (
+            ["TA", "Grad", "Student", "Teacher", "Person"]
+            if is_ta
+            else ["Undergrad", "Student", "Person"]
+        )
+        created = builder.add_object(classes)
+        builder.attach(created["Person"], "Name", f"Stu{index}")
+        builder.attach(created["Person"], "SS#", 20_000 + index)
+        builder.attach(created["Student"], "GPA", round(2.0 + rng.random() * 2, 2))
+        builder.attach(created["Student"], "EarnedCredit", rng.randrange(0, 120))
+        builder.link(created["Student"], rng.choice(departments))
+        for section in rng.sample(sections, k=min(3, len(sections))):
+            builder.link(created["Student"], section)
+        for course in rng.sample(courses, k=min(3, len(courses))):
+            enrollment = graph.add_instance("Enrollment")
+            builder.link(created["Student"], enrollment)
+            builder.link(enrollment, course)
+        if is_ta:
+            builder.link(created["Teacher"], rng.choice(departments))
+            builder.link(created["Teacher"], rng.choice(sections))
+
+    for created in faculty:
+        for section in rng.sample(sections, k=min(2, len(sections))):
+            builder.link(created["Teacher"], section)
+
+    from repro.datasets.university import UniversityDB
+
+    return UniversityDB(schema=schema, graph=graph)

@@ -1,0 +1,82 @@
+"""Random query workloads.
+
+Generates well-formed navigation queries by walking the schema graph —
+the workload side of the synthetic benchmarks, and a light fuzzer: every
+generated query must evaluate without error on any database of the same
+schema.
+
+Queries are Associate chains along schema edges (the dominant shape in
+the paper's examples), optionally wrapped in a final A-Project onto the
+chain's endpoint classes, with occasional A-Union of two walks sharing a
+start class and occasional NonAssociate final hops.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.expression import AssocSpec, Associate, Expr, NonAssociate, Union, ref
+from repro.schema.graph import SchemaGraph
+
+__all__ = ["random_walk_query", "workload"]
+
+
+def _walk(schema: SchemaGraph, rng: random.Random, start: str, hops: int) -> Expr:
+    """An Associate chain from ``start``, avoiding immediate backtracking."""
+    expr: Expr = ref(start)
+    here = start
+    previous: str | None = None
+    for _ in range(hops):
+        options = [assoc for assoc in schema.incident(here)]
+        if previous is not None and len(options) > 1:
+            options = [a for a in options if a.other(here) != previous] or options
+        if not options:
+            break
+        assoc = rng.choice(sorted(options, key=lambda a: a.key))
+        nxt = assoc.other(here)
+        expr = Associate(expr, ref(nxt), AssocSpec(here, nxt, assoc.name))
+        previous, here = here, nxt
+    return expr
+
+
+def random_walk_query(
+    schema: SchemaGraph,
+    rng: random.Random,
+    max_hops: int = 4,
+) -> Expr:
+    """One random, always-valid query over ``schema``."""
+    classes = sorted(schema.class_names)
+    start = rng.choice(classes)
+    hops = rng.randint(1, max_hops)
+    expr = _walk(schema, rng, start, hops)
+
+    shape = rng.random()
+    if shape < 0.2:
+        # A-Union of two walks from the same start class.
+        expr = Union(expr, _walk(schema, rng, start, rng.randint(1, max_hops)))
+    elif shape < 0.35:
+        # A NonAssociate final hop.
+        tail = expr.tail_class
+        if tail is not None:
+            incident = sorted(schema.incident(tail), key=lambda a: a.key)
+            if incident:
+                assoc = rng.choice(incident)
+                expr = NonAssociate(
+                    expr, ref(assoc.other(tail)), AssocSpec(tail, assoc.other(tail), assoc.name)
+                )
+    if rng.random() < 0.5:
+        head = expr.head_class if not isinstance(expr, Union) else None
+        if head is not None:
+            expr = expr.project([head])
+    return expr
+
+
+def workload(
+    schema: SchemaGraph,
+    n_queries: int = 50,
+    max_hops: int = 4,
+    seed: int = 0,
+) -> list[Expr]:
+    """A deterministic list of ``n_queries`` random queries."""
+    rng = random.Random(seed)
+    return [random_walk_query(schema, rng, max_hops) for _ in range(n_queries)]

@@ -1,0 +1,17 @@
+"""Datasets reproducing the paper's figures and running examples."""
+
+from repro.datasets.figure7 import Figure7, figure7
+from repro.datasets.parts_explosion import PartsDB, parts_explosion
+from repro.datasets.supplier_parts import SupplierPartsDB, supplier_parts
+from repro.datasets.university import UniversityDB, university
+
+__all__ = [
+    "Figure7",
+    "figure7",
+    "UniversityDB",
+    "university",
+    "SupplierPartsDB",
+    "supplier_parts",
+    "PartsDB",
+    "parts_explosion",
+]

@@ -1,0 +1,110 @@
+"""The sample database Association Graph of Figure 7.
+
+The ICDE scan of Figure 7 is partly illegible, so the domain is
+*reconstructed* from the constraints stated in the prose of the operator
+examples (Figures 8a–8g).  Every constraint used is listed below; the
+resulting graph satisfies all of them simultaneously:
+
+Associate, Figure 8a (over ``R(B,C)``):
+    * ``(b₁c₁)`` and ``(b₁c₂)`` exist — α¹ concatenates with β¹ and β².
+    * ``b₂`` "is not associated with any Inner-pattern of class C".
+    * ``c₄``'s only B-partner is ``b₃`` (β⁴ fails since no α pattern holds
+      an instance associated with ``c₄``); ``c₃`` has no B-partner.
+
+A-Complement, Figure 8b: complement partners follow from the above
+(``b₁``: {c₃, c₄}; ``b₃``: {c₁, c₂, c₃}).
+
+NonAssociate, Figure 8d: ``(b₂)`` is not associated with ``(c₄)`` nor
+``(c₃)``, and no other α instance is associated with them.
+
+Associativity counterexample, §3.3.2(1): with ``α = (a₁b₁, b₁c₂)``,
+``β = (b₁c₁)``, ``γ = (d₁)``,
+
+    ``(α *[R(A,B)] β) *[R(C,D)] γ = (a₁b₁, b₁c₁, b₁c₂, c₂d₁)``
+    ``α *[R(A,B)] (β *[R(C,D)] γ) = φ``
+
+which forces ``(c₂d₁) ∈ R(C,D)`` and ``(c₁d₁) ∉ R(C,D)`` — and that the
+single printed result pattern is the *only* one also forces no other
+C-partner of ``d₁``.
+
+The remaining ``R(A,B)`` / ``R(C,D)`` edges make the other operand
+patterns drawn in the figures genuine subgraphs of the object graph:
+``(a₁b₁)``, ``(a₃b₂)``, ``(a₄b₃)``; ``(c₂d₁)``, ``(c₂d₂)``, ``(c₄d₃)``,
+``(c₄d₄)``.  (``(c₁d₁)`` appears only as an *operand* pattern in Figure
+8a — operands are arbitrary association-sets, not necessarily OG
+subgraphs.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.identity import IID
+from repro.objects.graph import ObjectGraph
+from repro.schema.graph import Association, SchemaGraph
+
+__all__ = ["Figure7", "figure7"]
+
+
+@dataclass(frozen=True)
+class Figure7:
+    """The Figure 7 domain: schema, object graph, and named handles."""
+
+    schema: SchemaGraph
+    graph: ObjectGraph
+    ab: Association
+    bc: Association
+    cd: Association
+    a1: IID
+    a2: IID
+    a3: IID
+    a4: IID
+    b1: IID
+    b2: IID
+    b3: IID
+    c1: IID
+    c2: IID
+    c3: IID
+    c4: IID
+    d1: IID
+    d2: IID
+    d3: IID
+    d4: IID
+
+
+def figure7() -> Figure7:
+    """Build the reconstructed Figure 7 sample domain."""
+    schema = SchemaGraph("figure7")
+    for name in "ABCD":
+        schema.add_entity_class(name)
+    ab = schema.add_association("A", "B", "AB")
+    bc = schema.add_association("B", "C", "BC")
+    cd = schema.add_association("C", "D", "CD")
+
+    graph = ObjectGraph(schema)
+    instances: dict[str, IID] = {}
+    # Per-class OIDs so that instance labels read exactly like the paper
+    # (a1, b1, c1, ...).  The OID reuse across classes is harmless here:
+    # the Figure 7 schema has no generalization edges, so no two classes
+    # ever share an object and ``same_object`` is never consulted.
+    for cls, count in (("A", 4), ("B", 3), ("C", 4), ("D", 4)):
+        for index in range(1, count + 1):
+            instances[f"{cls.lower()}{index}"] = graph.add_instance(cls, index)
+
+    def link(assoc: Association, left: str, right: str) -> None:
+        graph.add_edge(assoc, instances[left], instances[right])
+
+    link(ab, "a1", "b1")
+    link(ab, "a3", "b2")
+    link(ab, "a4", "b3")
+
+    link(bc, "b1", "c1")
+    link(bc, "b1", "c2")
+    link(bc, "b3", "c4")
+
+    link(cd, "c2", "d1")
+    link(cd, "c2", "d2")
+    link(cd, "c4", "d3")
+    link(cd, "c4", "d4")
+
+    return Figure7(schema=schema, graph=graph, ab=ab, bc=bc, cd=cd, **instances)

@@ -1,0 +1,91 @@
+"""Bill-of-materials dataset: parallel associations and deep navigation.
+
+The paper's schema definition allows several edges between two classes —
+``A_ij(k)``, "where k is a number for distinguishing the edges from one
+another when there is more than one edge between two vertices" — and the
+``[R(A,B)]`` annotation exists precisely to disambiguate them.  None of
+the university examples exercise that machinery, so this dataset does: a
+classic part-explosion schema where each ``Usage`` (one line of a bill of
+materials) connects to ``Part`` twice, once as *parent* and once as
+*child*::
+
+    PartName ─ Part ═══ Usage ─ Quantity        (═══ : two associations,
+                                                  "parent" and "child")
+
+Population (a small gearbox):
+
+    gearbox  ─(1)→ housing
+    gearbox  ─(2)→ shaft
+    gearbox  ─(1)→ gear_train
+    gear_train ─(3)→ gear
+    gear     ─(1)→ shaft          (shared component!)
+    spare_bolt                     (a part used nowhere)
+
+Queries over it need explicit ``[parent(Part,Usage)]`` /
+``[child(Usage,Part)]`` annotations — the shorthand is ambiguous by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.identity import IID
+from repro.objects.builder import GraphBuilder
+from repro.objects.graph import ObjectGraph
+from repro.schema.graph import SchemaGraph
+
+__all__ = ["PartsDB", "parts_explosion"]
+
+
+@dataclass
+class PartsDB:
+    """The populated bill-of-materials database."""
+
+    schema: SchemaGraph
+    graph: ObjectGraph
+    parts: dict[str, IID] = field(default_factory=dict)
+    usages: list[IID] = field(default_factory=list)
+
+
+def parts_explosion() -> PartsDB:
+    """Build the gearbox bill-of-materials database."""
+    schema = SchemaGraph("parts-explosion")
+    schema.add_entity_class("Part")
+    schema.add_entity_class("Usage")
+    schema.add_domain_class("PartName")
+    schema.add_domain_class("Quantity")
+    # Two parallel associations between Part and Usage — A_ij(1), A_ij(2).
+    schema.add_association("Part", "Usage", "parent")
+    schema.add_association("Part", "Usage", "child")
+    schema.add_association("Part", "PartName")
+    schema.add_association("Usage", "Quantity")
+    schema.validate()
+
+    builder = GraphBuilder(schema)
+    graph = builder.graph
+    db = PartsDB(schema=schema, graph=graph)
+
+    for name in ("gearbox", "housing", "shaft", "gear_train", "gear", "spare_bolt"):
+        part = graph.add_instance("Part")
+        builder.attach(part, "PartName", name)
+        db.parts[name] = part
+
+    bom = [
+        ("gearbox", "housing", 1),
+        ("gearbox", "shaft", 2),
+        ("gearbox", "gear_train", 1),
+        ("gear_train", "gear", 3),
+        ("gear", "shaft", 1),
+    ]
+    parent = schema.resolve("Part", "Usage", "parent")
+    child = schema.resolve("Part", "Usage", "child")
+    for parent_name, child_name, quantity in bom:
+        usage = graph.add_instance("Usage")
+        graph.add_edge(parent, db.parts[parent_name], usage)
+        graph.add_edge(child, db.parts[child_name], usage)
+        builder.attach(usage, "Quantity", quantity)
+        db.usages.append(usage)
+
+    graph.validate()
+    return db

@@ -1,0 +1,68 @@
+"""The suppliers-and-parts example of §1.
+
+The paper motivates the NonAssociate operator with: "Suppliers s1 and s2
+supply Parts p1 and p2, respectively ... they do not have a language
+construct for specifying the semantics that s1 does not supply p2 and s2
+does not supply p1."
+
+This dataset realizes exactly that situation (plus names and a couple of
+extra instances so the complement structure is non-trivial), and the
+examples / tests show the A-Complement and NonAssociate queries the other
+languages cannot phrase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.identity import IID
+from repro.objects.builder import GraphBuilder
+from repro.objects.graph import ObjectGraph
+from repro.schema.graph import SchemaGraph
+
+__all__ = ["SupplierPartsDB", "supplier_parts"]
+
+
+@dataclass
+class SupplierPartsDB:
+    """The populated suppliers-and-parts database."""
+
+    schema: SchemaGraph
+    graph: ObjectGraph
+    suppliers: dict[str, IID] = field(default_factory=dict)
+    parts: dict[str, IID] = field(default_factory=dict)
+
+
+def supplier_parts() -> SupplierPartsDB:
+    """Build the §1 suppliers/parts database.
+
+    Supply edges: s1—p1, s2—p2, s3—p1, s3—p2.  Part p3 has no supplier.
+    """
+    schema = SchemaGraph("supplier-parts")
+    schema.add_entity_class("Supplier")
+    schema.add_entity_class("Part")
+    schema.add_domain_class("SName")
+    schema.add_domain_class("PName")
+    schema.add_association("Supplier", "Part", "supplies")
+    schema.add_association("Supplier", "SName")
+    schema.add_association("Part", "PName")
+
+    builder = GraphBuilder(schema)
+    graph = builder.graph
+    db = SupplierPartsDB(schema=schema, graph=graph)
+
+    for key, name in (("s1", "Acme"), ("s2", "Bolt&Co"), ("s3", "Cogs Inc")):
+        supplier = graph.add_instance("Supplier")
+        builder.attach(supplier, "SName", name)
+        db.suppliers[key] = supplier
+    for key, name in (("p1", "gear"), ("p2", "axle"), ("p3", "flywheel")):
+        part = graph.add_instance("Part")
+        builder.attach(part, "PName", name)
+        db.parts[key] = part
+
+    supplies = [("s1", "p1"), ("s2", "p2"), ("s3", "p1"), ("s3", "p2")]
+    for s_key, p_key in supplies:
+        builder.link(db.suppliers[s_key], db.parts[p_key], "supplies")
+
+    graph.validate()
+    return db

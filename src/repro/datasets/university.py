@@ -1,0 +1,248 @@
+"""The university database of Figures 1 and 2.
+
+The schema mirrors Figure 1: a generalization lattice rooted at ``Person``
+(Student / Teacher; Grad / Undergrad under Student; Faculty under Teacher;
+TA under *both* Grad and Teacher — the multiple-inheritance diamond Query 1
+and Query 3 navigate), plus the aggregation structure around Department,
+Course, Section and Enrollment.  Primitive classes (circles in the figure)
+carry values: ``SS#``, ``Name``, ``GPA``, ``EarnedCredit``, ``Specialty``,
+``Room#``, ``Section#``, ``Course#``.
+
+``Name`` is a *shared* domain class: both ``Person`` and ``Department``
+associate with it, exactly as the paper's Query 2 requires
+(``σ(Name)[Name="CIS"]*Department``).
+
+The population is chosen so that every paper query has a small,
+hand-checkable answer (documented in each query's integration test):
+
+* two TAs (Alice, Bob) — Query 1 returns their SS#s {333, 444};
+* Alice majors in CIS and teaches in CIS; Bob majors in EE but teaches in
+  CIS — Query 3 returns {"Alice"};
+* section 102 has no room and section 201 has no teacher — Query 4 returns
+  {102, 201};
+* Carol is enrolled in both course 6010 and 6020; nobody else is — Query 5
+  returns {"Carol"}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.identity import IID
+from repro.objects.builder import GraphBuilder
+from repro.objects.graph import ObjectGraph
+from repro.schema.graph import SchemaGraph
+
+__all__ = ["UniversityDB", "university", "university_schema"]
+
+
+@dataclass
+class UniversityDB:
+    """The populated university database plus named instance handles."""
+
+    schema: SchemaGraph
+    graph: ObjectGraph
+    people: dict[str, dict[str, IID]] = field(default_factory=dict)
+    departments: dict[str, IID] = field(default_factory=dict)
+    courses: dict[int, IID] = field(default_factory=dict)
+    sections: dict[int, IID] = field(default_factory=dict)
+
+
+def university_schema() -> SchemaGraph:
+    """Build the Figure 1 schema graph."""
+    schema = SchemaGraph("university")
+
+    for name in (
+        "Person",
+        "Student",
+        "Grad",
+        "Undergrad",
+        "TA",
+        "Teacher",
+        "Faculty",
+        "Department",
+        "Course",
+        "Section",
+        "Enrollment",
+    ):
+        schema.add_entity_class(name)
+    for name in (
+        "SS#",
+        "Name",
+        "GPA",
+        "EarnedCredit",
+        "Specialty",
+        "Room#",
+        "Section#",
+        "Course#",
+    ):
+        schema.add_domain_class(name)
+
+    # Generalization lattice (Figure 1).  TA inherits through both Grad
+    # and Teacher — the diamond under Person.
+    schema.add_generalization("Student", "Person")
+    schema.add_generalization("Teacher", "Person")
+    schema.add_generalization("Grad", "Student")
+    schema.add_generalization("Undergrad", "Student")
+    schema.add_generalization("TA", "Grad")
+    schema.add_generalization("TA", "Teacher")
+    schema.add_generalization("Faculty", "Teacher")
+
+    # Aggregations.
+    schema.add_association("Person", "SS#")
+    schema.add_association("Person", "Name")
+    schema.add_association("Department", "Name")
+    schema.add_association("Student", "GPA")
+    schema.add_association("Student", "EarnedCredit")
+    schema.add_association("Student", "Department")  # major
+    schema.add_association("Student", "Section")  # takes
+    schema.add_association("Student", "Enrollment")
+    schema.add_association("Enrollment", "Course")
+    schema.add_association("Teacher", "Section")  # teaches
+    schema.add_association("Teacher", "Department")  # teaches in
+    schema.add_association("Faculty", "Specialty")
+    schema.add_association("Department", "Course")  # offers
+    schema.add_association("Course", "Section")
+    schema.add_association("Course", "Course#")
+    schema.add_association("Section", "Section#")
+    schema.add_association("Section", "Room#")
+    schema.validate()
+    return schema
+
+
+def university() -> UniversityDB:
+    """Build and populate the university database."""
+    schema = university_schema()
+    builder = GraphBuilder(schema)
+    graph = builder.graph
+    db = UniversityDB(schema=schema, graph=graph)
+
+    # ------------------------------------------------------------------
+    # departments and courses
+    # ------------------------------------------------------------------
+    for dept_name in ("CIS", "EE"):
+        dept = graph.add_instance("Department")
+        builder.attach(dept, "Name", dept_name)
+        db.departments[dept_name] = dept
+
+    course_plan = {6010: "CIS", 6020: "CIS", 4010: "CIS", 5000: "EE"}
+    for number, dept_name in course_plan.items():
+        course = graph.add_instance("Course")
+        builder.attach(course, "Course#", number)
+        builder.link(db.departments[dept_name], course)
+        db.courses[number] = course
+
+    # ------------------------------------------------------------------
+    # sections: (section#, course#, room# or None)
+    # ------------------------------------------------------------------
+    section_plan = [
+        (101, 6010, "R1"),
+        (102, 6010, None),  # no room — Query 4
+        (201, 6020, "R2"),
+        (301, 4010, "R3"),
+        (401, 5000, "R4"),
+    ]
+    for number, course_number, room in section_plan:
+        section = graph.add_instance("Section")
+        builder.attach(section, "Section#", number)
+        if room is not None:
+            builder.attach(section, "Room#", room)
+        builder.link(db.courses[course_number], section)
+        db.sections[number] = section
+
+    # ------------------------------------------------------------------
+    # people
+    # ------------------------------------------------------------------
+    def person(
+        nickname: str,
+        classes: list[str],
+        name: str,
+        ssn: int,
+    ) -> dict[str, IID]:
+        created = builder.add_object(classes)
+        builder.attach(created["Person"], "Name", name)
+        builder.attach(created["Person"], "SS#", ssn)
+        db.people[nickname] = created
+        return created
+
+    faculty_classes = ["Faculty", "Teacher", "Person"]
+    ta_classes = ["TA", "Grad", "Student", "Teacher", "Person"]
+
+    newton = person("newton", faculty_classes, "Newton", 111)
+    builder.attach(newton["Faculty"], "Specialty", "Databases")
+    builder.link(newton["Teacher"], db.departments["CIS"])
+
+    gauss = person("gauss", faculty_classes, "Gauss", 222)
+    builder.attach(gauss["Faculty"], "Specialty", "AI")
+    builder.link(gauss["Teacher"], db.departments["EE"])
+
+    alice = person("alice", ta_classes, "Alice", 333)
+    builder.attach(alice["Student"], "GPA", 3.9)
+    builder.attach(alice["Student"], "EarnedCredit", 30)
+    builder.link(alice["Student"], db.departments["CIS"])  # major
+    builder.link(alice["Teacher"], db.departments["CIS"])  # teaches in
+
+    bob = person("bob", ta_classes, "Bob", 444)
+    builder.attach(bob["Student"], "GPA", 3.4)
+    builder.attach(bob["Student"], "EarnedCredit", 24)
+    builder.link(bob["Student"], db.departments["EE"])  # major: EE ...
+    builder.link(bob["Teacher"], db.departments["CIS"])  # ... teaches in CIS
+
+    carol = person("carol", ["Undergrad", "Student", "Person"], "Carol", 555)
+    builder.attach(carol["Student"], "GPA", 3.5)
+    builder.attach(carol["Student"], "EarnedCredit", 60)
+    builder.link(carol["Student"], db.departments["CIS"])
+
+    dave = person("dave", ["Grad", "Student", "Person"], "Dave", 666)
+    builder.attach(dave["Student"], "GPA", 3.2)
+    builder.attach(dave["Student"], "EarnedCredit", 90)
+    builder.link(dave["Student"], db.departments["EE"])
+
+    eve = person("eve", ["Undergrad", "Student", "Person"], "Eve", 777)
+    builder.attach(eve["Student"], "GPA", 3.8)
+    builder.attach(eve["Student"], "EarnedCredit", 45)
+    builder.link(eve["Student"], db.departments["CIS"])
+
+    frank = person("frank", ["Student", "Person"], "Frank", 888)
+    builder.attach(frank["Student"], "GPA", 2.9)
+    builder.attach(frank["Student"], "EarnedCredit", 20)
+    builder.link(frank["Student"], db.departments["EE"])
+
+    # ------------------------------------------------------------------
+    # teaching assignments (section 201 has no teacher — Query 4)
+    # ------------------------------------------------------------------
+    builder.link(newton["Teacher"], db.sections[101])
+    builder.link(alice["Teacher"], db.sections[102])
+    builder.link(gauss["Teacher"], db.sections[301])
+    builder.link(gauss["Teacher"], db.sections[401])
+
+    # ------------------------------------------------------------------
+    # section attendance ("takes")
+    # ------------------------------------------------------------------
+    takes = [
+        (carol, 101),
+        (dave, 101),
+        (eve, 102),
+        (carol, 201),
+        (frank, 401),
+    ]
+    for student, section_number in takes:
+        builder.link(student["Student"], db.sections[section_number])
+
+    # ------------------------------------------------------------------
+    # enrollments (student—Enrollment—course), for Query 5's divide
+    # ------------------------------------------------------------------
+    enrollments = [
+        (carol, 6010),
+        (carol, 6020),
+        (dave, 6010),
+        (eve, 6010),
+        (frank, 5000),
+    ]
+    for student, course_number in enrollments:
+        enrollment = graph.add_instance("Enrollment")
+        builder.link(student["Student"], enrollment)
+        builder.link(enrollment, db.courses[course_number])
+
+    graph.validate()
+    return db

@@ -1,0 +1,5 @@
+"""Engine: the Database facade over schema, objects, queries and rules."""
+
+from repro.engine.database import Database, MutationEvent
+
+__all__ = ["Database", "MutationEvent"]

@@ -1,0 +1,224 @@
+"""The Database facade.
+
+Glues the subsystems together the way a user of the reproduced system would
+see them: one object owning a schema graph, an object graph, a computed-
+value function registry, a mutation-event stream (consumed by the knowledge
+rule engine), and the query entry points:
+
+* :meth:`Database.evaluate` — evaluate an algebra :class:`Expr` (or OQL
+  text, compiled on the fly);
+* :meth:`Database.values` — the common final step of the paper's queries:
+  collect the primitive values of one class from a result association-set.
+
+The DML methods (:meth:`insert`, :meth:`link`, ...) delegate to the object
+graph and emit :class:`MutationEvent`\\ s so rules can react — the paper's
+OSAM* context pairs the algebra with a rule-specification language.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.expression import EvalTrace, Expr
+from repro.core.identity import IID
+from repro.core.predicates import FunctionRegistry
+from repro.errors import EvaluationError
+from repro.objects.builder import GraphBuilder
+from repro.objects.graph import ObjectGraph
+from repro.schema.graph import SchemaGraph
+
+__all__ = ["Database", "MutationEvent"]
+
+
+@dataclass(frozen=True)
+class MutationEvent:
+    """A change to the extensional database, delivered to listeners.
+
+    ``kind`` is one of ``"insert"``, ``"delete"``, ``"link"``, ``"unlink"``,
+    ``"update"``.
+    """
+
+    kind: str
+    instances: tuple[IID, ...]
+    association: str | None = None
+
+
+class Database:
+    """One A-algebra database: schema + objects + query + events."""
+
+    def __init__(
+        self,
+        schema: SchemaGraph,
+        graph: ObjectGraph | None = None,
+        functions: FunctionRegistry | None = None,
+    ) -> None:
+        self.schema = schema
+        self.graph = graph if graph is not None else ObjectGraph(schema)
+        self.functions = functions if functions is not None else FunctionRegistry()
+        self.builder = GraphBuilder(schema, self.graph)
+        self._listeners: list[Callable[[Database, MutationEvent], None]] = []
+
+    @classmethod
+    def from_dataset(cls, dataset: Any) -> "Database":
+        """Wrap any dataset object exposing ``.schema`` and ``.graph``."""
+        return cls(dataset.schema, dataset.graph)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self, query: "Expr | str", trace: EvalTrace | None = None
+    ) -> AssociationSet:
+        """Evaluate an algebra expression or an OQL query string."""
+        expr = self.compile(query) if isinstance(query, str) else query
+        if not isinstance(expr, Expr):
+            raise EvaluationError(f"cannot evaluate {query!r}")
+        return expr.evaluate(self.graph, trace)
+
+    def compile(self, text: str) -> Expr:
+        """Compile OQL text to an algebra expression (lazy import)."""
+        from repro.oql import compile_oql
+
+        return compile_oql(text, self.schema, self.functions)
+
+    def values(self, result: AssociationSet, cls: str) -> set[Any]:
+        """Collect the primitive values of ``cls`` across a result set.
+
+        This is the "retrieval" step the paper's queries end with: Query 1
+        asks for social security *numbers*, so after
+        ``Π(...)[SS#]`` one reads the values off the SS# instances.
+        """
+        out: set[Any] = set()
+        for pattern in result:
+            for instance in pattern.instances_of(cls):
+                out.add(self.graph.value(instance))
+        return out
+
+    def extent(self, cls: str) -> AssociationSet:
+        """The extent of a class as an association-set of Inner-patterns."""
+        return AssociationSet.of_inners(self.graph.extent(cls))
+
+    # ------------------------------------------------------------------
+    # DML with event emission
+    # ------------------------------------------------------------------
+
+    def subscribe(self, listener: Callable[["Database", MutationEvent], None]) -> None:
+        """Register a mutation listener (the rule engine uses this)."""
+        self._listeners.append(listener)
+
+    def _emit(self, event: MutationEvent) -> None:
+        for listener in self._listeners:
+            listener(self, event)
+
+    def insert(
+        self, classes: "Iterable[str] | str", value: Any = None
+    ) -> dict[str, IID]:
+        """Insert a new object participating in ``classes``."""
+        created = self.builder.add_object(classes, value=value)
+        self._emit(MutationEvent("insert", tuple(created.values())))
+        return created
+
+    def insert_value(self, cls: str, value: Any) -> IID:
+        """Insert a primitive-class instance carrying ``value``."""
+        instance = self.builder.add_value(cls, value)
+        self._emit(MutationEvent("insert", (instance,)))
+        return instance
+
+    def link(self, a: IID, b: IID, assoc_name: str | None = None) -> None:
+        """Associate two instances (emits a ``link`` event)."""
+        assoc = self.schema.resolve(a.cls, b.cls, assoc_name)
+        self.graph.add_edge(assoc, a, b)
+        self._emit(MutationEvent("link", (a, b), assoc.name))
+
+    def unlink(self, a: IID, b: IID, assoc_name: str | None = None) -> None:
+        """Remove the association between two instances."""
+        assoc = self.schema.resolve(a.cls, b.cls, assoc_name)
+        self.graph.remove_edge(assoc, a, b)
+        self._emit(MutationEvent("unlink", (a, b), assoc.name))
+
+    def delete(self, instance: IID) -> None:
+        """Delete one instance (and its incident edges)."""
+        self.graph.remove_instance(instance)
+        self._emit(MutationEvent("delete", (instance,)))
+
+    def update_value(self, instance: IID, value: Any) -> None:
+        """Change the value carried by a primitive instance."""
+        self.graph.set_value(instance, value)
+        self._emit(MutationEvent("update", (instance,)))
+
+    # ------------------------------------------------------------------
+    # query-driven bulk operations (§2's "system-defined operations")
+    # ------------------------------------------------------------------
+
+    def select_instances(self, query: "Expr | str", cls: str) -> frozenset[IID]:
+        """The instances of ``cls`` occurring in the query's result.
+
+        The paper's usage model: "the user can query the database by
+        specifying patterns of object associations as the search condition
+        to select some objects for further processing".
+        """
+        result = self.evaluate(query)
+        out: set[IID] = set()
+        for pattern in result:
+            out |= pattern.instances_of(cls)
+        return frozenset(out)
+
+    def delete_where(self, query: "Expr | str", cls: str) -> int:
+        """Delete every ``cls`` instance selected by the pattern query.
+
+        Returns the number of instances deleted.  Incident edges go with
+        them; each deletion emits its event (rules see every one).
+        """
+        instances = self.select_instances(query, cls)
+        for instance in sorted(instances):
+            self.delete(instance)
+        return len(instances)
+
+    def update_where(
+        self,
+        query: "Expr | str",
+        cls: str,
+        transform: Callable[[Any], Any],
+    ) -> int:
+        """Rewrite the value of every selected ``cls`` instance.
+
+        ``transform`` maps old value → new value.  Returns the number of
+        instances updated.
+        """
+        instances = self.select_instances(query, cls)
+        for instance in sorted(instances):
+            self.update_value(instance, transform(self.graph.value(instance)))
+        return len(instances)
+
+    # ------------------------------------------------------------------
+    # snapshots (poor-man's transactions)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the current extensional state (instances + edges).
+
+        Together with :meth:`restore` this gives save-point semantics:
+        take a snapshot, mutate freely (e.g. let corrective rules run),
+        and roll back if the outcome is unwanted.  The schema is not part
+        of the snapshot — DDL is assumed settled.
+        """
+        from repro.storage.serialization import graph_to_dict
+
+        return graph_to_dict(self.graph)
+
+    def restore(self, snapshot: dict) -> None:
+        """Replace the object graph with a previously captured snapshot.
+
+        Emits no mutation events (a rollback is not new information for
+        rules to react to).
+        """
+        from repro.storage.serialization import graph_from_dict
+
+        self.graph = graph_from_dict(snapshot, self.schema)
+        self.builder = GraphBuilder(self.schema, self.graph)
+
+    def __str__(self) -> str:
+        return f"Database({self.schema.name!r}, {self.graph})"

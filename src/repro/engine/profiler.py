@@ -1,0 +1,97 @@
+"""Query profiler: aggregate operator statistics across evaluations.
+
+Wraps :class:`~repro.core.expression.EvalTrace` collection over many
+queries and aggregates by operator kind — the summary a DBA (or the cost
+model's maintainer) wants: how many times each operator ran, how many
+patterns it produced, and where the time went.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.expression import EvalTrace, Expr
+from repro.objects.graph import ObjectGraph
+
+__all__ = ["OperatorStats", "Profiler"]
+
+
+@dataclass
+class OperatorStats:
+    """Aggregate statistics for one operator kind."""
+
+    calls: int = 0
+    patterns: int = 0
+    seconds: float = 0.0
+
+    def add(self, patterns: int, seconds: float) -> None:
+        self.calls += 1
+        self.patterns += patterns
+        self.seconds += seconds
+
+
+def _operator_kind(text: str) -> str:
+    """Classify a traced expression rendering by its root operator."""
+    if text.startswith("σ("):
+        return "A-Select"
+    if text.startswith("Π("):
+        return "A-Project"
+    if not text.startswith("("):
+        return "extent"
+    # Binary nodes render as "(left SYMBOL right)"; find the top-level
+    # symbol by scanning at parenthesis depth 1.
+    depth = 0
+    for index, char in enumerate(text):
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        elif depth == 1 and char in "*|!•+-÷" and text[index - 1] == " ":
+            return {
+                "*": "Associate",
+                "|": "A-Complement",
+                "!": "NonAssociate",
+                "•": "A-Intersect",
+                "+": "A-Union",
+                "-": "A-Difference",
+                "÷": "A-Divide",
+            }[char]
+    return "other"
+
+
+@dataclass
+class Profiler:
+    """Collects traces for every query run through it."""
+
+    graph: ObjectGraph
+    stats: dict[str, OperatorStats] = field(
+        default_factory=lambda: defaultdict(OperatorStats)
+    )
+    queries: int = 0
+
+    def run(self, expr: Expr) -> AssociationSet:
+        """Evaluate ``expr``, folding its trace into the aggregates."""
+        trace = EvalTrace()
+        result = expr.evaluate(self.graph, trace)
+        self.queries += 1
+        for text, patterns, seconds in trace.steps:
+            self.stats[_operator_kind(text)].add(patterns, seconds)
+        return result
+
+    def report(self) -> str:
+        """A fixed-width summary table, busiest operator first."""
+        lines = [
+            f"{self.queries} query(ies) profiled",
+            f"{'operator':<14}{'calls':>7}{'patterns':>10}{'ms':>10}",
+        ]
+        ordered = sorted(
+            self.stats.items(), key=lambda item: item[1].seconds, reverse=True
+        )
+        for kind, stats in ordered:
+            lines.append(
+                f"{kind:<14}{stats.calls:>7}{stats.patterns:>10}"
+                f"{stats.seconds * 1e3:>10.2f}"
+            )
+        return "\n".join(lines)

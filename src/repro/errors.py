@@ -1,0 +1,138 @@
+"""Exception hierarchy for the A-algebra reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so a
+caller can catch library failures without catching unrelated exceptions.
+The sub-hierarchy mirrors the subsystems of the library: schema definition,
+object graph population, algebra evaluation, OQL parsing, and rule
+processing.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "UnknownClassError",
+    "UnknownAssociationError",
+    "AmbiguousAssociationError",
+    "DuplicateDefinitionError",
+    "ObjectGraphError",
+    "UnknownInstanceError",
+    "InvalidEdgeError",
+    "AlgebraError",
+    "PatternError",
+    "DisconnectedPatternError",
+    "EvaluationError",
+    "PredicateError",
+    "ProjectionError",
+    "OQLError",
+    "OQLSyntaxError",
+    "OQLCompileError",
+    "RuleError",
+    "StorageError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A schema-graph definition or lookup failed."""
+
+
+class UnknownClassError(SchemaError):
+    """A class name does not exist in the schema graph."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown class: {name!r}")
+        self.name = name
+
+
+class UnknownAssociationError(SchemaError):
+    """No association exists between the two classes (with the given name)."""
+
+    def __init__(self, left: str, right: str, name: str | None = None) -> None:
+        suffix = f" named {name!r}" if name is not None else ""
+        super().__init__(f"no association between {left!r} and {right!r}{suffix}")
+        self.left = left
+        self.right = right
+        self.assoc_name = name
+
+
+class AmbiguousAssociationError(SchemaError):
+    """More than one association exists and the caller did not disambiguate."""
+
+    def __init__(self, left: str, right: str, names: list[str]) -> None:
+        super().__init__(
+            f"ambiguous association between {left!r} and {right!r}: "
+            f"candidates {sorted(names)!r}; pass an explicit association name"
+        )
+        self.left = left
+        self.right = right
+        self.names = list(names)
+
+
+class DuplicateDefinitionError(SchemaError):
+    """A class or association with the same identity was defined twice."""
+
+
+class ObjectGraphError(ReproError):
+    """An object-graph (extensional database) operation failed."""
+
+
+class UnknownInstanceError(ObjectGraphError):
+    """An IID was referenced that is not present in the object graph."""
+
+
+class InvalidEdgeError(ObjectGraphError):
+    """An edge was added whose endpoints do not match its association."""
+
+
+class AlgebraError(ReproError):
+    """An algebra-level operation failed."""
+
+
+class PatternError(AlgebraError):
+    """An association pattern was constructed or combined illegally."""
+
+
+class DisconnectedPatternError(PatternError):
+    """A pattern was required to be connected but is not."""
+
+
+class EvaluationError(AlgebraError):
+    """An algebra expression could not be evaluated."""
+
+
+class PredicateError(AlgebraError):
+    """An A-Select predicate failed to evaluate."""
+
+
+class ProjectionError(AlgebraError):
+    """An A-Project specification is invalid for the operand."""
+
+
+class OQLError(ReproError):
+    """Base class for OQL front-end failures."""
+
+
+class OQLSyntaxError(OQLError):
+    """The OQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class OQLCompileError(OQLError):
+    """The OQL parse tree could not be compiled against the schema."""
+
+
+class RuleError(ReproError):
+    """A knowledge rule is invalid or failed during triggering."""
+
+
+class StorageError(ReproError):
+    """Serialization or deserialization of a database failed."""

@@ -1,0 +1,6 @@
+"""Object Graph — the extensional view of an O-O database (§3.1)."""
+
+from repro.objects.builder import GraphBuilder
+from repro.objects.graph import ObjectGraph
+
+__all__ = ["ObjectGraph", "GraphBuilder"]

@@ -1,0 +1,311 @@
+"""Object Graph — the extensional database and the domain 𝒜 (§3.1).
+
+The object graph stores, per class, the *extent* (set of instance IIDs) and,
+per association, the regular edges that hold between instances.  Complement
+edges are **not stored** — the paper is explicit that "In an O-O database,
+it is not necessary to explicitly store the complement-edges"; they are the
+set-theoretic complement of the regular edges over the two extents and are
+*derived* on demand by the views below.
+
+Primitive-class instances additionally carry a self-describing value
+(an age, a name, a GPA ...), which is what A-Select predicates compare.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterator, Mapping
+
+from repro.core.identity import IID, OIDAllocator
+from repro.errors import (
+    InvalidEdgeError,
+    ObjectGraphError,
+    UnknownInstanceError,
+)
+from repro.schema.graph import Association, SchemaGraph
+
+__all__ = ["ObjectGraph"]
+
+
+class ObjectGraph:
+    """A mutable extensional database over a :class:`SchemaGraph`."""
+
+    def __init__(self, schema: SchemaGraph) -> None:
+        self.schema = schema
+        self._extents: dict[str, set[IID]] = defaultdict(set)
+        self._values: dict[IID, Any] = {}
+        # adjacency[assoc.key][iid] -> set of partner IIDs (symmetric)
+        self._adjacency: dict[tuple[str, str, str], dict[IID, set[IID]]] = {}
+        # value index: cls -> hashable value -> instances carrying it
+        self._value_index: dict[str, dict[Any, set[IID]]] = defaultdict(dict)
+        self._oids = OIDAllocator()
+
+    # ------------------------------------------------------------------
+    # instances
+    # ------------------------------------------------------------------
+
+    def new_oid(self) -> int:
+        """Allocate a fresh system-wide object identifier."""
+        return self._oids.allocate()
+
+    def add_instance(self, cls: str, oid: int | None = None, value: Any = None) -> IID:
+        """Create an instance of ``cls``.
+
+        ``oid`` may be pinned (figure datasets do this) or left ``None`` to
+        allocate a fresh one.  ``value`` is the self-describing value for
+        primitive-class instances; it is also accepted for nonprimitive
+        classes as an informal payload (e.g. a display name) but plays no
+        algebraic role there.
+        """
+        self.schema.class_def(cls)  # raises UnknownClassError
+        if oid is None:
+            oid = self._oids.allocate()
+        else:
+            self._oids.reserve(oid)
+        instance = IID(cls, oid)
+        if instance in self._extents[cls]:
+            raise ObjectGraphError(f"instance {instance} already exists")
+        self._extents[cls].add(instance)
+        if value is not None:
+            self._values[instance] = value
+            self._index_value(instance, value)
+        return instance
+
+    def _index_value(self, instance: IID, value: Any) -> None:
+        try:
+            bucket = self._value_index[instance.cls].setdefault(value, set())
+        except TypeError:
+            return  # unhashable values are legal, just not indexable
+        bucket.add(instance)
+
+    def _unindex_value(self, instance: IID, value: Any) -> None:
+        try:
+            bucket = self._value_index.get(instance.cls, {}).get(value)
+        except TypeError:
+            return
+        if bucket is not None:
+            bucket.discard(instance)
+
+    def has_instance(self, instance: IID) -> bool:
+        """Whether ``instance`` exists in its class extent."""
+        return instance in self._extents.get(instance.cls, ())
+
+    def require_instance(self, instance: IID) -> None:
+        """Raise :class:`UnknownInstanceError` unless ``instance`` exists."""
+        if not self.has_instance(instance):
+            raise UnknownInstanceError(f"unknown instance {instance}")
+
+    def remove_instance(self, instance: IID) -> None:
+        """Delete an instance and every edge incident to it."""
+        self.require_instance(instance)
+        for key, adjacency in self._adjacency.items():
+            partners = adjacency.pop(instance, None)
+            if partners:
+                for partner in partners:
+                    adjacency[partner].discard(instance)
+        self._extents[instance.cls].discard(instance)
+        old = self._values.pop(instance, None)
+        if old is not None:
+            self._unindex_value(instance, old)
+
+    def extent(self, cls: str) -> frozenset[IID]:
+        """The set of instances of ``cls`` (empty for a valid unused class)."""
+        self.schema.class_def(cls)
+        return frozenset(self._extents.get(cls, ()))
+
+    def value(self, instance: IID) -> Any:
+        """The self-describing value of a (typically primitive) instance."""
+        self.require_instance(instance)
+        return self._values.get(instance)
+
+    def set_value(self, instance: IID, value: Any) -> None:
+        """Replace the self-describing value carried by ``instance``."""
+        self.require_instance(instance)
+        old = self._values.get(instance)
+        if old is not None:
+            self._unindex_value(instance, old)
+        self._values[instance] = value
+        if value is not None:
+            self._index_value(instance, value)
+
+    def find_by_value(self, cls: str, value: Any) -> frozenset[IID]:
+        """Instances of ``cls`` carrying exactly ``value`` (indexed lookup).
+
+        O(1) for hashable values; falls back to an extent scan for
+        unhashable ones.
+        """
+        self.schema.class_def(cls)
+        try:
+            return frozenset(self._value_index.get(cls, {}).get(value, ()))
+        except TypeError:
+            return frozenset(
+                i for i in self.extent(cls) if self._values.get(i) == value
+            )
+
+    def instances(self) -> Iterator[IID]:
+        """Every instance in the object graph."""
+        for extent in self._extents.values():
+            yield from extent
+
+    def instances_of_object(self, oid: int) -> frozenset[IID]:
+        """All class instances representing the object ``oid``.
+
+        Under dynamic inheritance one object has an instance per class it
+        participates in; the shared OID ties them together (§3.3.1).
+        """
+        return frozenset(i for i in self.instances() if i.oid == oid)
+
+    # ------------------------------------------------------------------
+    # regular edges
+    # ------------------------------------------------------------------
+
+    def _adj(self, assoc: Association) -> dict[IID, set[IID]]:
+        return self._adjacency.setdefault(assoc.key, {})
+
+    def add_edge(self, assoc: Association, a: IID, b: IID) -> None:
+        """Record that ``a`` and ``b`` are associated over ``assoc``.
+
+        Endpoint classes must match the association's two end classes (in
+        either order — edges are bi-directional).  Adding an existing edge
+        is a silent no-op (edges form a set).
+        """
+        self.require_instance(a)
+        self.require_instance(b)
+        if not assoc.joins(a.cls, b.cls):
+            raise InvalidEdgeError(
+                f"edge ({a}, {b}) does not fit association {assoc}"
+            )
+        adjacency = self._adj(assoc)
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set()).add(a)
+
+    def remove_edge(self, assoc: Association, a: IID, b: IID) -> None:
+        """Remove the regular edge between ``a`` and ``b`` (must exist)."""
+        adjacency = self._adj(assoc)
+        if b not in adjacency.get(a, ()):
+            raise InvalidEdgeError(f"edge ({a}, {b}) not present in {assoc}")
+        adjacency[a].discard(b)
+        adjacency[b].discard(a)
+
+    def are_associated(self, assoc: Association, a: IID, b: IID) -> bool:
+        """Whether the Inter-pattern ``(a b)`` is in ``[R]`` in 𝒜."""
+        return b in self._adjacency.get(assoc.key, {}).get(a, ())
+
+    def partners(self, assoc: Association, instance: IID) -> frozenset[IID]:
+        """Instances associated with ``instance`` over ``assoc``."""
+        return frozenset(self._adjacency.get(assoc.key, {}).get(instance, ()))
+
+    def edges(self, assoc: Association) -> Iterator[tuple[IID, IID]]:
+        """Every regular edge of ``assoc``, once each.
+
+        Oriented left-class first; for a recursive association each edge
+        is reported once, smaller endpoint first.
+        """
+        adjacency = self._adjacency.get(assoc.key, {})
+        recursive = assoc.left == assoc.right
+        for instance, partners in adjacency.items():
+            if recursive:
+                for partner in partners:
+                    if instance <= partner:
+                        yield (instance, partner)
+            elif instance.cls == assoc.left:
+                for partner in partners:
+                    yield (instance, partner)
+
+    def edge_count(self, assoc: Association) -> int:
+        """Number of regular edges stored for ``assoc``."""
+        return sum(1 for _ in self.edges(assoc))
+
+    # ------------------------------------------------------------------
+    # complement edges (derived, Figure 4)
+    # ------------------------------------------------------------------
+
+    def complement_partners(self, assoc: Association, instance: IID) -> frozenset[IID]:
+        """Instances of the opposite class NOT associated with ``instance``.
+
+        This is the derived complement-edge view: the opposite extent minus
+        the regular partners.  For a recursive association the instance
+        itself is excluded — patterns are simple graphs, so a self-loop
+        complement edge ``(~p p)`` does not exist.
+        """
+        other_cls = assoc.other(instance.cls)
+        out = self.extent(other_cls) - self.partners(assoc, instance)
+        if assoc.left == assoc.right:
+            out -= {instance}
+        return out
+
+    def are_complement(self, assoc: Association, a: IID, b: IID) -> bool:
+        """Whether the Complement-pattern ``(~a b)`` is in ``[R]`` in 𝒜."""
+        self.require_instance(a)
+        self.require_instance(b)
+        if not assoc.joins(a.cls, b.cls):
+            return False
+        return not self.are_associated(assoc, a, b)
+
+    def complement_edges(self, assoc: Association) -> Iterator[tuple[IID, IID]]:
+        """Every derived complement edge, oriented left-class first.
+
+        O(|extent(left)| × |extent(right)|) in the worst case — complement
+        edges are inherently dense; callers that only need the partners of
+        specific instances should prefer :meth:`complement_partners`.
+        """
+        for a in sorted(self.extent(assoc.left)):
+            for b in sorted(self.complement_partners(assoc, a)):
+                yield (a, b)
+
+    # ------------------------------------------------------------------
+    # statistics (cost model inputs)
+    # ------------------------------------------------------------------
+
+    def statistics(self) -> Mapping[str, Any]:
+        """Summary statistics of the graph, keyed for the optimizer."""
+        class_sizes = {cls: len(ext) for cls, ext in self._extents.items() if ext}
+        assoc_stats: dict[str, dict[str, float]] = {}
+        for key, adjacency in self._adjacency.items():
+            assoc = self.schema.association(key)
+            n_edges = self.edge_count(assoc)
+            left_n = len(self._extents.get(assoc.left, ()))
+            right_n = len(self._extents.get(assoc.right, ()))
+            possible = left_n * right_n or 1
+            assoc_stats[assoc.name] = {
+                "edges": n_edges,
+                "left_extent": left_n,
+                "right_extent": right_n,
+                "density": n_edges / possible,
+            }
+        return {"classes": class_sizes, "associations": assoc_stats}
+
+    def validate(self) -> None:
+        """Check referential integrity of extents, values and edges."""
+        for cls, extent in self._extents.items():
+            for instance in extent:
+                if instance.cls != cls:
+                    raise ObjectGraphError(
+                        f"instance {instance} filed under extent {cls!r}"
+                    )
+        for key, adjacency in self._adjacency.items():
+            assoc = self.schema.association(key)
+            for instance, partners in adjacency.items():
+                if not self.has_instance(instance):
+                    raise ObjectGraphError(f"dangling adjacency entry {instance}")
+                for partner in partners:
+                    if not self.has_instance(partner):
+                        raise ObjectGraphError(
+                            f"edge ({instance}, {partner}) references a "
+                            f"deleted instance"
+                        )
+                    if not assoc.joins(instance.cls, partner.cls):
+                        raise ObjectGraphError(
+                            f"edge ({instance}, {partner}) violates {assoc}"
+                        )
+                    if instance not in adjacency.get(partner, ()):
+                        raise ObjectGraphError(
+                            f"asymmetric edge ({instance}, {partner}) in {assoc}"
+                        )
+
+    def __str__(self) -> str:
+        n_instances = sum(len(ext) for ext in self._extents.values())
+        n_edges = sum(
+            self.edge_count(self.schema.association(key)) for key in self._adjacency
+        )
+        return f"ObjectGraph({n_instances} instances, {n_edges} edges)"

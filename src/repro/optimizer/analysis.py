@@ -1,0 +1,138 @@
+"""Static analysis of algebra expressions.
+
+The §4 rewrite side conditions speak about the *classes* of the operand
+association-sets ("X ∩ Y = φ", "CL₂ ∈ W") and about homogeneity.  At
+optimization time the operands have not been evaluated, so the planner
+works with static over-approximations derived from the expression tree:
+
+* :func:`static_classes` — the classes that can occur in the result;
+* :func:`is_linear` / :func:`is_statically_homogeneous` — an expression
+  built as a chain of Associates over distinct class extents (possibly
+  selected) always yields a homogeneous association-set: every result
+  pattern holds exactly one instance per chain class, linked in the same
+  chain topology by Inter-patterns.
+"""
+
+from __future__ import annotations
+
+from repro.core.expression import (
+    Associate,
+    ClassExtent,
+    Complement,
+    Difference,
+    Divide,
+    Expr,
+    Intersect,
+    Literal,
+    NonAssociate,
+    Project,
+    Select,
+    Union,
+)
+from repro.core.homogeneity import is_homogeneous
+from repro.core.predicates import (
+    And,
+    Apply,
+    ClassInstances,
+    ClassValues,
+    Comparison,
+    Not,
+    Or,
+    Predicate,
+    ValueExpr,
+    ValueUnion,
+)
+
+__all__ = [
+    "static_classes",
+    "is_linear",
+    "is_statically_homogeneous",
+    "predicate_classes",
+]
+
+
+def static_classes(expr: Expr) -> frozenset[str]:
+    """Classes that may appear in the expression's result patterns."""
+    if isinstance(expr, ClassExtent):
+        return frozenset({expr.name})
+    if isinstance(expr, Literal):
+        return expr.value.classes()
+    if isinstance(expr, (Associate, Complement, NonAssociate, Intersect, Union)):
+        return static_classes(expr.left) | static_classes(expr.right)
+    if isinstance(expr, (Difference, Divide)):
+        return static_classes(expr.left)
+    if isinstance(expr, Select):
+        return static_classes(expr.operand)
+    if isinstance(expr, Project):
+        out: set[str] = set()
+        for template in expr.templates:
+            out.update(template.classes)
+        return frozenset(out)
+    raise TypeError(f"unknown expression node {expr!r}")  # pragma: no cover
+
+
+def is_linear(expr: Expr) -> bool:
+    """Whether the expression is a *linear* chain in the paper's sense.
+
+    Linear = class extents joined by Associates over pairwise-distinct
+    classes, optionally wrapped in Selects.  Linear expressions evaluate
+    to homogeneous association-sets with one instance per chain class.
+    """
+    return _linear_classes(expr) is not None
+
+
+def _linear_classes(expr: Expr) -> frozenset[str] | None:
+    if isinstance(expr, ClassExtent):
+        return frozenset({expr.name})
+    if isinstance(expr, Select):
+        return _linear_classes(expr.operand)
+    if isinstance(expr, Associate):
+        left = _linear_classes(expr.left)
+        right = _linear_classes(expr.right)
+        if left is None or right is None or left & right:
+            return None
+        return left | right
+    return None
+
+
+def is_statically_homogeneous(expr: Expr) -> bool:
+    """Conservative static homogeneity check (used by rewrite conditions).
+
+    Literals are inspected directly; everything else falls back to
+    linearity.  ``False`` means "cannot prove", not "heterogeneous".
+    """
+    if isinstance(expr, Literal):
+        return is_homogeneous(expr.value)
+    return is_linear(expr)
+
+
+def predicate_classes(predicate: Predicate) -> frozenset[str]:
+    """Classes a predicate reads — the select-pushdown condition."""
+    out: set[str] = set()
+    _collect_predicate(predicate, out)
+    return frozenset(out)
+
+
+def _collect_predicate(predicate: Predicate, out: set[str]) -> None:
+    if isinstance(predicate, Comparison):
+        _collect_value(predicate.left, out)
+        _collect_value(predicate.right, out)
+    elif isinstance(predicate, (And, Or)):
+        for operand in predicate.operands:
+            _collect_predicate(operand, out)
+    elif isinstance(predicate, Not):
+        _collect_predicate(predicate.operand, out)
+    else:
+        # Callbacks and unknown predicates may read anything: poison the
+        # analysis with a wildcard the callers treat as "all classes".
+        out.add("*")
+
+
+def _collect_value(value: ValueExpr, out: set[str]) -> None:
+    if isinstance(value, (ClassValues, ClassInstances)):
+        out.add(value.cls)
+    elif isinstance(value, Apply):
+        _collect_value(value.operand, out)
+    elif isinstance(value, ValueUnion):
+        for operand in value.operands:
+            _collect_value(operand, out)

@@ -1,0 +1,164 @@
+"""Cardinality and cost estimation.
+
+The model is deliberately simple — the same flavour of independence-and-
+uniformity assumptions System R used — because its job is to *rank*
+rewrite alternatives, not to predict wall-clock times:
+
+* a class extent has its true cardinality;
+* Associate multiplies the left cardinality by the association's average
+  fan-out and by the fraction of the right class's extent present in the
+  right operand;
+* A-Complement uses the complement fan-out (extent size − fan-out);
+* A-Intersect multiplies by a per-class matching probability ``1/|extent|``
+  for every intersected class;
+* Select applies a fixed default selectivity; Union adds; Difference and
+  Divide keep/shrink the left input.
+
+``cost`` accumulates the work of producing every intermediate pattern —
+the quantity the paper's §4 discussion of heterogeneous vs homogeneous
+processing is about.  The unit is "patterns touched".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.expression import (
+    Associate,
+    ClassExtent,
+    Complement,
+    Difference,
+    Divide,
+    Expr,
+    Intersect,
+    Literal,
+    NonAssociate,
+    Project,
+    Select,
+    Union,
+)
+from repro.objects.graph import ObjectGraph
+from repro.optimizer.analysis import static_classes
+
+__all__ = ["Estimate", "CostModel", "SELECT_SELECTIVITY"]
+
+#: Default selectivity assumed for an A-Select predicate.
+SELECT_SELECTIVITY = 0.33
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Estimated output cardinality and cumulative work of an expression."""
+
+    cardinality: float
+    cost: float
+
+    def __add__(self, other: "Estimate") -> "Estimate":
+        return Estimate(
+            self.cardinality + other.cardinality, self.cost + other.cost
+        )
+
+
+class CostModel:
+    """Estimates expressions against one object graph's statistics."""
+
+    def __init__(self, graph: ObjectGraph) -> None:
+        self.graph = graph
+        self.schema = graph.schema
+
+    # ------------------------------------------------------------------
+    # statistics accessors
+    # ------------------------------------------------------------------
+
+    def extent_size(self, cls: str) -> int:
+        return len(self.graph.extent(cls))
+
+    def fanout(self, a_cls: str, b_cls: str, name: str | None = None) -> float:
+        """Average number of B-partners per A-instance over ``R(A,B)``."""
+        assoc = self.schema.resolve(a_cls, b_cls, name)
+        left_size = self.extent_size(a_cls)
+        if left_size == 0:
+            return 0.0
+        return self.graph.edge_count(assoc) / left_size
+
+    # ------------------------------------------------------------------
+    # estimation
+    # ------------------------------------------------------------------
+
+    def estimate(self, expr: Expr) -> Estimate:
+        """Estimated cardinality and cumulative cost of ``expr``."""
+        if isinstance(expr, ClassExtent):
+            size = self.extent_size(expr.name)
+            return Estimate(size, size)
+        if isinstance(expr, Literal):
+            size = len(expr.value)
+            return Estimate(size, 0.0)
+        if isinstance(expr, Associate):
+            return self._binary_graph(expr, complemented=False)
+        if isinstance(expr, Complement):
+            return self._binary_graph(expr, complemented=True)
+        if isinstance(expr, NonAssociate):
+            # NonAssociate ⊆ A-Complement; damp the complement estimate.
+            return self._binary_graph(expr, complemented=True, damping=0.25)
+        if isinstance(expr, Intersect):
+            return self._intersect(expr)
+        if isinstance(expr, Union):
+            left = self.estimate(expr.left)
+            right = self.estimate(expr.right)
+            card = left.cardinality + right.cardinality
+            return Estimate(card, left.cost + right.cost + card)
+        if isinstance(expr, Difference):
+            left = self.estimate(expr.left)
+            right = self.estimate(expr.right)
+            card = left.cardinality * 0.5
+            work = left.cardinality * max(right.cardinality, 1.0)
+            return Estimate(card, left.cost + right.cost + work)
+        if isinstance(expr, Divide):
+            left = self.estimate(expr.left)
+            right = self.estimate(expr.right)
+            card = left.cardinality * 0.5
+            work = left.cardinality * max(right.cardinality, 1.0)
+            return Estimate(card, left.cost + right.cost + work)
+        if isinstance(expr, Select):
+            inner = self.estimate(expr.operand)
+            card = inner.cardinality * SELECT_SELECTIVITY
+            return Estimate(card, inner.cost + inner.cardinality)
+        if isinstance(expr, Project):
+            inner = self.estimate(expr.operand)
+            return Estimate(inner.cardinality, inner.cost + inner.cardinality)
+        raise TypeError(f"unknown expression node {expr!r}")  # pragma: no cover
+
+    def _binary_graph(
+        self, expr, complemented: bool, damping: float = 1.0
+    ) -> Estimate:
+        left = self.estimate(expr.left)
+        right = self.estimate(expr.right)
+        try:
+            assoc, a_cls, b_cls = expr.resolve(self.graph)
+        except Exception:
+            # Unresolvable statically (e.g. an unhinted literal): fall back
+            # to a generic quadratic guess.
+            card = left.cardinality * right.cardinality * 0.1 * damping
+            return Estimate(card, left.cost + right.cost + card)
+        per_instance = self.fanout(a_cls, b_cls, assoc.name)
+        if complemented:
+            per_instance = max(self.extent_size(b_cls) - per_instance, 0.0)
+        b_size = self.extent_size(b_cls)
+        fraction = right.cardinality / b_size if b_size else 0.0
+        card = left.cardinality * per_instance * min(fraction, 1.0) * damping
+        work = left.cardinality * max(per_instance, 1.0)
+        return Estimate(card, left.cost + right.cost + work + card)
+
+    def _intersect(self, expr: Intersect) -> Estimate:
+        left = self.estimate(expr.left)
+        right = self.estimate(expr.right)
+        classes = expr.classes
+        if classes is None:
+            classes = static_classes(expr.left) & static_classes(expr.right)
+        match_probability = 1.0
+        for cls in classes:
+            size = self.extent_size(cls) if self.schema.has_class(cls) else 1
+            match_probability /= max(size, 1)
+        card = left.cardinality * right.cardinality * match_probability
+        work = left.cardinality + right.cardinality + card
+        return Estimate(card, left.cost + right.cost + work)

@@ -1,0 +1,40 @@
+"""OQL — the textual query language over the A-algebra.
+
+The paper (§1) presents the A-algebra as the formal basis of the OQL
+language of OSAM* [ALA89].  This package provides a textual front-end in
+that spirit: queries are written in algebra notation with ASCII operator
+spellings and compiled against a schema graph into
+:class:`~repro.core.expression.Expr` trees.
+
+Operator spellings (precedence high → low, unary first)::
+
+    sigma(expr)[pred]      A-Select           σ(α)[P]
+    pi(expr)[E; T]         A-Project          Π(α)[E; T]
+    *   [name(A,B)]?       Associate
+    |   [name(A,B)]?       A-Complement
+    !   [name(A,B)]?       NonAssociate
+    &   {W}?               A-Intersect
+    /   {W}?               A-Divide
+    -                      A-Difference
+    +                      A-Union
+
+Example (the paper's Query 4)::
+
+    pi(Section# * (Section ! Room# + Section ! Teacher))[Section#]
+"""
+
+from repro.oql.lexer import Lexer, Token, TokenType
+from repro.oql.parser import Parser, compile_oql
+from repro.oql.printer import OQLPrintError, to_oql
+from repro.oql.sugar import navigate
+
+__all__ = [
+    "compile_oql",
+    "to_oql",
+    "navigate",
+    "Parser",
+    "Lexer",
+    "Token",
+    "TokenType",
+    "OQLPrintError",
+]

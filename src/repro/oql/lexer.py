@@ -1,0 +1,212 @@
+"""OQL lexer.
+
+Hand-rolled single-pass tokenizer with line/column tracking for error
+messages.  Identifiers may end in ``#`` so that the paper's domain-class
+names (``SS#``, ``Course#``, ``Section#``, ``Room#``) lex as single tokens.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import OQLSyntaxError
+
+__all__ = ["TokenType", "Token", "Lexer", "tokenize"]
+
+
+class TokenType(enum.Enum):
+    """Lexical token categories of OQL."""
+
+    IDENT = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    STAR = "*"
+    PIPE = "|"
+    BANG = "!"
+    AMP = "&"
+    PLUS = "+"
+    MINUS = "-"
+    SLASH = "/"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LBRACE = "{"
+    RBRACE = "}"
+    COMMA = ","
+    SEMICOLON = ";"
+    COLON = ":"
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    KW_SIGMA = "sigma"
+    KW_PI = "pi"
+    KW_AND = "and"
+    KW_OR = "or"
+    KW_NOT = "not"
+    KW_IN = "in"
+    EOF = "end of input"
+
+
+# NOTE: no "select"/"project" aliases — "Project" is a perfectly ordinary
+# class name and must lex as an identifier.
+_KEYWORDS = {
+    "sigma": TokenType.KW_SIGMA,
+    "pi": TokenType.KW_PI,
+    "and": TokenType.KW_AND,
+    "or": TokenType.KW_OR,
+    "not": TokenType.KW_NOT,
+    "in": TokenType.KW_IN,
+}
+
+_SINGLE = {
+    "*": TokenType.STAR,
+    "|": TokenType.PIPE,
+    "&": TokenType.AMP,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "/": TokenType.SLASH,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    ",": TokenType.COMMA,
+    ";": TokenType.SEMICOLON,
+    ":": TokenType.COLON,
+    "=": TokenType.EQ,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    type: TokenType
+    text: str
+    line: int
+    column: int
+    value: object = None  # parsed payload for NUMBER / STRING
+
+    def __str__(self) -> str:
+        return f"{self.type.value}({self.text!r})"
+
+
+class Lexer:
+    """Tokenizes OQL text; raises :class:`OQLSyntaxError` on bad input."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message: str) -> OQLSyntaxError:
+        return OQLSyntaxError(message, self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.text) and self.text[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield every token followed by a single EOF token."""
+        while self.pos < len(self.text):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+                continue
+            if char == "-" and self._peek(1) == "-":  # line comment
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+                continue
+            line, column = self.line, self.column
+            if char.isalpha() or char == "_":
+                yield self._identifier(line, column)
+            elif char.isdigit():
+                yield self._number(line, column)
+            elif char in "'\"":
+                yield self._string(line, column)
+            elif char == "!" and self._peek(1) == "=":
+                self._advance(2)
+                yield Token(TokenType.NE, "!=", line, column)
+            elif char == "<" and self._peek(1) == "=":
+                self._advance(2)
+                yield Token(TokenType.LE, "<=", line, column)
+            elif char == ">" and self._peek(1) == "=":
+                self._advance(2)
+                yield Token(TokenType.GE, ">=", line, column)
+            elif char == "<":
+                self._advance()
+                yield Token(TokenType.LT, "<", line, column)
+            elif char == ">":
+                self._advance()
+                yield Token(TokenType.GT, ">", line, column)
+            elif char == "!":
+                self._advance()
+                yield Token(TokenType.BANG, "!", line, column)
+            elif char in _SINGLE:
+                self._advance()
+                yield Token(_SINGLE[char], char, line, column)
+            else:
+                raise self._error(f"unexpected character {char!r}")
+        yield Token(TokenType.EOF, "", self.line, self.column)
+
+    def _identifier(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        if self._peek() == "#":  # SS#, Course#, ...
+            self._advance()
+        text = self.text[start : self.pos]
+        keyword = _KEYWORDS.get(text.lower())
+        if keyword is not None and not text.endswith("#"):
+            return Token(keyword, text, line, column)
+        return Token(TokenType.IDENT, text, line, column)
+
+    def _number(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek().isdigit():
+            self._advance()
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.text[start : self.pos]
+        value: object = float(text) if is_float else int(text)
+        return Token(TokenType.NUMBER, text, line, column, value)
+
+    def _string(self, line: int, column: int) -> Token:
+        quote = self._peek()
+        self._advance()
+        start = self.pos
+        while self._peek() and self._peek() != quote:
+            if self._peek() == "\n":
+                raise self._error("unterminated string literal")
+            self._advance()
+        if not self._peek():
+            raise self._error("unterminated string literal")
+        value = self.text[start : self.pos]
+        self._advance()  # closing quote
+        return Token(TokenType.STRING, value, line, column, value)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into a list ending with EOF."""
+    return list(Lexer(text).tokens())

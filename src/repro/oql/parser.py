@@ -1,0 +1,352 @@
+"""OQL recursive-descent parser and compiler.
+
+Parses the OQL surface syntax (see :mod:`repro.oql`) directly into
+:class:`~repro.core.expression.Expr` trees, validating class names and
+explicit association annotations against a :class:`SchemaGraph` as it goes.
+The operator precedence follows the pinned reading of §3.3.3
+(``* > | > ! > & > ÷ > − > +``; unary operators highest).
+"""
+
+from __future__ import annotations
+
+from repro.core.expression import (
+    AssocSpec,
+    Associate,
+    Complement,
+    Difference,
+    Divide,
+    Expr,
+    Intersect,
+    NonAssociate,
+    Project,
+    Select,
+    Union,
+    ref,
+)
+from repro.core.operators.project import ChainTemplate, PathLink
+from repro.core.predicates import (
+    And,
+    Apply,
+    ClassInstances,
+    ClassValues,
+    Comparison,
+    Const,
+    FunctionRegistry,
+    Not,
+    Or,
+    Predicate,
+    ValueExpr,
+)
+from repro.errors import OQLCompileError, OQLSyntaxError
+from repro.oql.lexer import Token, TokenType, tokenize
+from repro.schema.graph import SchemaGraph
+
+__all__ = ["Parser", "compile_oql"]
+
+
+def compile_oql(
+    text: str,
+    schema: SchemaGraph,
+    functions: FunctionRegistry | None = None,
+) -> Expr:
+    """Compile OQL ``text`` against ``schema`` into an algebra expression."""
+    return Parser(text, schema, functions).parse()
+
+
+class Parser:
+    """One-shot parser for a single OQL query."""
+
+    def __init__(
+        self,
+        text: str,
+        schema: SchemaGraph,
+        functions: FunctionRegistry | None = None,
+    ) -> None:
+        self.tokens = tokenize(text)
+        self.index = 0
+        self.schema = schema
+        self.functions = functions
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.type is not TokenType.EOF:
+            self.index += 1
+        return token
+
+    def _check(self, type_: TokenType) -> bool:
+        return self._peek().type is type_
+
+    def _match(self, type_: TokenType) -> Token | None:
+        if self._check(type_):
+            return self._advance()
+        return None
+
+    def _expect(self, type_: TokenType, context: str) -> Token:
+        token = self._peek()
+        if token.type is not type_:
+            raise OQLSyntaxError(
+                f"expected {type_.value} {context}, found {token}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _fail(self, message: str) -> OQLSyntaxError:
+        token = self._peek()
+        return OQLSyntaxError(message, token.line, token.column)
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+
+    def parse(self) -> Expr:
+        expr = self._union()
+        if not self._check(TokenType.EOF):
+            raise self._fail(f"unexpected trailing input {self._peek()}")
+        return expr
+
+    # ------------------------------------------------------------------
+    # binary operator ladder (lowest precedence first)
+    # ------------------------------------------------------------------
+
+    def _union(self) -> Expr:
+        left = self._difference()
+        while self._match(TokenType.PLUS):
+            left = Union(left, self._difference())
+        return left
+
+    def _difference(self) -> Expr:
+        left = self._divide()
+        while self._match(TokenType.MINUS):
+            left = Difference(left, self._divide())
+        return left
+
+    def _divide(self) -> Expr:
+        left = self._intersect()
+        while self._match(TokenType.SLASH):
+            classes = self._class_set()
+            left = Divide(left, self._intersect(), classes)
+        return left
+
+    def _intersect(self) -> Expr:
+        left = self._nonassociate()
+        while self._match(TokenType.AMP):
+            classes = self._class_set()
+            left = Intersect(left, self._nonassociate(), classes)
+        return left
+
+    def _nonassociate(self) -> Expr:
+        left = self._complement()
+        while self._match(TokenType.BANG):
+            spec = self._assoc_spec()
+            left = NonAssociate(left, self._complement(), spec)
+        return left
+
+    def _complement(self) -> Expr:
+        left = self._associate()
+        while self._match(TokenType.PIPE):
+            spec = self._assoc_spec()
+            left = Complement(left, self._associate(), spec)
+        return left
+
+    def _associate(self) -> Expr:
+        left = self._unary()
+        while self._match(TokenType.STAR):
+            spec = self._assoc_spec()
+            left = Associate(left, self._unary(), spec)
+        return left
+
+    # ------------------------------------------------------------------
+    # annotations
+    # ------------------------------------------------------------------
+
+    def _class_set(self) -> frozenset[str] | None:
+        """Optional ``{C1, C2, ...}`` after ``&`` or ``/``."""
+        if not self._match(TokenType.LBRACE):
+            return None
+        names = [self._class_name("inside a class set")]
+        while self._match(TokenType.COMMA):
+            names.append(self._class_name("inside a class set"))
+        self._expect(TokenType.RBRACE, "to close the class set")
+        return frozenset(names)
+
+    def _assoc_spec(self) -> AssocSpec | None:
+        """Optional ``[name(A,B)]`` or ``[(A,B)]`` after ``*``, ``|``, ``!``."""
+        if not self._check(TokenType.LBRACKET):
+            return None
+        self._advance()
+        name: str | None = None
+        if self._check(TokenType.IDENT):
+            name = self._advance().text
+        self._expect(TokenType.LPAREN, "in an association annotation")
+        alpha_class = self._class_name("as the association's first class")
+        self._expect(TokenType.COMMA, "in an association annotation")
+        beta_class = self._class_name("as the association's second class")
+        self._expect(TokenType.RPAREN, "to close the association annotation")
+        self._expect(TokenType.RBRACKET, "to close the association annotation")
+        try:
+            self.schema.resolve(alpha_class, beta_class, name)
+        except Exception as exc:
+            raise OQLCompileError(str(exc)) from exc
+        return AssocSpec(alpha_class, beta_class, name)
+
+    def _class_name(self, context: str) -> str:
+        token = self._expect(TokenType.IDENT, context)
+        if not self.schema.has_class(token.text):
+            raise OQLCompileError(
+                f"unknown class {token.text!r} "
+                f"(line {token.line}, column {token.column})"
+            )
+        return token.text
+
+    # ------------------------------------------------------------------
+    # unary operators and atoms
+    # ------------------------------------------------------------------
+
+    def _unary(self) -> Expr:
+        if self._match(TokenType.KW_SIGMA):
+            return self._sigma()
+        if self._match(TokenType.KW_PI):
+            return self._pi()
+        if self._match(TokenType.LPAREN):
+            inner = self._union()
+            self._expect(TokenType.RPAREN, "to close the parenthesis")
+            return inner
+        if self._check(TokenType.IDENT):
+            return ref(self._class_name("as a class reference"))
+        raise self._fail(f"expected an expression, found {self._peek()}")
+
+    def _sigma(self) -> Select:
+        self._expect(TokenType.LPAREN, "after sigma")
+        operand = self._union()
+        self._expect(TokenType.RPAREN, "to close sigma's operand")
+        self._expect(TokenType.LBRACKET, "to open sigma's predicate")
+        predicate = self._predicate()
+        self._expect(TokenType.RBRACKET, "to close sigma's predicate")
+        return Select(operand, predicate)
+
+    def _pi(self) -> Project:
+        self._expect(TokenType.LPAREN, "after pi")
+        operand = self._union()
+        self._expect(TokenType.RPAREN, "to close pi's operand")
+        self._expect(TokenType.LBRACKET, "to open pi's [E; T] clause")
+        templates = [self._template()]
+        while self._match(TokenType.COMMA):
+            templates.append(self._template())
+        links: list[PathLink] = []
+        if self._match(TokenType.SEMICOLON):
+            links.append(self._link())
+            while self._match(TokenType.COMMA):
+                links.append(self._link())
+        self._expect(TokenType.RBRACKET, "to close pi's [E; T] clause")
+        return Project(operand, tuple(templates), tuple(links))
+
+    def _template(self) -> ChainTemplate:
+        names = [self._class_name("in a projection template")]
+        while self._match(TokenType.STAR):
+            names.append(self._class_name("in a projection template"))
+        return ChainTemplate(tuple(names))
+
+    def _link(self) -> PathLink:
+        names = [self._class_name("in a path link")]
+        self._expect(TokenType.COLON, "in a path link")
+        names.append(self._class_name("in a path link"))
+        while self._match(TokenType.COLON):
+            names.append(self._class_name("in a path link"))
+        return PathLink(tuple(names))
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+
+    def _predicate(self) -> Predicate:
+        return self._pred_or()
+
+    def _pred_or(self) -> Predicate:
+        left = self._pred_and()
+        while self._match(TokenType.KW_OR):
+            left = Or(left, self._pred_and())
+        return left
+
+    def _pred_and(self) -> Predicate:
+        left = self._pred_not()
+        while self._match(TokenType.KW_AND):
+            left = And(left, self._pred_not())
+        return left
+
+    def _pred_not(self) -> Predicate:
+        if self._match(TokenType.KW_NOT):
+            return Not(self._pred_not())
+        if self._check(TokenType.LPAREN):
+            # Could be a parenthesized predicate; values never start with (.
+            self._advance()
+            inner = self._pred_or()
+            self._expect(TokenType.RPAREN, "to close the predicate group")
+            return inner
+        return self._comparison()
+
+    _COMPARISON_OPS = {
+        TokenType.EQ: "=",
+        TokenType.NE: "!=",
+        TokenType.LT: "<",
+        TokenType.LE: "<=",
+        TokenType.GT: ">",
+        TokenType.GE: ">=",
+        TokenType.KW_IN: "in",
+    }
+
+    def _comparison(self) -> Comparison:
+        left = self._value()
+        token = self._peek()
+        op = self._COMPARISON_OPS.get(token.type)
+        if op is None:
+            raise self._fail(f"expected a comparison operator, found {token}")
+        self._advance()
+        right = self._value()
+        return Comparison(left, op, right)
+
+    def _value(self) -> ValueExpr:
+        token = self._peek()
+        if token.type is TokenType.MINUS:  # negative numeric literal
+            self._advance()
+            number = self._expect(TokenType.NUMBER, "after unary minus")
+            return Const(-number.value)
+        if token.type is TokenType.NUMBER or token.type is TokenType.STRING:
+            self._advance()
+            return Const(token.value)
+        if token.type is TokenType.IDENT:
+            self._advance()
+            if self._match(TokenType.LPAREN):
+                # Function application: fn(Class) or fn(inner(...)).
+                operand = self._function_operand()
+                self._expect(TokenType.RPAREN, "to close the function call")
+                return Apply(token.text, operand, self.functions)
+            if not self.schema.has_class(token.text):
+                raise OQLCompileError(
+                    f"unknown class {token.text!r} in predicate "
+                    f"(line {token.line}, column {token.column})"
+                )
+            return ClassValues(token.text)
+        raise self._fail(f"expected a value, found {token}")
+
+    def _function_operand(self) -> ValueExpr:
+        token = self._peek()
+        if token.type is TokenType.IDENT:
+            ahead = self.tokens[self.index + 1]
+            if ahead.type is not TokenType.LPAREN:
+                # Bare class name as function input → the instances.
+                self._advance()
+                if not self.schema.has_class(token.text):
+                    raise OQLCompileError(
+                        f"unknown class {token.text!r} in function call "
+                        f"(line {token.line}, column {token.column})"
+                    )
+                return ClassInstances(token.text)
+        return self._value()

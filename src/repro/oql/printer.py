@@ -1,0 +1,131 @@
+"""Render algebra expressions back to parseable OQL text.
+
+``to_oql`` is the inverse of :func:`repro.oql.compile_oql` up to
+parenthesization: for every printable expression,
+``compile_oql(to_oql(e), schema) == e`` (property-tested).  This gives
+query *serialization* — plans and rules can be stored as text.
+
+Not everything is printable: :class:`Literal` nodes wrap materialized
+association-sets (no textual form), and predicates may carry opaque
+Python callbacks; those raise :class:`OQLPrintError`.
+"""
+
+from __future__ import annotations
+
+from repro.core.expression import (
+    Associate,
+    ClassExtent,
+    Complement,
+    Difference,
+    Divide,
+    Expr,
+    Intersect,
+    Literal,
+    NonAssociate,
+    Project,
+    Select,
+    Union,
+)
+from repro.core.predicates import (
+    And,
+    Apply,
+    ClassInstances,
+    ClassValues,
+    Comparison,
+    Const,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    ValueExpr,
+)
+from repro.errors import OQLError
+
+__all__ = ["to_oql", "OQLPrintError"]
+
+
+class OQLPrintError(OQLError):
+    """The expression contains a node with no OQL surface form."""
+
+
+def to_oql(expr: Expr) -> str:
+    """Parseable OQL text for ``expr`` (fully parenthesized)."""
+    return _expr(expr)
+
+
+def _expr(expr: Expr) -> str:
+    if isinstance(expr, ClassExtent):
+        return expr.name
+    if isinstance(expr, Literal):
+        raise OQLPrintError(
+            f"literal association-set {expr.label!r} has no OQL form"
+        )
+    if isinstance(expr, Associate):
+        return _binary(expr, "*")
+    if isinstance(expr, Complement):
+        return _binary(expr, "|")
+    if isinstance(expr, NonAssociate):
+        return _binary(expr, "!")
+    if isinstance(expr, Intersect):
+        return _classed(expr, "&")
+    if isinstance(expr, Divide):
+        return _classed(expr, "/")
+    if isinstance(expr, Union):
+        return f"({_expr(expr.left)} + {_expr(expr.right)})"
+    if isinstance(expr, Difference):
+        return f"({_expr(expr.left)} - {_expr(expr.right)})"
+    if isinstance(expr, Select):
+        return f"sigma({_expr(expr.operand)})[{_predicate(expr.predicate)}]"
+    if isinstance(expr, Project):
+        templates = ", ".join("*".join(t.classes) for t in expr.templates)
+        links = "; " + ", ".join(":".join(t.classes) for t in expr.links) if expr.links else ""
+        return f"pi({_expr(expr.operand)})[{templates}{links}]"
+    raise OQLPrintError(f"no OQL form for {type(expr).__name__}")
+
+
+def _binary(expr, symbol: str) -> str:
+    annotation = ""
+    if expr.spec is not None:
+        name = expr.spec.name if expr.spec.name is not None else ""
+        annotation = f"[{name}({expr.spec.alpha_class}, {expr.spec.beta_class})]"
+    return f"({_expr(expr.left)} {symbol}{annotation} {_expr(expr.right)})"
+
+
+def _classed(expr, symbol: str) -> str:
+    over = ""
+    if expr.classes is not None:
+        over = "{" + ", ".join(sorted(expr.classes)) + "}"
+    return f"({_expr(expr.left)} {symbol}{over} {_expr(expr.right)})"
+
+
+def _predicate(predicate: Predicate) -> str:
+    if isinstance(predicate, Comparison):
+        return f"{_value(predicate.left)} {predicate.op} {_value(predicate.right)}"
+    if isinstance(predicate, And):
+        return "(" + " and ".join(_predicate(p) for p in predicate.operands) + ")"
+    if isinstance(predicate, Or):
+        return "(" + " or ".join(_predicate(p) for p in predicate.operands) + ")"
+    if isinstance(predicate, Not):
+        return f"not {_predicate(predicate.operand)}"
+    if isinstance(predicate, TruePredicate):
+        return "1 = 1"
+    raise OQLPrintError(f"no OQL form for predicate {type(predicate).__name__}")
+
+
+def _value(value: ValueExpr) -> str:
+    if isinstance(value, Const):
+        if isinstance(value.value, str):
+            escaped = value.value.replace("'", "")
+            return f"'{escaped}'"
+        if isinstance(value.value, (int, float)) and not isinstance(
+            value.value, bool
+        ):
+            return repr(value.value)
+        raise OQLPrintError(f"constant {value.value!r} has no OQL literal form")
+    if isinstance(value, ClassValues):
+        return value.cls
+    if isinstance(value, Apply):
+        if isinstance(value.operand, ClassInstances):
+            return f"{value.fn_name}({value.operand.cls})"
+        return f"{value.fn_name}({_value(value.operand)})"
+    raise OQLPrintError(f"no OQL form for value {type(value).__name__}")

@@ -1,0 +1,52 @@
+"""High-level navigation sugar (§2).
+
+The paper distinguishes the algebra from the user-facing language: "An
+association-based high-level language, however, can specify the pattern
+TA—SS# for this query based on the inheritance concept and the query
+interpreter will translate it into the corresponding A-algebra expression
+based on the schema definition."
+
+:func:`navigate` is that interpreter step: given two classes it finds a
+shortest association path through the schema graph (generalization edges
+included, which is exactly how inheritance shorthand expands) and emits
+the explicit Associate chain.
+"""
+
+from __future__ import annotations
+
+from repro.core.expression import AssocSpec, Associate, Expr, ref
+from repro.errors import OQLCompileError
+from repro.schema.graph import SchemaGraph
+
+__all__ = ["navigate"]
+
+
+def navigate(schema: SchemaGraph, source: str, *targets: str) -> Expr:
+    """Expand ``source — t₁ — t₂ — …`` into an explicit Associate chain.
+
+    Each hop takes a shortest schema path from the previous anchor class to
+    the next target, so ``navigate(schema, "TA", "SS#")`` expands the
+    paper's ``TA—SS#`` shorthand into
+    ``TA * Teacher * Person * SS#`` (the shortest path through the
+    lattice; the paper's Query 1 spells the Grad/Student route, which is
+    equally valid and returns the same values).
+
+    Raises :class:`OQLCompileError` when no path exists.
+    """
+    if not targets:
+        return ref(source)
+    expr: Expr = ref(source)
+    anchor = source
+    for target in targets:
+        path = schema.path_between(anchor, target)
+        if path is None:
+            raise OQLCompileError(
+                f"no association path from {anchor!r} to {target!r} in the schema"
+            )
+        here = anchor
+        for assoc in path:
+            nxt = assoc.other(here)
+            expr = Associate(expr, ref(nxt), AssocSpec(here, nxt, assoc.name))
+            here = nxt
+        anchor = target
+    return expr

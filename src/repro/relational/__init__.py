@@ -1,0 +1,17 @@
+"""A from-scratch relational algebra baseline (Codd 1970/1972).
+
+The paper positions the A-algebra against the record-based relational
+algebra: relational queries "match key attributes with foreign keys in
+different relations", require union-compatible operands, and need "complex
+nested query blocks or multiple queries" for the paper's pattern queries.
+This package provides the comparator: a clean relational algebra
+(:mod:`repro.relational.algebra`), an O-O→relational mapper
+(:mod:`repro.relational.mapping`), and relational formulations of the
+paper's queries (:mod:`repro.relational.queries`) used by the benchmark
+harness.
+"""
+
+from repro.relational.algebra import Relation
+from repro.relational.mapping import RelationalDatabase, map_object_graph
+
+__all__ = ["Relation", "RelationalDatabase", "map_object_graph"]

@@ -1,0 +1,200 @@
+"""Relational algebra over named-attribute relations.
+
+Implements the classical operators (select, project, rename, natural
+join, cartesian product, union, difference, intersection, division) on an
+immutable :class:`Relation` value type.  This is the record-based
+comparison point the paper's §1/§2 discussion contrasts the A-algebra
+with, so union-compatibility is *enforced* here exactly where the
+A-algebra drops it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.errors import ReproError
+
+__all__ = ["Relation", "RelationalError"]
+
+
+class RelationalError(ReproError):
+    """A relational-algebra operation was applied illegally."""
+
+
+class Relation:
+    """An immutable relation: named attributes plus a set of tuples."""
+
+    __slots__ = ("name", "attributes", "rows", "_index")
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Iterable[str],
+        rows: Iterable[tuple] = (),
+    ) -> None:
+        self.name = name
+        self.attributes = tuple(attributes)
+        if len(set(self.attributes)) != len(self.attributes):
+            raise RelationalError(f"duplicate attribute names in {self.attributes}")
+        frozen = frozenset(tuple(row) for row in rows)
+        for row in frozen:
+            if len(row) != len(self.attributes):
+                raise RelationalError(
+                    f"row {row!r} does not match attributes {self.attributes}"
+                )
+        self.rows = frozen
+        self._index = {attr: i for i, attr in enumerate(self.attributes)}
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.attributes == other.attributes and self.rows == other.rows
+
+    def __hash__(self) -> int:
+        return hash((self.attributes, self.rows))
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)}): {len(self.rows)} rows"
+
+    def column(self, attribute: str) -> set:
+        """All values of one attribute."""
+        index = self._attr_index(attribute)
+        return {row[index] for row in self.rows}
+
+    def _attr_index(self, attribute: str) -> int:
+        try:
+            return self._index[attribute]
+        except KeyError:
+            raise RelationalError(
+                f"{self.name} has no attribute {attribute!r} "
+                f"(has {self.attributes})"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # unary operators
+    # ------------------------------------------------------------------
+
+    def select(self, predicate: Callable[[Mapping[str, Any]], bool]) -> "Relation":
+        """σ with an arbitrary row predicate (rows exposed as dicts)."""
+        keep = [
+            row
+            for row in self.rows
+            if predicate(dict(zip(self.attributes, row)))
+        ]
+        return Relation(f"σ({self.name})", self.attributes, keep)
+
+    def select_eq(self, attribute: str, value: Any) -> "Relation":
+        """σ attribute = value — the common case, index-friendly."""
+        index = self._attr_index(attribute)
+        keep = [row for row in self.rows if row[index] == value]
+        return Relation(f"σ({self.name})", self.attributes, keep)
+
+    def project(self, attributes: Iterable[str]) -> "Relation":
+        """π with duplicate elimination."""
+        wanted = tuple(attributes)
+        indices = [self._attr_index(attr) for attr in wanted]
+        rows = {tuple(row[i] for i in indices) for row in self.rows}
+        return Relation(f"π({self.name})", wanted, rows)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Relation":
+        """ρ: rename attributes (unmentioned ones keep their names)."""
+        for old in mapping:
+            self._attr_index(old)  # validate
+        attributes = tuple(mapping.get(attr, attr) for attr in self.attributes)
+        return Relation(f"ρ({self.name})", attributes, self.rows)
+
+    # ------------------------------------------------------------------
+    # binary operators
+    # ------------------------------------------------------------------
+
+    def _require_compatible(self, other: "Relation", op: str) -> None:
+        if self.attributes != other.attributes:
+            raise RelationalError(
+                f"{op} requires union-compatible operands: "
+                f"{self.attributes} vs {other.attributes}"
+            )
+
+    def union(self, other: "Relation") -> "Relation":
+        self._require_compatible(other, "UNION")
+        return Relation(
+            f"({self.name} ∪ {other.name})", self.attributes, self.rows | other.rows
+        )
+
+    def difference(self, other: "Relation") -> "Relation":
+        self._require_compatible(other, "DIFFERENCE")
+        return Relation(
+            f"({self.name} − {other.name})", self.attributes, self.rows - other.rows
+        )
+
+    def intersection(self, other: "Relation") -> "Relation":
+        self._require_compatible(other, "INTERSECT")
+        return Relation(
+            f"({self.name} ∩ {other.name})", self.attributes, self.rows & other.rows
+        )
+
+    def cartesian(self, other: "Relation") -> "Relation":
+        overlap = set(self.attributes) & set(other.attributes)
+        if overlap:
+            raise RelationalError(
+                f"cartesian product with shared attributes {sorted(overlap)}; "
+                f"rename first"
+            )
+        attributes = self.attributes + other.attributes
+        rows = [mine + theirs for mine in self.rows for theirs in other.rows]
+        return Relation(f"({self.name} × {other.name})", attributes, rows)
+
+    def natural_join(self, other: "Relation") -> "Relation":
+        """⋈ on all shared attribute names (hash join)."""
+        shared = [attr for attr in self.attributes if attr in other._index]
+        if not shared:
+            return self.cartesian(other)
+        my_key = [self._attr_index(attr) for attr in shared]
+        other_key = [other._attr_index(attr) for attr in shared]
+        other_rest = [
+            i for i, attr in enumerate(other.attributes) if attr not in shared
+        ]
+        table: dict[tuple, list[tuple]] = {}
+        for row in other.rows:
+            key = tuple(row[i] for i in other_key)
+            table.setdefault(key, []).append(tuple(row[i] for i in other_rest))
+        attributes = self.attributes + tuple(
+            attr for attr in other.attributes if attr not in shared
+        )
+        rows = []
+        for row in self.rows:
+            key = tuple(row[i] for i in my_key)
+            for rest in table.get(key, ()):
+                rows.append(row + rest)
+        return Relation(f"({self.name} ⋈ {other.name})", attributes, rows)
+
+    def divide(self, other: "Relation") -> "Relation":
+        """÷: the tuples over (self.attrs − other.attrs) related to every
+        tuple of ``other``."""
+        divisor_attrs = other.attributes
+        for attr in divisor_attrs:
+            self._attr_index(attr)
+        keep_attrs = tuple(a for a in self.attributes if a not in divisor_attrs)
+        if not keep_attrs:
+            raise RelationalError("division would produce a zero-ary relation")
+        keep_idx = [self._attr_index(a) for a in keep_attrs]
+        div_idx = [self._attr_index(a) for a in divisor_attrs]
+        groups: dict[tuple, set[tuple]] = {}
+        for row in self.rows:
+            key = tuple(row[i] for i in keep_idx)
+            groups.setdefault(key, set()).add(tuple(row[i] for i in div_idx))
+        required = set(other.rows)
+        rows = [key for key, seen in groups.items() if required <= seen]
+        return Relation(f"({self.name} ÷ {other.name})", keep_attrs, rows)

@@ -1,0 +1,234 @@
+"""Nested relations (NF²) — the paper's other comparison point.
+
+§1 criticizes query languages that use nested relations as their logical
+view of an O-O database: "the relationships among objects in O-O
+databases are not restricted to plane graphs ... In order to use a nested
+relation to represent these complex structures, a large amount of data
+has to be replicated in the representation."
+
+This module provides the machinery to *measure* that claim:
+
+* :class:`NestedRelation` — an immutable NF² relation (cells are atoms or
+  nested relations) with the classical ``nest`` / ``unnest`` operators;
+* :func:`nested_view` — materialize a hierarchical view of an object
+  graph (a rooted class tree), the way a nested-relational front-end
+  would represent it.  An object reachable along several paths (a student
+  taking two sections; a shared subassembly) is *copied* into each — its
+  replication is exactly what :meth:`NestedRelation.atom_count` exposes
+  when compared with :func:`graph_atom_count`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.core.identity import IID
+from repro.objects.graph import ObjectGraph
+from repro.relational.algebra import Relation, RelationalError
+
+__all__ = [
+    "NestedRelation",
+    "nested_view",
+    "graph_atom_count",
+]
+
+
+class NestedRelation:
+    """An immutable relation whose cells are atoms or nested relations."""
+
+    __slots__ = ("name", "attributes", "rows", "_index")
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Iterable[str],
+        rows: Iterable[tuple] = (),
+    ) -> None:
+        self.name = name
+        self.attributes = tuple(attributes)
+        if len(set(self.attributes)) != len(self.attributes):
+            raise RelationalError(f"duplicate attribute names in {self.attributes}")
+        frozen = frozenset(tuple(row) for row in rows)
+        for row in frozen:
+            if len(row) != len(self.attributes):
+                raise RelationalError(
+                    f"row arity {len(row)} does not match {self.attributes}"
+                )
+        self.rows = frozen
+        self._index = {attr: i for i, attr in enumerate(self.attributes)}
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NestedRelation):
+            return NotImplemented
+        return self.attributes == other.attributes and self.rows == other.rows
+
+    def __hash__(self) -> int:
+        return hash((self.attributes, self.rows))
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)}): {len(self.rows)} rows"
+
+    def _attr_index(self, attribute: str) -> int:
+        try:
+            return self._index[attribute]
+        except KeyError:
+            raise RelationalError(
+                f"{self.name} has no attribute {attribute!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # NF² operators
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_flat(cls, relation: Relation) -> "NestedRelation":
+        """Lift a flat relation (1NF is a special case of NF²)."""
+        return cls(relation.name, relation.attributes, relation.rows)
+
+    def nest(self, attributes: Iterable[str], as_name: str) -> "NestedRelation":
+        """NEST: bundle ``attributes`` into a sub-relation per group.
+
+        Rows agreeing on the remaining attributes collapse into one row
+        whose ``as_name`` cell is the nested relation of their bundled
+        parts.
+        """
+        bundled = tuple(attributes)
+        for attr in bundled:
+            self._attr_index(attr)
+        keep = tuple(a for a in self.attributes if a not in bundled)
+        if not keep:
+            raise RelationalError("NEST must leave at least one attribute flat")
+        if as_name in keep:
+            raise RelationalError(f"nested attribute name {as_name!r} collides")
+        keep_idx = [self._attr_index(a) for a in keep]
+        bundle_idx = [self._attr_index(a) for a in bundled]
+        groups: dict[tuple, set[tuple]] = {}
+        for row in self.rows:
+            key = tuple(row[i] for i in keep_idx)
+            groups.setdefault(key, set()).add(tuple(row[i] for i in bundle_idx))
+        rows = [
+            key + (NestedRelation(as_name, bundled, bundle),)
+            for key, bundle in groups.items()
+        ]
+        return NestedRelation(f"ν({self.name})", keep + (as_name,), rows)
+
+    def unnest(self, attribute: str) -> "NestedRelation":
+        """UNNEST: expand a nested-relation attribute back into flat rows."""
+        index = self._attr_index(attribute)
+        keep = tuple(a for a in self.attributes if a != attribute)
+        keep_idx = [self._attr_index(a) for a in keep]
+        new_attrs: tuple[str, ...] | None = None
+        rows: list[tuple] = []
+        for row in self.rows:
+            cell = row[index]
+            if not isinstance(cell, NestedRelation):
+                raise RelationalError(
+                    f"attribute {attribute!r} holds atom {cell!r}, cannot unnest"
+                )
+            if new_attrs is None:
+                new_attrs = cell.attributes
+            elif new_attrs != cell.attributes:
+                raise RelationalError(
+                    f"inconsistent nested schemas under {attribute!r}"
+                )
+            prefix = tuple(row[i] for i in keep_idx)
+            for inner in cell.rows:
+                rows.append(prefix + inner)
+        attributes = keep + (new_attrs if new_attrs is not None else ())
+        return NestedRelation(f"μ({self.name})", attributes, rows)
+
+    # ------------------------------------------------------------------
+    # the replication metric
+    # ------------------------------------------------------------------
+
+    def atom_count(self) -> int:
+        """Total number of atomic cells stored, nested parts included."""
+        total = 0
+        for row in self.rows:
+            for cell in row:
+                if isinstance(cell, NestedRelation):
+                    total += cell.atom_count()
+                else:
+                    total += 1
+        return total
+
+    def depth(self) -> int:
+        """Maximum nesting depth (a flat relation has depth 1)."""
+        deepest = 1
+        for row in self.rows:
+            for cell in row:
+                if isinstance(cell, NestedRelation):
+                    deepest = max(deepest, 1 + cell.depth())
+        return deepest
+
+
+def _cell_for(graph: ObjectGraph, instance: IID) -> Any:
+    value = graph.value(instance)
+    return value if value is not None else instance.label
+
+
+def nested_view(
+    graph: ObjectGraph,
+    root_cls: str,
+    children: Mapping[str, Mapping],
+    assoc_names: Mapping[tuple[str, str], str] | None = None,
+) -> NestedRelation:
+    """Materialize a hierarchical (tree) view of the object graph.
+
+    ``children`` maps child class → its own children mapping, e.g.::
+
+        nested_view(g, "Department", {"Course": {"Section": {"Student": {}}}})
+
+    Every instance reachable along two tree paths is materialized twice —
+    the replication the paper ascribes to nested-relation views of object
+    graphs.  ``assoc_names`` optionally picks the association for a
+    (parent, child) class pair when several exist.
+    """
+    names = assoc_names if assoc_names is not None else {}
+
+    def build(cls: str, instance: IID, spec: Mapping[str, Mapping]) -> tuple:
+        cells: list[Any] = [_cell_for(graph, instance)]
+        for child_cls, child_spec in spec.items():
+            assoc = graph.schema.resolve(cls, child_cls, names.get((cls, child_cls)))
+            child_rows = [
+                build(child_cls, partner, child_spec)
+                for partner in sorted(graph.partners(assoc, instance))
+                if partner.cls == child_cls
+            ]
+            cells.append(
+                NestedRelation(
+                    child_cls, _attrs_for(child_cls, child_spec), child_rows
+                )
+            )
+        return tuple(cells)
+
+    def _attrs_for(cls: str, spec: Mapping[str, Mapping]) -> tuple[str, ...]:
+        return (cls,) + tuple(spec)
+
+    rows = [
+        build(root_cls, instance, children)
+        for instance in sorted(graph.extent(root_cls))
+    ]
+    return NestedRelation(
+        f"view:{root_cls}", _attrs_for(root_cls, children), rows
+    )
+
+
+def graph_atom_count(graph: ObjectGraph) -> int:
+    """The object graph's own storage: one atom per instance plus one per
+    regular edge (complement edges are derived and cost nothing)."""
+    instances = sum(1 for _ in graph.instances())
+    edges = sum(
+        graph.edge_count(assoc) for assoc in graph.schema.associations
+    )
+    return instances + edges

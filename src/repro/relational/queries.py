@@ -1,0 +1,129 @@
+"""Relational formulations of the paper's Queries 1–5.
+
+These are the baseline the benchmarks compare against.  Two observations
+the paper makes become concrete here:
+
+* **Query 2** cannot be phrased as a single relational expression: "this
+  query cannot be phrased in a single relational algebraic expression,
+  since the union of heterogeneous structures is involved" — so
+  :func:`query2_specialties` and :func:`query2_student_records` are two
+  separate queries whose results the application must correlate.
+* **Query 4**'s non-association needs set difference against projections
+  (anti-join), where the A-algebra has the direct ``!`` operator.
+"""
+
+from __future__ import annotations
+
+from repro.relational.algebra import Relation
+from repro.relational.mapping import RelationalDatabase, value_attr
+
+__all__ = [
+    "query1",
+    "query2_specialties",
+    "query2_student_records",
+    "query3",
+    "query4",
+    "query5",
+]
+
+
+def query1(db: RelationalDatabase) -> Relation:
+    """SS#s of TAs: a four-way join chain, projected to the value."""
+    chain = db.chain("TA", "Grad", "Student", "Person", "SS#")
+    return chain.project([value_attr("SS#")])
+
+
+def query2_specialties(db: RelationalDatabase) -> Relation:
+    """CIS sections' teachers' specialties: (Section, Specialty$value)."""
+    cis_departments = (
+        db.cls("Name")
+        .select_eq(value_attr("Name"), "CIS")
+        .natural_join(db.assoc("Name", "Department"))
+    )
+    chain = (
+        cis_departments.natural_join(db.assoc("Department", "Course"))
+        .natural_join(db.assoc("Course", "Section"))
+        .natural_join(db.assoc("Teacher", "Section"))
+        .natural_join(db.assoc("Faculty", "Teacher"))
+        .natural_join(db.assoc("Faculty", "Specialty"))
+        .natural_join(db.cls("Specialty"))
+    )
+    return chain.project(["Section", value_attr("Specialty")])
+
+
+def query2_student_records(db: RelationalDatabase) -> Relation:
+    """GPA and EarnedCredit of students in CIS sections."""
+    cis_departments = (
+        db.cls("Name")
+        .select_eq(value_attr("Name"), "CIS")
+        .natural_join(db.assoc("Name", "Department"))
+    )
+    chain = (
+        cis_departments.natural_join(db.assoc("Department", "Course"))
+        .natural_join(db.assoc("Course", "Section"))
+        .natural_join(db.assoc("Student", "Section"))
+        .natural_join(db.assoc("Student", "GPA"))
+        .natural_join(db.cls("GPA"))
+        .natural_join(db.assoc("Student", "EarnedCredit"))
+        .natural_join(db.cls("EarnedCredit"))
+    )
+    return chain.project(
+        ["Section", value_attr("GPA"), value_attr("EarnedCredit")]
+    )
+
+
+def query3(db: RelationalDatabase) -> Relation:
+    """Names of students who teach in their major department.
+
+    The natural join on (Student, Department) implements the paper's
+    double A-Intersect: the major edge and the teaches-in edge must meet
+    at the same Department for the same student.
+    """
+    named = (
+        db.cls("Student")
+        .natural_join(db.assoc("Student", "Person"))
+        .natural_join(db.assoc("Person", "Name"))
+        .natural_join(db.cls("Name"))
+    )
+    majors = named.natural_join(db.assoc("Student", "Department"))
+    teaching = (
+        db.assoc("TA", "Grad")
+        .natural_join(db.assoc("Grad", "Student"))
+        .natural_join(db.assoc("TA", "Teacher"))
+        .natural_join(db.assoc("Teacher", "Department"))
+    )
+    return majors.natural_join(teaching).project([value_attr("Name")])
+
+
+def query4(db: RelationalDatabase) -> Relation:
+    """Section#s of sections lacking a room or a teacher (anti-joins)."""
+    sections = db.cls("Section")
+    with_room = db.assoc("Section", "Room#").project(["Section"])
+    with_teacher = db.assoc("Teacher", "Section").project(["Section"])
+    missing = sections.difference(with_room).union(
+        sections.difference(with_teacher)
+    )
+    numbered = missing.natural_join(db.assoc("Section", "Section#")).natural_join(
+        db.cls("Section#")
+    )
+    return numbered.project([value_attr("Section#")])
+
+
+def query5(db: RelationalDatabase) -> Relation:
+    """Names of students enrolled in both 6010 and 6020 (division)."""
+    enrollments = (
+        db.cls("Student")
+        .natural_join(db.assoc("Student", "Enrollment"))
+        .natural_join(db.assoc("Enrollment", "Course"))
+        .natural_join(db.assoc("Course", "Course#"))
+        .natural_join(db.cls("Course#"))
+        .project(["Student", value_attr("Course#")])
+    )
+    wanted = Relation("wanted", (value_attr("Course#"),), [(6010,), (6020,)])
+    qualifying = enrollments.divide(wanted)
+    named = (
+        qualifying.natural_join(db.assoc("Student", "Person"))
+        .natural_join(db.assoc("Person", "Name"))
+        .natural_join(db.cls("Name"))
+    )
+    return named.project([value_attr("Name")])

@@ -1,0 +1,16 @@
+"""Knowledge rules over the A-algebra.
+
+The paper notes that association semantics "are either implemented in the
+O-O DBMS or declared by rules which are then processed by a rule
+processing component" (§2), and that the algebra underpins "a knowledge
+rule specification language" [ALA90].  This package provides that
+component: rules whose *condition* is an A-algebra expression evaluated
+against the database on mutation events, with a corrective/notifying
+action when the condition's association-set is non-empty (or empty, for
+existence requirements).
+"""
+
+from repro.rules.engine import RuleEngine
+from repro.rules.rule import Rule, RuleFiring
+
+__all__ = ["Rule", "RuleEngine", "RuleFiring"]

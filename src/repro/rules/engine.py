@@ -1,0 +1,98 @@
+"""Rule engine: subscribes to a database's mutation events.
+
+Evaluation is synchronous: each mutation evaluates the conditions of every
+relevant rule against the *current* object graph.  Actions may themselves
+mutate the database; the resulting recursive triggering is allowed up to
+``max_depth`` and then refused (a runaway corrective loop is a rule bug
+worth surfacing, not silently absorbing).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import RuleError
+from repro.rules.rule import Rule, RuleFiring
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.database import Database, MutationEvent
+
+__all__ = ["RuleEngine"]
+
+
+class RuleEngine:
+    """Attaches rules to one database and processes its events."""
+
+    def __init__(self, db: "Database", max_depth: int = 8) -> None:
+        self.db = db
+        self.max_depth = max_depth
+        self._rules: dict[str, Rule] = {}
+        self._depth = 0
+        self.firings: list[RuleFiring] = []
+        self.enabled = True
+        db.subscribe(self._handle)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def register(self, rule: Rule) -> None:
+        if rule.name in self._rules:
+            raise RuleError(f"rule {rule.name!r} already registered")
+        self._rules[rule.name] = rule
+
+    def unregister(self, name: str) -> None:
+        if name not in self._rules:
+            raise RuleError(f"no rule named {name!r}")
+        del self._rules[name]
+
+    @property
+    def rules(self) -> tuple[Rule, ...]:
+        return tuple(self._rules.values())
+
+    # ------------------------------------------------------------------
+    # event handling
+    # ------------------------------------------------------------------
+
+    def _handle(self, db: "Database", event: "MutationEvent") -> None:
+        if not self.enabled:
+            return
+        if self._depth >= self.max_depth:
+            raise RuleError(
+                f"rule recursion exceeded max depth {self.max_depth} "
+                f"(event {event.kind})"
+            )
+        for rule in list(self._rules.values()):
+            if not rule.relevant_to(event):
+                continue
+            result = rule.condition.evaluate(db.graph)
+            if not rule.triggered_by(result):
+                continue
+            self._depth += 1
+            try:
+                self.firings.append(
+                    RuleFiring(rule.name, event.kind, len(result), self._depth)
+                )
+                rule.action(db, event, result)
+            finally:
+                self._depth -= 1
+
+    # ------------------------------------------------------------------
+    # maintenance helpers
+    # ------------------------------------------------------------------
+
+    def check_all(self) -> dict[str, bool]:
+        """Evaluate every rule condition now (no actions): name → fires?"""
+        return {
+            name: rule.triggered_by(rule.condition.evaluate(self.db.graph))
+            for name, rule in self._rules.items()
+        }
+
+    def violations(self) -> dict[str, int]:
+        """Condition cardinalities of currently-firing 'exists' rules."""
+        out: dict[str, int] = {}
+        for name, rule in self._rules.items():
+            result = rule.condition.evaluate(self.db.graph)
+            if rule.triggered_by(result):
+                out[name] = len(result)
+        return out

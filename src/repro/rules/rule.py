@@ -1,0 +1,108 @@
+"""Rule specification.
+
+A rule is *event–condition–action*:
+
+* **event** — which mutation kinds trigger evaluation (``insert``,
+  ``delete``, ``link``, ``unlink``, ``update``), optionally restricted to
+  events touching given classes or associations;
+* **condition** — an A-algebra expression; the rule *fires* when its
+  result is non-empty (``when="exists"``, violation-style rules such as
+  "a section without a teacher exists": ``Section ! Teacher``) or empty
+  (``when="empty"``, existence requirements);
+* **action** — a callable receiving the database, the triggering event and
+  the condition's association-set.  Actions may mutate the database;
+  re-entrant triggering is depth-limited by the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.expression import Expr
+from repro.errors import RuleError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.database import Database, MutationEvent
+
+Action = Callable[["Database", "MutationEvent", AssociationSet], None]
+
+__all__ = ["Rule", "RuleFiring"]
+
+_EVENT_KINDS = frozenset({"insert", "delete", "link", "unlink", "update"})
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One event–condition–action knowledge rule."""
+
+    name: str
+    condition: Expr
+    action: Action
+    on: frozenset[str] = frozenset(_EVENT_KINDS)
+    classes: frozenset[str] = frozenset()  # empty = any class
+    when: str = "exists"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        bad = self.on - _EVENT_KINDS
+        if bad:
+            raise RuleError(f"rule {self.name!r}: unknown event kinds {sorted(bad)}")
+        if self.when not in ("exists", "empty"):
+            raise RuleError(
+                f"rule {self.name!r}: 'when' must be 'exists' or 'empty', "
+                f"got {self.when!r}"
+            )
+
+    @classmethod
+    def make(
+        cls,
+        name: str,
+        condition: Expr,
+        action: Action,
+        on: Iterable[str] | None = None,
+        classes: Iterable[str] = (),
+        when: str = "exists",
+        description: str = "",
+    ) -> "Rule":
+        """Ergonomic constructor accepting plain iterables."""
+        return cls(
+            name=name,
+            condition=condition,
+            action=action,
+            on=frozenset(on) if on is not None else frozenset(_EVENT_KINDS),
+            classes=frozenset(classes),
+            when=when,
+            description=description,
+        )
+
+    def relevant_to(self, event: "MutationEvent") -> bool:
+        """Whether the event kind/classes match this rule's trigger."""
+        if event.kind not in self.on:
+            return False
+        if not self.classes:
+            return True
+        return any(instance.cls in self.classes for instance in event.instances)
+
+    def triggered_by(self, result: AssociationSet) -> bool:
+        """Whether the condition result fires the rule."""
+        if self.when == "exists":
+            return bool(result)
+        return not result
+
+
+@dataclass(frozen=True)
+class RuleFiring:
+    """One recorded firing: which rule fired, on what, with what result."""
+
+    rule: str
+    event_kind: str
+    matched: int  # cardinality of the condition result
+    depth: int
+
+    def __str__(self) -> str:
+        return (
+            f"[depth {self.depth}] rule {self.rule!r} fired on "
+            f"{self.event_kind} ({self.matched} pattern(s))"
+        )

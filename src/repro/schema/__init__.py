@@ -1,0 +1,21 @@
+"""Schema Graph — the intensional view of an O-O database (§3.1)."""
+
+from repro.schema.ddl import DDLError, parse_ddl, schema_to_ddl
+from repro.schema.graph import (
+    Association,
+    AssociationKind,
+    ClassDef,
+    ClassKind,
+    SchemaGraph,
+)
+
+__all__ = [
+    "SchemaGraph",
+    "ClassDef",
+    "ClassKind",
+    "Association",
+    "AssociationKind",
+    "parse_ddl",
+    "schema_to_ddl",
+    "DDLError",
+]

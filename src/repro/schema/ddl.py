@@ -1,0 +1,132 @@
+"""A textual schema-definition language (DDL) for schema graphs.
+
+The OSAM* context of the paper defines schemas with a declarative language
+(an "Intelligent Schema Design Tool" is cited); this module provides a
+small equivalent so that whole databases — not just queries — have a
+textual form::
+
+    schema university
+
+    entity Person, Student, Teacher
+    domain SS#, Name
+
+    isa Student : Person
+    isa Teacher : Person
+
+    assoc Person -- SS#
+    assoc Person -- Name
+    assoc Part -- Usage as parent      // named (A_ij(k)) edges
+    assoc Part -- Usage as child
+
+Grammar (line-oriented; ``//`` starts a comment — ``--`` is taken by
+the edge syntax and ``#`` by class names like ``SS#``; blank lines are
+ignored)::
+
+    schema <name>
+    entity <Name> ("," <Name>)*
+    domain <Name> ("," <Name>)*
+    isa    <Sub> ":" <Super>
+    assoc  <Left> "--" <Right> ("as" <name>)?
+
+:func:`parse_ddl` builds a validated :class:`SchemaGraph`;
+:func:`schema_to_ddl` prints one back (round-trip property tested).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.schema.graph import AssociationKind, SchemaGraph
+
+__all__ = ["parse_ddl", "schema_to_ddl", "DDLError"]
+
+
+class DDLError(SchemaError):
+    """The DDL text is malformed."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"{message} (line {line})")
+        self.line = line
+
+
+def _split_names(payload: str, line_number: int) -> list[str]:
+    names = [name.strip() for name in payload.split(",")]
+    if any(not name for name in names):
+        raise DDLError("empty name in declaration", line_number)
+    return names
+
+
+def parse_ddl(text: str) -> SchemaGraph:
+    """Parse DDL ``text`` into a validated schema graph."""
+    schema: SchemaGraph | None = None
+    pending: list[tuple[int, str, str]] = []
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("//", 1)[0].strip()
+        if not line:
+            continue
+        keyword, _, payload = line.partition(" ")
+        keyword = keyword.lower()
+        payload = payload.strip()
+        if keyword == "schema":
+            if schema is not None:
+                raise DDLError("duplicate schema declaration", line_number)
+            if not payload:
+                raise DDLError("schema declaration needs a name", line_number)
+            schema = SchemaGraph(payload)
+            continue
+        if schema is None:
+            raise DDLError("the first declaration must be 'schema <name>'", line_number)
+        if keyword == "entity":
+            for name in _split_names(payload, line_number):
+                schema.add_entity_class(name)
+        elif keyword == "domain":
+            for name in _split_names(payload, line_number):
+                schema.add_domain_class(name)
+        elif keyword in ("isa", "assoc"):
+            # Edge declarations may reference classes declared later;
+            # defer them until all classes are in.
+            pending.append((line_number, keyword, payload))
+        else:
+            raise DDLError(f"unknown declaration {keyword!r}", line_number)
+
+    if schema is None:
+        raise DDLError("empty DDL document", 1)
+
+    for line_number, keyword, payload in pending:
+        if keyword == "isa":
+            sub, sep, sup = payload.partition(":")
+            if not sep or not sub.strip() or not sup.strip():
+                raise DDLError("isa needs '<Sub> : <Super>'", line_number)
+            schema.add_generalization(sub.strip(), sup.strip())
+        else:
+            head, sep, name = payload.partition(" as ")
+            assoc_name = name.strip() if sep else None
+            left, edge_sep, right = head.partition("--")
+            if not edge_sep or not left.strip() or not right.strip():
+                raise DDLError("assoc needs '<Left> -- <Right>'", line_number)
+            schema.add_association(left.strip(), right.strip(), assoc_name)
+    schema.validate()
+    return schema
+
+
+def schema_to_ddl(schema: SchemaGraph) -> str:
+    """Render a schema graph back to parseable DDL text."""
+    entities = [c.name for c in schema.classes if not c.is_primitive]
+    domains = [c.name for c in schema.classes if c.is_primitive]
+    lines = [f"schema {schema.name}", ""]
+    if entities:
+        lines.append(f"entity {', '.join(entities)}")
+    if domains:
+        lines.append(f"domain {', '.join(domains)}")
+    lines.append("")
+    for assoc in schema.associations:
+        if assoc.kind is AssociationKind.GENERALIZATION:
+            lines.append(f"isa {assoc.left} : {assoc.right}")
+    lines.append("")
+    for assoc in schema.associations:
+        if assoc.kind is AssociationKind.GENERALIZATION:
+            continue
+        default_name = f"{assoc.left}__{assoc.right}"
+        suffix = f" as {assoc.name}" if assoc.name != default_name else ""
+        lines.append(f"assoc {assoc.left} -- {assoc.right}{suffix}")
+    return "\n".join(lines).strip() + "\n"

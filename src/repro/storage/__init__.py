@@ -1,0 +1,19 @@
+"""Persistence: JSON snapshots of schema + object graphs."""
+
+from repro.storage.serialization import (
+    graph_from_dict,
+    graph_to_dict,
+    load_database,
+    save_database,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+__all__ = [
+    "schema_to_dict",
+    "schema_from_dict",
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_database",
+    "load_database",
+]

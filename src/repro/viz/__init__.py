@@ -1,0 +1,16 @@
+"""Renderers for the paper's figure notation (ASCII and Graphviz DOT)."""
+
+from repro.viz.ascii import render_pattern, render_set, render_side_by_side
+from repro.viz.dot import object_graph_to_dot, pattern_to_dot, schema_to_dot
+from repro.viz.table import render_table, result_rows
+
+__all__ = [
+    "render_pattern",
+    "render_set",
+    "render_side_by_side",
+    "schema_to_dot",
+    "object_graph_to_dot",
+    "pattern_to_dot",
+    "render_table",
+    "result_rows",
+]

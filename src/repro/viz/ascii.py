@@ -1,0 +1,103 @@
+"""ASCII rendering in the style of the paper's figures.
+
+The figures draw Inter-patterns as solid links (``a1•——•b1``) and
+Complement-patterns as dashed links (``a1•- -•b1``); derived patterns get
+a tilde.  These renderers produce that notation for patterns and
+association-sets so that examples and failing tests read like the paper.
+"""
+
+from __future__ import annotations
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import Edge
+from repro.core.pattern import Pattern
+
+__all__ = ["render_pattern", "render_set", "render_side_by_side"]
+
+
+def _edge_glyph(edge: Edge) -> str:
+    if edge.is_regular:
+        return "~~" if edge.derived else "——"
+    return "~/~" if edge.derived else "- -"
+
+
+def render_pattern(pattern: Pattern) -> str:
+    """One-line figure-style rendering of a pattern.
+
+    Edges are listed in canonical order; isolated vertices follow.  A
+    chain like the paper's ``a1•——•b1•- -•c3`` is reconstructed when the
+    pattern is a path; otherwise edges are listed ``u•glyph•v`` separated
+    by commas.
+    """
+    chain = _as_chain(pattern)
+    if chain is not None:
+        vertices, edges = chain
+        if not edges:
+            return f"{vertices[0].label}•"
+        parts = [vertices[0].label]
+        for vertex, edge in zip(vertices[1:], edges):
+            parts.append(f"•{_edge_glyph(edge)}•{vertex.label}")
+        return "".join(parts)
+    pieces = []
+    covered = set()
+    for edge in sorted(pattern.edges, key=lambda e: (e.u, e.v, e.polarity.value)):
+        pieces.append(f"{edge.u.label}•{_edge_glyph(edge)}•{edge.v.label}")
+        covered.update((edge.u, edge.v))
+    for vertex in sorted(pattern.vertices - covered):
+        pieces.append(f"{vertex.label}•")
+    return ", ".join(pieces)
+
+
+def _as_chain(pattern: Pattern):
+    """Return (vertex-sequence, edge-sequence) when the pattern is a path."""
+    if len(pattern) == 1:
+        return (list(pattern.vertices), [])
+    degrees = {v: pattern.degree(v) for v in pattern.vertices}
+    ends = [v for v, d in degrees.items() if d == 1]
+    if len(ends) != 2 or any(d > 2 for d in degrees.values()):
+        return None
+    if len(pattern.edges) != len(pattern) - 1:
+        return None
+    start = min(ends)
+    vertices = [start]
+    edges = []
+    seen = {start}
+    here = start
+    while len(vertices) < len(pattern):
+        next_edges = [e for e in pattern.edges_at(here) if e.other(here) not in seen]
+        if not next_edges:
+            return None
+        edge = next_edges[0]
+        here = edge.other(here)
+        seen.add(here)
+        vertices.append(here)
+        edges.append(edge)
+    return (vertices, edges)
+
+
+def render_set(aset: AssociationSet, title: str = "") -> str:
+    """Multi-line rendering of an association-set, one pattern per row."""
+    header = [title] if title else []
+    if not aset:
+        return "\n".join(header + ["  φ"])
+    rows = sorted(render_pattern(p) for p in aset)
+    return "\n".join(header + [f"  {row}" for row in rows])
+
+
+def render_side_by_side(
+    left: AssociationSet,
+    right: AssociationSet,
+    left_title: str = "input",
+    right_title: str = "output",
+    width: int = 40,
+) -> str:
+    """Two association-sets in adjacent columns (operator-example style)."""
+    left_rows = sorted(render_pattern(p) for p in left) or ["φ"]
+    right_rows = sorted(render_pattern(p) for p in right) or ["φ"]
+    height = max(len(left_rows), len(right_rows))
+    left_rows += [""] * (height - len(left_rows))
+    right_rows += [""] * (height - len(right_rows))
+    lines = [f"{left_title:<{width}}{right_title}"]
+    for l_row, r_row in zip(left_rows, right_rows):
+        lines.append(f"{l_row:<{width}}{r_row}")
+    return "\n".join(lines)

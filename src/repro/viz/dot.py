@@ -1,0 +1,74 @@
+"""Graphviz DOT emitters.
+
+``schema_to_dot`` follows Figure 1's conventions: nonprimitive classes as
+boxes, primitive classes as circles, generalization edges marked ``G``.
+``object_graph_to_dot`` and ``pattern_to_dot`` follow Figures 2/4/5:
+complement edges dashed, derived edges dotted.
+
+The emitters produce plain DOT text (no graphviz dependency); render with
+any external ``dot`` tool.
+"""
+
+from __future__ import annotations
+
+from repro.core.pattern import Pattern
+from repro.objects.graph import ObjectGraph
+from repro.schema.graph import AssociationKind, SchemaGraph
+
+__all__ = ["schema_to_dot", "object_graph_to_dot", "pattern_to_dot"]
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def schema_to_dot(schema: SchemaGraph) -> str:
+    """DOT for a schema graph (Figure 1 style)."""
+    lines = [f"graph {_quote(schema.name)} {{", "  node [fontsize=10];"]
+    for cdef in schema.classes:
+        shape = "ellipse" if cdef.is_primitive else "box"
+        lines.append(f"  {_quote(cdef.name)} [shape={shape}];")
+    for assoc in schema.associations:
+        label = ""
+        if assoc.kind is AssociationKind.GENERALIZATION:
+            label = ' [label="G"]'
+        elif assoc.kind is AssociationKind.INTERACTION:
+            label = ' [label="I"]'
+        lines.append(f"  {_quote(assoc.left)} -- {_quote(assoc.right)}{label};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def object_graph_to_dot(graph: ObjectGraph, include_values: bool = True) -> str:
+    """DOT for an object graph (Figure 2 style, regular edges only)."""
+    lines = ["graph objects {", "  node [fontsize=9, shape=plaintext];"]
+    for instance in sorted(graph.instances()):
+        label = instance.label
+        if include_values:
+            value = graph.value(instance)
+            if value is not None:
+                label = f"{label}={value}"
+        lines.append(f"  {_quote(instance.label)} [label={_quote(label)}];")
+    for assoc in graph.schema.associations:
+        for a, b in sorted(graph.edges(assoc)):
+            lines.append(f"  {_quote(a.label)} -- {_quote(b.label)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pattern_to_dot(pattern: Pattern, name: str = "pattern") -> str:
+    """DOT for one association pattern (Figure 5 style)."""
+    lines = [f"graph {_quote(name)} {{", "  node [fontsize=9, shape=plaintext];"]
+    for vertex in sorted(pattern.vertices):
+        lines.append(f"  {_quote(vertex.label)};")
+    for edge in sorted(pattern.edges, key=lambda e: (e.u, e.v, e.polarity.value)):
+        styles = []
+        if edge.is_complement:
+            styles.append("style=dashed")
+        if edge.derived:
+            styles.append('label="D"')
+        suffix = f" [{', '.join(styles)}]" if styles else ""
+        lines.append(f"  {_quote(edge.u.label)} -- {_quote(edge.v.label)}{suffix};")
+    lines.append("}")
+    return "\n".join(lines)

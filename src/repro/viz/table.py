@@ -1,0 +1,76 @@
+"""Tabular rendering of query results.
+
+The paper's queries end in value retrieval ("get the social security
+numbers...").  :func:`render_table` turns an association-set into the
+report a user would read: one row per pattern, one column per requested
+class, cells holding the primitive values (or instance labels for
+nonprimitive classes).  Heterogeneous results simply leave the cells of
+absent classes blank — no union-compatibility needed, matching the
+algebra's own stance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.assoc_set import AssociationSet
+from repro.objects.graph import ObjectGraph
+
+__all__ = ["render_table", "result_rows"]
+
+
+def result_rows(
+    result: AssociationSet,
+    graph: ObjectGraph,
+    columns: Iterable[str],
+) -> list[tuple]:
+    """The result as value tuples, one per pattern, sorted for stability.
+
+    A cell holds the value (or label) of the pattern's instance of that
+    class; several instances join with ``", "``; a missing class yields
+    ``None``.
+    """
+    wanted = tuple(columns)
+    rows: list[tuple] = []
+    for pattern in result:
+        cells = []
+        for cls in wanted:
+            instances = sorted(pattern.instances_of(cls))
+            if not instances:
+                cells.append(None)
+                continue
+            rendered = []
+            for instance in instances:
+                value = graph.value(instance)
+                rendered.append(
+                    str(value) if value is not None else instance.label
+                )
+            cells.append(", ".join(rendered))
+        rows.append(tuple(cells))
+    return sorted(rows, key=lambda row: tuple(str(cell) for cell in row))
+
+
+def render_table(
+    result: AssociationSet,
+    graph: ObjectGraph,
+    columns: Iterable[str],
+) -> str:
+    """A fixed-width text table of the result (header + one row/pattern)."""
+    wanted = tuple(columns)
+    rows = result_rows(result, graph, wanted)
+    display = [[cell if cell is not None else "—" for cell in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[i]) for row in display), 1)
+        if display
+        else len(header)
+        for i, header in enumerate(wanted)
+    ]
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(wanted)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in display:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(wanted))))
+    if not display:
+        lines.append("(no patterns)")
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Shared fixtures: the paper's datasets, built once per session."""
+
+import pytest
+
+from repro.datasets import figure7, supplier_parts, university
+
+
+@pytest.fixture(scope="session")
+def fig7():
+    """The reconstructed Figure 7 sample domain (read-only in tests)."""
+    return figure7()
+
+
+@pytest.fixture(scope="session")
+def uni():
+    """The Figures 1–2 university database (read-only in tests)."""
+    return university()
+
+
+@pytest.fixture(scope="session")
+def sp():
+    """The §1 suppliers-and-parts database (read-only in tests)."""
+    return supplier_parts()

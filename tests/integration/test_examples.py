@@ -1,0 +1,68 @@
+"""Every example script must run cleanly and print its headline results."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "idle engineers: ['Edsger']" in out
+    assert "['Ada', 'Grace']" in out
+
+
+def test_university_tour(capsys):
+    out = run_example("university_tour.py", capsys)
+    assert "[333, 444]" in out
+    assert "['Alice']" in out
+    assert "[102, 201]" in out
+    assert "['Carol']" in out
+    assert "specialties: ['AI', 'Databases']" in out
+
+
+def test_supplier_parts(capsys):
+    out = run_example("supplier_parts_nonassociation.py", capsys)
+    assert "parts nobody supplies: ['flywheel']" in out
+
+
+def test_query_optimization(capsys):
+    out = run_example("query_optimization.py", capsys)
+    assert "found: True" in out
+    assert "chosen plan:" in out
+
+
+def test_rules_demo(capsys):
+    out = run_example("rules_demo.py", capsys)
+    assert "room-required: VIOLATED" in out
+    assert "assigned" in out
+    assert "WARNING" in out
+
+
+def test_bill_of_materials(capsys):
+    out = run_example("bill_of_materials.py", capsys)
+    assert "components: ['gear_train', 'housing', 'shaft']" in out
+    assert "never a child: ['gearbox', 'spare_bolt']" in out
+    assert "ambiguous association" in out
+
+
+def test_query_by_pattern(capsys):
+    out = run_example("query_by_pattern.py", capsys)
+    assert "algebra == matcher: True" in out
+    assert "specialties: ['AI', 'Databases']" in out
+
+
+def test_paper_figures(capsys):
+    out = run_example("paper_figures.py", capsys)
+    assert "Figure 8a" in out and "Figure 8g" in out
+    # The 8a result chains, rendered in figure notation.
+    assert "a1•——•b1•——•c1•——•d1" in out
+    assert "a1•——•b1•- -•c3" in out

@@ -1,0 +1,41 @@
+"""The EXPERIMENTS report generator produces its tables."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS = Path(__file__).resolve().parents[2] / "benchmarks"
+sys.path.insert(0, str(BENCHMARKS))
+
+import report  # noqa: E402  (the script under test)
+
+
+def test_laws_section(capsys):
+    report.report_laws()
+    out = capsys.readouterr().out
+    assert "Law spot-checks" in out
+    assert out.count("holds") >= 9
+    assert "VIOLATED" not in out
+
+
+def test_figure10_section(capsys):
+    report.report_figure10(quick=True)
+    out = capsys.readouterr().out
+    assert "Figure 10 alternatives" in out
+    assert "optimizer derivation" in out
+
+
+def test_heterogeneous_section(capsys):
+    report.report_heterogeneous()
+    out = capsys.readouterr().out
+    assert "heterogeneous union vs homogeneous halves" in out
+
+
+def test_timed_returns_positive():
+    assert report.timed(lambda: sum(range(100)), repeat=2) >= 0
+
+
+def test_main_arg_parsing():
+    with pytest.raises(SystemExit):
+        report.main(["--bogus"])

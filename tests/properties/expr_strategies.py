@@ -1,0 +1,90 @@
+"""Shared Hypothesis strategies for random algebra expressions.
+
+Used by the OQL round-trip property and the optimizer soundness property.
+Expressions are generated over the fixed A—B—C—D chain schema so that all
+shorthand association resolutions are unambiguous.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+
+from repro.core.expression import (
+    AssocSpec,
+    Associate,
+    Complement,
+    Difference,
+    Divide,
+    Intersect,
+    NonAssociate,
+    Project,
+    Select,
+    Union,
+    ref,
+)
+from repro.core.predicates import And, ClassValues, Comparison, Const, Not, Or
+
+CLASSES = ("A", "B", "C", "D")
+ADJACENT = {("A", "B"): "AB", ("B", "C"): "BC", ("C", "D"): "CD"}
+
+__all__ = ["CLASSES", "ADJACENT", "predicates", "expressions"]
+
+
+@st.composite
+def predicates(draw, depth: int = 2):
+    """A random printable predicate over the chain classes."""
+    if depth == 0 or draw(st.booleans()):
+        cls = draw(st.sampled_from(CLASSES))
+        op = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+        constant = draw(
+            st.one_of(
+                st.integers(min_value=-99, max_value=99),
+                st.text(alphabet="abcXYZ ", max_size=6),
+            )
+        )
+        return Comparison(ClassValues(cls), op, Const(constant))
+    kind = draw(st.sampled_from(["and", "or", "not"]))
+    if kind == "not":
+        return Not(draw(predicates(depth=depth - 1)))
+    left = draw(predicates(depth=depth - 1))
+    right = draw(predicates(depth=depth - 1))
+    return And(left, right) if kind == "and" else Or(left, right)
+
+
+@st.composite
+def expressions(draw, depth: int = 3):
+    """A random well-formed expression over the chain schema."""
+    if depth == 0:
+        return ref(draw(st.sampled_from(CLASSES)))
+    kind = draw(
+        st.sampled_from(["leaf", "assoc", "binary", "classed", "select", "project"])
+    )
+    if kind == "leaf":
+        return ref(draw(st.sampled_from(CLASSES)))
+    if kind == "assoc":
+        (left_cls, right_cls), name = draw(st.sampled_from(list(ADJACENT.items())))
+        node = draw(st.sampled_from([Associate, Complement, NonAssociate]))
+        spec = AssocSpec(left_cls, right_cls, name) if draw(st.booleans()) else None
+        return node(ref(left_cls), ref(right_cls), spec)
+    left = draw(expressions(depth=depth - 1))
+    right = draw(expressions(depth=depth - 1))
+    if kind == "binary":
+        node = draw(st.sampled_from([Union, Difference]))
+        return node(left, right)
+    if kind == "classed":
+        node = draw(st.sampled_from([Intersect, Divide]))
+        classes = draw(st.sets(st.sampled_from(CLASSES), min_size=1, max_size=2))
+        return node(left, right, frozenset(classes))
+    if kind == "select":
+        return Select(left, draw(predicates()))
+    templates = tuple(
+        (draw(st.sampled_from(CLASSES)),)
+        for _ in range(draw(st.integers(min_value=1, max_value=2)))
+    )
+    links = ()
+    if draw(st.booleans()):
+        pair = draw(
+            st.lists(st.sampled_from(CLASSES), min_size=2, max_size=3, unique=True)
+        )
+        links = (tuple(pair),)
+    return Project(left, templates, links)

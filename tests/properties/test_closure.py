@@ -1,0 +1,93 @@
+"""CLOSURE: every operator maps association-sets to association-sets, so
+random operator pipelines always compose (§1's headline property)."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.operators import (
+    a_complement,
+    a_difference,
+    a_divide,
+    a_intersect,
+    a_project,
+    a_select,
+    a_union,
+    associate,
+    non_associate,
+)
+from repro.core.predicates import Callback
+from tests.properties.strategies import association_sets_from, object_graphs
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+BINARY_GRAPH_OPS = (associate, a_complement, non_associate)
+SET_OPS = (a_union, a_difference)
+
+
+@given(st.data())
+@RELAXED
+def test_random_pipelines_stay_closed(data):
+    """Chain 3 random operators; every intermediate is an AssociationSet
+    of duplicate-free patterns."""
+    graph = data.draw(object_graphs())
+    current = data.draw(association_sets_from(graph))
+    for _ in range(3):
+        choice = data.draw(st.integers(min_value=0, max_value=6))
+        other = data.draw(association_sets_from(graph))
+        assoc = graph.schema.resolve("B", "C")
+        if choice <= 2:
+            op = BINARY_GRAPH_OPS[choice]
+            current = op(current, other, graph, assoc, "B", "C")
+        elif choice == 3:
+            current = a_intersect(current, other)
+        elif choice == 4:
+            current = a_union(current, other)
+        elif choice == 5:
+            current = a_difference(current, other)
+        else:
+            current = a_divide(current, other, ["B"])
+        assert isinstance(current, AssociationSet)
+        # Duplicate-freeness is structural (a frozenset), but re-assert the
+        # §3.2 definition: no two equal patterns.
+        patterns = list(current)
+        assert len(patterns) == len(set(patterns))
+
+
+@given(st.data())
+@RELAXED
+def test_select_and_project_stay_closed(data):
+    graph = data.draw(object_graphs())
+    current = data.draw(association_sets_from(graph))
+    selected = a_select(
+        current, Callback(lambda p, g: len(p) <= 3, "small"), graph
+    )
+    assert isinstance(selected, AssociationSet)
+    assert selected.patterns <= current.patterns
+    projected = a_project(selected, ["B", "B*C"], ["B:C"])
+    assert isinstance(projected, AssociationSet)
+    for pattern in projected:
+        assert pattern.classes() <= {"B", "C"}
+
+
+@given(st.data())
+@RELAXED
+def test_operators_never_mutate_operands(data):
+    graph = data.draw(object_graphs())
+    alpha = data.draw(association_sets_from(graph))
+    beta = data.draw(association_sets_from(graph))
+    alpha_before = set(alpha.patterns)
+    beta_before = set(beta.patterns)
+    assoc = graph.schema.resolve("B", "C")
+    associate(alpha, beta, graph, assoc, "B", "C")
+    a_complement(alpha, beta, graph, assoc, "B", "C")
+    a_intersect(alpha, beta)
+    a_union(alpha, beta)
+    a_difference(alpha, beta)
+    a_divide(alpha, beta, ["B"])
+    assert set(alpha.patterns) == alpha_before
+    assert set(beta.patterns) == beta_before

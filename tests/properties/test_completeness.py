@@ -1,0 +1,169 @@
+"""§5 completeness, made constructive and property-tested.
+
+For any derivable subdatabase (patterns over the object graph's own
+regular/complement edges), :func:`expression_for` must synthesize an
+algebra expression evaluating to exactly that association-set.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.completeness import (
+    CompletenessError,
+    expression_for,
+    expression_for_pattern,
+)
+from repro.core.edges import Edge, Polarity, complement, inter
+from repro.core.pattern import Pattern
+from repro.objects.graph import ObjectGraph
+from tests.properties.strategies import object_graphs
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def P(*parts):
+    return Pattern.build(*parts)
+
+
+@st.composite
+def derivable_patterns(draw, graph: ObjectGraph, max_edges: int = 4) -> Pattern:
+    """A random connected pattern consistent with 𝒜.
+
+    Grown edge by edge from a random seed instance; each step picks a
+    schema-adjacent partner and uses the TRUE polarity of the pair in the
+    graph (regular if associated, complement otherwise).
+    """
+    instances = sorted(graph.instances())
+    root = draw(st.sampled_from(instances))
+    vertices = [root]
+    edges: list[Edge] = []
+    steps = draw(st.integers(min_value=0, max_value=max_edges))
+    for _ in range(steps):
+        anchor = draw(st.sampled_from(vertices))
+        neighbor_classes = sorted(graph.schema.neighbors(anchor.cls))
+        if not neighbor_classes:
+            continue
+        cls = draw(st.sampled_from(neighbor_classes))
+        extent = sorted(graph.extent(cls))
+        if not extent:
+            continue
+        partner = draw(st.sampled_from(extent))
+        if partner == anchor:
+            continue
+        assoc = graph.schema.resolve(anchor.cls, cls)
+        polarity = (
+            Polarity.REGULAR
+            if graph.are_associated(assoc, anchor, partner)
+            else Polarity.COMPLEMENT
+        )
+        edge = Edge(anchor, partner, polarity)
+        if edge not in edges:
+            edges.append(edge)
+        if partner not in vertices:
+            vertices.append(partner)
+    return Pattern(vertices, edges)
+
+
+@given(st.data())
+@RELAXED
+def test_round_trip_single_pattern(data):
+    graph = data.draw(object_graphs())
+    pattern = data.draw(derivable_patterns(graph))
+    expr = expression_for_pattern(pattern, graph)
+    assert expr.evaluate(graph) == AssociationSet([pattern])
+
+
+@given(st.data())
+@RELAXED
+def test_round_trip_association_set(data):
+    graph = data.draw(object_graphs())
+    count = data.draw(st.integers(min_value=0, max_value=3))
+    target = AssociationSet(
+        data.draw(derivable_patterns(graph)) for _ in range(count)
+    )
+    expr = expression_for(target, graph)
+    assert expr.evaluate(graph) == target
+
+
+class TestSpecificShapes:
+    def test_star_pattern(self, fig7):
+        """A branch at b1 with the a1 spur (Figure 9 style)."""
+        f = fig7
+        target = P(
+            inter(f.a1, f.b1),
+            inter(f.b1, f.c1),
+            inter(f.b1, f.c2),
+        )
+        expr = expression_for_pattern(target, f.graph)
+        assert expr.evaluate(f.graph) == AssociationSet([target])
+
+    def test_genuine_cycle(self, fig7):
+        """b1—c1 ~ d1—c2—b1: a 4-cycle mixing polarities; the last edge
+        closes the cycle between two already-visited vertices."""
+        f = fig7
+        target = P(
+            inter(f.b1, f.c1),
+            complement(f.c1, f.d1),
+            inter(f.c2, f.d1),
+            inter(f.b1, f.c2),
+        )
+        assert len(target.edges) == 4  # truly cyclic: |E| = |V|
+        expr = expression_for_pattern(target, f.graph)
+        assert expr.evaluate(f.graph) == AssociationSet([target])
+
+    def test_mixed_polarity_pattern(self, fig7):
+        f = fig7
+        target = P(inter(f.a1, f.b1), complement(f.b1, f.c3))
+        expr = expression_for_pattern(target, f.graph)
+        assert expr.evaluate(f.graph) == AssociationSet([target])
+
+    def test_multi_instance_class_pattern(self, fig7):
+        """Two C-instances off one B — the variant-filtering σ matters."""
+        f = fig7
+        target = P(inter(f.b1, f.c1), inter(f.b1, f.c2), inter(f.c2, f.d1))
+        expr = expression_for_pattern(target, f.graph)
+        assert expr.evaluate(f.graph) == AssociationSet([target])
+
+    def test_empty_set(self, fig7):
+        expr = expression_for(AssociationSet.empty(), fig7.graph)
+        assert expr.evaluate(fig7.graph) == AssociationSet.empty()
+
+    def test_inner_pattern_only(self, fig7):
+        target = AssociationSet([Pattern.inner(fig7.a2)])
+        expr = expression_for(target, fig7.graph)
+        assert expr.evaluate(fig7.graph) == target
+
+
+class TestRejections:
+    def test_regular_edge_absent_from_domain(self, fig7):
+        f = fig7
+        with pytest.raises(CompletenessError):
+            expression_for_pattern(P(inter(f.b2, f.c1)), f.graph)
+
+    def test_complement_edge_contradicting_domain(self, fig7):
+        f = fig7
+        with pytest.raises(CompletenessError):
+            expression_for_pattern(P(complement(f.b1, f.c1)), f.graph)
+
+    def test_non_adjacent_classes(self, fig7):
+        f = fig7
+        with pytest.raises(CompletenessError):
+            expression_for_pattern(P(inter(f.a1, f.c1)), f.graph)
+
+    def test_disconnected_pattern(self, fig7):
+        f = fig7
+        with pytest.raises(CompletenessError):
+            expression_for_pattern(P(f.a1, f.d1), f.graph)
+
+    def test_unknown_instance(self, fig7):
+        from repro.core.identity import iid
+        from repro.errors import UnknownInstanceError
+
+        with pytest.raises(UnknownInstanceError):
+            expression_for_pattern(P(iid("A", 99)), fig7.graph)

@@ -1,0 +1,67 @@
+"""Property: schema_to_ddl ∘ parse_ddl is the identity on schema graphs."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.schema import parse_ddl, schema_to_ddl
+from repro.schema.graph import AssociationKind, SchemaGraph
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_NAMES = [f"C{i}" for i in range(8)] + ["SS#", "Room#", "Part_2"]
+
+
+@st.composite
+def schemas(draw) -> SchemaGraph:
+    """A random valid schema: classes, plain/named edges, acyclic is-a."""
+    schema = SchemaGraph(draw(st.sampled_from(["s1", "alpha", "uni-2"])))
+    count = draw(st.integers(min_value=1, max_value=6))
+    names = _NAMES[:count]
+    primitive_flags = [draw(st.booleans()) for _ in names]
+    for name, primitive in zip(names, primitive_flags):
+        if primitive:
+            schema.add_domain_class(name)
+        else:
+            schema.add_entity_class(name)
+    entities = [n for n, p in zip(names, primitive_flags) if not p]
+    # Acyclic generalization: only earlier→later entity edges.
+    for i, sub in enumerate(entities):
+        for sup in entities[i + 1 :]:
+            if draw(st.booleans()) and draw(st.booleans()):
+                schema.add_generalization(sub, sup)
+    # Plain associations, occasionally named/parallel.
+    for i, left in enumerate(names):
+        for right in names[i + 1 :]:
+            if draw(st.booleans()) and draw(st.booleans()):
+                named = draw(st.booleans())
+                schema.add_association(
+                    left, right, f"r_{left}_{right}" if named else None
+                )
+    schema.validate()
+    return schema
+
+
+@given(schemas())
+@RELAXED
+def test_round_trip_preserves_everything(schema):
+    reparsed = parse_ddl(schema_to_ddl(schema))
+    assert reparsed.name == schema.name
+    assert set(reparsed.class_names) == set(schema.class_names)
+    for cdef in schema.classes:
+        assert reparsed.class_def(cdef.name).kind is cdef.kind
+    assert {a.key for a in reparsed.associations} == {
+        a.key for a in schema.associations
+    }
+    for assoc in schema.associations:
+        assert reparsed.association(assoc.key).kind is assoc.kind
+
+
+@given(schemas())
+@RELAXED
+def test_printed_ddl_is_stable(schema):
+    once = schema_to_ddl(schema)
+    assert schema_to_ddl(parse_ddl(once)) == once

@@ -1,0 +1,76 @@
+"""Homogeneity and isomorphism invariants.
+
+The WL-style ``topology_signature`` must be *sound* (isomorphic patterns
+always share a signature — the converse is confirmed by the exact
+matcher), and the homogeneity test must behave like an equivalence check
+over a set's patterns.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import Edge
+from repro.core.homogeneity import is_homogeneous
+from repro.core.identity import IID
+from repro.core.pattern import Pattern
+from tests.properties.strategies import object_graphs, patterns_from
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _relabel(pattern: Pattern, offset: int) -> Pattern:
+    """An isomorphic copy with every OID shifted by ``offset``."""
+    mapping = {v: IID(v.cls, v.oid + offset) for v in pattern.vertices}
+    edges = [
+        Edge(mapping[e.u], mapping[e.v], e.polarity) for e in pattern.edges
+    ]
+    return Pattern(mapping.values(), edges)
+
+
+@given(st.data())
+@RELAXED
+def test_signature_is_isomorphism_invariant(data):
+    graph = data.draw(object_graphs())
+    pattern = data.draw(patterns_from(graph))
+    copy = _relabel(pattern, offset=1000)
+    assert pattern.isomorphic_to(copy)
+    assert pattern.topology_signature() == copy.topology_signature()
+
+
+@given(st.data())
+@RELAXED
+def test_exact_matcher_agrees_with_itself_under_relabeling(data):
+    graph = data.draw(object_graphs())
+    p1 = data.draw(patterns_from(graph))
+    p2 = data.draw(patterns_from(graph))
+    direct = p1.isomorphic_to(p2)
+    shifted = _relabel(p1, 5000).isomorphic_to(_relabel(p2, 9000))
+    assert direct == shifted
+
+
+@given(st.data())
+@RELAXED
+def test_homogeneous_set_of_relabeled_copies(data):
+    """A set made of disjoint isomorphic copies is always homogeneous."""
+    graph = data.draw(object_graphs())
+    pattern = data.draw(patterns_from(graph))
+    copies = [_relabel(pattern, offset) for offset in (10_000, 20_000, 30_000)]
+    assert is_homogeneous(AssociationSet(copies))
+
+
+@given(st.data())
+@RELAXED
+def test_mixed_shapes_detected(data):
+    """Adding a vertex-count-changing pattern breaks homogeneity."""
+    graph = data.draw(object_graphs())
+    pattern = data.draw(patterns_from(graph))
+    extended = Pattern.build(
+        _relabel(pattern, 40_000), IID("Zed", 99_999)
+    )
+    aset = AssociationSet([pattern, extended])
+    assert not is_homogeneous(aset)

@@ -1,0 +1,57 @@
+"""LAW-COMM: commutativity of *, |, !, •, + (§3.3.2), property-based."""
+
+from hypothesis import given, settings
+
+from repro.core import laws
+from tests.properties.strategies import graph_with_sets
+
+
+@given(graph_with_sets())
+@settings(max_examples=60, deadline=None)
+def test_associate_commutes(bundle):
+    graph, alpha, beta = bundle
+    assoc = graph.schema.resolve("B", "C")
+    check = laws.commutativity_associate(graph, assoc, alpha, beta, "B", "C")
+    assert check.holds, check.explain()
+
+
+@given(graph_with_sets())
+@settings(max_examples=60, deadline=None)
+def test_complement_commutes(bundle):
+    graph, alpha, beta = bundle
+    assoc = graph.schema.resolve("B", "C")
+    check = laws.commutativity_complement(graph, assoc, alpha, beta, "B", "C")
+    assert check.holds, check.explain()
+
+
+@given(graph_with_sets())
+@settings(max_examples=60, deadline=None)
+def test_nonassociate_commutes(bundle):
+    graph, alpha, beta = bundle
+    assoc = graph.schema.resolve("B", "C")
+    check = laws.commutativity_nonassociate(graph, assoc, alpha, beta, "B", "C")
+    assert check.holds, check.explain()
+
+
+@given(graph_with_sets())
+@settings(max_examples=60, deadline=None)
+def test_intersect_commutes(bundle):
+    _, alpha, beta = bundle
+    check = laws.commutativity_intersect(alpha, beta)
+    assert check.holds, check.explain()
+
+
+@given(graph_with_sets())
+@settings(max_examples=60, deadline=None)
+def test_intersect_commutes_explicit_classes(bundle):
+    _, alpha, beta = bundle
+    check = laws.commutativity_intersect(alpha, beta, frozenset({"B"}))
+    assert check.holds, check.explain()
+
+
+@given(graph_with_sets())
+@settings(max_examples=60, deadline=None)
+def test_union_commutes(bundle):
+    _, alpha, beta = bundle
+    check = laws.commutativity_union(alpha, beta)
+    assert check.holds, check.explain()

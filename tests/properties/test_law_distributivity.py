@@ -1,0 +1,245 @@
+"""LAW-DIST: the §4 distributivity laws a)–f), property-based.
+
+Laws a) and c) are unconditional.  Law b) (| over +) needs the two union
+branches to participate symmetrically — the retention special cases of |
+otherwise break it (a deterministic counterexample is included; the paper
+asserts b) "for the same reasons" as a) without discussing retention).
+Laws d), e), f) hold under the paper's three conditions, which the
+strategies satisfy by construction.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, assume, given, settings
+
+from repro.core import laws
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import complement, inter
+from repro.core.pattern import Pattern
+from tests.properties.strategies import (
+    association_sets_from,
+    association_sets_over,
+    object_graphs,
+)
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow],
+)
+
+
+def P(*parts):
+    return Pattern.build(*parts)
+
+
+@given(st.data())
+@RELAXED
+def test_a_associate_over_union(data):
+    graph = data.draw(object_graphs())
+    alpha = data.draw(association_sets_from(graph))
+    beta = data.draw(association_sets_from(graph))
+    gamma = data.draw(association_sets_from(graph))
+    assoc = graph.schema.resolve("B", "C")
+    check = laws.dist_associate_over_union(
+        graph, assoc, alpha, beta, gamma, ("B", "C")
+    )
+    assert check.holds, check.explain()
+
+
+@given(st.data())
+@RELAXED
+def test_b_complement_over_union_with_symmetric_participation(data):
+    graph = data.draw(object_graphs())
+    alpha = data.draw(association_sets_from(graph))
+    beta = data.draw(association_sets_from(graph))
+    gamma = data.draw(association_sets_from(graph))
+    # Symmetric participation: the union branches agree on holding the
+    # operand end class (see the counterexample test below).
+    assume(beta.has_class("C") == gamma.has_class("C"))
+    assoc = graph.schema.resolve("B", "C")
+    check = laws.dist_complement_over_union(
+        graph, assoc, alpha, beta, gamma, ("B", "C")
+    )
+    assert check.holds, check.explain()
+
+
+def test_b_retention_counterexample(fig7):
+    """Asymmetric participation breaks b): γ without C-instances makes
+    α |[R(B,C)] γ fire its retention clause on the RHS only."""
+    f = fig7
+    alpha = AssociationSet([P(f.b1)])
+    beta = AssociationSet([P(f.c1)])  # participates (has C)
+    gamma = AssociationSet([P(f.d1)])  # no C-instance
+    check = laws.dist_complement_over_union(
+        f.graph, f.bc, alpha, beta, gamma, ("B", "C")
+    )
+    assert not check.holds
+    # RHS-only: (b1) retained by α | γ.
+    assert P(f.b1) in check.rhs.patterns - check.lhs.patterns
+
+
+@given(st.data())
+@RELAXED
+def test_c_intersect_over_union(data):
+    graph = data.draw(object_graphs())
+    alpha = data.draw(association_sets_from(graph))
+    beta = data.draw(association_sets_from(graph))
+    gamma = data.draw(association_sets_from(graph))
+    # The paper states c) with an explicit {X}; the implicit-{W} shorthand
+    # resolves to different class sets on the two sides and is out of scope.
+    classes = frozenset(
+        data.draw(st.sets(st.sampled_from(["A", "B", "C", "D"]), min_size=1))
+    )
+    check = laws.dist_intersect_over_union(alpha, beta, gamma, classes)
+    assert check.holds, check.explain()
+
+
+def _cd_chain_sets(data, graph):
+    """Association-sets of (c) / (c d) chains — exactly one C-instance each.
+
+    Laws d)–f) carry a fourth, *implicit* condition the paper does not
+    state: each pattern of β and γ holds a single instance of CL₂.  With
+    several C-instances per pattern, the RHS intersect cross-merges the
+    different join-edge variants of one LHS pattern into patterns the LHS
+    never produces (see test_d_multiple_cl2_instances_counterexample).
+    """
+    count = data.draw(st.integers(min_value=0, max_value=3))
+    patterns = []
+    for _ in range(count):
+        c = data.draw(st.sampled_from(sorted(graph.extent("C"))))
+        if data.draw(st.booleans()):
+            d = data.draw(st.sampled_from(sorted(graph.extent("D"))))
+            patterns.append(P(inter(c, d)))
+        else:
+            patterns.append(P(c))
+    return AssociationSet(patterns)
+
+
+def _def_conditions_bundle(data):
+    """Operands satisfying the three §4 d)/e)/f) conditions by construction:
+
+    i)  the op runs over R(B,C) with α joining through B, so CL₂ = C ∈ W;
+    ii) α draws only from {B}, β and γ only from {C, D} — class-disjoint;
+    iii) α is a set of B Inner-patterns — homogeneous;
+    plus the implicit single-CL₂-instance condition (see _cd_chain_sets).
+    """
+    graph = data.draw(object_graphs())
+    b_instances = sorted(graph.extent("B"))
+    chosen = data.draw(
+        st.lists(st.sampled_from(b_instances), unique=True, max_size=len(b_instances))
+    )
+    alpha = AssociationSet.of_inners(chosen)
+    beta = _cd_chain_sets(data, graph)
+    gamma = _cd_chain_sets(data, graph)
+    w = frozenset(data.draw(st.sets(st.sampled_from(["C", "D"]), min_size=0))) | {"C"}
+    assert laws.distributivity_condition(alpha, beta, gamma, "C", w)
+    return graph, alpha, beta, gamma, w
+
+
+def test_d_multiple_cl2_instances_counterexample(fig7):
+    """Reproduction finding: with two C-instances in one β•γ pattern, the
+    RHS intersect manufactures a merged pattern absent from the LHS.
+
+    β = γ = {(c1 c2)} (a derived pattern over two C-instances); α = {(b1)}
+    with b1 associated to both c1 and c2.  LHS yields the two join
+    variants; RHS additionally merges them.  Recorded in EXPERIMENTS.md.
+    """
+    f = fig7
+    alpha = AssociationSet([P(f.b1)])
+    cc = P(inter(f.c1, f.c2))
+    beta = AssociationSet([cc])
+    gamma = AssociationSet([cc])
+    check = laws.dist_associate_over_intersect(
+        f.graph, f.bc, alpha, beta, gamma, frozenset({"C"}), ("B", "C")
+    )
+    assert not check.holds
+    merged = P(inter(f.b1, f.c1), inter(f.b1, f.c2), inter(f.c1, f.c2))
+    assert merged in check.rhs.patterns - check.lhs.patterns
+
+
+@given(st.data())
+@RELAXED
+def test_d_associate_over_intersect(data):
+    graph, alpha, beta, gamma, w = _def_conditions_bundle(data)
+    assoc = graph.schema.resolve("B", "C")
+    check = laws.dist_associate_over_intersect(
+        graph, assoc, alpha, beta, gamma, w, ("B", "C")
+    )
+    assert check.holds, check.explain()
+
+
+@given(st.data())
+@RELAXED
+def test_e_complement_over_intersect(data):
+    from repro.core.operators import a_intersect
+
+    graph, alpha, beta, gamma, w = _def_conditions_bundle(data)
+    # Retention symmetry, as in law b): the inner intersect must itself
+    # participate (hold C-instances), else the LHS retention fires alone.
+    assume(alpha)
+    inner = a_intersect(beta, gamma, w)
+    assume(inner.has_class("C"))
+    assoc = graph.schema.resolve("B", "C")
+    check = laws.dist_complement_over_intersect(
+        graph, assoc, alpha, beta, gamma, w, ("B", "C")
+    )
+    assert check.holds, check.explain()
+
+
+def test_f_freeness_scope_counterexample(fig7):
+    """Reproduction finding: law f) fails when β holds C-instances that the
+    inner intersect β•γ filters out.
+
+    α = {(b1)}, β = {(c1), (c3)}, γ = {(c3)}, W = {C}.  On the LHS, b1 is
+    free w.r.t. β•γ = {(c3)} and pairs with c3.  On the RHS, b1 is NOT
+    free w.r.t. β (it is associated with c1 ∈ β), so α!β produces only the
+    retained (c3) — which then dies in the •{B,C}.  NonAssociate's
+    whole-operand freeness makes the operator non-local, and the rewrite
+    changes the operand.  Recorded in EXPERIMENTS.md.
+    """
+    from repro.core.operators import a_intersect, non_associate
+
+    f = fig7
+    alpha = AssociationSet([P(f.b1)])
+    beta = AssociationSet([P(f.c1), P(f.c3)])
+    gamma = AssociationSet([P(f.c3)])
+    w = frozenset({"C"})
+    inner = a_intersect(beta, gamma, w)
+    assert inner == gamma
+    lhs = non_associate(alpha, inner, f.graph, f.bc, "B", "C")
+    assert lhs == AssociationSet([P(complement(f.b1, f.c3))])
+    check = laws.dist_nonassociate_over_intersect(
+        f.graph, f.bc, alpha, beta, gamma, w, ("B", "C")
+    )
+    assert not check.holds
+    assert check.rhs == AssociationSet.empty()
+
+
+@given(st.data())
+@RELAXED
+def test_f_nonassociate_over_intersect(data):
+    from repro.core.operators import a_intersect, non_associate
+
+    graph, alpha, beta, gamma, w = _def_conditions_bundle(data)
+    assume(alpha)
+    inner = a_intersect(beta, gamma, w)
+    assume(inner.has_class("C"))
+    assoc = graph.schema.resolve("B", "C")
+    # Two guards beyond the paper's printed conditions (both recorded in
+    # EXPERIMENTS.md):
+    # 1. !'s freeness test is scoped to the whole operand set, and the
+    #    rewrite changes that set (β vs β•γ) — see
+    #    test_f_freeness_scope_counterexample.  Guard: β, γ and β•γ expose
+    #    the same C-instances.
+    c_set = inner.instances_of("C")
+    assume(beta.instances_of("C") == c_set)
+    assume(gamma.instances_of("C") == c_set)
+    # 2. A retained standalone pattern has no C-instance and cannot survive
+    #    the RHS •{W∪X} with C ∈ W.  Guard: no retention fires.
+    for left, right in ((alpha, inner), (alpha, beta), (alpha, gamma)):
+        result = non_associate(left, right, graph, assoc, "B", "C")
+        assume(all(p.has_class("C") and p.has_class("B") for p in result))
+    check = laws.dist_nonassociate_over_intersect(
+        graph, assoc, alpha, beta, gamma, w, ("B", "C")
+    )
+    assert check.holds, check.explain()

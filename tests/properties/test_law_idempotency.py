@@ -1,0 +1,56 @@
+"""LAW-IDEM: idempotency of + (always) and • (homogeneous only), §3.3.2."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import laws
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import complement, inter
+from repro.core.homogeneity import is_homogeneous
+from repro.core.identity import iid
+from repro.core.pattern import Pattern
+from tests.properties.strategies import (
+    graph_with_sets,
+    homogeneous_sets_from,
+    object_graphs,
+)
+
+
+@given(graph_with_sets(n_sets=1))
+@settings(max_examples=60, deadline=None)
+def test_union_idempotent(bundle):
+    _, alpha = bundle
+    check = laws.idempotency_union(alpha)
+    assert check.holds, check.explain()
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_intersect_idempotent_on_homogeneous(data):
+    graph = data.draw(object_graphs())
+    alpha = data.draw(homogeneous_sets_from(graph))
+    assert is_homogeneous(alpha)
+    check = laws.idempotency_intersect(alpha)
+    assert check.holds, check.explain()
+
+
+def test_intersect_idempotency_fails_without_homogeneity():
+    """The side condition is necessary: a heterogeneous counterexample.
+
+    α = {(b1 c1), (~b1 c1)} is heterogeneous (criterion 3: the two
+    corresponding primitive patterns differ in type).  Both patterns share
+    the same instance signature over the common classes {B, C}, so α • α
+    cross-merges them into (b1 c1, ~b1 c1) ∉ α.
+    """
+    b1, c1 = iid("B", 1), iid("C", 1)
+    alpha = AssociationSet(
+        [
+            Pattern.build(inter(b1, c1)),
+            Pattern.build(complement(b1, c1)),
+        ]
+    )
+    assert not is_homogeneous(alpha)
+    check = laws.idempotency_intersect(alpha)
+    assert not check.holds
+    merged = Pattern.build(inter(b1, c1), complement(b1, c1))
+    assert merged in check.lhs

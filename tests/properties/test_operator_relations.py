@@ -1,0 +1,121 @@
+"""Cross-operator relations the paper states in prose.
+
+* §3.3.2(5): "the NonAssociate operator produces a resultant
+  association-set which is a subset of that produced by the A-Complement
+  operator" — modulo the retention clauses, whose outputs are standalone
+  operand patterns; the pairing (main-clause) outputs must always be
+  A-Complement outputs.
+* §3.3.2(6): "an A-Intersect operation for building a complex pattern can
+  be replaced by an Associate operation followed by an A-Select" — checked
+  here in the concrete branch-building form.
+* A-Project invariants: output classes come from the templates; projection
+  onto a kept shape is idempotent.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.operators import (
+    a_complement,
+    a_intersect,
+    a_project,
+    a_select,
+    associate,
+    non_associate,
+)
+from repro.core.predicates import Callback
+from tests.properties.strategies import association_sets_from, object_graphs
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(st.data())
+@RELAXED
+def test_nonassociate_pairs_are_complement_pairs(data):
+    """Every !-output that pairs both operands is also a |-output."""
+    graph = data.draw(object_graphs())
+    alpha = data.draw(association_sets_from(graph))
+    beta = data.draw(association_sets_from(graph))
+    assoc = graph.schema.resolve("B", "C")
+    narrow = non_associate(alpha, beta, graph, assoc, "B", "C")
+    wide = a_complement(alpha, beta, graph, assoc, "B", "C")
+    operand_patterns = alpha.patterns | beta.patterns
+    for pattern in narrow:
+        if pattern in operand_patterns:
+            continue  # a retention output, allowed to stand alone
+        assert pattern in wide.patterns
+
+
+@given(st.data())
+@RELAXED
+def test_intersect_as_associate_plus_select(data):
+    """Branch-building • replaced by * followed by σ (§3.3.2(6) remark).
+
+    For α a set of B Inner-patterns and β chains rooted at B: α •{B} β
+    equals σ over... in this degenerate single-anchor case, it simply
+    equals the subset of β whose root occurs in α, merged with that root —
+    i.e. a selection of β.
+    """
+    graph = data.draw(object_graphs())
+    b_instances = sorted(graph.extent("B"))
+    chosen = data.draw(
+        st.lists(st.sampled_from(b_instances), unique=True, max_size=len(b_instances))
+    )
+    alpha = AssociationSet.of_inners(chosen)
+    beta = data.draw(association_sets_from(graph))
+    intersected = a_intersect(alpha, beta, ["B"])
+    kept = frozenset(chosen)
+    selected = a_select(
+        beta,
+        Callback(
+            lambda p, g, kept=kept: p.instances_of("B") == kept & p.instances_of("B")
+            and bool(p.instances_of("B")),
+            "roots-in-alpha",
+        ),
+        graph,
+    )
+    # Patterns of β with exactly one B instance that is in α must appear
+    # unchanged on both sides.
+    for pattern in selected:
+        b_in = pattern.instances_of("B")
+        if len(b_in) == 1 and b_in <= kept:
+            assert pattern in intersected.patterns
+
+
+@given(st.data())
+@RELAXED
+def test_project_output_classes_come_from_templates(data):
+    graph = data.draw(object_graphs())
+    alpha = data.draw(association_sets_from(graph))
+    projected = a_project(alpha, ["B", "B*C"], ["B:C"])
+    for pattern in projected:
+        assert pattern.classes() <= {"B", "C"}
+
+
+@given(st.data())
+@RELAXED
+def test_project_idempotent_on_kept_shape(data):
+    graph = data.draw(object_graphs())
+    alpha = data.draw(association_sets_from(graph))
+    once = a_project(alpha, ["B"])
+    twice = a_project(once, ["B"])
+    assert once == twice
+
+
+@given(st.data())
+@RELAXED
+def test_associate_results_extend_operands(data):
+    """Every Associate output contains one α pattern and one β pattern."""
+    graph = data.draw(object_graphs())
+    alpha = data.draw(association_sets_from(graph))
+    beta = data.draw(association_sets_from(graph))
+    assoc = graph.schema.resolve("B", "C")
+    result = associate(alpha, beta, graph, assoc, "B", "C")
+    for pattern in result:
+        assert any(pattern.contains(a) for a in alpha)
+        assert any(pattern.contains(b) for b in beta)

@@ -1,0 +1,44 @@
+"""Optimizer soundness: every SAFE_RULES equivalent of a random expression
+evaluates to the original's result on a random object graph.
+
+This is the strongest guarantee the planner needs: the static side-
+condition checks in the rewrite rules must be sufficient — no rewrite may
+change semantics on ANY input, not just on the workloads we anticipated.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.optimizer import Optimizer
+from tests.properties.expr_strategies import expressions
+from tests.properties.strategies import object_graphs
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@given(st.data())
+@RELAXED
+def test_all_safe_equivalents_agree(data):
+    graph = data.draw(object_graphs(max_extent=3))
+    expr = data.draw(expressions(depth=2))
+    reference = expr.evaluate(graph)
+    optimizer = Optimizer(graph, max_candidates=25)
+    for candidate in optimizer.equivalents(expr):
+        result = candidate.expr.evaluate(graph)
+        assert result == reference, (
+            f"rewrite chain {candidate.derivation} changed semantics:\n"
+            f"  original: {expr}\n  rewritten: {candidate.expr}"
+        )
+
+
+@given(st.data())
+@RELAXED
+def test_chosen_plan_agrees(data):
+    graph = data.draw(object_graphs(max_extent=3))
+    expr = data.draw(expressions(depth=2))
+    best = Optimizer(graph, max_candidates=25).optimize(expr)
+    assert best.expr.evaluate(graph) == expr.evaluate(graph)

@@ -1,0 +1,28 @@
+"""Property: compile(to_oql(e)) == e for random printable expressions."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.oql import compile_oql, to_oql
+from tests.properties.expr_strategies import expressions
+from tests.properties.strategies import chain_schema
+
+SCHEMA = chain_schema()
+
+RELAXED = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(expressions())
+@RELAXED
+def test_round_trip(expr):
+    text = to_oql(expr)
+    assert compile_oql(text, SCHEMA) == expr
+
+
+@given(expressions())
+@RELAXED
+def test_printing_is_deterministic(expr):
+    assert to_oql(expr) == to_oql(expr)

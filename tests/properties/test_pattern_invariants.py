@@ -1,0 +1,130 @@
+"""Structural invariants of patterns and metamorphic operator properties."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.operators import a_select, a_union, associate
+from repro.core.pattern import Relationship
+from repro.core.predicates import Callback
+from tests.properties.strategies import (
+    association_sets_from,
+    object_graphs,
+    patterns_from,
+)
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestPatternInvariants:
+    @given(st.data())
+    @RELAXED
+    def test_union_is_commutative_and_associative(self, data):
+        graph = data.draw(object_graphs())
+        p1 = data.draw(patterns_from(graph))
+        p2 = data.draw(patterns_from(graph))
+        p3 = data.draw(patterns_from(graph))
+        assert p1.union(p2) == p2.union(p1)
+        assert p1.union(p2).union(p3) == p1.union(p2.union(p3))
+
+    @given(st.data())
+    @RELAXED
+    def test_union_upper_bound(self, data):
+        graph = data.draw(object_graphs())
+        p1 = data.draw(patterns_from(graph))
+        p2 = data.draw(patterns_from(graph))
+        merged = p1.union(p2)
+        assert merged.contains(p1) and merged.contains(p2)
+
+    @given(st.data())
+    @RELAXED
+    def test_containment_is_a_partial_order(self, data):
+        graph = data.draw(object_graphs())
+        p1 = data.draw(patterns_from(graph))
+        p2 = data.draw(patterns_from(graph))
+        assert p1.contains(p1)  # reflexive
+        if p1.contains(p2) and p2.contains(p1):  # antisymmetric
+            assert p1 == p2
+        merged = p1.union(p2)  # transitivity via the upper bound
+        if p2.contains(p1):
+            assert merged.contains(p1)
+
+    @given(st.data())
+    @RELAXED
+    def test_relationship_classification_consistency(self, data):
+        graph = data.draw(object_graphs())
+        p1 = data.draw(patterns_from(graph))
+        p2 = data.draw(patterns_from(graph))
+        rel = p1.relationship(p2)
+        if rel is Relationship.EQUAL:
+            assert p1 == p2
+        if rel is Relationship.NON_OVERLAP:
+            assert p1.vertices.isdisjoint(p2.vertices)
+        if rel in (Relationship.CONTAINS, Relationship.CONTAINED):
+            assert p1.overlaps(p2)
+
+    @given(st.data())
+    @RELAXED
+    def test_isomorphism_is_reflexive_and_symmetric(self, data):
+        graph = data.draw(object_graphs())
+        p1 = data.draw(patterns_from(graph))
+        p2 = data.draw(patterns_from(graph))
+        assert p1.isomorphic_to(p1)
+        assert p1.isomorphic_to(p2) == p2.isomorphic_to(p1)
+
+    @given(st.data())
+    @RELAXED
+    def test_components_partition_the_pattern(self, data):
+        graph = data.draw(object_graphs())
+        pattern = data.draw(patterns_from(graph))
+        components = pattern.components()
+        all_vertices = frozenset().union(*(c.vertices for c in components))
+        all_edges = frozenset().union(*(c.edges for c in components))
+        assert all_vertices == pattern.vertices
+        assert all_edges == pattern.edges
+        assert all(c.is_connected() for c in components)
+
+
+class TestMetamorphicOperators:
+    @given(st.data())
+    @RELAXED
+    def test_associate_monotone_in_operands(self, data):
+        """α ⊆ α′ implies α * β ⊆ α′ * β."""
+        graph = data.draw(object_graphs())
+        big = data.draw(association_sets_from(graph))
+        small = AssociationSet(
+            p for p in big if data.draw(st.booleans())
+        )
+        beta = data.draw(association_sets_from(graph))
+        assoc = graph.schema.resolve("B", "C")
+        small_result = associate(small, beta, graph, assoc, "B", "C")
+        big_result = associate(big, beta, graph, assoc, "B", "C")
+        assert small_result.patterns <= big_result.patterns
+
+    @given(st.data())
+    @RELAXED
+    def test_select_distributes_over_union(self, data):
+        graph = data.draw(object_graphs())
+        alpha = data.draw(association_sets_from(graph))
+        beta = data.draw(association_sets_from(graph))
+        predicate = Callback(lambda p, g: len(p) % 2 == 0, "even-arity")
+        lhs = a_select(a_union(alpha, beta), predicate, graph)
+        rhs = a_union(
+            a_select(alpha, predicate, graph), a_select(beta, predicate, graph)
+        )
+        assert lhs == rhs
+
+    @given(st.data())
+    @RELAXED
+    def test_select_is_idempotent_and_shrinking(self, data):
+        graph = data.draw(object_graphs())
+        alpha = data.draw(association_sets_from(graph))
+        predicate = Callback(lambda p, g: len(p) <= 2, "small")
+        once = a_select(alpha, predicate, graph)
+        twice = a_select(once, predicate, graph)
+        assert once == twice
+        assert once.patterns <= alpha.patterns

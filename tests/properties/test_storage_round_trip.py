@@ -1,0 +1,56 @@
+"""Property: save → load preserves any random database exactly."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.expression import ref
+from repro.engine.database import Database
+from repro.storage import (
+    graph_from_dict,
+    graph_to_dict,
+    load_database,
+    save_database,
+)
+from tests.properties.strategies import object_graphs
+
+RELAXED = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(object_graphs(max_extent=4))
+@RELAXED
+def test_graph_dict_round_trip(graph):
+    restored = graph_from_dict(graph_to_dict(graph), graph.schema)
+    assert set(restored.instances()) == set(graph.instances())
+    for assoc in graph.schema.associations:
+        assert set(restored.edges(assoc)) == set(graph.edges(assoc))
+
+
+@given(object_graphs(max_extent=3))
+@RELAXED
+def test_queries_agree_after_file_round_trip(tmp_path_factory, graph):
+    db = Database(graph.schema, graph)
+    path = tmp_path_factory.mktemp("snap") / "db.json"
+    save_database(db, path)
+    restored = load_database(path)
+    query = (ref("A") * ref("B") * ref("C")).project(["A", "C"], ["A:C"])
+    assert query.evaluate(db.graph) == query.evaluate(restored.graph)
+
+
+@given(object_graphs(max_extent=3))
+@RELAXED
+def test_snapshot_restore_preserves_complements(graph):
+    """Complement edges are derived, so a round-trip preserves them too."""
+    db = Database(graph.schema, graph)
+    before = {
+        pair for pair in graph.complement_edges(graph.schema.resolve("B", "C"))
+    }
+    db.restore(db.snapshot())
+    after = {
+        pair
+        for pair in db.graph.complement_edges(db.schema.resolve("B", "C"))
+    }
+    assert before == after

@@ -1,0 +1,71 @@
+"""Differential testing: random templates, algebra vs direct matcher.
+
+``template.compile(schema).evaluate(graph)`` exercises Associate,
+A-Complement, A-Intersect, A-Union and A-Select through the whole
+expression pipeline; :func:`repro.core.template.match` finds the same
+embeddings by direct backtracking over the object graph.  Agreement over
+random templates and random graphs is a strong end-to-end oracle for the
+operator implementations.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.template import PatternTemplate, match
+from tests.properties.strategies import CHAIN_CLASSES, object_graphs
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Downward neighbours in the chain schema A—B—C—D.
+NEXT = {"A": "B", "B": "C", "C": "D"}
+
+
+@st.composite
+def templates(draw, cls=None, depth=3):
+    """A random template over the chain schema, flowing A→B→C→D."""
+    if cls is None:
+        cls = draw(st.sampled_from(CHAIN_CLASSES[:-1]))
+    node = PatternTemplate.node(
+        cls, branch=draw(st.sampled_from(["and", "or"]))
+    )
+    child_cls = NEXT.get(cls)
+    if child_cls is None or depth == 0:
+        return node
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        mode = draw(st.sampled_from(["*", "|"]))
+        child = draw(templates(cls=child_cls, depth=depth - 1))
+        node.link(child, mode)
+    return node
+
+
+@given(st.data())
+@RELAXED
+def test_compiled_equals_matched(data):
+    graph = data.draw(object_graphs(max_extent=3))
+    template = data.draw(templates())
+    compiled = template.compile(graph.schema).evaluate(graph)
+    matched = match(template, graph)
+    assert compiled == matched, (
+        f"template over {template.cls}: compiled {compiled} != matched {matched}"
+    )
+
+
+@given(st.data())
+@RELAXED
+def test_matched_patterns_are_connected(data):
+    graph = data.draw(object_graphs(max_extent=3))
+    template = data.draw(templates())
+    for pattern in match(template, graph):
+        assert pattern.is_connected()
+
+
+@given(st.data())
+@RELAXED
+def test_match_is_deterministic(data):
+    graph = data.draw(object_graphs(max_extent=3))
+    template = data.draw(templates())
+    assert match(template, graph) == match(template, graph)

@@ -1,0 +1,90 @@
+"""Association-sets (§3.2): set behaviour and class bookkeeping."""
+
+import pytest
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import inter
+from repro.core.identity import iid
+from repro.core.pattern import Pattern
+
+A1, A2 = iid("A", 1), iid("A", 2)
+B1, B2 = iid("B", 1), iid("B", 2)
+C1 = iid("C", 1)
+
+
+def P(*parts):
+    return Pattern.build(*parts)
+
+
+class TestSetBehaviour:
+    def test_duplicates_collapse(self):
+        aset = AssociationSet([P(A1), P(A1), P(inter(A1, B1)), P(inter(B1, A1))])
+        assert len(aset) == 2
+
+    def test_empty(self):
+        empty = AssociationSet.empty()
+        assert not empty
+        assert len(empty) == 0
+        assert str(empty) == "{φ}"
+
+    def test_of_inners(self):
+        aset = AssociationSet.of_inners([A1, A2])
+        assert aset == AssociationSet([P(A1), P(A2)])
+
+    def test_single(self):
+        assert len(AssociationSet.single(P(A1))) == 1
+
+    def test_membership(self):
+        aset = AssociationSet([P(A1)])
+        assert P(A1) in aset
+        assert P(A2) not in aset
+
+    def test_equality_and_hash(self):
+        one = AssociationSet([P(A1), P(B1)])
+        two = AssociationSet([P(B1), P(A1)])
+        assert one == two
+        assert hash(one) == hash(two)
+
+    def test_or_unions(self):
+        merged = AssociationSet([P(A1)]) | AssociationSet([P(B1)])
+        assert len(merged) == 2
+
+    def test_filter_and_map(self):
+        aset = AssociationSet([P(A1), P(B1)])
+        only_a = aset.filter(lambda p: p.has_class("A"))
+        assert only_a == AssociationSet([P(A1)])
+        doubled = aset.map(lambda p: p.union(P(C1), inter(next(iter(p.vertices)), C1)))
+        assert len(doubled) == 2
+
+
+class TestClassBookkeeping:
+    def test_classes(self):
+        aset = AssociationSet([P(inter(A1, B1)), P(C1)])
+        assert aset.classes() == {"A", "B", "C"}
+
+    def test_has_class(self):
+        aset = AssociationSet([P(inter(A1, B1))])
+        assert aset.has_class("A")
+        assert not aset.has_class("C")
+
+    def test_instances_of(self):
+        aset = AssociationSet([P(inter(A1, B1)), P(inter(A2, B1))])
+        assert aset.instances_of("A") == {A1, A2}
+        assert aset.instances_of("B") == {B1}
+
+    def test_patterns_with_class(self):
+        aset = AssociationSet([P(inter(A1, B1)), P(C1)])
+        rows = list(aset.patterns_with_class("A"))
+        assert rows == [(P(inter(A1, B1)), frozenset({A1}))]
+        assert list(aset.patterns_with_class("D")) == []
+
+
+class TestRendering:
+    def test_str_is_sorted(self):
+        aset = AssociationSet([P(B1), P(A1)])
+        assert str(aset) == "{(a1), (b1)}"
+
+    def test_pretty(self):
+        aset = AssociationSet([P(A1)])
+        assert aset.pretty() == "(a1)"
+        assert AssociationSet.empty().pretty() == "φ"

@@ -1,0 +1,82 @@
+"""GraphBuilder: multi-class objects and dynamic inheritance wiring (§2)."""
+
+import pytest
+
+from repro.errors import ObjectGraphError
+from repro.objects.builder import GraphBuilder
+from repro.schema.graph import SchemaGraph
+
+
+@pytest.fixture()
+def schema():
+    graph = SchemaGraph()
+    for name in ("Person", "Student", "Grad"):
+        graph.add_entity_class(name)
+    graph.add_domain_class("Name")
+    graph.add_generalization("Student", "Person")
+    graph.add_generalization("Grad", "Student")
+    graph.add_association("Person", "Name")
+    return graph
+
+
+@pytest.fixture()
+def builder(schema):
+    return GraphBuilder(schema)
+
+
+class TestAddObject:
+    def test_instances_share_oid(self, builder):
+        created = builder.add_object(["Grad", "Student", "Person"])
+        oids = {instance.oid for instance in created.values()}
+        assert len(oids) == 1
+
+    def test_generalization_edges_wired(self, builder, schema):
+        created = builder.add_object(["Grad", "Student", "Person"])
+        isa1 = schema.resolve("Grad", "Student")
+        isa2 = schema.resolve("Student", "Person")
+        graph = builder.graph
+        assert graph.are_associated(isa1, created["Grad"], created["Student"])
+        assert graph.are_associated(isa2, created["Student"], created["Person"])
+
+    def test_skipped_intermediate_class_not_linked(self, builder, schema):
+        """Only *adjacent* participating classes get is-a edges."""
+        created = builder.add_object(["Grad", "Person"])
+        graph = builder.graph
+        isa1 = schema.resolve("Grad", "Student")
+        assert graph.partners(isa1, created["Grad"]) == frozenset()
+
+    def test_single_class_string(self, builder):
+        created = builder.add_object("Person")
+        assert set(created) == {"Person"}
+
+    def test_empty_classes_rejected(self, builder):
+        with pytest.raises(ObjectGraphError):
+            builder.add_object([])
+
+    def test_explicit_oid(self, builder):
+        created = builder.add_object(["Person"], oid=77)
+        assert created["Person"].oid == 77
+
+
+class TestAttach:
+    def test_attach_creates_and_links(self, builder, schema):
+        person = builder.add_object("Person")["Person"]
+        name = builder.attach(person, "Name", "Ada")
+        assert builder.graph.value(name) == "Ada"
+        assoc = schema.resolve("Person", "Name")
+        assert builder.graph.are_associated(assoc, person, name)
+
+    def test_attach_reuses_equal_value(self, builder):
+        p1 = builder.add_object("Person")["Person"]
+        p2 = builder.add_object("Person")["Person"]
+        n1 = builder.attach(p1, "Name", "Ada")
+        n2 = builder.attach(p2, "Name", "Ada")
+        assert n1 == n2
+        assert len(builder.graph.extent("Name")) == 1
+
+    def test_link_many(self, builder, schema):
+        people = [builder.add_object("Person")["Person"] for _ in range(2)]
+        names = [builder.add_value("Name", text) for text in ("X", "Y")]
+        builder.link_many(zip(people, names))
+        assoc = schema.resolve("Person", "Name")
+        assert builder.graph.edge_count(assoc) == 2

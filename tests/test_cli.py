@@ -1,0 +1,101 @@
+"""The interactive OQL shell, driven through string streams."""
+
+import io
+
+import pytest
+
+from repro.cli import main, run_shell
+from repro.datasets import university
+from repro.engine.database import Database
+
+
+@pytest.fixture()
+def db():
+    return Database.from_dataset(university())
+
+
+def shell(db, script):
+    out = io.StringIO()
+    run_shell(db, stdin=io.StringIO(script), stdout=out, show_prompt=False)
+    return out.getvalue()
+
+
+def test_query_evaluation(db):
+    out = shell(db, "pi(TA * Grad)[TA]\n")
+    assert "2 pattern(s):" in out
+
+
+def test_schema_command(db):
+    out = shell(db, "\\schema\n")
+    assert "Person" in out and "generalization" in out
+
+
+def test_extent_command(db):
+    out = shell(db, "\\extent GPA\n")
+    assert "6 instance(s)" in out
+    assert "= 3.9" in out
+
+
+def test_extent_usage(db):
+    out = shell(db, "\\extent\n")
+    assert "usage" in out
+
+
+def test_values_command(db):
+    out = shell(db, "\\values SS# pi(TA * Grad * Student * Person * SS#)[SS#]\n")
+    assert "[333, 444]" in out
+
+
+def test_trace_command(db):
+    out = shell(db, "\\trace TA * Grad\n")
+    assert "patterns" in out and "result (2 pattern(s)):" in out
+
+
+def test_plan_command(db):
+    out = shell(db, "\\plan TA * Grad * Student\n")
+    assert "candidate plan" in out
+
+
+def test_dot_command(db):
+    out = shell(db, "\\dot\n")
+    assert "shape=box" in out
+
+
+def test_help_and_unknown(db):
+    out = shell(db, "\\help\n\\bogus\n")
+    assert "\\schema" in out
+    assert "unknown command" in out
+
+
+def test_error_reporting(db):
+    out = shell(db, "Bogus * Query\n\\extent Bogus\n")
+    assert out.count("error:") == 2
+
+
+def test_quit(db):
+    out = shell(db, "\\quit\npi(TA)[TA]\n")
+    assert "pattern(s):" not in out  # the query after \quit never ran
+
+
+def test_blank_lines_ignored(db):
+    out = shell(db, "\n\n\\quit\n")
+    assert "error" not in out
+
+
+def test_save_command(db, tmp_path):
+    path = tmp_path / "snap.json"
+    out = shell(db, f"\\save {path}\n")
+    assert "saved to" in out
+    assert path.exists()
+    out2 = shell(db, "\\save\n")
+    assert "usage" in out2
+
+
+def test_main_with_snapshot(tmp_path, db, monkeypatch, capsys):
+    from repro.storage import save_database
+
+    path = tmp_path / "db.json"
+    save_database(db, path)
+    monkeypatch.setattr("sys.stdin", io.StringIO("\\quit\n"))
+    assert main([str(path)]) == 0
+    assert "A-algebra shell" in capsys.readouterr().out

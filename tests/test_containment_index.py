@@ -1,0 +1,55 @@
+"""The containment index behind A-Difference / A-Divide."""
+
+from repro.core.edges import complement, inter
+from repro.core.operators.containment import ContainmentIndex
+from repro.core.pattern import Pattern
+
+
+def P(*parts):
+    return Pattern.build(*parts)
+
+
+def test_empty_index(fig7):
+    index = ContainmentIndex(())
+    assert not index
+    assert len(index) == 0
+    assert not index.any_contained_in(P(fig7.a1))
+
+
+def test_finds_contained_patterns(fig7):
+    f = fig7
+    small1 = P(inter(f.a1, f.b1))
+    small2 = P(f.c1)
+    small3 = P(inter(f.a3, f.b2))
+    index = ContainmentIndex([small1, small2, small3])
+    candidate = P(inter(f.a1, f.b1), inter(f.b1, f.c1))
+    assert set(index.contained_in(candidate)) == {small1, small2}
+    assert index.any_contained_in(candidate)
+
+
+def test_polarity_respected(fig7):
+    f = fig7
+    index = ContainmentIndex([P(complement(f.a1, f.b1))])
+    candidate = P(inter(f.a1, f.b1))
+    assert not index.any_contained_in(candidate)
+
+
+def test_matches_naive_semantics(fig7):
+    """The index must agree with the brute-force double loop."""
+    f = fig7
+    divisors = [
+        P(f.a1),
+        P(inter(f.b1, f.c1)),
+        P(inter(f.b1, f.c2), inter(f.c2, f.d1)),
+        P(complement(f.b2, f.c3)),
+    ]
+    candidates = [
+        P(inter(f.a1, f.b1), inter(f.b1, f.c1)),
+        P(inter(f.b1, f.c2), inter(f.c2, f.d1), inter(f.a1, f.b1)),
+        P(complement(f.b2, f.c3), inter(f.c3, f.c4)),
+        P(f.d4),
+    ]
+    index = ContainmentIndex(divisors)
+    for candidate in candidates:
+        naive = {d for d in divisors if candidate.contains(d)}
+        assert set(index.contained_in(candidate)) == naive

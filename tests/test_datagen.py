@@ -1,0 +1,87 @@
+"""Synthetic generators: determinism, shape, connectivity guarantees."""
+
+import pytest
+
+from repro.datagen import (
+    chain_dataset,
+    figure10_dataset,
+    star_dataset,
+    university_scaled,
+)
+
+
+class TestChain:
+    def test_shape(self):
+        ds = chain_dataset(n_classes=5, extent_size=10, density=0.2, seed=1)
+        assert len(ds.schema.class_names) == 5
+        assert len(ds.schema.associations) == 4
+        for name in ds.schema.class_names:
+            assert len(ds.graph.extent(name)) == 10
+
+    def test_deterministic(self):
+        one = chain_dataset(seed=42)
+        two = chain_dataset(seed=42)
+        for assoc in one.schema.associations:
+            matching = two.schema.resolve(assoc.left, assoc.right)
+            assert set(
+                (a.oid, b.oid) for a, b in one.graph.edges(assoc)
+            ) == set((a.oid, b.oid) for a, b in two.graph.edges(matching))
+
+    def test_seed_changes_edges(self):
+        one = chain_dataset(seed=1)
+        two = chain_dataset(seed=2)
+        diffs = 0
+        for assoc in one.schema.associations:
+            matching = two.schema.resolve(assoc.left, assoc.right)
+            if set((a.oid, b.oid) for a, b in one.graph.edges(assoc)) != set(
+                (a.oid, b.oid) for a, b in two.graph.edges(matching)
+            ):
+                diffs += 1
+        assert diffs > 0
+
+    def test_no_dead_ends(self):
+        """Every left-class instance keeps at least one partner."""
+        ds = chain_dataset(extent_size=20, density=0.01, seed=3)
+        for assoc in ds.schema.associations:
+            for instance in ds.graph.extent(assoc.left):
+                assert ds.graph.partners(assoc, instance)
+
+    def test_validates(self):
+        chain_dataset(seed=9).graph.validate()
+
+
+class TestStar:
+    def test_shape(self):
+        ds = star_dataset(n_arms=3, extent_size=5, seed=0)
+        assert len(ds.schema.associations) == 3
+        assert all(a.touches("Hub") for a in ds.schema.associations)
+
+
+class TestFigure10:
+    def test_schema_matches_expression(self):
+        ds = figure10_dataset(extent_size=4)
+        for left, right in (
+            ("A", "B"),
+            ("B", "E"),
+            ("E", "F"),
+            ("B", "C"),
+            ("C", "D"),
+            ("D", "H"),
+            ("C", "G"),
+        ):
+            assert ds.schema.resolve(left, right)
+
+
+class TestScaledUniversity:
+    def test_population(self):
+        db = university_scaled(n_students=30, n_courses=5, seed=1)
+        assert len(db.graph.extent("Student")) == 30
+        assert len(db.graph.extent("TA")) == 3
+        assert len(db.graph.extent("Course")) == 5
+        assert len(db.graph.extent("Section")) == 10
+        db.graph.validate()
+
+    def test_deterministic(self):
+        one = university_scaled(n_students=10, n_courses=3, seed=7)
+        two = university_scaled(n_students=10, n_courses=3, seed=7)
+        assert set(one.graph.instances()) == set(two.graph.instances())

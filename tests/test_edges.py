@@ -1,0 +1,90 @@
+"""Primitive binary patterns: Edge identity, polarity and derivation (§3.1)."""
+
+import pytest
+
+from repro.core.edges import Edge, Polarity, complement, d_complement, d_inter, inter
+from repro.core.identity import iid
+from repro.errors import PatternError
+
+A1 = iid("A", 1)
+B1 = iid("B", 1)
+B2 = iid("B", 2)
+
+
+class TestConstruction:
+    def test_endpoints_canonicalize(self):
+        """Patterns are non-directional: (a b) = (b a)."""
+        assert inter(A1, B1) == inter(B1, A1)
+        assert hash(inter(A1, B1)) == hash(inter(B1, A1))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(PatternError):
+            inter(A1, A1)
+
+    def test_polarity_distinguishes(self):
+        assert inter(A1, B1) != complement(A1, B1)
+
+    def test_different_endpoints_differ(self):
+        assert inter(A1, B1) != inter(A1, B2)
+
+
+class TestDerivedIdentity:
+    def test_d_inter_equals_inter(self):
+        """§3.1: a D-Inter-pattern is *treated as* an Inter-pattern."""
+        assert d_inter(A1, B1) == inter(A1, B1)
+        assert hash(d_inter(A1, B1)) == hash(inter(A1, B1))
+
+    def test_d_complement_equals_complement(self):
+        assert d_complement(A1, B1) == complement(A1, B1)
+
+    def test_derived_flag_preserved_for_rendering(self):
+        assert d_inter(A1, B1).derived
+        assert not inter(A1, B1).derived
+
+    def test_collapse_in_sets(self):
+        """Inside an association pattern the two forms are one edge."""
+        assert len({inter(A1, B1), d_inter(A1, B1)}) == 1
+        assert len({inter(A1, B1), d_complement(A1, B1)}) == 2
+
+
+class TestAccessors:
+    def test_other(self):
+        edge = inter(A1, B1)
+        assert edge.other(A1) == B1
+        assert edge.other(B1) == A1
+
+    def test_other_rejects_non_endpoint(self):
+        with pytest.raises(PatternError):
+            inter(A1, B1).other(B2)
+
+    def test_touches(self):
+        edge = inter(A1, B1)
+        assert edge.touches(A1) and edge.touches(B1)
+        assert not edge.touches(B2)
+
+    def test_classes(self):
+        assert inter(A1, B1).classes == frozenset({"A", "B"})
+
+    def test_iteration(self):
+        assert set(inter(A1, B1)) == {A1, B1}
+
+    def test_polarity_flags(self):
+        assert inter(A1, B1).is_regular
+        assert complement(A1, B1).is_complement
+
+    def test_with_polarity(self):
+        flipped = inter(A1, B1).with_polarity(Polarity.COMPLEMENT)
+        assert flipped == complement(A1, B1)
+
+    def test_as_derived(self):
+        derived = inter(A1, B1).as_derived()
+        assert derived.derived
+        assert derived == inter(A1, B1)
+
+    def test_polarity_invert(self):
+        assert ~Polarity.REGULAR is Polarity.COMPLEMENT
+        assert ~Polarity.COMPLEMENT is Polarity.REGULAR
+
+    def test_str_notation(self):
+        assert str(inter(A1, B1)) == "(a1 b1)"
+        assert str(complement(A1, B1)) == "(~a1 b1)"

@@ -1,0 +1,45 @@
+"""The exception hierarchy: structure and message payloads."""
+
+import pytest
+
+from repro import errors
+
+
+def test_everything_derives_from_repro_error():
+    for name in errors.__all__:
+        exc_type = getattr(errors, name)
+        assert issubclass(exc_type, errors.ReproError)
+
+
+def test_unknown_class_payload():
+    exc = errors.UnknownClassError("Widget")
+    assert exc.name == "Widget"
+    assert "Widget" in str(exc)
+
+
+def test_unknown_association_payload():
+    exc = errors.UnknownAssociationError("A", "B")
+    assert (exc.left, exc.right, exc.assoc_name) == ("A", "B", None)
+    named = errors.UnknownAssociationError("A", "B", "r")
+    assert "r" in str(named)
+
+
+def test_ambiguous_association_payload():
+    exc = errors.AmbiguousAssociationError("A", "B", ["r2", "r1"])
+    assert exc.names == ["r2", "r1"]
+    assert "['r1', 'r2']" in str(exc)  # sorted in the message
+
+
+def test_oql_syntax_error_position():
+    exc = errors.OQLSyntaxError("boom", 3, 14)
+    assert (exc.line, exc.column) == (3, 14)
+    assert "line 3" in str(exc) and "column 14" in str(exc)
+
+
+def test_catch_all_boundary():
+    """Library failures are catchable without bare except."""
+    from repro.schema.graph import SchemaGraph
+
+    schema = SchemaGraph()
+    with pytest.raises(errors.ReproError):
+        schema.class_def("missing")

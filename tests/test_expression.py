@@ -1,0 +1,134 @@
+"""Expression AST: shorthand resolution, overloads, traces, closure."""
+
+import pytest
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.expression import (
+    AssocSpec,
+    Associate,
+    ClassExtent,
+    Complement,
+    Difference,
+    Divide,
+    EvalTrace,
+    Intersect,
+    Literal,
+    NonAssociate,
+    Project,
+    Select,
+    Union,
+    ref,
+)
+from repro.core.predicates import TruePredicate
+from repro.errors import EvaluationError, UnknownAssociationError
+
+
+class TestShorthandResolution:
+    def test_chain_tracks_head_and_tail(self):
+        chain = ref("A") * ref("B") * ref("C")
+        assert chain.head_class == "A"
+        assert chain.tail_class == "C"
+
+    def test_union_of_same_head(self):
+        u = (ref("B") * ref("C")) + (ref("B") * ref("D"))
+        assert u.head_class == "B"
+        assert u.tail_class is None
+
+    def test_select_project_pass_through(self):
+        s = ref("A").where(TruePredicate())
+        assert s.head_class == "A" and s.tail_class == "A"
+        p = s.project(["A"])
+        assert p.head_class is None
+
+    def test_literal_hints(self):
+        lit = Literal(AssociationSet.empty(), head="A", tail="B")
+        assert lit.head_class == "A" and lit.tail_class == "B"
+        assert Literal(AssociationSet.empty(), head="A").tail_class == "A"
+
+    def test_unresolvable_shorthand_raises(self, fig7):
+        bad = Literal(AssociationSet.empty()) * ref("B")
+        with pytest.raises(EvaluationError):
+            bad.evaluate(fig7.graph)
+
+    def test_no_association_between_classes(self, fig7):
+        with pytest.raises(UnknownAssociationError):
+            (ref("A") * ref("C")).evaluate(fig7.graph)
+
+    def test_explicit_spec_overrides(self, fig7):
+        expr = Associate(ref("C"), ref("B"), AssocSpec("C", "B", "BC"))
+        result = expr.evaluate(fig7.graph)
+        assert len(result) == 3  # the three BC edges
+
+
+class TestOperatorOverloads:
+    def test_types(self):
+        a, b = ref("A"), ref("B")
+        assert isinstance(a * b, Associate)
+        assert isinstance(a | b, Complement)
+        assert isinstance(a ^ b, NonAssociate)
+        assert isinstance(a & b, Intersect)
+        assert isinstance(a + b, Union)
+        assert isinstance(a - b, Difference)
+        assert isinstance(a / b, Divide)
+        assert isinstance(a.where(TruePredicate()), Select)
+        assert isinstance(a.project(["A"]), Project)
+        assert isinstance(a.non_assoc(b), NonAssociate)
+
+    def test_association_set_coerces_to_literal(self, fig7):
+        aset = AssociationSet.of_inners(fig7.graph.extent("B"))
+        expr = ref("A") * aset
+        assert isinstance(expr.right, Literal)
+
+    def test_rejects_garbage_operand(self):
+        with pytest.raises(EvaluationError):
+            ref("A") * 42  # type: ignore[operator]
+
+
+class TestStructuralEquality:
+    def test_equal_trees(self):
+        assert ref("A") * ref("B") == ref("A") * ref("B")
+        assert ref("A") * ref("B") != ref("B") * ref("A")
+        assert hash(ref("A") * ref("B")) == hash(ref("A") * ref("B"))
+
+    def test_different_node_types_differ(self):
+        assert (ref("A") * ref("B")) != (ref("A") | ref("B"))
+
+    def test_intersect_classes_matter(self):
+        assert Intersect(ref("A"), ref("B"), ["A"]) != Intersect(
+            ref("A"), ref("B"), ["B"]
+        )
+
+
+class TestEvaluation:
+    def test_class_extent(self, fig7):
+        result = ref("A").evaluate(fig7.graph)
+        assert len(result) == 4
+
+    def test_chain_evaluation(self, fig7):
+        result = (ref("A") * ref("B") * ref("C")).evaluate(fig7.graph)
+        # a1—b1—{c1,c2} and a4—b3—c4.
+        assert len(result) == 3
+
+    def test_children(self):
+        expr = ref("A") * ref("B")
+        assert [str(c) for c in expr.children()] == ["A", "B"]
+        assert ref("A").children() == ()
+
+    def test_rendering(self):
+        expr = (ref("A") * ref("B")).project(["A"], ["A:B"])
+        assert str(expr) == "Π((A * B))[A; A:B]"
+        assert str(ref("A") / ref("B")) == "(A ÷ B)"
+        assert str(Divide(ref("A"), ref("B"), ["A"])) == "(A ÷{A} B)"
+
+
+class TestTrace:
+    def test_trace_records_every_node(self, fig7):
+        trace = EvalTrace()
+        (ref("A") * ref("B")).evaluate(fig7.graph, trace)
+        assert len(trace.steps) == 3  # A, B, A*B
+        assert trace.total_patterns == 4 + 3 + 3
+        assert trace.total_seconds >= 0
+        assert "patterns" in trace.pretty()
+
+    def test_trace_optional(self, fig7):
+        assert (ref("A")).evaluate(fig7.graph) is not None

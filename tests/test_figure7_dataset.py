@@ -1,0 +1,46 @@
+"""The reconstructed Figure 7 domain satisfies every prose constraint."""
+
+def test_extents(fig7):
+    g = fig7.graph
+    assert len(g.extent("A")) == 4
+    assert len(g.extent("B")) == 3
+    assert len(g.extent("C")) == 4
+    assert len(g.extent("D")) == 4
+
+
+def test_figure_8a_constraints(fig7):
+    f, g = fig7, fig7.graph
+    assert g.are_associated(f.bc, f.b1, f.c1)
+    assert g.are_associated(f.bc, f.b1, f.c2)
+    # b2 "is not associated with any Inner-pattern of class C".
+    assert g.partners(f.bc, f.b2) == frozenset()
+    # c4's only B-partner is b3; c3 has none.
+    assert g.partners(f.bc, f.c4) == {f.b3}
+    assert g.partners(f.bc, f.c3) == frozenset()
+
+
+def test_figure_8b_complements(fig7):
+    f, g = fig7, fig7.graph
+    assert g.complement_partners(f.bc, f.b1) == {f.c3, f.c4}
+    assert g.complement_partners(f.bc, f.b3) == {f.c1, f.c2, f.c3}
+
+
+def test_operand_patterns_exist_in_og(fig7):
+    """Operand patterns drawn in Figure 8 are subgraphs of the OG.
+
+    Exception: ``(c1 d1)`` of Figure 8a is operand-only — the §3.3.2
+    associativity counterexample requires ``(c1, d1) ∉ R(C,D)``.
+    """
+    f, g = fig7, fig7.graph
+    for assoc, pairs in [
+        (f.ab, [(f.a1, f.b1), (f.a3, f.b2), (f.a4, f.b3)]),
+        (f.cd, [(f.c2, f.d1), (f.c2, f.d2), (f.c4, f.d3), (f.c4, f.d4)]),
+    ]:
+        for left, right in pairs:
+            assert g.are_associated(assoc, left, right)
+    assert not g.are_associated(f.cd, f.c1, f.d1)
+
+
+def test_graph_validates(fig7):
+    fig7.graph.validate()
+    fig7.schema.validate()

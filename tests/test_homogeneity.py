@@ -1,0 +1,90 @@
+"""Homogeneous association-sets (§3.2), reproducing Figure 6."""
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import complement, inter
+from repro.core.homogeneity import heterogeneity_report, is_homogeneous, representative
+from repro.core.identity import iid
+from repro.core.pattern import Pattern
+
+
+def P(*parts):
+    return Pattern.build(*parts)
+
+
+def v(cls, n):
+    return iid(cls, n)
+
+
+class TestFigure6:
+    """The three example association-sets of Figure 6."""
+
+    def test_alpha_is_homogeneous(self):
+        """α: same classes, same counts, same chain topology."""
+        alpha = AssociationSet(
+            [
+                P(inter(v("A", 1), v("B", 1)), inter(v("B", 1), v("C", 1))),
+                P(inter(v("A", 2), v("B", 2)), inter(v("B", 2), v("C", 2))),
+                P(inter(v("A", 3), v("B", 3)), inter(v("B", 3), v("C", 3))),
+            ]
+        )
+        assert is_homogeneous(alpha)
+        assert heterogeneity_report(alpha) == []
+
+    def test_beta_fails_on_instance_counts(self):
+        """β³ has one C Inner-pattern instead of two."""
+        beta = AssociationSet(
+            [
+                P(
+                    inter(v("B", 1), v("C", 1)),
+                    inter(v("B", 1), v("C", 2)),
+                ),
+                P(
+                    inter(v("B", 2), v("C", 3)),
+                    inter(v("B", 2), v("C", 4)),
+                ),
+                P(inter(v("B", 3), v("C", 5))),
+            ]
+        )
+        assert not is_homogeneous(beta)
+        assert any("counts" in reason for reason in heterogeneity_report(beta))
+
+    def test_gamma_fails_on_primitive_pattern_type(self):
+        """γ³ contains a Complement-pattern where the others are Inter."""
+        gamma = AssociationSet(
+            [
+                P(inter(v("B", 1), v("C", 1))),
+                P(inter(v("B", 2), v("C", 2))),
+                P(complement(v("B", 3), v("C", 3))),
+            ]
+        )
+        assert not is_homogeneous(gamma)
+        assert any("isomorphic" in reason for reason in heterogeneity_report(gamma))
+
+
+class TestEdgeCases:
+    def test_empty_and_singleton_are_homogeneous(self):
+        assert is_homogeneous(AssociationSet.empty())
+        assert is_homogeneous(AssociationSet([P(v("A", 1))]))
+
+    def test_different_class_sets(self):
+        mixed = AssociationSet([P(v("A", 1)), P(v("B", 1))])
+        assert not is_homogeneous(mixed)
+        assert any("classes" in r for r in heterogeneity_report(mixed))
+
+    def test_topology_differs_chain_vs_star(self):
+        chain = P(
+            inter(v("A", 1), v("B", 1)),
+            inter(v("B", 1), v("C", 1)),
+            inter(v("C", 1), v("D", 1)),
+        )
+        star = P(
+            inter(v("A", 2), v("B", 2)),
+            inter(v("B", 2), v("C", 2)),
+            inter(v("B", 2), v("D", 2)),
+        )
+        assert not is_homogeneous(AssociationSet([chain, star]))
+
+    def test_representative(self):
+        assert representative(AssociationSet.empty()) is None
+        aset = AssociationSet([P(v("B", 1)), P(v("A", 1))])
+        assert representative(aset) == P(v("A", 1))

@@ -1,0 +1,66 @@
+"""IIDs, OIDs and the allocator (§3.3.1)."""
+
+import pytest
+
+from repro.core.identity import IID, OIDAllocator, iid
+
+
+class TestIID:
+    def test_equality_and_hash(self):
+        assert iid("A", 1) == IID("A", 1)
+        assert hash(iid("A", 1)) == hash(IID("A", 1))
+        assert iid("A", 1) != iid("B", 1)
+        assert iid("A", 1) != iid("A", 2)
+
+    def test_ordering_is_class_then_oid(self):
+        assert sorted([iid("B", 1), iid("A", 2), iid("A", 1)]) == [
+            iid("A", 1),
+            iid("A", 2),
+            iid("B", 1),
+        ]
+
+    def test_same_object_across_classes(self):
+        """Instances of one object in several classes share the OID."""
+        ta = iid("TA", 7)
+        grad = iid("Grad", 7)
+        other = iid("Grad", 8)
+        assert ta.same_object(grad)
+        assert not ta.same_object(other)
+
+    def test_label_single_letter_class(self):
+        assert iid("A", 3).label == "a3"
+
+    def test_label_long_class(self):
+        assert iid("Student", 12).label == "Student#12"
+
+    def test_str_and_repr(self):
+        assert str(iid("A", 1)) == "a1"
+        assert repr(iid("A", 1)) == "IID('A', 1)"
+
+
+class TestOIDAllocator:
+    def test_monotonic_allocation(self):
+        allocator = OIDAllocator()
+        first, second = allocator.allocate(), allocator.allocate()
+        assert second > first
+
+    def test_allocation_skips_reserved(self):
+        allocator = OIDAllocator()
+        allocator.reserve(1)
+        allocator.reserve(2)
+        assert allocator.allocate() == 3
+
+    def test_reserve_is_idempotent(self):
+        allocator = OIDAllocator()
+        allocator.reserve(5)
+        allocator.reserve(5)
+        assert 5 in allocator.reserved
+
+    def test_reserve_many(self):
+        allocator = OIDAllocator()
+        allocator.reserve_many([1, 2, 3])
+        assert allocator.allocate() == 4
+
+    def test_custom_start(self):
+        allocator = OIDAllocator(start=100)
+        assert allocator.allocate() == 100

@@ -1,0 +1,126 @@
+"""The executable-laws module itself: LawCheck mechanics and deterministic
+spot checks of each law function on the Figure 7 domain."""
+
+from repro.core import laws
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import inter
+from repro.core.pattern import Pattern
+
+
+def P(*parts):
+    return Pattern.build(*parts)
+
+
+class TestLawCheck:
+    def test_holds_and_bool(self, fig7):
+        aset = AssociationSet([P(fig7.a1)])
+        check = laws.LawCheck("demo", aset, aset)
+        assert check.holds
+        assert bool(check)
+        assert "holds" in check.explain()
+
+    def test_violation_explanation_lists_both_sides(self, fig7):
+        f = fig7
+        check = laws.LawCheck(
+            "demo",
+            AssociationSet([P(f.a1)]),
+            AssociationSet([P(f.a2)]),
+        )
+        assert not check
+        text = check.explain()
+        assert "lhs-only" in text and "(a1)" in text
+        assert "rhs-only" in text and "(a2)" in text
+
+
+class TestDeterministicSpotChecks:
+    """One concrete instance per law, over Figure 7 (fast, readable)."""
+
+    def test_commutativity_all_five(self, fig7):
+        f = fig7
+        alpha = AssociationSet([P(inter(f.a1, f.b1)), P(f.b2)])
+        beta = AssociationSet([P(f.c1), P(f.c3)])
+        assert laws.commutativity_associate(f.graph, f.bc, alpha, beta, "B", "C")
+        assert laws.commutativity_complement(f.graph, f.bc, alpha, beta, "B", "C")
+        assert laws.commutativity_nonassociate(f.graph, f.bc, alpha, beta, "B", "C")
+        assert laws.commutativity_intersect(alpha, beta)
+        assert laws.commutativity_union(alpha, beta)
+
+    def test_idempotency(self, fig7):
+        f = fig7
+        homogeneous = AssociationSet([P(inter(f.b1, f.c1)), P(inter(f.b1, f.c2))])
+        assert laws.idempotency_union(homogeneous)
+        assert laws.idempotency_intersect(homogeneous)
+
+    def test_associativity_associate(self, fig7):
+        f = fig7
+        alpha = AssociationSet([P(inter(f.a1, f.b1))])
+        beta = AssociationSet([P(f.b1), P(f.b3)])
+        gamma = AssociationSet([P(f.d3), P(f.d4)])
+        # α *[AB] β, then *[CD] γ — classes: no C in α, no B in γ.
+        assert laws.associativity_condition(alpha, gamma, "B", "C")
+        check = laws.associativity_associate(
+            f.graph,
+            f.ab,
+            f.cd,
+            alpha,
+            AssociationSet([P(inter(f.b3, f.c4))]),
+            gamma,
+            ("A", "B"),
+            ("C", "D"),
+        )
+        assert check.holds, check.explain()
+
+    def test_intersect_associativity_condition(self, fig7):
+        f = fig7
+        alpha = AssociationSet([P(f.a1)])
+        gamma = AssociationSet([P(f.d1)])
+        assert laws.intersect_associativity_condition(
+            alpha, gamma, frozenset({"B"}), frozenset({"B"})
+        )
+        assert not laws.intersect_associativity_condition(
+            alpha, gamma, frozenset({"B", "D"}), frozenset({"B"})
+        )
+
+    def test_distributivity_condition(self, fig7):
+        f = fig7
+        alpha = AssociationSet([P(f.b1), P(f.b2)])
+        beta = AssociationSet([P(f.c1)])
+        gamma = AssociationSet([P(f.c2)])
+        assert laws.distributivity_condition(alpha, beta, gamma, "C", frozenset({"C"}))
+        # i) fails: CL2 ∉ W.
+        assert not laws.distributivity_condition(
+            alpha, beta, gamma, "C", frozenset({"D"})
+        )
+        # ii) fails: α overlaps β's classes.
+        assert not laws.distributivity_condition(
+            AssociationSet([P(f.c3)]), beta, gamma, "C", frozenset({"C"})
+        )
+        # iii) fails: α heterogeneous.
+        hetero = AssociationSet([P(f.b1), P(inter(f.a1, f.b1))])
+        assert not laws.distributivity_condition(
+            hetero, beta, gamma, "C", frozenset({"C"})
+        )
+
+    def test_distributivity_a_c_spot(self, fig7):
+        f = fig7
+        alpha = AssociationSet([P(f.b1), P(f.b3)])
+        beta = AssociationSet([P(f.c1)])
+        gamma = AssociationSet([P(f.c4)])
+        assert laws.dist_associate_over_union(
+            f.graph, f.bc, alpha, beta, gamma, ("B", "C")
+        )
+        assert laws.dist_intersect_over_union(alpha, beta, gamma, frozenset({"C"}))
+
+    def test_distributivity_d_e_f_spot(self, fig7):
+        f = fig7
+        alpha = AssociationSet([P(f.b1), P(f.b2)])
+        beta = AssociationSet([P(inter(f.c1, f.d1)), P(f.c3)])
+        gamma = AssociationSet([P(inter(f.c1, f.d1))])
+        w = frozenset({"C", "D"})
+        assert laws.distributivity_condition(alpha, beta, gamma, "C", w)
+        assert laws.dist_associate_over_intersect(
+            f.graph, f.bc, alpha, beta, gamma, w, ("B", "C")
+        )
+        assert laws.dist_complement_over_intersect(
+            f.graph, f.bc, alpha, beta, gamma, w, ("B", "C")
+        )

@@ -1,0 +1,186 @@
+"""Object Graph (§3.1): extents, edges, derived complement edges (Figure 4)."""
+
+import pytest
+
+from repro.core.identity import iid
+from repro.errors import (
+    InvalidEdgeError,
+    ObjectGraphError,
+    UnknownClassError,
+    UnknownInstanceError,
+)
+from repro.objects.graph import ObjectGraph
+from repro.schema.graph import SchemaGraph
+
+
+@pytest.fixture()
+def schema():
+    graph = SchemaGraph()
+    graph.add_entity_class("Section")
+    graph.add_entity_class("Student")
+    graph.add_domain_class("GPA")
+    graph.add_association("Section", "Student", "takes")
+    graph.add_association("Student", "GPA")
+    return graph
+
+
+@pytest.fixture()
+def og(schema):
+    return ObjectGraph(schema)
+
+
+class TestInstances:
+    def test_add_and_extent(self, og):
+        s = og.add_instance("Student")
+        assert s.cls == "Student"
+        assert og.extent("Student") == {s}
+
+    def test_pinned_oid(self, og):
+        s = og.add_instance("Student", oid=42)
+        assert s == iid("Student", 42)
+        # Fresh allocations avoid the reserved OID.
+        other = og.add_instance("Student")
+        assert other.oid != 42
+
+    def test_duplicate_instance_rejected(self, og):
+        og.add_instance("Student", oid=1)
+        with pytest.raises(ObjectGraphError):
+            og.add_instance("Student", oid=1)
+
+    def test_unknown_class_rejected(self, og):
+        with pytest.raises(UnknownClassError):
+            og.add_instance("Nope")
+        with pytest.raises(UnknownClassError):
+            og.extent("Nope")
+
+    def test_values(self, og):
+        gpa = og.add_instance("GPA", value=3.5)
+        assert og.value(gpa) == 3.5
+        og.set_value(gpa, 3.6)
+        assert og.value(gpa) == 3.6
+
+    def test_value_of_unknown_instance(self, og):
+        with pytest.raises(UnknownInstanceError):
+            og.value(iid("GPA", 99))
+
+    def test_instances_of_object(self, og):
+        a = og.add_instance("Student", oid=7)
+        b = og.add_instance("Section", oid=7)
+        og.add_instance("Section", oid=8)
+        assert og.instances_of_object(7) == {a, b}
+
+    def test_remove_instance_cleans_edges(self, og, schema):
+        takes = schema.resolve("Section", "Student")
+        section = og.add_instance("Section")
+        student = og.add_instance("Student")
+        og.add_edge(takes, section, student)
+        og.remove_instance(student)
+        assert og.partners(takes, section) == frozenset()
+        assert not og.has_instance(student)
+        og.validate()
+
+
+class TestRegularEdges:
+    def test_add_and_query(self, og, schema):
+        takes = schema.resolve("Section", "Student")
+        section = og.add_instance("Section")
+        student = og.add_instance("Student")
+        og.add_edge(takes, section, student)
+        assert og.are_associated(takes, section, student)
+        assert og.are_associated(takes, student, section)  # symmetric
+        assert og.partners(takes, section) == {student}
+
+    def test_edge_endpoint_validation(self, og, schema):
+        takes = schema.resolve("Section", "Student")
+        s1 = og.add_instance("Student")
+        s2 = og.add_instance("Student")
+        with pytest.raises(InvalidEdgeError):
+            og.add_edge(takes, s1, s2)
+
+    def test_edge_requires_instances(self, og, schema):
+        takes = schema.resolve("Section", "Student")
+        student = og.add_instance("Student")
+        with pytest.raises(UnknownInstanceError):
+            og.add_edge(takes, iid("Section", 99), student)
+
+    def test_edges_iteration_oriented_left_first(self, og, schema):
+        takes = schema.resolve("Section", "Student")
+        section = og.add_instance("Section")
+        student = og.add_instance("Student")
+        og.add_edge(takes, section, student)
+        assert list(og.edges(takes)) == [(section, student)]
+        assert og.edge_count(takes) == 1
+
+    def test_add_edge_idempotent(self, og, schema):
+        takes = schema.resolve("Section", "Student")
+        section = og.add_instance("Section")
+        student = og.add_instance("Student")
+        og.add_edge(takes, section, student)
+        og.add_edge(takes, section, student)
+        assert og.edge_count(takes) == 1
+
+    def test_remove_edge(self, og, schema):
+        takes = schema.resolve("Section", "Student")
+        section = og.add_instance("Section")
+        student = og.add_instance("Student")
+        og.add_edge(takes, section, student)
+        og.remove_edge(takes, section, student)
+        assert not og.are_associated(takes, section, student)
+        with pytest.raises(InvalidEdgeError):
+            og.remove_edge(takes, section, student)
+
+
+class TestComplementEdges:
+    """Figure 4: complement edges are derived, never stored."""
+
+    @pytest.fixture()
+    def populated(self, og, schema):
+        takes = schema.resolve("Section", "Student")
+        sc1 = og.add_instance("Section", oid=1)
+        students = [og.add_instance("Student", oid=10 + i) for i in range(4)]
+        # sc1 is taken by s2 and s3, not taken by s1 and s4 (Figure 4).
+        og.add_edge(takes, sc1, students[1])
+        og.add_edge(takes, sc1, students[2])
+        return og, takes, sc1, students
+
+    def test_complement_partners(self, populated):
+        og, takes, sc1, students = populated
+        assert og.complement_partners(takes, sc1) == {students[0], students[3]}
+
+    def test_are_complement(self, populated):
+        og, takes, sc1, students = populated
+        assert og.are_complement(takes, sc1, students[0])
+        assert not og.are_complement(takes, sc1, students[1])
+
+    def test_complement_edges_enumeration(self, populated):
+        og, takes, sc1, students = populated
+        pairs = set(og.complement_edges(takes))
+        assert pairs == {(sc1, students[0]), (sc1, students[3])}
+
+    def test_complement_count_is_extent_product_minus_edges(self, populated):
+        og, takes, sc1, students = populated
+        total = len(og.extent("Section")) * len(og.extent("Student"))
+        assert len(list(og.complement_edges(takes))) == total - og.edge_count(takes)
+
+
+class TestStatisticsAndValidation:
+    def test_statistics(self, og, schema):
+        takes = schema.resolve("Section", "Student")
+        section = og.add_instance("Section")
+        student = og.add_instance("Student")
+        og.add_edge(takes, section, student)
+        stats = og.statistics()
+        assert stats["classes"] == {"Section": 1, "Student": 1}
+        assert stats["associations"]["takes"]["edges"] == 1
+        assert stats["associations"]["takes"]["density"] == 1.0
+
+    def test_validate_clean(self, og, schema):
+        takes = schema.resolve("Section", "Student")
+        section = og.add_instance("Section")
+        student = og.add_instance("Student")
+        og.add_edge(takes, section, student)
+        og.validate()
+
+    def test_str(self, og):
+        og.add_instance("Student")
+        assert "1 instances" in str(og)

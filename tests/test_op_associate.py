@@ -1,0 +1,112 @@
+"""Associate (*) — §3.3.2(1), including the Figure 8a regression."""
+
+import pytest
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import inter
+from repro.core.operators import associate
+from repro.core.pattern import Pattern
+
+
+def P(*parts):
+    return Pattern.build(*parts)
+
+
+def test_figure_8a(fig7):
+    """The exact worked example of Figure 8a (over R(B,C))."""
+    f = fig7
+    alpha = AssociationSet(
+        [
+            P(inter(f.a1, f.b1)),  # α¹
+            P(f.a2),  # α² — no B-instance
+            P(inter(f.a3, f.b2)),  # α³ — b2 has no C partner
+        ]
+    )
+    beta = AssociationSet(
+        [
+            P(inter(f.c1, f.d1)),  # β¹
+            P(inter(f.c2, f.d2)),  # β²
+            P(f.c3),  # β³ — c3 has no B partner
+            P(inter(f.c4, f.d3)),  # β⁴ — c4's partner b3 is not in α
+        ]
+    )
+    result = associate(alpha, beta, f.graph, f.bc)
+    expected = AssociationSet(
+        [
+            P(inter(f.a1, f.b1), inter(f.b1, f.c1), inter(f.c1, f.d1)),
+            P(inter(f.a1, f.b1), inter(f.b1, f.c2), inter(f.c2, f.d2)),
+        ]
+    )
+    assert result == expected
+
+
+def test_empty_operands(fig7):
+    f = fig7
+    alpha = AssociationSet([P(inter(f.a1, f.b1))])
+    empty = AssociationSet.empty()
+    assert associate(alpha, empty, f.graph, f.bc) == empty
+    assert associate(empty, alpha, f.graph, f.bc) == empty
+
+
+def test_result_patterns_are_connected(fig7):
+    f = fig7
+    alpha = AssociationSet([P(inter(f.a1, f.b1))])
+    beta = AssociationSet([P(inter(f.c1, f.d1))])
+    result = associate(alpha, beta, f.graph, f.bc)
+    assert len(result) == 1
+    assert all(p.is_connected() for p in result)
+
+
+def test_deduplicates_results(fig7):
+    """Two operand pairs concatenating to the same pattern yield one copy."""
+    f = fig7
+    alpha = AssociationSet([P(f.b1)])
+    beta = AssociationSet([P(f.c1)])
+    result = associate(alpha, beta, f.graph, f.bc)
+    assert result == AssociationSet([P(inter(f.b1, f.c1))])
+    # Feeding overlapping operands cannot create duplicates either.
+    alpha2 = AssociationSet([P(f.b1), P(inter(f.a1, f.b1))])
+    result2 = associate(alpha2, beta, f.graph, f.bc)
+    assert len(result2) == 2
+
+
+def test_multiple_instances_per_pattern(fig7):
+    """Every (a_m, b_n) witness produces its own concatenation."""
+    f = fig7
+    # One α pattern holding two B-instances: b1 (has C partners) and b2.
+    alpha = AssociationSet([P(inter(f.a1, f.b1), inter(f.a1, f.b2))])
+    beta = AssociationSet([P(f.c1), P(f.c2)])
+    result = associate(alpha, beta, f.graph, f.bc)
+    assert len(result) == 2  # b1—c1 and b1—c2; b2 contributes nothing
+
+
+def test_orientation_explicit(fig7):
+    """Explicit orientation lets β join through the left end class."""
+    f = fig7
+    alpha = AssociationSet([P(f.c1)])
+    beta = AssociationSet([P(f.b1)])
+    result = associate(alpha, beta, f.graph, f.bc, "C", "B")
+    assert result == AssociationSet([P(inter(f.b1, f.c1))])
+
+
+def test_associate_drops_patterns_without_end_class(fig7):
+    f = fig7
+    alpha = AssociationSet([P(f.a1)])  # no B-instance at all
+    beta = AssociationSet([P(f.c1)])
+    assert associate(alpha, beta, f.graph, f.bc) == AssociationSet.empty()
+
+
+def test_self_concatenation_of_extents(fig7):
+    """Class extents associate into the edge set of the association."""
+    f = fig7
+    b_extent = AssociationSet.of_inners(f.graph.extent("B"))
+    c_extent = AssociationSet.of_inners(f.graph.extent("C"))
+    result = associate(b_extent, c_extent, f.graph, f.bc)
+    expected = AssociationSet(
+        [
+            P(inter(f.b1, f.c1)),
+            P(inter(f.b1, f.c2)),
+            P(inter(f.b3, f.c4)),
+        ]
+    )
+    assert result == expected

@@ -1,0 +1,98 @@
+"""A-Complement (|) — §3.3.2(2), including the Figure 8b regression."""
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import complement, inter
+from repro.core.operators import a_complement
+from repro.core.pattern import Pattern
+
+
+def P(*parts):
+    return Pattern.build(*parts)
+
+
+def test_figure_8b(fig7):
+    """The worked example of Figure 8b (over R(B,C)).
+
+    Complement partners in the reconstructed domain:
+    b1 ↛ {c3, c4};  b3 ↛ {c1, c2, c3}.
+    """
+    f = fig7
+    alpha = AssociationSet(
+        [
+            P(inter(f.a1, f.b1)),  # α¹ — associated with c1 and c2
+            P(f.a2),  # α² — no B-instance, dropped
+            P(inter(f.a4, f.b3)),  # α³
+        ]
+    )
+    beta = AssociationSet(
+        [
+            P(inter(f.c1, f.d1)),  # β¹
+            P(inter(f.c2, f.d2)),  # β²
+            P(f.c3),  # β³
+        ]
+    )
+    result = a_complement(alpha, beta, f.graph, f.bc)
+    expected = AssociationSet(
+        [
+            P(inter(f.a1, f.b1), complement(f.b1, f.c3)),
+            P(inter(f.a4, f.b3), complement(f.b3, f.c1), inter(f.c1, f.d1)),
+            P(inter(f.a4, f.b3), complement(f.b3, f.c2), inter(f.c2, f.d2)),
+            P(inter(f.a4, f.b3), complement(f.b3, f.c3)),
+        ]
+    )
+    assert result == expected
+
+
+def test_retention_beta_empty(fig7):
+    """α's participating patterns survive an empty β verbatim."""
+    f = fig7
+    alpha = AssociationSet([P(inter(f.a1, f.b1)), P(f.a2)])
+    result = a_complement(alpha, AssociationSet.empty(), f.graph, f.bc)
+    assert result == AssociationSet([P(inter(f.a1, f.b1))])
+
+
+def test_retention_beta_without_end_class(fig7):
+    """β nonempty but holding no C-instances behaves like the empty β."""
+    f = fig7
+    alpha = AssociationSet([P(inter(f.a1, f.b1))])
+    beta = AssociationSet([P(f.d1)])
+    result = a_complement(alpha, beta, f.graph, f.bc)
+    assert result == AssociationSet([P(inter(f.a1, f.b1))])
+
+
+def test_retention_symmetric(fig7):
+    f = fig7
+    beta = AssociationSet([P(f.c1)])
+    result = a_complement(AssociationSet.empty(), beta, f.graph, f.bc)
+    assert result == beta
+
+
+def test_both_sides_unusable_yields_empty(fig7):
+    f = fig7
+    alpha = AssociationSet([P(f.a1)])  # no B
+    beta = AssociationSet([P(f.d1)])  # no C
+    result = a_complement(alpha, beta, f.graph, f.bc)
+    # α retention requires β to lack C-instances (it does) → α's patterns
+    # with B-instances retained: there are none.  Symmetrically for β.
+    assert result == AssociationSet.empty()
+
+
+def test_fully_associated_pair_produces_nothing(fig7):
+    """When a_m is associated with every C-instance in β, no γ appears."""
+    f = fig7
+    alpha = AssociationSet([P(f.b1)])
+    beta = AssociationSet([P(f.c1)])  # b1—c1 is a regular edge
+    result = a_complement(alpha, beta, f.graph, f.bc)
+    assert result == AssociationSet.empty()
+
+
+def test_complement_of_extents_is_complement_edge_set(fig7):
+    """Extent | extent enumerates exactly the derived complement edges."""
+    f = fig7
+    b_extent = AssociationSet.of_inners(f.graph.extent("B"))
+    c_extent = AssociationSet.of_inners(f.graph.extent("C"))
+    result = a_complement(b_extent, c_extent, f.graph, f.bc)
+    expected_pairs = set(f.graph.complement_edges(f.bc))
+    assert len(result) == len(expected_pairs)
+    for b, c in expected_pairs:
+        assert P(complement(b, c)) in result

@@ -1,0 +1,103 @@
+"""A-Divide (÷) — §3.3.2(9), including the Figure 8g regression."""
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import inter
+from repro.core.operators import a_divide
+from repro.core.pattern import Pattern
+
+
+def P(*parts):
+    return Pattern.build(*parts)
+
+
+def test_figure_8g(fig7):
+    """The worked example (over {B}): the b1-group jointly contains β."""
+    f = fig7
+    alpha1 = P(inter(f.a1, f.b1), inter(f.b1, f.c1))
+    alpha2 = P(inter(f.b1, f.c2), inter(f.c2, f.d1))
+    alpha3 = P(inter(f.b1, f.c4), inter(f.c4, f.d4))
+    beta = AssociationSet(
+        [
+            P(f.d1),
+            P(inter(f.a1, f.b1)),
+            P(inter(f.b1, f.c2)),
+            P(inter(f.c4, f.d4)),
+        ]
+    )
+    alpha = AssociationSet([alpha1, alpha2, alpha3])
+    result = a_divide(alpha, beta, ["B"])
+    assert result == alpha  # the whole group is returned
+
+
+def test_group_failing_coverage_is_dropped(fig7):
+    f = fig7
+    alpha1 = P(inter(f.a1, f.b1), inter(f.b1, f.c1))
+    alpha2 = P(inter(f.b2, f.c2))  # different B signature → own group
+    beta = AssociationSet([P(f.d1)])  # contained in neither group
+    result = a_divide(AssociationSet([alpha1, alpha2]), beta, ["B"])
+    assert result == AssociationSet.empty()
+
+
+def test_groups_are_independent(fig7):
+    """Only groups covering every divisor pattern survive."""
+    f = fig7
+    group_b1 = [
+        P(inter(f.b1, f.c1)),
+        P(inter(f.b1, f.c2)),
+    ]
+    group_b2 = [P(inter(f.b2, f.c2))]
+    beta = AssociationSet([P(f.c1), P(f.c2)])
+    result = a_divide(
+        AssociationSet(group_b1 + group_b2), beta, ["B"]
+    )
+    # b1's group contains (c1) and (c2) collectively; b2's group lacks (c1).
+    assert result == AssociationSet(group_b1)
+
+
+def test_patterns_without_grouping_class_are_ignored(fig7):
+    f = fig7
+    alpha = AssociationSet([P(f.a1), P(inter(f.b1, f.c1))])
+    beta = AssociationSet([P(f.c1)])
+    result = a_divide(alpha, beta, ["B"])
+    assert result == AssociationSet([P(inter(f.b1, f.c1))])
+
+
+def test_ungrouped_divide(fig7):
+    """Without {W}: candidates each contain ≥1 divisor and jointly all."""
+    f = fig7
+    alpha1 = P(inter(f.a1, f.b1))
+    alpha2 = P(inter(f.b2, f.c2))
+    alpha3 = P(f.d1)
+    beta = AssociationSet([P(f.a1), P(f.c2)])
+    result = a_divide(AssociationSet([alpha1, alpha2, alpha3]), beta)
+    assert result == AssociationSet([alpha1, alpha2])
+
+
+def test_ungrouped_divide_incomplete_coverage(fig7):
+    f = fig7
+    alpha = AssociationSet([P(inter(f.a1, f.b1))])
+    beta = AssociationSet([P(f.a1), P(f.c2)])  # (c2) covered by nothing
+    assert a_divide(alpha, beta) == AssociationSet.empty()
+
+
+def test_empty_divisor(fig7):
+    """Dividing by φ keeps every group (vacuous coverage)."""
+    f = fig7
+    alpha = AssociationSet([P(inter(f.b1, f.c1))])
+    assert a_divide(alpha, AssociationSet.empty(), ["B"]) == alpha
+    assert a_divide(alpha, AssociationSet.empty()) == AssociationSet.empty()
+
+
+def test_signature_includes_all_w_classes(fig7):
+    """Grouping over two classes requires both signatures to match."""
+    f = fig7
+    alpha1 = P(inter(f.b1, f.c1), inter(f.a1, f.b1))
+    alpha2 = P(inter(f.b1, f.c2), inter(f.c2, f.d1))
+    beta = AssociationSet([P(f.a1)])
+    # Over {B}: both in one group (both hold b1); a1 covered by alpha1.
+    assert len(a_divide(AssociationSet([alpha1, alpha2]), beta, ["B"])) == 2
+    # Over {B, C}: different C signatures → separate groups; only alpha1's
+    # group covers (a1).
+    assert a_divide(
+        AssociationSet([alpha1, alpha2]), beta, ["B", "C"]
+    ) == AssociationSet([alpha1])

@@ -1,0 +1,97 @@
+"""A-Intersect (•) — §3.3.2(6), including the Figure 8e regression."""
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import inter
+from repro.core.operators import a_intersect
+from repro.core.pattern import Pattern
+
+
+def P(*parts):
+    return Pattern.build(*parts)
+
+
+def test_figure_8e(fig7):
+    """The worked example of Figure 8e (over {B, C}).
+
+    α¹/α² and β¹/β² all hold exactly {b1} and {c2}; the four cross
+    combinations merge.  α³ and β⁴ lack class B, α⁴ lacks B too, and β³
+    holds c1 instead of c2 ("no common Inner-pattern of class C").
+    """
+    f = fig7
+    a1 = P(inter(f.b1, f.c2), inter(f.c2, f.d1))
+    a2 = P(inter(f.a1, f.b1), inter(f.b1, f.c2))
+    a3 = P(inter(f.a3, f.b2))  # reused name: a pattern without class C
+    a4 = P(inter(f.c4, f.d4))  # no class B
+    b1 = P(inter(f.b1, f.c2), inter(f.c2, f.d2))
+    b2 = P(inter(f.b1, f.c2), inter(f.c2, f.d3))
+    b3 = P(inter(f.b1, f.c1), inter(f.c1, f.d3))
+    b4 = P(inter(f.c4, f.d4))
+
+    alpha = AssociationSet([a1, a2, a3, a4])
+    beta = AssociationSet([b1, b2, b3, b4])
+    result = a_intersect(alpha, beta, ["B", "C"])
+    expected = AssociationSet(
+        [
+            a1.union(b1),
+            a1.union(b2),
+            a2.union(b1),
+            a2.union(b2),
+        ]
+    )
+    assert result == expected
+
+
+def test_default_classes_are_common_classes(fig7):
+    """Omitted {W} means the common classes of the operands."""
+    f = fig7
+    alpha = AssociationSet([P(inter(f.a1, f.b1))])
+    beta = AssociationSet([P(inter(f.b1, f.c1))])
+    # Common class: B.  Both hold b1 → merge.
+    result = a_intersect(alpha, beta)
+    assert result == AssociationSet(
+        [P(inter(f.a1, f.b1), inter(f.b1, f.c1))]
+    )
+
+
+def test_no_common_classes_yields_empty(fig7):
+    f = fig7
+    alpha = AssociationSet([P(f.a1)])
+    beta = AssociationSet([P(f.d1)])
+    assert a_intersect(alpha, beta) == AssociationSet.empty()
+
+
+def test_instance_sets_must_match_exactly(fig7):
+    """A pattern holding {b1, b2} does not intersect one holding {b1}."""
+    f = fig7
+    alpha = AssociationSet([P(inter(f.b1, f.c1), inter(f.b2, f.c1))])
+    beta = AssociationSet([P(inter(f.b1, f.c1))])
+    assert a_intersect(alpha, beta, ["B"]) == AssociationSet.empty()
+    # But intersecting over C succeeds: both hold exactly {c1}.
+    merged = a_intersect(alpha, beta, ["C"])
+    assert len(merged) == 1
+
+
+def test_missing_class_disqualifies(fig7):
+    """The pinned non-vacuous reading: both patterns need every {W} class."""
+    f = fig7
+    alpha = AssociationSet([P(f.a1)])
+    beta = AssociationSet([P(f.a1)])
+    assert a_intersect(alpha, beta, ["B"]) == AssociationSet.empty()
+
+
+def test_idempotent_on_homogeneous_set(fig7):
+    f = fig7
+    alpha = AssociationSet(
+        [P(inter(f.b1, f.c1)), P(inter(f.b1, f.c2)), P(inter(f.b3, f.c4))]
+    )
+    assert a_intersect(alpha, alpha) == alpha
+
+
+def test_builds_branch_structure(fig7):
+    """The paper's motivating use: merging chains into branched patterns."""
+    f = fig7
+    left = AssociationSet([P(inter(f.a1, f.b1), inter(f.b1, f.c1))])
+    right = AssociationSet([P(inter(f.b1, f.c2))])
+    result = a_intersect(left, right, ["B"])
+    (merged,) = result
+    assert merged.degree(f.b1) == 3  # a1, c1, c2 — a branch at b1

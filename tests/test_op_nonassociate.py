@@ -1,0 +1,102 @@
+"""NonAssociate (!) — §3.3.2(5), including the Figure 8d regression."""
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import complement, inter
+from repro.core.operators import a_complement, non_associate
+from repro.core.pattern import Pattern
+
+
+def P(*parts):
+    return Pattern.build(*parts)
+
+
+def test_figure_8d(fig7):
+    """The worked example of Figure 8d (over R(B,C)).
+
+    α¹/β¹ are dropped because (b1 c2) ∈ 𝒜; α² has no B-instance; the
+    (d4)-only pattern has no C-instance; (b2) pairs with both c4 and c3
+    because neither is associated with any B-instance of α.
+    """
+    f = fig7
+    alpha = AssociationSet(
+        [
+            P(inter(f.a1, f.b1)),  # α¹
+            P(f.a2),  # α²
+            P(inter(f.a3, f.b2)),  # α³
+        ]
+    )
+    beta = AssociationSet(
+        [
+            P(inter(f.c2, f.d2)),  # β¹ — c2 associated with b1 ∈ α
+            P(inter(f.c4, f.d3)),  # β² — c4 only partner b3 ∉ α
+            P(f.c3),  # β³ — c3 has no B partner
+            P(f.d4),  # β⁴ — no C-instance
+        ]
+    )
+    result = non_associate(alpha, beta, f.graph, f.bc)
+    expected = AssociationSet(
+        [
+            P(inter(f.a3, f.b2), complement(f.b2, f.c4), inter(f.c4, f.d3)),
+            P(inter(f.a3, f.b2), complement(f.b2, f.c3)),
+        ]
+    )
+    assert result == expected
+
+
+def test_subset_of_a_complement(fig7):
+    """§3.3.2(5): NonAssociate ⊆ A-Complement on the same operands."""
+    f = fig7
+    alpha = AssociationSet([P(inter(f.a1, f.b1)), P(inter(f.a3, f.b2))])
+    beta = AssociationSet([P(f.c1), P(f.c3), P(f.c4)])
+    narrow = non_associate(alpha, beta, f.graph, f.bc)
+    wide = a_complement(alpha, beta, f.graph, f.bc)
+    assert narrow.patterns <= wide.patterns
+
+
+def test_retention_all_partners_taken_elsewhere(fig7):
+    """Clause 3 with ∃(p≠m): an unpartnered instance is retained standalone
+    when every opposite instance is taken by some *other* α instance."""
+    f = fig7
+    # Sections analogue inside Figure 7: α = all B inner patterns,
+    # β = {c1}.  c1 is associated with b1 only.
+    alpha = AssociationSet([P(f.b1), P(f.b2), P(f.b3)])
+    beta = AssociationSet([P(f.c1)])
+    result = non_associate(alpha, beta, f.graph, f.bc)
+    # b2 and b3 are free; c1 is NOT free (partner b1 ∈ α), so no pairs.
+    # b2: c1 taken by b1 (≠ b2) → retained.  b3: same → retained.
+    # b1 is associated with c1 → dropped.
+    # β side: b2 has no partner in β → β retention fails.
+    assert result == AssociationSet([P(f.b2), P(f.b3)])
+
+
+def test_retained_pattern_must_be_fully_free(fig7):
+    """A pattern associated with some β pattern is never retained."""
+    f = fig7
+    alpha = AssociationSet([P(f.b1)])
+    beta = AssociationSet([P(f.c1)])
+    result = non_associate(alpha, beta, f.graph, f.bc)
+    assert result == AssociationSet.empty()
+
+
+def test_beta_empty_retains_alpha(fig7):
+    f = fig7
+    alpha = AssociationSet([P(inter(f.a1, f.b1)), P(f.a2)])
+    result = non_associate(alpha, AssociationSet.empty(), f.graph, f.bc)
+    assert result == AssociationSet([P(inter(f.a1, f.b1))])
+
+
+def test_beta_without_end_class_retains_alpha(fig7):
+    f = fig7
+    alpha = AssociationSet([P(f.b2)])
+    beta = AssociationSet([P(f.d1)])
+    result = non_associate(alpha, beta, f.graph, f.bc)
+    assert result == alpha
+
+
+def test_mutually_free_pair(fig7):
+    """Two genuinely non-associated instances pair over a complement edge."""
+    f = fig7
+    alpha = AssociationSet([P(f.b2)])
+    beta = AssociationSet([P(f.c3)])
+    result = non_associate(alpha, beta, f.graph, f.bc)
+    assert result == AssociationSet([P(complement(f.b2, f.c3))])

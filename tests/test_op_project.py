@@ -1,0 +1,157 @@
+"""A-Project (Π) — §3.3.2(4), including the Figure 8c regression."""
+
+import pytest
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import Polarity, complement, d_complement, d_inter, inter
+from repro.core.operators import ChainTemplate, PathLink, a_project
+from repro.core.pattern import Pattern
+from repro.errors import ProjectionError
+
+
+def P(*parts):
+    return Pattern.build(*parts)
+
+
+def test_figure_8c(fig7):
+    """The worked example: Π(α)[(A*B, D); (B:D)].
+
+    α¹/α² have a complement edge on the B—C—D path, so the projected
+    (a1 b1) and (d) are re-linked by a **D-Complement** pattern; α³ has no
+    A*B subpattern, so only its (d3) survives.
+    """
+    f = fig7
+    alpha = AssociationSet(
+        [
+            P(inter(f.a1, f.b1), inter(f.b1, f.c1), complement(f.c1, f.d1)),
+            P(inter(f.a1, f.b1), inter(f.b1, f.c2), complement(f.c2, f.d2)),
+            P(inter(f.b2, f.c3), inter(f.c3, f.d3)),
+        ]
+    )
+    result = a_project(alpha, ["A*B", "D"], ["B:D"])
+    expected = AssociationSet(
+        [
+            P(inter(f.a1, f.b1), d_complement(f.b1, f.d1)),
+            P(inter(f.a1, f.b1), d_complement(f.b1, f.d2)),
+            P(f.d3),
+        ]
+    )
+    assert result == expected
+    # The connecting edges really are derived complement patterns.
+    for pattern in result:
+        for edge in pattern.edges:
+            if edge.is_complement:
+                assert edge.derived
+
+
+def test_all_regular_path_gives_d_inter(fig7):
+    f = fig7
+    alpha = AssociationSet(
+        [P(inter(f.a1, f.b1), inter(f.b1, f.c1), inter(f.c1, f.d1))]
+    )
+    result = a_project(alpha, ["A*B", "D"], ["B:D"])
+    assert result == AssociationSet([P(inter(f.a1, f.b1), d_inter(f.b1, f.d1))])
+
+
+def test_pattern_without_any_match_is_dropped(fig7):
+    f = fig7
+    alpha = AssociationSet([P(inter(f.b1, f.c1))])
+    assert a_project(alpha, ["A*B", "D"]) == AssociationSet.empty()
+
+
+def test_single_class_template(fig7):
+    f = fig7
+    alpha = AssociationSet(
+        [P(inter(f.a1, f.b1), inter(f.b1, f.c1)), P(inter(f.b2, f.c3))]
+    )
+    result = a_project(alpha, ["C"])
+    assert result == AssociationSet([P(f.c1), P(f.c3)])
+
+
+def test_projection_keeps_associations_between_kept_classes(fig7):
+    """Unlike relational projection, kept subpatterns stay linked."""
+    f = fig7
+    alpha = AssociationSet(
+        [P(inter(f.a1, f.b1), inter(f.b1, f.c1), inter(f.c1, f.d1))]
+    )
+    result = a_project(alpha, ["B*C"])
+    assert result == AssociationSet([P(inter(f.b1, f.c1))])
+
+
+def test_multiple_matches_merge_into_one_pattern(fig7):
+    """All matched subpatterns of one operand pattern stay together."""
+    f = fig7
+    alpha = AssociationSet(
+        [P(inter(f.b1, f.c1), inter(f.b1, f.c2))]
+    )
+    result = a_project(alpha, ["B*C"])
+    assert result == AssociationSet([P(inter(f.b1, f.c1), inter(f.b1, f.c2))])
+
+
+def test_duplicate_projections_collapse(fig7):
+    """Two operand patterns projecting to the same subpattern collapse."""
+    f = fig7
+    alpha = AssociationSet(
+        [
+            P(inter(f.a1, f.b1), inter(f.b1, f.c1)),
+            P(inter(f.a1, f.b1), inter(f.b1, f.c2)),
+        ]
+    )
+    result = a_project(alpha, ["A*B"])
+    assert result == AssociationSet([P(inter(f.a1, f.b1))])
+
+
+def test_template_only_follows_regular_edges(fig7):
+    """Chain templates match over Inter-patterns, not Complement-patterns."""
+    f = fig7
+    alpha = AssociationSet([P(complement(f.a1, f.b1))])
+    assert a_project(alpha, ["A*B"]) == AssociationSet.empty()
+
+
+def test_link_ignores_unconnected_pairs(fig7):
+    """A T-link adds no edge when the pattern has no path between the pair."""
+    f = fig7
+    alpha = AssociationSet([P(inter(f.a1, f.b1), f.d4)])
+    result = a_project(alpha, ["A*B", "D"], ["B:D"])
+    (pattern,) = result
+    assert not any(e.derived for e in pattern.edges)
+    assert f.d4 in pattern.vertices
+
+
+def test_link_via_class_sequence(fig7):
+    """The link's interior classes select which path witnesses polarity."""
+    f = fig7
+    # Two B→D paths: via C (all regular) and via a direct complement edge.
+    base = P(
+        inter(f.a1, f.b1),
+        inter(f.b1, f.c1),
+        inter(f.c1, f.d1),
+        complement(f.b1, f.d1),
+    )
+    alpha = AssociationSet([base])
+    via_c = a_project(alpha, ["A*B", "D"], [PathLink(("B", "C", "D"))])
+    (pattern,) = via_c
+    connecting = [e for e in pattern.edges if e.touches(f.d1)]
+    assert [e.polarity for e in connecting] == [Polarity.REGULAR]
+
+
+def test_template_parsing_errors():
+    with pytest.raises(ProjectionError):
+        ChainTemplate.parse("A**B")
+    with pytest.raises(ProjectionError):
+        ChainTemplate(())
+    with pytest.raises(ProjectionError):
+        PathLink(("B",))
+    with pytest.raises(ProjectionError):
+        a_project(AssociationSet.empty(), [])
+
+
+def test_closure_projection_output_is_association_set(fig7):
+    """Π results can be fed straight back into another Π (closure)."""
+    f = fig7
+    alpha = AssociationSet(
+        [P(inter(f.a1, f.b1), inter(f.b1, f.c1), inter(f.c1, f.d1))]
+    )
+    once = a_project(alpha, ["A*B", "D"], ["B:D"])
+    twice = a_project(once, ["B", "D"], ["B:D"])
+    assert twice == AssociationSet([P(d_inter(f.b1, f.d1))])

@@ -1,0 +1,166 @@
+"""A-Select (σ) and the predicate language — §3.3.2(3)."""
+
+import pytest
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import inter
+from repro.core.operators import a_select, associate
+from repro.core.pattern import Pattern
+from repro.core.predicates import (
+    And,
+    Apply,
+    Callback,
+    ClassInstances,
+    ClassValues,
+    Comparison,
+    Const,
+    FunctionRegistry,
+    Not,
+    Or,
+    TruePredicate,
+    ValueUnion,
+    value_equals,
+)
+from repro.errors import PredicateError
+
+
+def P(*parts):
+    return Pattern.build(*parts)
+
+
+@pytest.fixture()
+def named(uni):
+    """CIS/EE department patterns: (Department, Name) pairs."""
+    g = uni.graph
+    dept_assoc = uni.schema.resolve("Department", "Name")
+    out = []
+    for dept in g.extent("Department"):
+        for name in g.partners(dept_assoc, dept):
+            out.append(P(inter(dept, name)))
+    return AssociationSet(out)
+
+
+def test_value_equals(uni, named):
+    result = a_select(named, value_equals("Name", "CIS"), uni.graph)
+    assert len(result) == 1
+    (pattern,) = result
+    values = {uni.graph.value(i) for i in pattern.instances_of("Name")}
+    assert values == {"CIS"}
+
+
+def test_comparison_operators(uni, named):
+    g = uni.graph
+    ne = Comparison(ClassValues("Name"), "!=", Const("CIS"))
+    assert len(a_select(named, ne, g)) == 1  # EE only
+
+
+def test_numeric_comparisons(uni):
+    g = uni.graph
+    gpas = AssociationSet.of_inners(g.extent("GPA"))
+    high = Comparison(ClassValues("GPA"), ">=", Const(3.5))
+    result = a_select(gpas, high, g)
+    values = {g.value(i) for p in result for i in p.vertices}
+    assert values == {3.5, 3.8, 3.9}
+
+
+def test_and_or_not(uni):
+    g = uni.graph
+    gpas = AssociationSet.of_inners(g.extent("GPA"))
+    band = And(
+        Comparison(ClassValues("GPA"), ">", Const(3.0)),
+        Comparison(ClassValues("GPA"), "<", Const(3.6)),
+    )
+    values = {
+        g.value(i) for p in a_select(gpas, band, g) for i in p.vertices
+    }
+    assert values == {3.2, 3.4, 3.5}
+
+    either = Or(value_equals("GPA", 2.9), value_equals("GPA", 3.9))
+    values = {
+        g.value(i) for p in a_select(gpas, either, g) for i in p.vertices
+    }
+    assert values == {2.9, 3.9}
+
+    inverted = Not(Comparison(ClassValues("GPA"), ">", Const(3.0)))
+    values = {
+        g.value(i) for p in a_select(gpas, inverted, g) for i in p.vertices
+    }
+    assert values == {2.9}
+
+
+def test_missing_class_fails_comparison(uni, named):
+    """A comparison over a class absent from the pattern is false."""
+    pred = Comparison(ClassValues("GPA"), ">", Const(0))
+    assert a_select(named, pred, uni.graph) == AssociationSet.empty()
+
+
+def test_true_predicate_is_identity(uni, named):
+    assert a_select(named, TruePredicate(), uni.graph) == named
+
+
+def test_callback_predicate(uni, named):
+    pred = Callback(lambda pattern, graph: len(pattern) == 2, "arity-2")
+    assert a_select(named, pred, uni.graph) == named
+
+
+def test_forall_quantifier(uni):
+    """With several instances, 'forall' demands every one satisfies."""
+    g = uni.graph
+    # One pattern holding ALL GPA instances.
+    all_gpas = P(*g.extent("GPA"))
+    aset = AssociationSet([all_gpas])
+    exists = Comparison(ClassValues("GPA"), ">=", Const(3.9))
+    forall = Comparison(ClassValues("GPA"), ">=", Const(3.9), quantifier="forall")
+    assert len(a_select(aset, exists, g)) == 1
+    assert a_select(aset, forall, g) == AssociationSet.empty()
+
+
+def test_registered_functions(uni):
+    """The paper's computed-value functions (top(S)-style) via Apply."""
+    g = uni.graph
+    registry = FunctionRegistry()
+    registry.register("double", lambda graph, iid: graph.value(iid) * 2)
+    gpas = AssociationSet.of_inners(g.extent("GPA"))
+    pred = Comparison(
+        Apply("double", ClassInstances("GPA"), registry), ">", Const(7.0)
+    )
+    values = {
+        g.value(i) for p in a_select(gpas, pred, g) for i in p.vertices
+    }
+    assert values == {3.8, 3.9}
+
+
+def test_value_union(uni):
+    """The σ(S*Q)[top(S) ⊂ front(Q) ∪ tail(Q)] shape: membership in a union."""
+    g = uni.graph
+    gpas = AssociationSet.of_inners(g.extent("GPA"))
+    pool = ValueUnion(Const(2.9), Const(3.9))
+    pred = Comparison(ClassValues("GPA"), "in", pool)
+    values = {
+        g.value(i) for p in a_select(gpas, pred, g) for i in p.vertices
+    }
+    assert values == {2.9, 3.9}
+
+
+def test_unknown_operator_rejected():
+    with pytest.raises(PredicateError):
+        Comparison(Const(1), "===", Const(1))
+
+
+def test_unknown_function_rejected(uni):
+    g = uni.graph
+    gpas = AssociationSet.of_inners(g.extent("GPA"))
+    pred = Comparison(Apply("nope", ClassValues("GPA")), "=", Const(1))
+    with pytest.raises(PredicateError):
+        a_select(gpas, pred, g)
+
+
+def test_select_composes_with_associate(uni):
+    """σ over an Associate result — the Query 2 opening move."""
+    g = uni.graph
+    names = AssociationSet.of_inners(g.extent("Name"))
+    cis_names = a_select(names, value_equals("Name", "CIS"), g)
+    departments = AssociationSet.of_inners(g.extent("Department"))
+    assoc = uni.schema.resolve("Name", "Department")
+    result = associate(cis_names, departments, g, assoc, "Name", "Department")
+    assert len(result) == 1

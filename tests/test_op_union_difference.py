@@ -1,0 +1,76 @@
+"""A-Union (+) and A-Difference (-) — §3.3.2(7)/(8), Figure 8f regression."""
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import inter
+from repro.core.operators import a_difference, a_union
+from repro.core.pattern import Pattern
+
+
+def P(*parts):
+    return Pattern.build(*parts)
+
+
+class TestUnion:
+    def test_heterogeneous_union(self, fig7):
+        """Union-compatibility is NOT required (the paper's key claim)."""
+        f = fig7
+        chains = AssociationSet([P(inter(f.a1, f.b1), inter(f.b1, f.c1))])
+        singletons = AssociationSet([P(f.d1)])
+        merged = a_union(chains, singletons)
+        assert len(merged) == 2
+
+    def test_duplicates_collapse(self, fig7):
+        f = fig7
+        alpha = AssociationSet([P(f.a1), P(f.a2)])
+        beta = AssociationSet([P(f.a2), P(f.a3)])
+        assert len(a_union(alpha, beta)) == 3
+
+    def test_identity_of_empty(self, fig7):
+        f = fig7
+        alpha = AssociationSet([P(f.a1)])
+        assert a_union(alpha, AssociationSet.empty()) == alpha
+        assert a_union(AssociationSet.empty(), alpha) == alpha
+
+
+class TestDifference:
+    def test_figure_8f(self, fig7):
+        """The worked example: α¹ and α³ contain β¹ and are dropped."""
+        f = fig7
+        alpha1 = P(inter(f.a1, f.b1), inter(f.b1, f.c1))
+        alpha2 = P(inter(f.a3, f.b2), inter(f.b2, f.c2))
+        alpha3 = P(inter(f.a1, f.b1), inter(f.b1, f.c2))
+        beta1 = P(inter(f.a1, f.b1))
+        beta2 = P(inter(f.a3, f.b3))  # contained in nothing
+        result = a_difference(
+            AssociationSet([alpha1, alpha2, alpha3]),
+            AssociationSet([beta1, beta2]),
+        )
+        assert result == AssociationSet([alpha2])
+
+    def test_containment_not_equality(self, fig7):
+        """A subtrahend *subpattern* suffices — unlike relational MINUS."""
+        f = fig7
+        big = P(inter(f.a1, f.b1), inter(f.b1, f.c1), inter(f.c1, f.d1))
+        sub = P(inter(f.b1, f.c1))
+        assert a_difference(
+            AssociationSet([big]), AssociationSet([sub])
+        ) == AssociationSet.empty()
+
+    def test_inner_pattern_subtrahend(self, fig7):
+        """A single Inner-pattern divides out every pattern holding it."""
+        f = fig7
+        alpha = AssociationSet(
+            [P(inter(f.a1, f.b1)), P(inter(f.a3, f.b2)), P(f.a2)]
+        )
+        result = a_difference(alpha, AssociationSet([P(f.b2)]))
+        assert result == AssociationSet([P(inter(f.a1, f.b1)), P(f.a2)])
+
+    def test_empty_subtrahend_is_identity(self, fig7):
+        f = fig7
+        alpha = AssociationSet([P(f.a1)])
+        assert a_difference(alpha, AssociationSet.empty()) == alpha
+
+    def test_difference_with_self_is_empty(self, fig7):
+        f = fig7
+        alpha = AssociationSet([P(inter(f.a1, f.b1)), P(f.a2)])
+        assert a_difference(alpha, alpha) == AssociationSet.empty()

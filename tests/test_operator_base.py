@@ -1,0 +1,57 @@
+"""Shared operator plumbing: orientation resolution and operand indexing."""
+
+import pytest
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import inter
+from repro.core.operators.base import index_by_instance, orient
+from repro.core.pattern import Pattern
+from repro.errors import EvaluationError
+from repro.schema.graph import SchemaGraph
+
+
+@pytest.fixture()
+def assoc():
+    schema = SchemaGraph()
+    schema.add_entity_class("B")
+    schema.add_entity_class("C")
+    return schema.add_association("B", "C")
+
+
+class TestOrient:
+    def test_default_is_declared_orientation(self, assoc):
+        assert orient(assoc, None, None) == ("B", "C")
+
+    def test_single_hint_fixes_the_other_side(self, assoc):
+        assert orient(assoc, "C", None) == ("C", "B")
+        assert orient(assoc, None, "B") == ("C", "B")
+
+    def test_both_hints_validated(self, assoc):
+        assert orient(assoc, "C", "B") == ("C", "B")
+        with pytest.raises(EvaluationError):
+            orient(assoc, "B", "B")
+
+    def test_recursive_association(self):
+        schema = SchemaGraph()
+        schema.add_entity_class("Part")
+        recursive = schema.add_association("Part", "Part", "contains")
+        assert orient(recursive, "Part", "Part") == ("Part", "Part")
+        assert orient(recursive, None, None) == ("Part", "Part")
+
+
+class TestIndexByInstance:
+    def test_index_groups_patterns(self, fig7):
+        f = fig7
+        p1 = Pattern.build(inter(f.a1, f.b1))
+        p2 = Pattern.build(inter(f.b1, f.c1))
+        p3 = Pattern.inner(f.b2)
+        index = index_by_instance(AssociationSet([p1, p2, p3]), "B")
+        assert set(index[f.b1]) == {p1, p2}
+        assert index[f.b2] == (p3,)
+        assert f.b3 not in index
+
+    def test_empty_for_absent_class(self, fig7):
+        index = index_by_instance(
+            AssociationSet([Pattern.inner(fig7.a1)]), "D"
+        )
+        assert index == {}

@@ -1,0 +1,186 @@
+"""Operator edge cases beyond the paper's figures.
+
+Recursive associations, multi-instance end classes, operators over empty
+graphs, and interactions the figure examples never reach.
+"""
+
+import pytest
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import Edge, Polarity, complement, inter
+from repro.core.operators import (
+    a_complement,
+    a_difference,
+    a_divide,
+    a_intersect,
+    a_project,
+    a_union,
+    associate,
+    non_associate,
+)
+from repro.core.pattern import Pattern
+from repro.objects.graph import ObjectGraph
+from repro.schema.graph import SchemaGraph
+
+
+def P(*parts):
+    return Pattern.build(*parts)
+
+
+@pytest.fixture()
+def recursive():
+    """Part—contains—Part: a recursive association."""
+    schema = SchemaGraph()
+    schema.add_entity_class("Part")
+    contains = schema.add_association("Part", "Part", "contains")
+    graph = ObjectGraph(schema)
+    parts = [graph.add_instance("Part", i) for i in range(1, 5)]
+    graph.add_edge(contains, parts[0], parts[1])
+    graph.add_edge(contains, parts[1], parts[2])
+    return schema, graph, contains, parts
+
+
+class TestRecursiveAssociation:
+    def test_associate_over_recursive_edge(self, recursive):
+        schema, graph, contains, parts = recursive
+        extent = AssociationSet.of_inners(graph.extent("Part"))
+        result = associate(extent, extent, graph, contains, "Part", "Part")
+        # Edges p1—p2 and p2—p3, found from both directions: 2 patterns.
+        assert result == AssociationSet(
+            [P(inter(parts[0], parts[1])), P(inter(parts[1], parts[2]))]
+        )
+
+    def test_complement_over_recursive_edge(self, recursive):
+        schema, graph, contains, parts = recursive
+        extent = AssociationSet.of_inners(graph.extent("Part"))
+        result = a_complement(extent, extent, graph, contains, "Part", "Part")
+        # All unordered non-adjacent pairs appear as complement patterns.
+        assert P(complement(parts[0], parts[2])) in result
+        assert P(complement(parts[3], parts[0])) in result
+        assert P(inter(parts[0], parts[1])) not in result
+
+    def test_edges_iteration_recursive(self, recursive):
+        schema, graph, contains, parts = recursive
+        assert graph.edge_count(contains) == 2
+
+
+class TestEmptyGraph:
+    @pytest.fixture()
+    def empty(self):
+        schema = SchemaGraph()
+        schema.add_entity_class("A")
+        schema.add_entity_class("B")
+        assoc = schema.add_association("A", "B")
+        return ObjectGraph(schema), assoc
+
+    def test_all_operators_tolerate_empty_graph(self, empty):
+        graph, assoc = empty
+        phi = AssociationSet.empty()
+        assert associate(phi, phi, graph, assoc) == phi
+        assert a_complement(phi, phi, graph, assoc) == phi
+        assert non_associate(phi, phi, graph, assoc) == phi
+        assert a_intersect(phi, phi) == phi
+        assert a_union(phi, phi) == phi
+        assert a_difference(phi, phi) == phi
+        assert a_divide(phi, phi) == phi
+        assert a_project(phi, ["A"]) == phi
+
+    def test_extent_of_unpopulated_class(self, empty):
+        graph, _ = empty
+        assert graph.extent("A") == frozenset()
+
+
+class TestMultiInstanceEndClasses(object):
+    """Patterns holding several instances of the operator's end class."""
+
+    def test_associate_joins_through_each(self, fig7):
+        f = fig7
+        # A derived pattern holding b1 and b2 linked directly.
+        two_bs = AssociationSet([P(Edge(f.b1, f.b2, Polarity.REGULAR))])
+        cs = AssociationSet([P(f.c1), P(f.c2)])
+        result = associate(two_bs, cs, f.graph, f.bc)
+        # Only b1 has C partners: joins via b1 to c1 and c2.
+        assert len(result) == 2
+        for pattern in result:
+            assert f.b2 in pattern  # the full operand pattern is kept
+
+    def test_complement_joins_through_each(self, fig7):
+        f = fig7
+        two_bs = AssociationSet([P(Edge(f.b1, f.b2, Polarity.REGULAR))])
+        cs = AssociationSet([P(f.c3)])
+        result = a_complement(two_bs, cs, f.graph, f.bc)
+        # Both b1 and b2 are complement-partners of c3: two distinct
+        # connecting edges, hence two patterns.
+        assert len(result) == 2
+
+    def test_intersect_multiset_signatures(self, fig7):
+        f = fig7
+        double = P(Edge(f.b1, f.b2, Polarity.REGULAR))
+        single = P(f.b1)
+        assert a_intersect(
+            AssociationSet([double]), AssociationSet([single]), ["B"]
+        ) == AssociationSet.empty()
+        assert len(
+            a_intersect(AssociationSet([double]), AssociationSet([double]), ["B"])
+        ) == 1
+
+
+class TestDifferenceDivideInterplay:
+    def test_difference_then_union_partition(self, fig7):
+        """α = (α - β) + (α - (α - β)) for subtrahend-pattern partitions."""
+        f = fig7
+        alpha = AssociationSet(
+            [P(inter(f.a1, f.b1)), P(inter(f.a3, f.b2)), P(f.a2)]
+        )
+        beta = AssociationSet([P(f.b2)])
+        kept = a_difference(alpha, beta)
+        dropped = a_difference(alpha, kept)
+        assert a_union(kept, dropped) == alpha
+
+    def test_divide_by_self_roots(self, fig7):
+        """Dividing chains by their own inner patterns keeps all groups."""
+        f = fig7
+        chains = AssociationSet(
+            [P(inter(f.b1, f.c1)), P(inter(f.b1, f.c2))]
+        )
+        divisor = AssociationSet([P(f.b1)])
+        assert a_divide(chains, divisor, ["B"]) == chains
+
+
+class TestProjectionCornerCases:
+    def test_project_with_multiple_links(self, fig7):
+        f = fig7
+        alpha = AssociationSet(
+            [
+                P(
+                    inter(f.a1, f.b1),
+                    inter(f.b1, f.c1),
+                    inter(f.b1, f.c2),
+                    inter(f.c2, f.d1),
+                )
+            ]
+        )
+        result = a_project(alpha, ["A", "D"], ["A:B:D", "A:C:D"])
+        (pattern,) = result
+        connecting = [e for e in pattern.edges]
+        assert len(connecting) == 1  # one derived A—D edge, deduplicated
+        assert connecting[0].is_regular
+
+    def test_project_direct_edge_kept_over_derived(self, fig7):
+        """When the kept subpattern already links the pair, no derived
+        edge is added on top."""
+        f = fig7
+        alpha = AssociationSet([P(inter(f.a1, f.b1))])
+        result = a_project(alpha, ["A*B"], ["A:B"])
+        (pattern,) = result
+        (edge,) = pattern.edges
+        assert not edge.derived
+
+    def test_project_star_template_matches(self, fig7):
+        f = fig7
+        alpha = AssociationSet(
+            [P(inter(f.a1, f.b1), inter(f.b1, f.c1), inter(f.b1, f.c2))]
+        )
+        result = a_project(alpha, ["A*B*C"])
+        (pattern,) = result
+        assert pattern.instances_of("C") == {f.c1, f.c2}

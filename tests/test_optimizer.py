@@ -1,0 +1,195 @@
+"""Optimizer units: static analysis, cost model, rewrite rules."""
+
+import pytest
+
+from repro.core.expression import (
+    Associate,
+    ClassExtent,
+    Intersect,
+    Literal,
+    Select,
+    Union,
+    ref,
+)
+from repro.core.assoc_set import AssociationSet
+from repro.core.predicates import Callback, value_equals
+from repro.optimizer import (
+    CostModel,
+    Optimizer,
+    SAFE_RULES,
+    is_statically_homogeneous,
+    static_classes,
+)
+from repro.optimizer.analysis import is_linear, predicate_classes
+from repro.optimizer.rewrites import UNSAFE_RULES, rebuild
+
+
+class TestStaticAnalysis:
+    def test_static_classes_chain(self):
+        expr = ref("A") * ref("B") * ref("C")
+        assert static_classes(expr) == {"A", "B", "C"}
+
+    def test_static_classes_difference_keeps_left(self):
+        assert static_classes(ref("A") - ref("B")) == {"A"}
+
+    def test_static_classes_project_uses_templates(self):
+        expr = (ref("A") * ref("B")).project(["A"])
+        assert static_classes(expr) == {"A"}
+
+    def test_linear_chain(self):
+        assert is_linear(ref("A") * ref("B") * ref("C"))
+        assert is_linear(ref("A").where(value_equals("A", 1)))
+
+    def test_not_linear_with_repeated_class(self):
+        assert not is_linear(ref("A") * ref("B") * ref("A"))
+
+    def test_not_linear_union(self):
+        assert not is_linear(ref("A") + ref("B"))
+
+    def test_statically_homogeneous_literal(self, fig7):
+        from repro.core.pattern import Pattern
+
+        homogeneous = Literal(
+            AssociationSet([Pattern.inner(fig7.b1), Pattern.inner(fig7.b2)])
+        )
+        assert is_statically_homogeneous(homogeneous)
+
+    def test_predicate_classes(self):
+        assert predicate_classes(value_equals("Name", "CIS")) == {"Name"}
+        assert predicate_classes(Callback(lambda p, g: True)) == {"*"}
+
+
+class TestCostModel:
+    def test_extent_estimate(self, fig7):
+        model = CostModel(fig7.graph)
+        estimate = model.estimate(ref("A"))
+        assert estimate.cardinality == 4
+
+    def test_associate_uses_fanout(self, fig7):
+        model = CostModel(fig7.graph)
+        chain = model.estimate(ref("B") * ref("C"))
+        # 3 B-instances × fanout 1.0 (3 edges / 3 B) × full C extent.
+        assert chain.cardinality == pytest.approx(3.0)
+
+    def test_select_reduces_cardinality(self, fig7):
+        model = CostModel(fig7.graph)
+        plain = model.estimate(ref("B"))
+        selected = model.estimate(ref("B").where(value_equals("B", 0)))
+        assert selected.cardinality < plain.cardinality
+
+    def test_union_adds(self, fig7):
+        model = CostModel(fig7.graph)
+        estimate = model.estimate(ref("A") + ref("B"))
+        assert estimate.cardinality == 7
+
+    def test_cost_monotone_in_depth(self, fig7):
+        model = CostModel(fig7.graph)
+        shallow = model.estimate(ref("B") * ref("C"))
+        deep = model.estimate(ref("A") * ref("B") * ref("C"))
+        assert deep.cost > shallow.cost
+
+
+class TestRewriteRules:
+    def _apply(self, name, expr):
+        rule = {r.name: r for r in SAFE_RULES + UNSAFE_RULES}[name]
+        return rule.apply(expr)
+
+    def test_associate_over_union(self):
+        expr = ref("A") * (ref("B") + ref("B"))
+        rewritten = self._apply("associate-over-union-R", expr)
+        assert isinstance(rewritten, Union)
+        assert isinstance(rewritten.left, Associate)
+
+    def test_factor_reverses_distribution(self):
+        expr = ref("A") * (ref("B") + ref("B") * ref("C"))
+        distributed = self._apply("associate-over-union-R", expr)
+        factored = self._apply("factor-associate-union", distributed)
+        assert factored == expr
+
+    def test_associate_over_intersect_conditions(self):
+        good = ref("B") * Intersect(ref("C") * ref("D"), ref("C") * ref("G"))
+        rewritten = self._apply("associate-over-intersect", good)
+        assert isinstance(rewritten, Intersect)
+        assert rewritten.classes == {"B", "C"}
+
+    def test_associate_over_intersect_rejects_overlap(self):
+        # α shares class C with a branch — condition ii) fails.
+        bad = (ref("B") * ref("C")) * Intersect(
+            ref("C") * ref("D"), ref("C") * ref("G")
+        )
+        assert self._apply("associate-over-intersect", bad) is None
+
+    def test_associate_over_intersect_rejects_cl2_outside_w(self):
+        bad = ref("B") * Intersect(ref("C") * ref("D"), ref("C") * ref("G"), ["D"])
+        assert self._apply("associate-over-intersect", bad) is None
+
+    def test_select_pushdown_left(self):
+        pred = value_equals("Name", "CIS")
+        expr = Select(ref("Name") * ref("Department"), pred)
+        rewritten = self._apply("select-pushdown", expr)
+        assert isinstance(rewritten, Associate)
+        assert isinstance(rewritten.left, Select)
+
+    def test_select_pushdown_blocked_by_callback(self):
+        pred = Callback(lambda p, g: True)
+        expr = Select(ref("Name") * ref("Department"), pred)
+        assert self._apply("select-pushdown", expr) is None
+
+    def test_rotation(self):
+        expr = (ref("A") * ref("B")) * ref("C")
+        rotated = self._apply("rotate-right", expr)
+        assert rotated == ref("A") * (ref("B") * ref("C"))
+        assert self._apply("rotate-left", rotated) == expr
+
+    def test_merge_nested_selects(self, fig7):
+        p1 = value_equals("B", 1)
+        p2 = value_equals("B", 2)
+        expr = Select(Select(ref("B"), p1), p2)
+        merged = self._apply("merge-selects", expr)
+        assert isinstance(merged, Select)
+        assert not isinstance(merged.operand, Select)
+        assert merged.evaluate(fig7.graph) == expr.evaluate(fig7.graph)
+
+    def test_union_idempotency_rule(self, fig7):
+        expr = ref("A") + ref("A")
+        simplified = self._apply("union-idempotency", expr)
+        assert simplified == ref("A")
+        assert self._apply("union-idempotency", ref("A") + ref("B")) is None
+
+    def test_rotation_blocked_on_shared_class(self):
+        expr = (ref("A") * ref("B")) * ref("A")
+        assert self._apply("rotate-right", expr) is None
+
+    def test_rebuild_roundtrip(self):
+        expr = ref("A") * ref("B")
+        assert rebuild(expr, expr.children()) == expr
+        leaf = ClassExtent("A")
+        assert rebuild(leaf, ()) is leaf
+
+
+class TestPlanner:
+    def test_equivalents_include_original(self, fig7):
+        optimizer = Optimizer(fig7.graph)
+        expr = ref("A") * ref("B") * ref("C")
+        candidates = optimizer.equivalents(expr)
+        assert any(c.expr == expr for c in candidates)
+        assert len(candidates) >= 2  # at least one rotation found
+
+    def test_all_equivalents_agree_semantically(self, fig7):
+        optimizer = Optimizer(fig7.graph, max_candidates=30)
+        expr = ref("A") * (ref("B") * ref("C") + ref("B") * ref("C"))
+        reference = expr.evaluate(fig7.graph)
+        for candidate in optimizer.equivalents(expr):
+            assert candidate.expr.evaluate(fig7.graph) == reference
+
+    def test_optimize_picks_minimum(self, fig7):
+        optimizer = Optimizer(fig7.graph)
+        expr = ref("A") * ref("B") * ref("C")
+        best = optimizer.optimize(expr)
+        for candidate in optimizer.equivalents(expr):
+            assert best.estimate.cost <= candidate.estimate.cost
+
+    def test_explain_output(self, fig7):
+        optimizer = Optimizer(fig7.graph)
+        text = optimizer.explain(ref("A") * ref("B"))
+        assert "candidate plan" in text

@@ -1,0 +1,96 @@
+"""OQL lexer: tokens, positions, errors."""
+
+import pytest
+
+from repro.errors import OQLSyntaxError
+from repro.oql.lexer import TokenType, tokenize
+
+
+def types(text):
+    return [t.type for t in tokenize(text)][:-1]  # drop EOF
+
+
+def test_operators():
+    assert types("* | ! & + - /") == [
+        TokenType.STAR,
+        TokenType.PIPE,
+        TokenType.BANG,
+        TokenType.AMP,
+        TokenType.PLUS,
+        TokenType.MINUS,
+        TokenType.SLASH,
+    ]
+
+
+def test_comparisons():
+    assert types("= != < <= > >=") == [
+        TokenType.EQ,
+        TokenType.NE,
+        TokenType.LT,
+        TokenType.LE,
+        TokenType.GT,
+        TokenType.GE,
+    ]
+
+
+def test_hash_identifiers():
+    tokens = tokenize("SS# Course# Room#")
+    assert [t.text for t in tokens[:-1]] == ["SS#", "Course#", "Room#"]
+    assert all(t.type is TokenType.IDENT for t in tokens[:-1])
+
+
+def test_keywords_case_insensitive():
+    assert types("sigma PI and OR not In") == [
+        TokenType.KW_SIGMA,
+        TokenType.KW_PI,
+        TokenType.KW_AND,
+        TokenType.KW_OR,
+        TokenType.KW_NOT,
+        TokenType.KW_IN,
+    ]
+
+
+def test_no_alias_collision_with_class_names():
+    """'Project' and 'Select' must stay identifiers (common class names)."""
+    assert types("Project Selection") == [TokenType.IDENT, TokenType.IDENT]
+
+
+def test_numbers():
+    tokens = tokenize("6010 3.5")
+    assert tokens[0].value == 6010
+    assert tokens[1].value == 3.5
+
+
+def test_strings_both_quotes():
+    tokens = tokenize("'CIS' \"EE\"")
+    assert tokens[0].value == "CIS"
+    assert tokens[1].value == "EE"
+
+
+def test_line_comments():
+    tokens = tokenize("A -- this is a comment\n* B")
+    assert [t.text for t in tokens[:-1]] == ["A", "*", "B"]
+
+
+def test_positions():
+    tokens = tokenize("A\n  B")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_unterminated_string():
+    with pytest.raises(OQLSyntaxError):
+        tokenize("'oops")
+    with pytest.raises(OQLSyntaxError):
+        tokenize("'new\nline'")
+
+
+def test_unexpected_character():
+    with pytest.raises(OQLSyntaxError) as info:
+        tokenize("A @ B")
+    assert info.value.column == 3
+
+
+def test_eof_token_always_last():
+    assert tokenize("")[-1].type is TokenType.EOF
+    assert tokenize("A")[-1].type is TokenType.EOF

@@ -1,0 +1,164 @@
+"""OQL parser/compiler: precedence, annotations, predicates, errors."""
+
+import pytest
+
+from repro.core.expression import (
+    Associate,
+    Complement,
+    Difference,
+    Divide,
+    Intersect,
+    NonAssociate,
+    Project,
+    Select,
+    Union,
+)
+from repro.errors import OQLCompileError, OQLSyntaxError
+from repro.oql import compile_oql
+
+
+@pytest.fixture(scope="module")
+def schema(uni):
+    return uni.schema
+
+
+class TestPrecedence:
+    def test_star_binds_tighter_than_union(self, schema):
+        expr = compile_oql("TA * Grad + Student * Person", schema)
+        assert isinstance(expr, Union)
+        assert isinstance(expr.left, Associate)
+        assert isinstance(expr.right, Associate)
+
+    def test_ladder_order(self, schema):
+        expr = compile_oql("Student * Person | Student ! Teacher", schema)
+        # * > | > !  ⇒  ((Student*Person) | Student) ! Teacher
+        assert isinstance(expr, NonAssociate)
+        assert isinstance(expr.left, Complement)
+        assert isinstance(expr.left.left, Associate)
+
+    def test_intersect_above_divide(self, schema):
+        expr = compile_oql("Student & Student / Course#", schema)
+        assert isinstance(expr, Divide)
+        assert isinstance(expr.left, Intersect)
+
+    def test_difference_above_union(self, schema):
+        expr = compile_oql("Student - Grad + TA", schema)
+        assert isinstance(expr, Union)
+        assert isinstance(expr.left, Difference)
+
+    def test_parentheses_override(self, schema):
+        expr = compile_oql("TA * (Grad + Student)", schema)
+        assert isinstance(expr, Associate)
+        assert isinstance(expr.right, Union)
+
+    def test_left_associative_chains(self, schema):
+        expr = compile_oql("TA * Grad * Student", schema)
+        assert isinstance(expr, Associate)
+        assert isinstance(expr.left, Associate)
+        assert str(expr.left.left) == "TA"
+
+
+class TestAnnotations:
+    def test_assoc_annotation_named(self, schema):
+        expr = compile_oql("Student *[isa_Student_Person(Student, Person)] Person", schema)
+        assert expr.spec is not None
+        assert expr.spec.name == "isa_Student_Person"
+        assert expr.spec.alpha_class == "Student"
+
+    def test_assoc_annotation_unnamed(self, schema):
+        expr = compile_oql("Student *[(Student, Person)] Person", schema)
+        assert expr.spec is not None
+        assert expr.spec.name is None
+
+    def test_assoc_annotation_unknown_rejected(self, schema):
+        with pytest.raises(OQLCompileError):
+            compile_oql("Student *[nope(Student, Person)] Person", schema)
+        with pytest.raises(OQLCompileError):
+            compile_oql("Student *[(Student, Course)] Course", schema)
+
+    def test_intersect_class_set(self, schema):
+        expr = compile_oql("Student & {Student} Teacher", schema)
+        assert expr.classes == frozenset({"Student"})
+
+    def test_divide_class_set(self, schema):
+        expr = compile_oql("Student / {Student, Course} Course", schema)
+        assert expr.classes == frozenset({"Student", "Course"})
+
+
+class TestSigmaPi:
+    def test_sigma(self, schema):
+        expr = compile_oql("sigma(Name)[Name = 'CIS']", schema)
+        assert isinstance(expr, Select)
+        assert str(expr.predicate) == "Name = 'CIS'"
+
+    def test_pi_templates_and_links(self, schema):
+        expr = compile_oql(
+            "pi(Student * Person * Name)[Student * Person, Name; Student:Name]",
+            schema,
+        )
+        assert isinstance(expr, Project)
+        assert [str(t) for t in expr.templates] == ["Student*Person", "Name"]
+        assert [str(t) for t in expr.links] == ["Student:Name"]
+
+    def test_pi_without_links(self, schema):
+        expr = compile_oql("pi(TA)[TA]", schema)
+        assert expr.links == ()
+
+    def test_multi_hop_link(self, schema):
+        expr = compile_oql(
+            "pi(Student * Section * Course)[Student, Course; Student:Section:Course]",
+            schema,
+        )
+        assert [str(t) for t in expr.links] == ["Student:Section:Course"]
+
+
+class TestPredicates:
+    def test_or_and_precedence(self, schema):
+        expr = compile_oql(
+            "sigma(GPA)[GPA = 3.5 or GPA > 3.8 and GPA < 4.0]", schema
+        )
+        # and binds tighter than or.
+        assert str(expr.predicate) == "(GPA = 3.5 or (GPA > 3.8 and GPA < 4.0))"
+
+    def test_not(self, schema):
+        expr = compile_oql("sigma(GPA)[not GPA = 3.5]", schema)
+        assert str(expr.predicate) == "not GPA = 3.5"
+
+    def test_grouped_predicate(self, schema):
+        expr = compile_oql("sigma(GPA)[(GPA = 3.5 or GPA = 3.8) and GPA > 0]", schema)
+        assert "and" in str(expr.predicate)
+
+    def test_comparison_operators(self, schema):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            expr = compile_oql(f"sigma(GPA)[GPA {op} 3]", schema)
+            assert f" {op} " in str(expr.predicate)
+
+    def test_unknown_class_in_predicate(self, schema):
+        with pytest.raises(OQLCompileError):
+            compile_oql("sigma(GPA)[Bogus = 1]", schema)
+
+    def test_function_call(self, schema):
+        expr = compile_oql("sigma(GPA)[round(GPA) = 4]", schema)
+        assert "round(instances(GPA))" in str(expr.predicate)
+
+
+class TestErrors:
+    def test_unknown_class(self, schema):
+        with pytest.raises(OQLCompileError):
+            compile_oql("Bogus", schema)
+
+    def test_trailing_input(self, schema):
+        with pytest.raises(OQLSyntaxError):
+            compile_oql("TA Grad", schema)
+
+    def test_unclosed_paren(self, schema):
+        with pytest.raises(OQLSyntaxError):
+            compile_oql("(TA * Grad", schema)
+
+    def test_missing_predicate_bracket(self, schema):
+        with pytest.raises(OQLSyntaxError):
+            compile_oql("sigma(Name)", schema)
+
+    def test_empty_input(self, schema):
+        with pytest.raises(OQLSyntaxError):
+            compile_oql("", schema)

@@ -1,0 +1,99 @@
+"""OQL pretty-printer: print → reparse round-trips."""
+
+import pytest
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.expression import AssocSpec, Associate, Divide, Intersect, Literal, ref
+from repro.core.predicates import (
+    Apply,
+    Callback,
+    ClassInstances,
+    ClassValues,
+    Comparison,
+    Const,
+    Or,
+    TruePredicate,
+    value_equals,
+)
+from repro.oql import compile_oql
+from repro.oql.printer import OQLPrintError, to_oql
+
+QUERIES = [
+    "pi(TA * Grad * Student * Person * SS#)[SS#]",
+    """pi(sigma(Name)[Name = 'CIS'] * Department * Course *
+       (Section * Teacher * Faculty * Specialty
+        + Section * (Student * GPA & Student * EarnedCredit)))
+      [Section, Specialty, GPA, EarnedCredit;
+       Section:Specialty, Section:GPA, Section:EarnedCredit]""",
+    """pi(Student * Person * Name & Student * Department
+        & Student * Grad * TA * Teacher * Department)[Name]""",
+    "pi(Section# * (Section ! Room# + Section ! Teacher))[Section#]",
+    """pi((Name * Person * Student * Enrollment * Course * Course#)
+        /{Student} sigma(Course#)[Course# = 6010 or Course# = 6020])[Name]""",
+    "Student *[isa_Student_Person(Student, Person)] Person",
+    "sigma(GPA)[not GPA < 3.0 and GPA != 4.0]",
+    "Student - Grad + TA",
+]
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_round_trip_paper_queries(uni, query):
+    expr = compile_oql(query, uni.schema)
+    text = to_oql(expr)
+    assert compile_oql(text, uni.schema) == expr
+
+
+def test_round_trip_preserves_semantics(uni):
+    from repro.engine.database import Database
+
+    db = Database.from_dataset(uni)
+    original = db.compile(QUERIES[0])
+    reparsed = db.compile(to_oql(original))
+    assert original.evaluate(db.graph) == reparsed.evaluate(db.graph)
+
+
+class TestRendering:
+    def test_annotation_rendered(self):
+        expr = Associate(ref("A"), ref("B"), AssocSpec("A", "B", "r1"))
+        assert to_oql(expr) == "(A *[r1(A, B)] B)"
+
+    def test_unnamed_annotation(self):
+        expr = Associate(ref("A"), ref("B"), AssocSpec("A", "B"))
+        assert to_oql(expr) == "(A *[(A, B)] B)"
+
+    def test_class_sets(self):
+        assert to_oql(Intersect(ref("A"), ref("B"), ["X", "Y"])) == "(A &{X, Y} B)"
+        assert to_oql(Divide(ref("A"), ref("B"))) == "(A / B)"
+
+    def test_predicate_rendering(self):
+        expr = ref("GPA").where(
+            Or(value_equals("GPA", 3.5), Comparison(ClassValues("GPA"), ">", Const(3.8)))
+        )
+        assert to_oql(expr) == "sigma(GPA)[(GPA = 3.5 or GPA > 3.8)]"
+
+    def test_function_rendering(self):
+        expr = ref("GPA").where(
+            Comparison(Apply("round", ClassInstances("GPA")), "=", Const(4))
+        )
+        assert "round(GPA)" in to_oql(expr)
+
+    def test_string_quoting(self):
+        expr = ref("Name").where(value_equals("Name", "CIS"))
+        assert to_oql(expr) == "sigma(Name)[Name = 'CIS']"
+
+    def test_true_predicate(self):
+        assert to_oql(ref("A").where(TruePredicate())) == "sigma(A)[1 = 1]"
+
+
+class TestUnprintable:
+    def test_literal(self):
+        with pytest.raises(OQLPrintError):
+            to_oql(Literal(AssociationSet.empty()))
+
+    def test_callback_predicate(self):
+        with pytest.raises(OQLPrintError):
+            to_oql(ref("A").where(Callback(lambda p, g: True)))
+
+    def test_exotic_constant(self):
+        with pytest.raises(OQLPrintError):
+            to_oql(ref("A").where(Comparison(ClassValues("A"), "=", Const(object()))))

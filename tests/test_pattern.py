@@ -1,0 +1,237 @@
+"""Association patterns: construction, relationships, topology (§3.1–3.2).
+
+Also reproduces Figure 5's taxonomy of primitive and complex patterns.
+"""
+
+import pytest
+
+from repro.core.edges import Polarity, complement, d_inter, inter
+from repro.core.identity import iid
+from repro.core.pattern import Pattern, Relationship
+from repro.errors import PatternError
+
+A1, A2 = iid("A", 1), iid("A", 2)
+B1, B2 = iid("B", 1), iid("B", 2)
+C1, C2 = iid("C", 1), iid("C", 2)
+D1 = iid("D", 1)
+
+
+def P(*parts):
+    return Pattern.build(*parts)
+
+
+class TestFigure5Taxonomy:
+    """The five primitive pattern types of Figure 5a."""
+
+    def test_inner_pattern(self):
+        inner = Pattern.inner(A1)
+        assert inner.is_inner
+        assert len(inner) == 1
+        assert not inner.edges
+
+    def test_inter_pattern(self):
+        pattern = P(inter(A1, B1))
+        assert pattern.vertices == frozenset({A1, B1})
+        assert not pattern.is_inner
+
+    def test_complement_pattern(self):
+        pattern = P(complement(A1, B1))
+        (edge,) = pattern.edges
+        assert edge.is_complement
+
+    def test_derived_patterns_act_like_base_patterns(self):
+        assert P(d_inter(A1, C1)) == P(inter(A1, C1))
+
+    def test_complex_pattern_figure_5b(self):
+        """(a1b1, b1d1, ~b1c1): two Inter-patterns plus a Complement."""
+        pattern = P(inter(A1, B1), inter(B1, D1), complement(B1, C1))
+        assert len(pattern) == 4
+        assert len(pattern.edges) == 3
+        assert pattern.is_connected()
+
+
+class TestConstruction:
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern(())
+
+    def test_edge_outside_vertices_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern([A1], [inter(A1, B1)])
+
+    def test_from_edges_induces_vertices(self):
+        pattern = Pattern.from_edges([inter(A1, B1)])
+        assert pattern.vertices == frozenset({A1, B1})
+
+    def test_from_edges_extra_vertices(self):
+        pattern = Pattern.from_edges([inter(A1, B1)], extra_vertices=[C1])
+        assert C1 in pattern.vertices
+
+    def test_build_accepts_mixed_parts(self):
+        pattern = P(Pattern.inner(A1), inter(B1, C1), D1)
+        assert pattern.vertices == frozenset({A1, B1, C1, D1})
+
+    def test_order_irrelevant(self):
+        """(~a1b1, b1c1) = (c1b1, ~a1b1) — §3.1."""
+        assert P(complement(A1, B1), inter(B1, C1)) == P(
+            inter(C1, B1), complement(B1, A1)
+        )
+
+
+class TestAccessors:
+    def test_classes_and_counts(self):
+        pattern = P(inter(A1, B1), inter(A2, B1))
+        assert pattern.classes() == {"A", "B"}
+        assert pattern.class_counts() == {"A": 2, "B": 1}
+
+    def test_instances_of(self):
+        pattern = P(inter(A1, B1), inter(A2, B1))
+        assert pattern.instances_of("A") == {A1, A2}
+        assert pattern.instances_of("C") == frozenset()
+
+    def test_has_class(self):
+        pattern = P(inter(A1, B1))
+        assert pattern.has_class("A") and not pattern.has_class("C")
+
+    def test_contains_dunder(self):
+        pattern = P(inter(A1, B1))
+        assert A1 in pattern
+        assert inter(A1, B1) in pattern
+        assert complement(A1, B1) not in pattern
+        assert "A" not in pattern
+
+    def test_oids(self):
+        assert P(inter(A1, B2)).oids() == {1, 2}
+
+    def test_edges_at_unknown_vertex(self):
+        with pytest.raises(PatternError):
+            P(inter(A1, B1)).edges_at(C1)
+
+    def test_neighbors_and_degree(self):
+        pattern = P(inter(A1, B1), complement(B1, C1))
+        assert pattern.neighbors(B1) == {A1, C1}
+        assert pattern.degree(B1) == 2
+        assert pattern.degree(A1) == 1
+
+
+class TestConnectivity:
+    def test_complement_edges_count_for_connectivity(self):
+        """§3.1 extends connectivity to mixed-polarity paths."""
+        pattern = P(inter(A1, B1), complement(B1, C1))
+        assert pattern.is_connected()
+
+    def test_disconnected_pattern_detected(self):
+        pattern = P(inter(A1, B1), inter(C1, D1))
+        assert not pattern.is_connected()
+        components = pattern.components()
+        assert len(components) == 2
+        assert P(inter(A1, B1)) in components
+
+    def test_single_vertex_is_connected(self):
+        assert Pattern.inner(A1).is_connected()
+
+
+class TestRelationships:
+    """The four §3.2 relationships: non-overlap, overlap, contain, equal."""
+
+    def test_non_overlap(self):
+        p1, p2 = P(inter(A1, B1)), P(inter(C1, D1))
+        assert p1.relationship(p2) is Relationship.NON_OVERLAP
+        assert not p1.overlaps(p2)
+
+    def test_overlap(self):
+        p1 = P(inter(A1, B1))
+        p2 = P(inter(B1, C1))
+        assert p1.relationship(p2) is Relationship.OVERLAP
+
+    def test_contains(self):
+        big = P(inter(A1, B1), inter(B1, C1))
+        small = P(inter(A1, B1))
+        assert big.contains(small)
+        assert big.relationship(small) is Relationship.CONTAINS
+        assert small.relationship(big) is Relationship.CONTAINED
+
+    def test_containment_respects_polarity(self):
+        big = P(complement(A1, B1), inter(B1, C1))
+        assert not big.contains(P(inter(A1, B1)))
+
+    def test_inner_pattern_containment(self):
+        assert P(inter(A1, B1)).contains(Pattern.inner(A1))
+
+    def test_equal(self):
+        assert P(inter(A1, B1)).relationship(P(inter(B1, A1))) is Relationship.EQUAL
+
+
+class TestCombination:
+    def test_union_merges(self):
+        merged = P(inter(A1, B1)).union(P(inter(C1, D1)), inter(B1, C1))
+        assert merged.is_connected()
+        assert len(merged.edges) == 3
+
+    def test_union_connector_must_touch_operands(self):
+        with pytest.raises(PatternError):
+            P(inter(A1, B1)).union(P(C1), inter(C2, D1))
+
+    def test_restricted_to(self):
+        pattern = P(inter(A1, B1), inter(B1, C1))
+        sub = pattern.restricted_to([A1, B1])
+        assert sub == P(inter(A1, B1))
+        assert pattern.restricted_to([D1]) is None
+
+
+class TestPaths:
+    def test_simple_paths(self):
+        pattern = P(inter(A1, B1), inter(B1, C1), inter(A1, C1))
+        paths = list(pattern.simple_paths(A1, C1))
+        assert len(paths) == 2  # direct, and via B1
+
+    def test_path_polarity_prefers_regular(self):
+        pattern = P(inter(A1, B1), inter(B1, C1), complement(A1, C1))
+        assert pattern.path_polarity(A1, C1) is Polarity.REGULAR
+
+    def test_path_polarity_complement_when_forced(self):
+        pattern = P(inter(A1, B1), complement(B1, C1))
+        assert pattern.path_polarity(A1, C1) is Polarity.COMPLEMENT
+
+    def test_path_polarity_none_when_unreachable(self):
+        pattern = P(inter(A1, B1), D1)
+        assert pattern.path_polarity(A1, D1) is None
+
+    def test_path_polarity_via_classes(self):
+        # Two A→C paths: direct complement, or regular via B.
+        pattern = P(inter(A1, B1), inter(B1, C1), complement(A1, C1))
+        assert pattern.path_polarity(A1, C1, ("A", "C")) is Polarity.REGULAR
+        assert pattern.path_polarity(A1, C1, ("A", "B", "C")) is Polarity.REGULAR
+
+
+class TestTopology:
+    def test_isomorphic_same_shape_different_instances(self):
+        p1 = P(inter(A1, B1), inter(B1, C1))
+        p2 = P(inter(A2, B2), inter(B2, C2))
+        assert p1.isomorphic_to(p2)
+        assert p1.topology_signature() == p2.topology_signature()
+
+    def test_not_isomorphic_different_polarity(self):
+        p1 = P(inter(A1, B1))
+        p2 = P(complement(A2, B2))
+        assert not p1.isomorphic_to(p2)
+
+    def test_not_isomorphic_different_topology(self):
+        chain = P(inter(A1, B1), inter(B1, C1), inter(C1, D1))
+        star = P(inter(A1, B1), inter(B1, C1), inter(B1, D1))
+        assert not chain.isomorphic_to(star)
+
+    def test_not_isomorphic_different_classes(self):
+        assert not P(inter(A1, B1)).isomorphic_to(P(inter(A1, C1)))
+
+    def test_not_isomorphic_different_sizes(self):
+        assert not P(inter(A1, B1)).isomorphic_to(P(A1))
+
+
+class TestRendering:
+    def test_str_sorted_edges_then_isolated(self):
+        pattern = P(inter(A1, B1), complement(B1, C1), D1)
+        assert str(pattern) == "(a1 b1, ~b1 c1, d1)"
+
+    def test_inner_str(self):
+        assert str(Pattern.inner(A1)) == "(a1)"

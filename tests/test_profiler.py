@@ -1,0 +1,64 @@
+"""The query profiler."""
+
+import pytest
+
+from repro.core.expression import Divide, Intersect, ref
+from repro.core.predicates import value_equals
+from repro.engine.profiler import Profiler, _operator_kind
+
+
+class TestOperatorKind:
+    @pytest.mark.parametrize(
+        "text,kind",
+        [
+            ("TA", "extent"),
+            ("σ(Name)[Name = 'CIS']", "A-Select"),
+            ("Π((A * B))[A]", "A-Project"),
+            ("(A * B)", "Associate"),
+            ("(A | B)", "A-Complement"),
+            ("(A ! B)", "NonAssociate"),
+            ("((A * B) • (C * D))", "A-Intersect"),
+            ("(A + B)", "A-Union"),
+            ("(A - B)", "A-Difference"),
+            ("(A ÷{B} B)", "A-Divide"),
+        ],
+    )
+    def test_classification(self, text, kind):
+        assert _operator_kind(text) == kind
+
+    def test_nested_symbols_do_not_confuse(self):
+        assert _operator_kind("((A - B) + (C * D))") == "A-Union"
+
+
+class TestProfiler:
+    def test_aggregates_across_queries(self, uni):
+        profiler = Profiler(uni.graph)
+        profiler.run(ref("TA") * ref("Grad"))
+        profiler.run(ref("Student") * ref("GPA"))
+        assert profiler.queries == 2
+        assert profiler.stats["Associate"].calls == 2
+        assert profiler.stats["extent"].calls == 4
+        assert profiler.stats["Associate"].patterns > 0
+
+    def test_run_returns_the_result(self, uni):
+        profiler = Profiler(uni.graph)
+        result = profiler.run(ref("TA"))
+        assert len(result) == 2
+
+    def test_report_ordering_and_format(self, uni):
+        profiler = Profiler(uni.graph)
+        profiler.run(
+            Divide(
+                ref("Student") * ref("Enrollment"),
+                ref("Course#").where(value_equals("Course#", 6010)),
+                ["Student"],
+            )
+        )
+        profiler.run(
+            Intersect(ref("Student") * ref("GPA"), ref("Student") * ref("GPA"))
+        )
+        report = profiler.report()
+        assert "2 query(ies)" in report
+        assert "A-Divide" in report and "A-Intersect" in report
+        header_index = report.index("operator")
+        assert header_index > 0

@@ -1,0 +1,103 @@
+"""The relational algebra baseline: operator semantics."""
+
+import pytest
+
+from repro.relational.algebra import Relation, RelationalError
+
+
+@pytest.fixture()
+def r():
+    return Relation("R", ("a", "b"), [(1, "x"), (2, "y"), (3, "x")])
+
+
+@pytest.fixture()
+def s():
+    return Relation("S", ("b", "c"), [("x", 10), ("y", 20), ("z", 30)])
+
+
+class TestBasics:
+    def test_duplicate_rows_collapse(self):
+        relation = Relation("R", ("a",), [(1,), (1,), (2,)])
+        assert len(relation) == 2
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(RelationalError):
+            Relation("R", ("a", "b"), [(1,)])
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(RelationalError):
+            Relation("R", ("a", "a"), [])
+
+    def test_column(self, r):
+        assert r.column("b") == {"x", "y"}
+        with pytest.raises(RelationalError):
+            r.column("nope")
+
+
+class TestUnary:
+    def test_select(self, r):
+        assert len(r.select(lambda row: row["b"] == "x")) == 2
+
+    def test_select_eq(self, r):
+        assert r.select_eq("a", 2).rows == {(2, "y")}
+
+    def test_project_deduplicates(self, r):
+        assert r.project(["b"]).rows == {("x",), ("y",)}
+
+    def test_project_reorders(self, r):
+        projected = r.project(["b", "a"])
+        assert projected.attributes == ("b", "a")
+        assert (("x", 1)) in projected.rows
+
+    def test_rename(self, r):
+        renamed = r.rename({"a": "id"})
+        assert renamed.attributes == ("id", "b")
+        assert renamed.rows == r.rows
+        with pytest.raises(RelationalError):
+            r.rename({"nope": "x"})
+
+
+class TestBinary:
+    def test_union_compatibility_enforced(self, r, s):
+        with pytest.raises(RelationalError):
+            r.union(s)
+        with pytest.raises(RelationalError):
+            r.difference(s)
+
+    def test_union_difference_intersection(self, r):
+        other = Relation("R2", ("a", "b"), [(1, "x"), (9, "z")])
+        assert len(r.union(other)) == 4
+        assert r.difference(other).rows == {(2, "y"), (3, "x")}
+        assert r.intersection(other).rows == {(1, "x")}
+
+    def test_natural_join(self, r, s):
+        joined = r.natural_join(s)
+        assert joined.attributes == ("a", "b", "c")
+        assert (1, "x", 10) in joined.rows
+        assert (3, "x", 10) in joined.rows
+        assert (2, "y", 20) in joined.rows
+        assert len(joined) == 3
+
+    def test_join_without_shared_attrs_is_cartesian(self):
+        left = Relation("L", ("a",), [(1,), (2,)])
+        right = Relation("R", ("b",), [(10,)])
+        assert len(left.natural_join(right)) == 2
+
+    def test_cartesian_rejects_overlap(self, r):
+        with pytest.raises(RelationalError):
+            r.cartesian(r)
+
+    def test_divide(self):
+        taken = Relation(
+            "taken",
+            ("student", "course"),
+            [("carol", 6010), ("carol", 6020), ("dave", 6010)],
+        )
+        wanted = Relation("wanted", ("course",), [(6010,), (6020,)])
+        assert taken.divide(wanted).rows == {("carol",)}
+
+    def test_divide_requires_remainder(self):
+        left = Relation("L", ("a",), [(1,)])
+        divisor = Relation("D", ("a",), [(1,)])
+        with pytest.raises(RelationalError):
+            left.divide(divisor)

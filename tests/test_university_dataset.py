@@ -1,0 +1,88 @@
+"""The Figures 1–2 university database: schema shape and population."""
+
+from repro.schema.graph import AssociationKind
+
+
+def test_schema_lattice(uni):
+    schema = uni.schema
+    assert schema.superclasses("TA") == {"Grad", "Teacher", "Student", "Person"}
+    assert schema.direct_superclasses("TA") == {"Grad", "Teacher"}
+    assert schema.resolve("Faculty", "Teacher").kind is AssociationKind.GENERALIZATION
+
+
+def test_primitive_classes(uni):
+    for name in ("SS#", "Name", "GPA", "EarnedCredit", "Specialty"):
+        assert uni.schema.class_def(name).is_primitive
+    assert not uni.schema.class_def("Person").is_primitive
+
+
+def test_shared_name_domain(uni):
+    """Name serves both Person and Department (Figure 1)."""
+    assert uni.schema.resolve("Person", "Name")
+    assert uni.schema.resolve("Department", "Name")
+
+
+def test_tas_have_five_instances_sharing_oid(uni):
+    alice = uni.people["alice"]
+    assert set(alice) == {"TA", "Grad", "Student", "Teacher", "Person"}
+    assert len({instance.oid for instance in alice.values()}) == 1
+
+
+def test_dynamic_inheritance_edges(uni):
+    """Figure 2 style: instance chains along the generalization edges."""
+    g, schema = uni.graph, uni.schema
+    alice = uni.people["alice"]
+    assert g.are_associated(schema.resolve("TA", "Grad"), alice["TA"], alice["Grad"])
+    assert g.are_associated(
+        schema.resolve("TA", "Teacher"), alice["TA"], alice["Teacher"]
+    )
+    assert g.are_associated(
+        schema.resolve("Student", "Person"), alice["Student"], alice["Person"]
+    )
+
+
+def test_population_counts(uni):
+    g = uni.graph
+    assert len(g.extent("Person")) == 8
+    assert len(g.extent("Student")) == 6
+    assert len(g.extent("TA")) == 2
+    assert len(g.extent("Faculty")) == 2
+    assert len(g.extent("Section")) == 5
+    assert len(g.extent("Course")) == 4
+    assert len(g.extent("Enrollment")) == 5
+
+
+def test_query4_preconditions(uni):
+    """Section 102 lacks a room; section 201 lacks a teacher."""
+    g, schema = uni.graph, uni.schema
+    rooms = schema.resolve("Section", "Room#")
+    teachers = schema.resolve("Teacher", "Section")
+    assert g.partners(rooms, uni.sections[102]) == frozenset()
+    assert g.partners(teachers, uni.sections[201]) == frozenset()
+    assert g.partners(rooms, uni.sections[101])
+    assert g.partners(teachers, uni.sections[101])
+
+
+def test_values_round_trip(uni):
+    g = uni.graph
+    ssns = {g.value(i) for i in g.extent("SS#")}
+    assert {111, 222, 333, 444, 555, 666, 777, 888} == ssns
+
+
+def test_graph_validates(uni):
+    uni.graph.validate()
+    uni.schema.validate()
+
+
+def test_supplier_parts_nonassociation_structure(sp):
+    """§1: s1 supplies p1 (not p2); s2 supplies p2 (not p1)."""
+    g, schema = sp.graph, sp.schema
+    supplies = schema.resolve("Supplier", "Part")
+    s1, s2 = sp.suppliers["s1"], sp.suppliers["s2"]
+    p1, p2 = sp.parts["p1"], sp.parts["p2"]
+    assert g.are_associated(supplies, s1, p1)
+    assert g.are_complement(supplies, s1, p2)
+    assert g.are_associated(supplies, s2, p2)
+    assert g.are_complement(supplies, s2, p1)
+    # p3 has no supplier at all.
+    assert g.partners(supplies, sp.parts["p3"]) == frozenset()

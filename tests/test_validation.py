@@ -1,0 +1,102 @@
+"""Static expression validation."""
+
+import pytest
+
+from repro.core.expression import (
+    AssocSpec,
+    Associate,
+    Divide,
+    Intersect,
+    Literal,
+    ref,
+)
+from repro.core.assoc_set import AssociationSet
+from repro.core.predicates import (
+    Apply,
+    Callback,
+    ClassInstances,
+    ClassValues,
+    Comparison,
+    Const,
+    Or,
+    value_equals,
+)
+from repro.core.validation import assert_valid, validate_expression
+from repro.errors import EvaluationError
+
+
+@pytest.fixture(scope="module")
+def schema(uni):
+    return uni.schema
+
+
+class TestClean:
+    def test_paper_query_1(self, schema):
+        expr = (
+            ref("TA") * ref("Grad") * ref("Student") * ref("Person") * ref("SS#")
+        ).project(["SS#"])
+        assert validate_expression(expr, schema) == []
+        assert_valid(expr, schema)
+
+    def test_full_feature_query(self, schema):
+        expr = Divide(
+            ref("Student") * ref("Enrollment"),
+            ref("Course#").where(value_equals("Course#", 6010)),
+            ["Student"],
+        )
+        assert validate_expression(expr, schema) == []
+
+    def test_literal_is_opaque(self, schema):
+        expr = Literal(AssociationSet.empty(), head="TA") * ref("Grad")
+        assert validate_expression(expr, schema) == []
+
+
+class TestProblems:
+    def test_unknown_extent(self, schema):
+        problems = validate_expression(ref("Bogus"), schema)
+        assert any("Bogus" in p for p in problems)
+
+    def test_all_problems_reported_at_once(self, schema):
+        expr = ref("Bogus1") + ref("Bogus2")
+        assert len(validate_expression(expr, schema)) == 2
+
+    def test_missing_association(self, schema):
+        problems = validate_expression(ref("TA") * ref("Course"), schema)
+        assert any("no association" in p for p in problems)
+
+    def test_unresolvable_shorthand(self, schema):
+        expr = (ref("TA") + ref("Course")) * ref("Section")
+        problems = validate_expression(expr, schema)
+        assert any("not linear" in p for p in problems)
+
+    def test_bad_annotation(self, schema):
+        expr = Associate(ref("TA"), ref("Grad"), AssocSpec("TA", "Grad", "nope"))
+        problems = validate_expression(expr, schema)
+        assert any("nope" in p for p in problems)
+
+    def test_bad_intersect_classes(self, schema):
+        expr = Intersect(ref("TA"), ref("Grad"), ["Bogus"])
+        assert validate_expression(expr, schema)
+
+    def test_bad_projection_template(self, schema):
+        expr = ref("TA").project(["Bogus"], ["TA:Bogus"])
+        problems = validate_expression(expr, schema)
+        assert len(problems) == 2  # template and link
+
+    def test_bad_predicate_class(self, schema):
+        expr = ref("TA").where(
+            Or(
+                Comparison(ClassValues("Bogus"), "=", Const(1)),
+                Comparison(Apply("f", ClassInstances("AlsoBogus")), "=", Const(1)),
+            )
+        )
+        assert len(validate_expression(expr, schema)) == 2
+
+    def test_callback_predicates_pass(self, schema):
+        expr = ref("TA").where(Callback(lambda p, g: True))
+        assert validate_expression(expr, schema) == []
+
+    def test_assert_valid_raises(self, schema):
+        with pytest.raises(EvaluationError) as info:
+            assert_valid(ref("Bogus"), schema)
+        assert "Bogus" in str(info.value)

@@ -1,0 +1,76 @@
+"""Renderers: figure-style ASCII and DOT output."""
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import complement, d_complement, d_inter, inter
+from repro.core.identity import iid
+from repro.core.pattern import Pattern
+from repro.viz import (
+    object_graph_to_dot,
+    pattern_to_dot,
+    render_pattern,
+    render_set,
+    render_side_by_side,
+    schema_to_dot,
+)
+
+A1, B1, C1, D1 = iid("A", 1), iid("B", 1), iid("C", 1), iid("D", 1)
+
+
+def P(*parts):
+    return Pattern.build(*parts)
+
+
+class TestAscii:
+    def test_chain_rendering(self):
+        pattern = P(inter(A1, B1), complement(B1, C1))
+        assert render_pattern(pattern) == "a1•——•b1•- -•c1"
+
+    def test_derived_glyphs(self):
+        assert render_pattern(P(d_inter(A1, B1))) == "a1•~~•b1"
+        assert render_pattern(P(d_complement(A1, B1))) == "a1•~/~•b1"
+
+    def test_inner_pattern(self):
+        assert render_pattern(Pattern.inner(A1)) == "a1•"
+
+    def test_branch_falls_back_to_edge_list(self):
+        star = P(inter(A1, B1), inter(B1, C1), inter(B1, D1))
+        text = render_pattern(star)
+        assert text.count(",") == 2
+
+    def test_render_set(self):
+        aset = AssociationSet([P(A1), P(inter(B1, C1))])
+        text = render_set(aset, "α:")
+        assert text.splitlines()[0] == "α:"
+        assert "  a1•" in text
+        assert render_set(AssociationSet.empty()).strip() == "φ"
+
+    def test_side_by_side(self):
+        left = AssociationSet([P(A1)])
+        right = AssociationSet([P(inter(B1, C1))])
+        text = render_side_by_side(left, right, "in", "out")
+        lines = text.splitlines()
+        assert lines[0].startswith("in")
+        assert "out" in lines[0]
+        assert "b1•——•c1" in lines[1]
+
+
+class TestDot:
+    def test_schema_dot(self, uni):
+        dot = schema_to_dot(uni.schema)
+        assert 'shape=box' in dot and 'shape=ellipse' in dot
+        assert '"TA" -- "Grad" [label="G"]' in dot
+
+    def test_object_graph_dot(self, fig7):
+        dot = object_graph_to_dot(fig7.graph)
+        assert f'"{fig7.a1.label}" -- "{fig7.b1.label}";' in dot
+        assert dot.startswith("graph")
+
+    def test_pattern_dot_styles(self):
+        pattern = P(inter(A1, B1), d_complement(B1, C1))
+        dot = pattern_to_dot(pattern)
+        assert "style=dashed" in dot
+        assert 'label="D"' in dot
+
+    def test_dot_quoting(self, uni):
+        dot = schema_to_dot(uni.schema)
+        assert '"SS#"' in dot
