@@ -55,6 +55,24 @@ def test_rule_family(benchmark, ds, reference, config):
     assert result == reference
 
 
+@pytest.mark.parametrize("config", list(CONFIGS))
+def test_estimate_accuracy(benchmark, ds, reference, config):
+    """Estimate-vs-actual cardinality error of each configuration's plan.
+
+    The chosen plan runs under EXPLAIN ANALYZE; its per-node q-errors
+    (max(est, act) / min(est, act)) land in the benchmark's ``extra_info``
+    so regressions in the cost model show up next to the timing numbers.
+    """
+    from repro.obs import explain_analyze
+
+    optimizer = Optimizer(ds.graph, rules=CONFIGS[config], max_candidates=150)
+    best = optimizer.optimize(fig10_expr())
+    report = benchmark(explain_analyze, best.expr, ds.graph)
+    assert report.result == reference
+    benchmark.extra_info["mean_q_error"] = round(report.mean_q_error, 3)
+    benchmark.extra_info["max_q_error"] = round(report.max_q_error, 3)
+
+
 @pytest.fixture(scope="module")
 def filter_workload(ds):
     """σ over a long chain: a single F-instance pinned at the far end."""

@@ -264,6 +264,48 @@ def report_figure10(quick: bool) -> None:
     print(f"\noptimizer derivation: {' → '.join(best.derivation) or '(original)'}")
 
 
+# ----------------------------------------------------------------------
+# D. observability: cost-model accuracy + engine metrics
+# ----------------------------------------------------------------------
+
+
+def report_observability(quick: bool) -> None:
+    from repro.datagen import university_scaled
+    from repro.engine.database import Database
+    from repro.obs import metrics_to_prometheus
+
+    n = 80 if quick else 200
+    db = Database.from_dataset(
+        university_scaled(n_students=n, n_courses=20, seed=11)
+    )
+    workload = {
+        "Q1": "pi(TA * Grad * Student * Person * SS#)[SS#]",
+        "Q3": "pi(Student * Person * Name & Student * Department"
+        " & Student * Grad * TA * Teacher * Department)[Name]",
+        "Q4": "pi(Section# * (Section ! Room# + Section ! Teacher))[Section#]",
+    }
+    rows = []
+    for name, query in workload.items():
+        report = db.explain_analyze(query)
+        rows.append(
+            [
+                name,
+                len(report.result),
+                f"{report.total_seconds * 1e3:.2f}",
+                f"{report.mean_q_error:.2f}",
+                f"{report.max_q_error:.2f}",
+            ]
+        )
+    table(
+        f"D. Cost-model accuracy via EXPLAIN ANALYZE ({n} students)",
+        ["query", "patterns", "ms", "mean q-error", "max q-error"],
+        rows,
+    )
+    print("\n```")
+    print(metrics_to_prometheus(db.metrics).rstrip())
+    print("```")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="smaller sweeps")
@@ -271,6 +313,11 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-exactness",
         action="store_true",
         help="skip the pytest-based figure exactness section",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="add the observability section (q-errors + Prometheus dump)",
     )
     args = parser.parse_args(argv)
 
@@ -282,6 +329,8 @@ def main(argv: list[str] | None = None) -> int:
     report_scaling(args.quick)
     report_heterogeneous()
     report_figure10(args.quick)
+    if args.metrics:
+        report_observability(args.quick)
     return 0
 
 

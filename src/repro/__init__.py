@@ -37,6 +37,7 @@ from repro.core import (
     AssociationSet,
     EvalTrace,
     Expr,
+    OperatorKind,
     Pattern,
     Polarity,
     Relationship,
@@ -71,6 +72,7 @@ __all__ = [
     "Expr",
     "AssocSpec",
     "EvalTrace",
+    "OperatorKind",
     "ref",
     "ReproError",
 ]

@@ -1,4 +1,4 @@
-"""Interactive OQL shell.
+"""Interactive OQL shell and observability subcommands.
 
 A small REPL over one :class:`~repro.engine.database.Database`, in the
 spirit of ``sqlite3``'s shell: OQL queries evaluate and print as
@@ -9,6 +9,7 @@ Commands::
     \\schema              list classes and associations
     \\extent <Class>      show a class extent
     \\trace <query>       evaluate with a per-operator cardinality trace
+    \\explain <query>     EXPLAIN ANALYZE: estimated vs actual per node
     \\plan <query>        show the optimizer's candidate plans
     \\values <Class> <query>   print the primitive values of one class
     \\table <C1,C2> <query>    render the result as a value table
@@ -22,10 +23,26 @@ input/output streams, or from the command line::
 
     python -m repro.cli              # opens the paper's university DB
     python -m repro.cli snapshot.json
+
+Besides the shell, three observability subcommands (also exposed as the
+``repro`` console script)::
+
+    repro trace "TA * Grad" [--dataset NAME | --db PATH]
+                [--format tree|jsonl|chrome]
+    repro explain "pi(TA * Grad)[TA]" [--dataset NAME | --db PATH]
+    repro metrics [QUERY ...] [--dataset NAME | --db PATH]
+                  [--format prometheus|json]
+
+``repro trace --format chrome`` emits Chrome ``trace_event`` JSON for
+``chrome://tracing`` / Perfetto; ``repro metrics`` runs the given queries
+(by default the paper's Q1/Q3/Q4 workload) and prints the engine's
+metrics registry.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 from typing import IO
 
@@ -72,6 +89,10 @@ def _cmd_trace(db: Database, args: str, out: IO[str]) -> None:
     result = db.compile(args).evaluate(db.graph, trace)
     print(trace.pretty(), file=out)
     print(render_set(result, f"result ({len(result)} pattern(s)):"), file=out)
+
+
+def _cmd_explain(db: Database, args: str, out: IO[str]) -> None:
+    print(db.explain_analyze(args), file=out)
 
 
 def _cmd_plan(db: Database, args: str, out: IO[str]) -> None:
@@ -125,6 +146,7 @@ _COMMANDS = {
     "schema": _cmd_schema,
     "extent": _cmd_extent,
     "trace": _cmd_trace,
+    "explain": _cmd_explain,
     "plan": _cmd_plan,
     "values": _cmd_values,
     "table": _cmd_table,
@@ -173,9 +195,141 @@ def run_shell(
             print(f"error: {exc}", file=out)
 
 
+# ----------------------------------------------------------------------
+# observability subcommands: repro trace / explain / metrics
+# ----------------------------------------------------------------------
+
+_DATASETS = ("university", "figure7", "supplier_parts", "parts_explosion")
+
+#: The paper's running queries (Q1, Q3, Q4 over the university database),
+#: used as the default workload for ``repro metrics``.
+_DEFAULT_WORKLOAD = (
+    "pi(TA * Grad * Student * Person * SS#)[SS#]",
+    "pi(Student * Person * Name & Student * Department"
+    " & Student * Grad * TA * Teacher * Department)[Name]",
+    "pi(Section# * (Section ! Room# + Section ! Teacher))[Section#]",
+)
+
+
+def _open_database(dataset: str, db_path: str | None) -> Database:
+    """A Database from a snapshot path or a bundled dataset by name."""
+    if db_path is not None:
+        from repro.storage import load_database
+
+        return load_database(db_path)
+    import repro.datasets as datasets
+
+    return Database.from_dataset(getattr(datasets, dataset)())
+
+
+def _add_db_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--dataset",
+        choices=_DATASETS,
+        default="university",
+        help="bundled dataset to open (default: university)",
+    )
+    source.add_argument("--db", metavar="PATH", help="JSON snapshot to open")
+
+
+def _cli_trace(args: list[str], out: IO[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro trace", description="Evaluate a query with span tracing."
+    )
+    parser.add_argument("query", help="OQL query text")
+    _add_db_arguments(parser)
+    parser.add_argument(
+        "--format",
+        choices=("tree", "jsonl", "chrome"),
+        default="tree",
+        help="tree (human), jsonl (one span per line), chrome (trace_event)",
+    )
+    ns = parser.parse_args(args)
+    from repro.obs import Tracer, spans_to_chrome_trace, spans_to_jsonl, spans_to_tree
+
+    db = _open_database(ns.dataset, ns.db)
+    tracer = Tracer()
+    result = db.evaluate(ns.query, trace=tracer)
+    if ns.format == "tree":
+        print(spans_to_tree(tracer), file=out)
+        print(f"result: {len(result)} pattern(s)", file=out)
+    elif ns.format == "jsonl":
+        print(spans_to_jsonl(tracer), file=out)
+    else:
+        print(json.dumps(spans_to_chrome_trace(tracer), indent=2), file=out)
+    return 0
+
+
+def _cli_explain(args: list[str], out: IO[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro explain",
+        description="EXPLAIN ANALYZE: estimated vs actual cardinalities.",
+    )
+    parser.add_argument("query", help="OQL query text")
+    _add_db_arguments(parser)
+    ns = parser.parse_args(args)
+    db = _open_database(ns.dataset, ns.db)
+    print(db.explain_analyze(ns.query), file=out)
+    return 0
+
+
+def _cli_metrics(args: list[str], out: IO[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro metrics",
+        description="Run queries and print the engine's metrics registry.",
+    )
+    parser.add_argument(
+        "queries",
+        nargs="*",
+        metavar="QUERY",
+        help="OQL queries to run (default: the paper's Q1/Q3/Q4 workload)",
+    )
+    _add_db_arguments(parser)
+    parser.add_argument(
+        "--format",
+        choices=("prometheus", "json"),
+        default="prometheus",
+        help="Prometheus exposition text or a JSON document",
+    )
+    ns = parser.parse_args(args)
+    from repro.obs import metrics_to_json, metrics_to_prometheus
+
+    db = _open_database(ns.dataset, ns.db)
+    queries = ns.queries or (
+        list(_DEFAULT_WORKLOAD) if ns.db is None and ns.dataset == "university" else []
+    )
+    for query in queries:
+        db.explain_analyze(query)
+    if ns.format == "prometheus":
+        print(metrics_to_prometheus(db.metrics), file=out)
+    else:
+        print(json.dumps(metrics_to_json(db.metrics), indent=2), file=out)
+    return 0
+
+
+_SUBCOMMANDS = {
+    "trace": _cli_trace,
+    "explain": _cli_explain,
+    "metrics": _cli_metrics,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Entry point: open a snapshot file, or the paper's university DB."""
+    """Entry point: a subcommand, a snapshot file, or the interactive shell.
+
+    ``repro trace|explain|metrics ...`` dispatch to the observability
+    subcommands; any other first argument is treated as a snapshot path
+    (shell over that database); no arguments opens the shell over the
+    paper's university database.
+    """
     args = argv if argv is not None else sys.argv[1:]
+    if args and args[0] in _SUBCOMMANDS:
+        try:
+            return _SUBCOMMANDS[args[0]](args[1:], sys.stdout)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     if args:
         from repro.storage import load_database
 

@@ -14,6 +14,7 @@ from repro.core.expression import (
     Intersect,
     Literal,
     NonAssociate,
+    OperatorKind,
     Project,
     Select,
     Union,
@@ -53,6 +54,7 @@ __all__ = [
     "Project",
     "AssocSpec",
     "EvalTrace",
+    "OperatorKind",
     "ref",
     "PatternTemplate",
     "match",

@@ -16,9 +16,12 @@ This module provides the expression tree behind that notation:
   operator connects "the last class in a linear expression α and the first
   class in a linear expression β" when that association is unique — tracked
   via each node's ``head_class``/``tail_class``;
-* an evaluator with an optional :class:`EvalTrace` that records the
-  cardinality of every intermediate association-set (the optimizer's cost
-  model is validated against these traces).
+* an evaluator that accepts any :class:`~repro.obs.span.Tracer`: each
+  node opens a span carrying its :class:`~repro.obs.span.OperatorKind`,
+  output cardinality and wall time, so the span tree mirrors the
+  expression tree.  :class:`EvalTrace` is the backward-compatible flat
+  view over that tree (the optimizer's cost model is validated against
+  these traces).
 
 Nodes are immutable; rewriting (see :mod:`repro.optimizer`) builds new
 trees.
@@ -26,9 +29,8 @@ trees.
 
 from __future__ import annotations
 
-import time
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.core.assoc_set import AssociationSet
@@ -47,11 +49,13 @@ from repro.core.operators.project import ChainTemplate, PathLink
 from repro.core.predicates import Predicate
 from repro.errors import EvaluationError
 from repro.objects.graph import ObjectGraph
+from repro.obs.span import OperatorKind, Span, Tracer
 from repro.schema.graph import Association
 
 __all__ = [
     "AssocSpec",
     "EvalTrace",
+    "OperatorKind",
     "Expr",
     "ClassExtent",
     "Literal",
@@ -86,30 +90,50 @@ class AssocSpec:
         return f"[{label}({self.alpha_class},{self.beta_class})]"
 
 
-@dataclass
-class EvalTrace:
-    """Record of every operator application during one evaluation.
+class EvalTrace(Tracer):
+    """Flat, backward-compatible view over a span-tree trace.
 
-    ``steps`` holds ``(expression-text, output-cardinality, seconds)``
-    tuples in completion order.  ``total_patterns`` is the sum of all
-    intermediate cardinalities — the unit of "work" the paper's
-    optimization section reasons about.
+    Historically this recorded ``(expression-text, output-cardinality,
+    seconds)`` tuples; it is now a :class:`~repro.obs.span.Tracer` whose
+    :attr:`steps` derives those tuples from the completed spans, in
+    completion order.  ``total_patterns`` is the sum of all intermediate
+    cardinalities — the unit of "work" the paper's optimization section
+    reasons about.  New code wanting the tree should pass a plain
+    ``Tracer`` (or this, which *is* one) and read ``roots`` instead.
     """
 
-    steps: list[tuple[str, int, float]] = field(default_factory=list)
+    @property
+    def steps(self) -> list[tuple[str, int, float]]:
+        """``(expression-text, output-cardinality, seconds)`` tuples."""
+        return [
+            (span.name, span.output_cardinality or 0, span.seconds)
+            for span in self.completed
+        ]
 
     def record(self, node: "Expr", result: AssociationSet, seconds: float) -> None:
-        self.steps.append((str(node), len(result), seconds))
+        """Append one pre-timed step (legacy API; prefer begin/finish)."""
+        span = Span(
+            str(node),
+            getattr(node, "kind", OperatorKind.OTHER),
+            start=0.0,
+            end=seconds,
+            output_cardinality=len(result),
+        )
+        self.roots.append(span)
+        self.completed.append(span)
 
     @property
     def total_patterns(self) -> int:
+        """Sum of every intermediate cardinality (the paper's work unit)."""
         return sum(size for _, size, _ in self.steps)
 
     @property
     def total_seconds(self) -> float:
+        """Sum of every step's inclusive wall time."""
         return sum(seconds for _, _, seconds in self.steps)
 
     def pretty(self) -> str:
+        """One aligned line per step, completion order."""
         lines = [
             f"{size:8d} patterns  {seconds * 1e3:8.2f} ms  {text}"
             for text, size, seconds in self.steps
@@ -120,22 +144,33 @@ class EvalTrace:
 class Expr(ABC):
     """Base class of every A-algebra expression node."""
 
+    #: Structured operator classification, overridden per subclass.
+    kind: OperatorKind = OperatorKind.OTHER
+
     @abstractmethod
-    def _evaluate(self, graph: ObjectGraph, trace: EvalTrace | None) -> AssociationSet:
+    def _evaluate(self, graph: ObjectGraph, trace: Tracer | None) -> AssociationSet:
         """Operator-specific evaluation (children already handled)."""
 
     def evaluate(
-        self, graph: ObjectGraph, trace: EvalTrace | None = None
+        self, graph: ObjectGraph, trace: Tracer | None = None
     ) -> AssociationSet:
         """Evaluate the expression against an object graph.
 
         Closure property in action: the result is an association-set, so
         it can be wrapped in :class:`Literal` and processed further.
+        With a :class:`~repro.obs.span.Tracer` (or :class:`EvalTrace`),
+        every node opens a child span, so the recorded span tree mirrors
+        this expression tree.
         """
-        started = time.perf_counter()
-        result = self._evaluate(graph, trace)
-        if trace is not None:
-            trace.record(self, result, time.perf_counter() - started)
+        if trace is None:
+            return self._evaluate(graph, None)
+        span = trace.begin(str(self), self.kind)
+        try:
+            result = self._evaluate(graph, trace)
+        except BaseException as exc:
+            trace.finish(span, error=type(exc).__name__)
+            raise
+        trace.finish(span, output=len(result))
         return result
 
     # ------------------------------------------------------------------
@@ -214,10 +249,12 @@ def ref(name: str) -> "ClassExtent":
 class ClassExtent(Expr):
     """A class name: evaluates to the Inner-patterns of its extent."""
 
+    kind = OperatorKind.EXTENT
+
     def __init__(self, name: str) -> None:
         self.name = name
 
-    def _evaluate(self, graph: ObjectGraph, trace: EvalTrace | None) -> AssociationSet:
+    def _evaluate(self, graph: ObjectGraph, trace: Tracer | None) -> AssociationSet:
         return AssociationSet.of_inners(graph.extent(self.name))
 
     @property
@@ -248,6 +285,8 @@ class Literal(Expr):
     :class:`AssocSpec`.
     """
 
+    kind = OperatorKind.LITERAL
+
     def __init__(
         self,
         value: AssociationSet,
@@ -268,7 +307,7 @@ class Literal(Expr):
     def tail_class(self) -> str | None:
         return self._tail
 
-    def _evaluate(self, graph: ObjectGraph, trace: EvalTrace | None) -> AssociationSet:
+    def _evaluate(self, graph: ObjectGraph, trace: Tracer | None) -> AssociationSet:
         return self.value
 
     def __str__(self) -> str:
@@ -345,8 +384,9 @@ class Associate(_BinaryGraphOp):
     """``α * β`` — concatenation over Inter-patterns."""
 
     symbol = "*"
+    kind = OperatorKind.ASSOCIATE
 
-    def _evaluate(self, graph: ObjectGraph, trace: EvalTrace | None) -> AssociationSet:
+    def _evaluate(self, graph: ObjectGraph, trace: Tracer | None) -> AssociationSet:
         assoc, a_cls, b_cls = self.resolve(graph)
         return associate(
             self.left.evaluate(graph, trace),
@@ -362,8 +402,9 @@ class Complement(_BinaryGraphOp):
     """``α | β`` — concatenation over Complement-patterns."""
 
     symbol = "|"
+    kind = OperatorKind.COMPLEMENT
 
-    def _evaluate(self, graph: ObjectGraph, trace: EvalTrace | None) -> AssociationSet:
+    def _evaluate(self, graph: ObjectGraph, trace: Tracer | None) -> AssociationSet:
         assoc, a_cls, b_cls = self.resolve(graph)
         return a_complement(
             self.left.evaluate(graph, trace),
@@ -379,8 +420,9 @@ class NonAssociate(_BinaryGraphOp):
     """``α ! β`` — mutually non-associated pattern pairs."""
 
     symbol = "!"
+    kind = OperatorKind.NON_ASSOCIATE
 
-    def _evaluate(self, graph: ObjectGraph, trace: EvalTrace | None) -> AssociationSet:
+    def _evaluate(self, graph: ObjectGraph, trace: Tracer | None) -> AssociationSet:
         assoc, a_cls, b_cls = self.resolve(graph)
         return non_associate(
             self.left.evaluate(graph, trace),
@@ -395,6 +437,8 @@ class NonAssociate(_BinaryGraphOp):
 class Intersect(Expr):
     """``α •{W} β`` — merge patterns agreeing on the instances of ``{W}``."""
 
+    kind = OperatorKind.INTERSECT
+
     def __init__(
         self, left: Expr, right: Expr, classes: Iterable[str] | None = None
     ) -> None:
@@ -405,7 +449,7 @@ class Intersect(Expr):
     def children(self) -> tuple[Expr, ...]:
         return (self.left, self.right)
 
-    def _evaluate(self, graph: ObjectGraph, trace: EvalTrace | None) -> AssociationSet:
+    def _evaluate(self, graph: ObjectGraph, trace: Tracer | None) -> AssociationSet:
         return a_intersect(
             self.left.evaluate(graph, trace),
             self.right.evaluate(graph, trace),
@@ -439,6 +483,8 @@ class Intersect(Expr):
 class Union(Expr):
     """``α + β`` — heterogeneous set union."""
 
+    kind = OperatorKind.UNION
+
     def __init__(self, left: Expr, right: Expr) -> None:
         self.left = left
         self.right = right
@@ -446,7 +492,7 @@ class Union(Expr):
     def children(self) -> tuple[Expr, ...]:
         return (self.left, self.right)
 
-    def _evaluate(self, graph: ObjectGraph, trace: EvalTrace | None) -> AssociationSet:
+    def _evaluate(self, graph: ObjectGraph, trace: Tracer | None) -> AssociationSet:
         return a_union(
             self.left.evaluate(graph, trace), self.right.evaluate(graph, trace)
         )
@@ -478,6 +524,8 @@ class Union(Expr):
 class Difference(Expr):
     """``α - β`` — drop minuend patterns containing a subtrahend pattern."""
 
+    kind = OperatorKind.DIFFERENCE
+
     def __init__(self, left: Expr, right: Expr) -> None:
         self.left = left
         self.right = right
@@ -485,7 +533,7 @@ class Difference(Expr):
     def children(self) -> tuple[Expr, ...]:
         return (self.left, self.right)
 
-    def _evaluate(self, graph: ObjectGraph, trace: EvalTrace | None) -> AssociationSet:
+    def _evaluate(self, graph: ObjectGraph, trace: Tracer | None) -> AssociationSet:
         return a_difference(
             self.left.evaluate(graph, trace), self.right.evaluate(graph, trace)
         )
@@ -515,6 +563,8 @@ class Difference(Expr):
 class Divide(Expr):
     """``α ÷{W} β`` — groups of α-patterns jointly containing β."""
 
+    kind = OperatorKind.DIVIDE
+
     def __init__(
         self, left: Expr, right: Expr, classes: Iterable[str] | None = None
     ) -> None:
@@ -525,7 +575,7 @@ class Divide(Expr):
     def children(self) -> tuple[Expr, ...]:
         return (self.left, self.right)
 
-    def _evaluate(self, graph: ObjectGraph, trace: EvalTrace | None) -> AssociationSet:
+    def _evaluate(self, graph: ObjectGraph, trace: Tracer | None) -> AssociationSet:
         return a_divide(
             self.left.evaluate(graph, trace),
             self.right.evaluate(graph, trace),
@@ -559,6 +609,8 @@ class Divide(Expr):
 class Select(Expr):
     """``σ(α)[P]``."""
 
+    kind = OperatorKind.SELECT
+
     def __init__(self, operand: Expr, predicate: Predicate) -> None:
         self.operand = operand
         self.predicate = predicate
@@ -566,7 +618,7 @@ class Select(Expr):
     def children(self) -> tuple[Expr, ...]:
         return (self.operand,)
 
-    def _evaluate(self, graph: ObjectGraph, trace: EvalTrace | None) -> AssociationSet:
+    def _evaluate(self, graph: ObjectGraph, trace: Tracer | None) -> AssociationSet:
         return a_select(self.operand.evaluate(graph, trace), self.predicate, graph)
 
     @property
@@ -594,6 +646,8 @@ class Select(Expr):
 class Project(Expr):
     """``Π(α)[E; T]``."""
 
+    kind = OperatorKind.PROJECT
+
     def __init__(
         self,
         operand: Expr,
@@ -609,7 +663,7 @@ class Project(Expr):
     def children(self) -> tuple[Expr, ...]:
         return (self.operand,)
 
-    def _evaluate(self, graph: ObjectGraph, trace: EvalTrace | None) -> AssociationSet:
+    def _evaluate(self, graph: ObjectGraph, trace: Tracer | None) -> AssociationSet:
         return a_project(self.operand.evaluate(graph, trace), self.templates, self.links)
 
     def __str__(self) -> str:

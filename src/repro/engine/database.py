@@ -7,16 +7,24 @@ rule engine), and the query entry points:
 
 * :meth:`Database.evaluate` — evaluate an algebra :class:`Expr` (or OQL
   text, compiled on the fly);
+* :meth:`Database.explain_analyze` — the plan tree annotated with
+  estimated vs actual cardinalities and per-node timing;
 * :meth:`Database.values` — the common final step of the paper's queries:
   collect the primitive values of one class from a result association-set.
 
 The DML methods (:meth:`insert`, :meth:`link`, ...) delegate to the object
 graph and emit :class:`MutationEvent`\\ s so rules can react — the paper's
 OSAM* context pairs the algebra with a rule-specification language.
+
+Every database owns a :class:`~repro.obs.metrics.MetricsRegistry` (shared
+with its object graph and any attached rule engine): queries run, query
+latency, and mutation events by kind are recorded automatically; export
+it with :func:`repro.obs.export.metrics_to_prometheus`.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
@@ -27,6 +35,8 @@ from repro.core.predicates import FunctionRegistry
 from repro.errors import EvaluationError
 from repro.objects.builder import GraphBuilder
 from repro.objects.graph import ObjectGraph
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Tracer
 from repro.schema.graph import SchemaGraph
 
 __all__ = ["Database", "MutationEvent"]
@@ -53,12 +63,24 @@ class Database:
         schema: SchemaGraph,
         graph: ObjectGraph | None = None,
         functions: FunctionRegistry | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.schema = schema
         self.graph = graph if graph is not None else ObjectGraph(schema)
         self.functions = functions if functions is not None else FunctionRegistry()
         self.builder = GraphBuilder(schema, self.graph)
         self._listeners: list[Callable[[Database, MutationEvent], None]] = []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_queries = self.metrics.counter(
+            "repro_queries_total", "Queries evaluated through Database.evaluate"
+        )
+        self._m_query_seconds = self.metrics.histogram(
+            "repro_query_seconds", "Wall-clock seconds per evaluated query"
+        )
+        self._m_events = self.metrics.counter(
+            "repro_mutation_events_total", "Mutation events emitted, by kind"
+        )
+        self.graph.attach_metrics(self.metrics)
 
     @classmethod
     def from_dataset(cls, dataset: Any) -> "Database":
@@ -70,13 +92,41 @@ class Database:
     # ------------------------------------------------------------------
 
     def evaluate(
-        self, query: "Expr | str", trace: EvalTrace | None = None
+        self, query: "Expr | str", trace: Tracer | None = None
     ) -> AssociationSet:
-        """Evaluate an algebra expression or an OQL query string."""
+        """Evaluate an algebra expression or an OQL query string.
+
+        ``trace`` accepts any :class:`~repro.obs.span.Tracer` (the legacy
+        :class:`EvalTrace` included) to record the evaluation's span tree.
+        """
         expr = self.compile(query) if isinstance(query, str) else query
         if not isinstance(expr, Expr):
             raise EvaluationError(f"cannot evaluate {query!r}")
-        return expr.evaluate(self.graph, trace)
+        started = time.perf_counter()
+        result = expr.evaluate(self.graph, trace)
+        self._m_queries.inc()
+        self._m_query_seconds.observe(time.perf_counter() - started)
+        return result
+
+    def explain_analyze(self, query: "Expr | str") -> "Any":
+        """EXPLAIN ANALYZE: evaluate with tracing and annotate the plan.
+
+        Returns an :class:`~repro.obs.explain.ExplainReport` whose
+        ``str()`` renders the plan tree with estimated vs actual
+        cardinalities, per-node timing and q-errors; node q-errors are
+        also observed in this database's ``repro_estimate_q_error``
+        histogram so cost-model accuracy accumulates across queries.
+        """
+        from repro.obs.explain import explain_analyze
+
+        expr = self.compile(query) if isinstance(query, str) else query
+        if not isinstance(expr, Expr):
+            raise EvaluationError(f"cannot explain {query!r}")
+        started = time.perf_counter()
+        report = explain_analyze(expr, self.graph, metrics=self.metrics)
+        self._m_queries.inc()
+        self._m_query_seconds.observe(time.perf_counter() - started)
+        return report
 
     def compile(self, text: str) -> Expr:
         """Compile OQL text to an algebra expression (lazy import)."""
@@ -110,6 +160,7 @@ class Database:
         self._listeners.append(listener)
 
     def _emit(self, event: MutationEvent) -> None:
+        self._m_events.inc(kind=event.kind)
         for listener in self._listeners:
             listener(self, event)
 
@@ -219,6 +270,7 @@ class Database:
 
         self.graph = graph_from_dict(snapshot, self.schema)
         self.builder = GraphBuilder(self.schema, self.graph)
+        self.graph.attach_metrics(self.metrics)
 
     def __str__(self) -> str:
         return f"Database({self.schema.name!r}, {self.graph})"

@@ -1,9 +1,12 @@
 """Query profiler: aggregate operator statistics across evaluations.
 
-Wraps :class:`~repro.core.expression.EvalTrace` collection over many
-queries and aggregates by operator kind — the summary a DBA (or the cost
+Runs every query under a :class:`~repro.obs.span.Tracer` and aggregates
+the recorded spans by their structured
+:class:`~repro.obs.span.OperatorKind` — the summary a DBA (or the cost
 model's maintainer) wants: how many times each operator ran, how many
-patterns it produced, and where the time went.
+patterns it produced, and where the time went.  Classification reads the
+``kind`` recorded on each span; nothing is re-parsed from rendered
+operator text.
 """
 
 from __future__ import annotations
@@ -12,8 +15,9 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.core.assoc_set import AssociationSet
-from repro.core.expression import EvalTrace, Expr
+from repro.core.expression import Expr
 from repro.objects.graph import ObjectGraph
+from repro.obs.span import Tracer
 
 __all__ = ["OperatorStats", "Profiler"]
 
@@ -32,35 +36,6 @@ class OperatorStats:
         self.seconds += seconds
 
 
-def _operator_kind(text: str) -> str:
-    """Classify a traced expression rendering by its root operator."""
-    if text.startswith("σ("):
-        return "A-Select"
-    if text.startswith("Π("):
-        return "A-Project"
-    if not text.startswith("("):
-        return "extent"
-    # Binary nodes render as "(left SYMBOL right)"; find the top-level
-    # symbol by scanning at parenthesis depth 1.
-    depth = 0
-    for index, char in enumerate(text):
-        if char == "(":
-            depth += 1
-        elif char == ")":
-            depth -= 1
-        elif depth == 1 and char in "*|!•+-÷" and text[index - 1] == " ":
-            return {
-                "*": "Associate",
-                "|": "A-Complement",
-                "!": "NonAssociate",
-                "•": "A-Intersect",
-                "+": "A-Union",
-                "-": "A-Difference",
-                "÷": "A-Divide",
-            }[char]
-    return "other"
-
-
 @dataclass
 class Profiler:
     """Collects traces for every query run through it."""
@@ -72,12 +47,14 @@ class Profiler:
     queries: int = 0
 
     def run(self, expr: Expr) -> AssociationSet:
-        """Evaluate ``expr``, folding its trace into the aggregates."""
-        trace = EvalTrace()
-        result = expr.evaluate(self.graph, trace)
+        """Evaluate ``expr``, folding its span tree into the aggregates."""
+        tracer = Tracer()
+        result = expr.evaluate(self.graph, tracer)
         self.queries += 1
-        for text, patterns, seconds in trace.steps:
-            self.stats[_operator_kind(text)].add(patterns, seconds)
+        for span in tracer.completed:
+            self.stats[span.kind.label].add(
+                span.output_cardinality or 0, span.seconds
+            )
         return result
 
     def report(self) -> str:

@@ -39,6 +39,42 @@ class ObjectGraph:
         # value index: cls -> hashable value -> instances carrying it
         self._value_index: dict[str, dict[Any, set[IID]]] = defaultdict(dict)
         self._oids = OIDAllocator()
+        # observability: None until attach_metrics wires a registry in
+        self.metrics = None
+
+    def attach_metrics(self, registry: Any) -> None:
+        """Wire instance/edge/scan accounting into a metrics registry.
+
+        Idempotent; the :class:`~repro.engine.database.Database` facade
+        calls this with its own registry.  The live-object gauges are
+        (re)seeded from the current graph contents, so attaching after a
+        bulk load or a :meth:`Database.restore` stays accurate.
+        """
+        self.metrics = registry
+        self._m_instances_created = registry.counter(
+            "repro_instances_created_total",
+            "Instances added to the object graph, by class",
+        )
+        self._m_edges_created = registry.counter(
+            "repro_edges_created_total",
+            "Regular edges added to the object graph, by association",
+        )
+        self._m_extent_scans = registry.counter(
+            "repro_extent_scans_total", "Class extent reads, by class"
+        )
+        self._m_instances = registry.gauge(
+            "repro_instances", "Live instances in the object graph"
+        )
+        self._m_edges = registry.gauge(
+            "repro_edges", "Live regular edges in the object graph"
+        )
+        self._m_instances.set(sum(len(ext) for ext in self._extents.values()))
+        self._m_edges.set(
+            sum(
+                self.edge_count(self.schema.association(key))
+                for key in self._adjacency
+            )
+        )
 
     # ------------------------------------------------------------------
     # instances
@@ -69,6 +105,9 @@ class ObjectGraph:
         if value is not None:
             self._values[instance] = value
             self._index_value(instance, value)
+        if self.metrics is not None:
+            self._m_instances_created.inc(cls=cls)
+            self._m_instances.inc()
         return instance
 
     def _index_value(self, instance: IID, value: Any) -> None:
@@ -98,19 +137,26 @@ class ObjectGraph:
     def remove_instance(self, instance: IID) -> None:
         """Delete an instance and every edge incident to it."""
         self.require_instance(instance)
+        edges_removed = 0
         for key, adjacency in self._adjacency.items():
             partners = adjacency.pop(instance, None)
             if partners:
+                edges_removed += len(partners)
                 for partner in partners:
                     adjacency[partner].discard(instance)
         self._extents[instance.cls].discard(instance)
         old = self._values.pop(instance, None)
         if old is not None:
             self._unindex_value(instance, old)
+        if self.metrics is not None:
+            self._m_instances.dec()
+            self._m_edges.dec(edges_removed)
 
     def extent(self, cls: str) -> frozenset[IID]:
         """The set of instances of ``cls`` (empty for a valid unused class)."""
         self.schema.class_def(cls)
+        if self.metrics is not None:
+            self._m_extent_scans.inc(cls=cls)
         return frozenset(self._extents.get(cls, ()))
 
     def value(self, instance: IID) -> Any:
@@ -176,8 +222,12 @@ class ObjectGraph:
                 f"edge ({a}, {b}) does not fit association {assoc}"
             )
         adjacency = self._adj(assoc)
+        new_edge = b not in adjacency.get(a, ())
         adjacency.setdefault(a, set()).add(b)
         adjacency.setdefault(b, set()).add(a)
+        if new_edge and self.metrics is not None:
+            self._m_edges_created.inc(assoc=assoc.name)
+            self._m_edges.inc()
 
     def remove_edge(self, assoc: Association, a: IID, b: IID) -> None:
         """Remove the regular edge between ``a`` and ``b`` (must exist)."""
@@ -186,6 +236,8 @@ class ObjectGraph:
             raise InvalidEdgeError(f"edge ({a}, {b}) not present in {assoc}")
         adjacency[a].discard(b)
         adjacency[b].discard(a)
+        if self.metrics is not None:
+            self._m_edges.dec()
 
     def are_associated(self, assoc: Association, a: IID, b: IID) -> bool:
         """Whether the Inter-pattern ``(a b)`` is in ``[R]`` in 𝒜."""

@@ -1,0 +1,69 @@
+"""Observability: span-tree tracing, metrics, exporters, EXPLAIN ANALYZE.
+
+Three layers, all engine-agnostic and dependency-free:
+
+* :mod:`repro.obs.span` — :class:`Tracer`/:class:`Span` trees mirroring
+  expression trees, each span carrying a structured :class:`OperatorKind`,
+  cardinalities, wall time and attributes;
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and fixed-bucket histograms, instrumented across the engine
+  facade, optimizer, rule engine and object graph;
+* :mod:`repro.obs.export` / :mod:`repro.obs.explain` — JSON-lines and
+  Chrome ``trace_event`` span exports, Prometheus text exposition, and
+  :func:`explain_analyze` estimate-vs-actual plan reports.
+
+Quickstart::
+
+    from repro import Database, ref
+    from repro.datasets import university
+    from repro.obs import Tracer, spans_to_tree
+
+    db = Database.from_dataset(university())
+    tracer = Tracer()
+    db.evaluate(ref("TA") * ref("Grad"), trace=tracer)
+    print(spans_to_tree(tracer))
+    print(db.explain_analyze("pi(TA * Grad)[TA]"))
+
+See ``docs/observability.md`` for the span model, the metric inventory
+and the ``repro trace`` / ``repro metrics`` CLI subcommands.
+"""
+
+from repro.obs.explain import ExplainNode, ExplainReport, explain_analyze
+from repro.obs.export import (
+    metrics_to_json,
+    metrics_to_prometheus,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+    spans_to_tree,
+)
+from repro.obs.metrics import (
+    CARDINALITY_BUCKETS,
+    Q_ERROR_BUCKETS,
+    TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.span import OperatorKind, Span, Tracer
+
+__all__ = [
+    "OperatorKind",
+    "Span",
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TIME_BUCKETS",
+    "CARDINALITY_BUCKETS",
+    "Q_ERROR_BUCKETS",
+    "spans_to_tree",
+    "spans_to_jsonl",
+    "spans_to_chrome_trace",
+    "metrics_to_prometheus",
+    "metrics_to_json",
+    "ExplainNode",
+    "ExplainReport",
+    "explain_analyze",
+]

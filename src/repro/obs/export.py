@@ -1,0 +1,205 @@
+"""Exporters: spans and metrics in interchange formats.
+
+* :func:`spans_to_tree` — the human-readable annotated span tree the
+  ``repro trace`` CLI prints;
+* :func:`spans_to_jsonl` — one JSON object per span (ids link children to
+  parents) for log pipelines;
+* :func:`spans_to_chrome_trace` — Chrome ``trace_event`` JSON; load the
+  dump in ``chrome://tracing`` / Perfetto for a query flamegraph;
+* :func:`metrics_to_prometheus` — Prometheus text exposition format 0.0.4;
+* :func:`metrics_to_json` — the same registry as plain JSON data.
+
+All functions accepting spans take a :class:`~repro.obs.span.Tracer`, a
+single :class:`~repro.obs.span.Span`, or an iterable of root spans.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Iterable
+
+from repro.obs.span import Span, Tracer
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "spans_to_tree",
+    "spans_to_jsonl",
+    "spans_to_chrome_trace",
+    "metrics_to_prometheus",
+    "metrics_to_json",
+]
+
+
+def _roots(spans: "Tracer | Span | Iterable[Span]") -> list[Span]:
+    if isinstance(spans, Tracer):
+        return list(spans.roots)
+    if isinstance(spans, Span):
+        return [spans]
+    return list(spans)
+
+
+# ----------------------------------------------------------------------
+# span exporters
+# ----------------------------------------------------------------------
+
+
+def spans_to_tree(spans: "Tracer | Span | Iterable[Span]") -> str:
+    """Render a span forest as an indented, annotated text tree."""
+    lines = [f"{'patterns':>9}  {'ms':>9}  {'self-ms':>9}  span"]
+    for root in _roots(spans):
+        for span, depth in root.walk():
+            card = "?" if span.output_cardinality is None else span.output_cardinality
+            lines.append(
+                f"{card:>9}  {span.seconds * 1e3:>9.3f}  "
+                f"{span.self_seconds * 1e3:>9.3f}  "
+                f"{'  ' * depth}{span.name} [{span.kind.label}]"
+            )
+    return "\n".join(lines)
+
+
+def spans_to_jsonl(spans: "Tracer | Span | Iterable[Span]") -> str:
+    """One JSON object per span, pre-order; ``parent`` links by ``id``."""
+    lines: list[str] = []
+    next_id = 0
+
+    def emit(span: Span, parent: int | None) -> None:
+        nonlocal next_id
+        span_id = next_id
+        next_id += 1
+        lines.append(
+            json.dumps(
+                {
+                    "id": span_id,
+                    "parent": parent,
+                    "name": span.name,
+                    "kind": span.kind.label,
+                    "start": span.start,
+                    "seconds": span.seconds,
+                    "output_cardinality": span.output_cardinality,
+                    "input_cardinalities": list(span.input_cardinalities),
+                    "attributes": span.attributes,
+                },
+                default=str,
+                sort_keys=True,
+            )
+        )
+        for child in span.children:
+            emit(child, span_id)
+
+    for root in _roots(spans):
+        emit(root, None)
+    return "\n".join(lines)
+
+
+def spans_to_chrome_trace(
+    spans: "Tracer | Span | Iterable[Span]", pid: int = 1, tid: int = 1
+) -> dict[str, Any]:
+    """Chrome ``trace_event`` JSON (complete ``"X"`` events, µs units).
+
+    Returns the JSON-serialisable dict; ``json.dumps`` it into a file and
+    open it in ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    roots = _roots(spans)
+    starts = [span.start for root in roots for span, _ in root.walk()]
+    origin = min(starts) if starts else 0.0
+    events: list[dict[str, Any]] = []
+    for root in roots:
+        for span, _ in root.walk():
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.kind.label,
+                    "ph": "X",
+                    "ts": (span.start - origin) * 1e6,
+                    "dur": span.seconds * 1e6,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {
+                        "output_cardinality": span.output_cardinality,
+                        "input_cardinalities": list(span.input_cardinalities),
+                        **{k: str(v) for k, v in span.attributes.items()},
+                    },
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# ----------------------------------------------------------------------
+# metrics exporters
+# ----------------------------------------------------------------------
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = {**labels, **(extra or {})}
+    if not merged:
+        return ""
+    escaped = (
+        v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        for v in merged.values()
+    )
+    return "{" + ",".join(f'{k}="{v}"' for k, v in zip(merged, escaped)) + "}"
+
+
+def metrics_to_prometheus(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in registry.metrics():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            for labels, value in metric.samples():
+                lines.append(
+                    f"{metric.name}{_format_labels(labels)} {_format_value(value)}"
+                )
+        elif isinstance(metric, Histogram):
+            for labels, series in metric.samples():
+                running = 0
+                for bound, count in zip(
+                    (*metric.buckets, math.inf), series.bucket_counts
+                ):
+                    running += count
+                    le = _format_labels(labels, {"le": _format_value(bound)})
+                    lines.append(f"{metric.name}_bucket{le} {running}")
+                lines.append(
+                    f"{metric.name}_sum{_format_labels(labels)} "
+                    f"{_format_value(series.sum)}"
+                )
+                lines.append(
+                    f"{metric.name}_count{_format_labels(labels)} {series.count}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def metrics_to_json(registry: MetricsRegistry) -> dict[str, Any]:
+    """A registry as plain JSON data (name → kind, help, samples)."""
+    out: dict[str, Any] = {}
+    for metric in registry.metrics():
+        entry: dict[str, Any] = {"kind": metric.kind, "help": metric.help}
+        if isinstance(metric, (Counter, Gauge)):
+            entry["samples"] = [
+                {"labels": labels, "value": value}
+                for labels, value in metric.samples()
+            ]
+        elif isinstance(metric, Histogram):
+            entry["buckets"] = list(metric.buckets)
+            entry["samples"] = [
+                {
+                    "labels": labels,
+                    "bucket_counts": list(series.bucket_counts),
+                    "sum": series.sum,
+                    "count": series.count,
+                }
+                for labels, series in metric.samples()
+            ]
+        out[metric.name] = entry
+    return out

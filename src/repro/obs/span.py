@@ -1,0 +1,198 @@
+"""Span-tree tracing: hierarchical, structured query instrumentation.
+
+A :class:`Span` is one timed operation — typically the evaluation of one
+A-algebra expression node — carrying a structured :class:`OperatorKind`,
+its output cardinality, wall time, arbitrary attributes, and child spans.
+Because :meth:`~repro.core.expression.Expr.evaluate` opens a child span
+for every subexpression, the span tree of a query mirrors its expression
+tree exactly; the optimization section's unit of work (intermediate-result
+cardinalities, §4/Figure 10) falls out of the tree structurally instead of
+being re-parsed from rendered operator text.
+
+The module is deliberately dependency-free (stdlib only) so that
+:mod:`repro.core.expression` can depend on it without an import cycle;
+exporters live in :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["OperatorKind", "Span", "Tracer"]
+
+
+class OperatorKind(enum.Enum):
+    """Structured classification of expression nodes (and other spans).
+
+    The values double as the human-readable labels the profiler's report
+    keys on; each :class:`~repro.core.expression.Expr` subclass declares
+    its kind as a class attribute, so no rendering-text parsing is ever
+    needed to classify a traced operator.
+    """
+
+    EXTENT = "extent"
+    LITERAL = "literal"
+    ASSOCIATE = "Associate"
+    COMPLEMENT = "A-Complement"
+    NON_ASSOCIATE = "NonAssociate"
+    INTERSECT = "A-Intersect"
+    UNION = "A-Union"
+    DIFFERENCE = "A-Difference"
+    DIVIDE = "A-Divide"
+    SELECT = "A-Select"
+    PROJECT = "A-Project"
+    OTHER = "other"
+
+    @property
+    def label(self) -> str:
+        """The display label (also the profiler's aggregation key)."""
+        return self.value
+
+
+@dataclass
+class Span:
+    """One timed operation in a trace tree."""
+
+    name: str
+    kind: OperatorKind = OperatorKind.OTHER
+    start: float = 0.0
+    end: float | None = None
+    output_cardinality: int | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def seconds(self) -> float:
+        """Inclusive wall time (children included); 0.0 while still open."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def self_seconds(self) -> float:
+        """Wall time spent in this span excluding its children."""
+        return max(self.seconds - sum(child.seconds for child in self.children), 0.0)
+
+    @property
+    def input_cardinalities(self) -> tuple[int, ...]:
+        """Output cardinalities of the child spans, in evaluation order."""
+        return tuple(
+            child.output_cardinality
+            for child in self.children
+            if child.output_cardinality is not None
+        )
+
+    def walk(self, depth: int = 0) -> Iterator[tuple["Span", int]]:
+        """Yield ``(span, depth)`` pairs, pre-order."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of the deepest descendant (a leaf span has depth 0)."""
+        if not self.children:
+            return 0
+        return 1 + max(child.max_depth for child in self.children)
+
+    def __str__(self) -> str:
+        card = "?" if self.output_cardinality is None else self.output_cardinality
+        return (
+            f"Span({self.name!r}, kind={self.kind.label}, out={card}, "
+            f"{self.seconds * 1e3:.2f} ms, {len(self.children)} child(ren))"
+        )
+
+
+class Tracer:
+    """Collects a forest of spans during one or more evaluations.
+
+    ``roots`` holds the top-level spans in start order; ``completed``
+    holds every finished span in completion (post-) order, which is the
+    order the old flat trace recorded steps in — the
+    :class:`~repro.core.expression.EvalTrace` adapter builds its legacy
+    view from it.
+    """
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self.completed: list[Span] = []
+        self._stack: list[Span] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def begin(
+        self, name: str, kind: OperatorKind = OperatorKind.OTHER, **attributes: Any
+    ) -> Span:
+        """Open a span as a child of the innermost open span."""
+        span = Span(name, kind, start=time.perf_counter(), attributes=dict(attributes))
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Span, output: Any = None, **attributes: Any) -> Span:
+        """Close ``span``, recording its output cardinality and attributes.
+
+        ``output`` may be an ``int`` cardinality or any sized collection
+        (an association-set); ``None`` leaves the cardinality unset (e.g.
+        for spans closed by an exception).
+        """
+        span.end = time.perf_counter()
+        if output is not None:
+            span.output_cardinality = (
+                output if isinstance(output, int) else len(output)
+            )
+        span.attributes.update(attributes)
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # tolerate out-of-order finishes
+            self._stack.remove(span)
+        self.completed.append(span)
+        return span
+
+    @contextmanager
+    def span(
+        self, name: str, kind: OperatorKind = OperatorKind.OTHER, **attributes: Any
+    ) -> Iterator[Span]:
+        """Context manager for non-expression spans (planning, export...)."""
+        opened = self.begin(name, kind, **attributes)
+        try:
+            yield opened
+        except BaseException as exc:
+            self.finish(opened, error=type(exc).__name__)
+            raise
+        else:
+            self.finish(opened)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def open_spans(self) -> int:
+        """How many spans are currently open (0 once evaluation returns)."""
+        return len(self._stack)
+
+    def spans(self) -> Iterator[tuple[Span, int]]:
+        """Every recorded span with its depth, pre-order across roots."""
+        for root in self.roots:
+            yield from root.walk()
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of the root spans' inclusive wall times."""
+        return sum(root.seconds for root in self.roots)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.spans())
+
+    def __str__(self) -> str:
+        return f"Tracer({len(self.roots)} root(s), {len(self)} span(s))"

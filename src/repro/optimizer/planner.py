@@ -11,11 +11,13 @@ among them.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 
 from repro.core.expression import Expr
 from repro.objects.graph import ObjectGraph
+from repro.obs.metrics import MetricsRegistry
 from repro.optimizer.cost import CostModel, Estimate
 from repro.optimizer.rewrites import SAFE_RULES, RewriteRule, children, rebuild
 
@@ -46,11 +48,23 @@ class Optimizer:
         graph: ObjectGraph,
         rules: tuple[RewriteRule, ...] = SAFE_RULES,
         max_candidates: int = 200,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.graph = graph
         self.rules = rules
         self.max_candidates = max_candidates
         self.cost_model = CostModel(graph)
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_plans = metrics.counter(
+                "repro_plans_considered_total", "Candidate plans costed"
+            )
+            self._m_rewrites = metrics.counter(
+                "repro_rewrites_applied_total", "Accepted rewrites, by rule"
+            )
+            self._m_planning = metrics.histogram(
+                "repro_planning_seconds", "Wall-clock seconds per optimize() call"
+            )
 
     # ------------------------------------------------------------------
     # rewrite closure
@@ -80,8 +94,12 @@ class Optimizer:
                         continue
                     seen[candidate] = derivation + (rule.name,)
                     queue.append(candidate)
+                    if self.metrics is not None:
+                        self._m_rewrites.inc(rule=rule.name)
                     if len(seen) >= self.max_candidates:
                         break
+        if self.metrics is not None:
+            self._m_plans.inc(len(seen))
         return [
             PlanCandidate(e, self.cost_model.estimate(e), derivation)
             for e, derivation in seen.items()
@@ -93,8 +111,12 @@ class Optimizer:
 
     def optimize(self, expr: Expr) -> PlanCandidate:
         """The cheapest equivalent plan (may be the original)."""
+        started = time.perf_counter()
         candidates = self.equivalents(expr)
-        return min(candidates, key=lambda candidate: candidate.estimate.cost)
+        best = min(candidates, key=lambda candidate: candidate.estimate.cost)
+        if self.metrics is not None:
+            self._m_planning.observe(time.perf_counter() - started)
+        return best
 
     def explain(self, expr: Expr, top: int = 10) -> str:
         """A cost-ordered table of candidate plans for inspection."""

@@ -9,6 +9,7 @@ worth surfacing, not silently absorbing).
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING
 
 from repro.errors import RuleError
@@ -30,6 +31,16 @@ class RuleEngine:
         self._depth = 0
         self.firings: list[RuleFiring] = []
         self.enabled = True
+        # observability: share the database's registry when it has one
+        self.metrics = getattr(db, "metrics", None)
+        if self.metrics is not None:
+            self._m_firings = self.metrics.counter(
+                "repro_rule_firings_total", "Rule firings, by rule"
+            )
+            self._m_latency = self.metrics.histogram(
+                "repro_rule_trigger_seconds",
+                "Seconds from trigger to action completion, per firing",
+            )
         db.subscribe(self._handle)
 
     # ------------------------------------------------------------------
@@ -65,6 +76,7 @@ class RuleEngine:
         for rule in list(self._rules.values()):
             if not rule.relevant_to(event):
                 continue
+            started = time.perf_counter()
             result = rule.condition.evaluate(db.graph)
             if not rule.triggered_by(result):
                 continue
@@ -76,6 +88,9 @@ class RuleEngine:
                 rule.action(db, event, result)
             finally:
                 self._depth -= 1
+                if self.metrics is not None:
+                    self._m_firings.inc(rule=rule.name)
+                    self._m_latency.observe(time.perf_counter() - started)
 
     # ------------------------------------------------------------------
     # maintenance helpers

@@ -99,3 +99,77 @@ def test_main_with_snapshot(tmp_path, db, monkeypatch, capsys):
     monkeypatch.setattr("sys.stdin", io.StringIO("\\quit\n"))
     assert main([str(path)]) == 0
     assert "A-algebra shell" in capsys.readouterr().out
+
+
+def test_explain_shell_command(db):
+    out = shell(db, "\\explain pi(TA * Grad)[TA]\n")
+    assert "EXPLAIN ANALYZE" in out
+    assert "est.card" in out and "act.card" in out
+
+
+def test_subcommand_trace_tree(capsys):
+    assert main(["trace", "TA * Grad"]) == 0
+    out = capsys.readouterr().out
+    assert "patterns" in out and "[Associate]" in out
+    assert "result: 2 pattern(s)" in out
+
+
+def test_subcommand_trace_jsonl(capsys):
+    import json
+
+    assert main(["trace", "TA * Grad", "--format", "jsonl"]) == 0
+    records = [
+        json.loads(line)
+        for line in capsys.readouterr().out.strip().splitlines()
+    ]
+    assert len(records) == 3
+    assert records[0]["parent"] is None
+
+
+def test_subcommand_trace_chrome(capsys):
+    import json
+
+    assert main(["trace", "TA * Grad", "--format", "chrome"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["displayTimeUnit"] == "ms"
+    assert all(event["ph"] == "X" for event in document["traceEvents"])
+
+
+def test_subcommand_trace_other_dataset(capsys):
+    assert main(["trace", "B * C", "--dataset", "figure7"]) == 0
+    assert "[Associate]" in capsys.readouterr().out
+
+
+def test_subcommand_explain(capsys):
+    assert main(["explain", "pi(TA * Grad)[TA]"]) == 0
+    out = capsys.readouterr().out
+    assert "EXPLAIN ANALYZE" in out and "q-err" in out
+
+
+def test_subcommand_metrics_default_workload(capsys):
+    assert main(["metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "repro_queries_total 3" in out
+    assert "repro_estimate_q_error_bucket" in out
+
+
+def test_subcommand_metrics_json(capsys):
+    import json
+
+    assert main(["metrics", "TA * Grad", "--format", "json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["repro_queries_total"]["samples"][0]["value"] == 1
+
+
+def test_subcommand_metrics_with_snapshot(tmp_path, db, capsys):
+    from repro.storage import save_database
+
+    path = tmp_path / "db.json"
+    save_database(db, path)
+    assert main(["metrics", "TA * Grad", "--db", str(path)]) == 0
+    assert "repro_queries_total 1" in capsys.readouterr().out
+
+
+def test_subcommand_error_reporting(capsys):
+    assert main(["explain", "Bogus * Query"]) == 1
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,168 @@
+"""Exporter output is parseable: tree, JSON-lines, Chrome trace, Prometheus."""
+
+import json
+
+import pytest
+
+from repro.core.expression import ref
+from repro.datasets import university
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    metrics_to_json,
+    metrics_to_prometheus,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+    spans_to_tree,
+)
+
+
+@pytest.fixture(scope="module")
+def traced():
+    ds = university()
+    expr = ref("TA") * ref("Grad") * ref("Student")
+    tracer = Tracer()
+    result = expr.evaluate(ds.graph, tracer)
+    return tracer, result
+
+
+class TestTreeExport:
+    def test_header_and_one_line_per_span(self, traced):
+        tracer, _ = traced
+        lines = spans_to_tree(tracer).splitlines()
+        assert "patterns" in lines[0] and "self-ms" in lines[0]
+        assert len(lines) == 1 + len(tracer.completed)
+
+    def test_indentation_reflects_depth(self, traced):
+        tracer, _ = traced
+        text = spans_to_tree(tracer)
+        # the extents are leaves, indented below the Associate root
+        assert "  TA [extent]" in text
+        assert "[Associate]" in text
+
+    def test_accepts_single_span_and_iterable(self, traced):
+        tracer, _ = traced
+        root = tracer.roots[0]
+        assert spans_to_tree(root) == spans_to_tree([root])
+
+
+class TestJsonlExport:
+    def test_every_line_parses(self, traced):
+        tracer, _ = traced
+        records = [json.loads(line) for line in spans_to_jsonl(tracer).splitlines()]
+        assert len(records) == len(tracer.completed)
+
+    def test_parent_links_form_a_tree(self, traced):
+        tracer, _ = traced
+        records = [json.loads(line) for line in spans_to_jsonl(tracer).splitlines()]
+        by_id = {record["id"]: record for record in records}
+        roots = [r for r in records if r["parent"] is None]
+        assert len(roots) == 1
+        for record in records:
+            if record["parent"] is not None:
+                assert record["parent"] in by_id
+
+    def test_record_fields(self, traced):
+        tracer, result = traced
+        records = [json.loads(line) for line in spans_to_jsonl(tracer).splitlines()]
+        root = next(r for r in records if r["parent"] is None)
+        assert root["output_cardinality"] == len(result)
+        assert root["kind"] == "Associate"
+        assert root["seconds"] >= 0
+        assert isinstance(root["input_cardinalities"], list)
+
+
+class TestChromeTraceExport:
+    """Acceptance: the Chrome trace export is structurally valid trace JSON."""
+
+    def test_roundtrips_through_json(self, traced):
+        tracer, _ = traced
+        document = json.loads(json.dumps(spans_to_chrome_trace(tracer)))
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_events_are_complete_events_in_microseconds(self, traced):
+        tracer, _ = traced
+        events = spans_to_chrome_trace(tracer, pid=7, tid=9)["traceEvents"]
+        assert len(events) == len(tracer.completed)
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["pid"] == 7 and event["tid"] == 9
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert isinstance(event["name"], str) and event["name"]
+            assert "output_cardinality" in event["args"]
+
+    def test_children_nest_within_parent_interval(self, traced):
+        tracer, _ = traced
+        events = spans_to_chrome_trace(tracer)["traceEvents"]
+        root = max(events, key=lambda e: e["dur"])
+        for event in events:
+            assert event["ts"] >= root["ts"]
+            assert event["ts"] + event["dur"] <= root["ts"] + root["dur"] + 1e-3
+
+    def test_empty_tracer_exports_empty_document(self):
+        document = spans_to_chrome_trace(Tracer())
+        assert document["traceEvents"] == []
+
+
+@pytest.fixture()
+def registry():
+    reg = MetricsRegistry()
+    counter = reg.counter("demo_total", "events by kind")
+    counter.inc(kind="insert")
+    counter.inc(2, kind="delete")
+    reg.gauge("demo_live", "live things").set(42)
+    histogram = reg.histogram("demo_seconds", "latency", buckets=(0.1, 1.0))
+    histogram.observe(0.05)
+    histogram.observe(5.0)
+    return reg
+
+
+class TestPrometheusExport:
+    def test_help_and_type_lines(self, registry):
+        text = metrics_to_prometheus(registry)
+        assert "# HELP demo_total events by kind" in text
+        assert "# TYPE demo_total counter" in text
+        assert "# TYPE demo_live gauge" in text
+        assert "# TYPE demo_seconds histogram" in text
+
+    def test_labelled_counter_samples(self, registry):
+        text = metrics_to_prometheus(registry)
+        assert 'demo_total{kind="insert"} 1' in text
+        assert 'demo_total{kind="delete"} 2' in text
+
+    def test_histogram_exposition(self, registry):
+        text = metrics_to_prometheus(registry)
+        assert 'demo_seconds_bucket{le="0.1"} 1' in text
+        assert 'demo_seconds_bucket{le="1"} 1' in text
+        assert 'demo_seconds_bucket{le="+Inf"} 2' in text
+        assert "demo_seconds_count 2" in text
+        assert "demo_seconds_sum 5.05" in text
+
+    def test_every_noncomment_line_is_name_value(self, registry):
+        for line in metrics_to_prometheus(registry).strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            assert name_part
+            float(value.replace("+Inf", "inf"))
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc(kind='say "hi"\nback\\slash')
+        text = metrics_to_prometheus(reg)
+        assert 'kind="say \\"hi\\"\\nback\\\\slash"' in text
+
+
+class TestJsonMetricsExport:
+    def test_roundtrips_and_matches_registry(self, registry):
+        document = json.loads(json.dumps(metrics_to_json(registry)))
+        assert set(document) == {"demo_total", "demo_live", "demo_seconds"}
+        assert document["demo_total"]["kind"] == "counter"
+        samples = {
+            sample["labels"]["kind"]: sample["value"]
+            for sample in document["demo_total"]["samples"]
+        }
+        assert samples == {"insert": 1, "delete": 2}
+        assert document["demo_seconds"]["buckets"] == [0.1, 1.0]
+        assert document["demo_seconds"]["samples"][0]["count"] == 2

@@ -1,0 +1,139 @@
+"""Metrics registry: counter/gauge/histogram semantics and aggregation."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    CARDINALITY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Q_ERROR_BUCKETS,
+    TIME_BUCKETS,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = Counter("c_total", "help")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("c_total", "help")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labels_keep_separate_series(self):
+        c = Counter("c_total", "help")
+        c.inc(kind="a")
+        c.inc(kind="a")
+        c.inc(kind="b")
+        assert c.value(kind="a") == 2
+        assert c.value(kind="b") == 1
+        assert c.total() == 3
+        assert len(c.samples()) == 2
+
+    def test_label_order_is_irrelevant(self):
+        c = Counter("c_total", "help")
+        c.inc(a="1", b="2")
+        c.inc(b="2", a="1")
+        assert c.value(a="1", b="2") == 2
+
+    def test_bad_metric_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("bad name!", "help")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g", "help")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value() == 12
+
+    def test_gauge_can_go_negative(self):
+        g = Gauge("g", "help")
+        g.dec(2)
+        assert g.value() == -2
+
+
+class TestHistogram:
+    def test_le_semantics_cumulative(self):
+        h = Histogram("h", "help", buckets=(1.0, 2.0, 5.0))
+        for v in (0.5, 1.0, 1.5, 10.0):
+            h.observe(v)
+        # cumulative: le=1 sees 0.5 and 1.0; le=2 adds 1.5; +Inf sees all
+        assert h.bucket_counts() == [
+            (1.0, 2),
+            (2.0, 3),
+            (5.0, 3),
+            (float("inf"), 4),
+        ]
+        assert h.count() == 4
+        assert h.total() == pytest.approx(13.0)
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", "help", buckets=(2.0, 1.0))
+
+    def test_labelled_series(self):
+        h = Histogram("h", "help", buckets=(1.0,))
+        h.observe(0.5, kind="x")
+        h.observe(3.0, kind="y")
+        assert h.count(kind="x") == 1
+        assert h.count(kind="y") == 1
+        assert h.count() == 0  # the unlabelled series is its own series
+
+    def test_default_bucket_constants(self):
+        assert tuple(TIME_BUCKETS) == tuple(sorted(TIME_BUCKETS))
+        assert tuple(CARDINALITY_BUCKETS) == tuple(sorted(CARDINALITY_BUCKETS))
+        assert Q_ERROR_BUCKETS[0] == 1.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help")
+        b = reg.counter("x_total", "other help ignored")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_type_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x", "help")
+        with pytest.raises(ValueError):
+            reg.gauge("x", "help")
+
+    def test_contains_iter_get(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", "help")
+        assert "g" in reg
+        assert "missing" not in reg
+        assert reg.get("missing") is None
+        assert [m.name for m in reg] == ["g"]
+
+    def test_metrics_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("zzz", "help")
+        reg.counter("aaa", "help")
+        assert [m.name for m in reg.metrics()] == ["aaa", "zzz"]
+
+    def test_thread_safety_of_counter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n_total", "help")
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == 8000

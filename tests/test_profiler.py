@@ -1,33 +1,58 @@
-"""The query profiler."""
+"""The query profiler (span-based operator classification)."""
 
 import pytest
 
-from repro.core.expression import Divide, Intersect, ref
+from repro.core.expression import (
+    Complement,
+    Difference,
+    Divide,
+    Intersect,
+    Literal,
+    NonAssociate,
+    OperatorKind,
+    Project,
+    Select,
+    Union,
+    ref,
+)
+from repro.core.assoc_set import AssociationSet
 from repro.core.predicates import value_equals
-from repro.engine.profiler import Profiler, _operator_kind
+from repro.engine.profiler import Profiler
 
 
 class TestOperatorKind:
+    """Every node carries its structured kind — no text parsing anywhere."""
+
     @pytest.mark.parametrize(
-        "text,kind",
+        "expr,kind",
         [
-            ("TA", "extent"),
-            ("σ(Name)[Name = 'CIS']", "A-Select"),
-            ("Π((A * B))[A]", "A-Project"),
-            ("(A * B)", "Associate"),
-            ("(A | B)", "A-Complement"),
-            ("(A ! B)", "NonAssociate"),
-            ("((A * B) • (C * D))", "A-Intersect"),
-            ("(A + B)", "A-Union"),
-            ("(A - B)", "A-Difference"),
-            ("(A ÷{B} B)", "A-Divide"),
+            (ref("TA"), OperatorKind.EXTENT),
+            (Literal(AssociationSet.empty()), OperatorKind.LITERAL),
+            (ref("A") * ref("B"), OperatorKind.ASSOCIATE),
+            (Complement(ref("A"), ref("B")), OperatorKind.COMPLEMENT),
+            (NonAssociate(ref("A"), ref("B")), OperatorKind.NON_ASSOCIATE),
+            (Intersect(ref("A"), ref("B")), OperatorKind.INTERSECT),
+            (Union(ref("A"), ref("B")), OperatorKind.UNION),
+            (Difference(ref("A"), ref("B")), OperatorKind.DIFFERENCE),
+            (Divide(ref("A"), ref("B")), OperatorKind.DIVIDE),
+            (
+                Select(ref("A"), value_equals("Name", "CIS")),
+                OperatorKind.SELECT,
+            ),
+            (Project(ref("A"), ("A",)), OperatorKind.PROJECT),
         ],
     )
-    def test_classification(self, text, kind):
-        assert _operator_kind(text) == kind
+    def test_node_kind(self, expr, kind):
+        assert expr.kind is kind
 
-    def test_nested_symbols_do_not_confuse(self):
-        assert _operator_kind("((A - B) + (C * D))") == "A-Union"
+    def test_labels_are_display_names(self):
+        assert OperatorKind.ASSOCIATE.label == "Associate"
+        assert OperatorKind.EXTENT.label == "extent"
+        assert OperatorKind.COMPLEMENT.label == "A-Complement"
+
+    def test_nested_expressions_keep_root_kind(self):
+        expr = (ref("A") - ref("B")) + (ref("C") * ref("D"))
+        assert expr.kind is OperatorKind.UNION
 
 
 class TestProfiler:

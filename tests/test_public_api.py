@@ -26,6 +26,11 @@ MODULES = [
     "repro.engine.profiler",
     "repro.errors",
     "repro.objects",
+    "repro.obs",
+    "repro.obs.explain",
+    "repro.obs.export",
+    "repro.obs.metrics",
+    "repro.obs.span",
     "repro.oql",
     "repro.optimizer",
     "repro.optimizer.parallel",
@@ -78,9 +83,19 @@ def test_public_classes_have_documented_public_methods():
     from repro.core.pattern import Pattern
     from repro.engine.database import Database
     from repro.objects.graph import ObjectGraph
+    from repro.obs import Histogram, MetricsRegistry, Tracer
     from repro.schema.graph import SchemaGraph
 
-    for cls in (Pattern, AssociationSet, SchemaGraph, ObjectGraph, Database):
+    for cls in (
+        Pattern,
+        AssociationSet,
+        SchemaGraph,
+        ObjectGraph,
+        Database,
+        Tracer,
+        MetricsRegistry,
+        Histogram,
+    ):
         for name, member in vars(cls).items():
             if name.startswith("_") or not callable(member):
                 continue
