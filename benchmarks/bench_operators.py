@@ -1,14 +1,20 @@
-"""FIG8a–8g: one benchmark per operator.
+"""FIG8a–8g: one benchmark per operator, plus indexed-vs-naive execution.
 
 Each operator is measured twice: on the paper's exact Figure 8 operands
 (micro — answers are asserted to match the figures) and on a scaled
-synthetic association-set workload (macro).
+synthetic association-set workload (macro).  A third section pits the
+physical executor (:mod:`repro.exec` — adjacency indexes + sub-plan
+cache) against the naive logical evaluator on Associate-heavy queries at
+the largest datagen scale, asserting the speedup the indexes buy.
 """
+
+import time
 
 import pytest
 
 from repro.core.assoc_set import AssociationSet
 from repro.core.edges import complement, inter
+from repro.core.expression import ref
 from repro.core.operators import (
     a_complement,
     a_difference,
@@ -22,6 +28,7 @@ from repro.core.operators import (
 )
 from repro.core.pattern import Pattern
 from repro.core.predicates import Callback
+from repro.exec import Executor
 
 
 def P(*parts):
@@ -217,3 +224,56 @@ def test_scaled_difference(benchmark, scaled_sets):
 def test_scaled_divide(benchmark, scaled_sets):
     _, _, _, k2, chains = scaled_sets
     benchmark(a_divide, chains, k2, ["K1"])
+
+
+# ----------------------------------------------------------------------
+# indexed vs naive: the physical executor on Associate-heavy queries
+# (chain K0—K1—K2—K3 at 200 per extent — the largest datagen scale)
+# ----------------------------------------------------------------------
+
+
+def _chain_query():
+    return ref("K0") * ref("K1") * ref("K2") * ref("K3")
+
+
+def _best_seconds(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_naive_associate_chain(benchmark, chain200):
+    expr = _chain_query()
+    result = benchmark(expr.evaluate, chain200.graph)
+    assert result
+
+
+def test_indexed_associate_chain(benchmark, chain200):
+    expr = _chain_query()
+    executor = Executor(chain200.graph)
+    executor.run(expr)  # warm the indexes and the sub-plan cache
+    result = benchmark(lambda: executor.run(expr))
+    assert result == expr.evaluate(chain200.graph)
+
+
+def test_indexed_associate_chain_uncached(benchmark, chain200):
+    expr = _chain_query()
+    executor = Executor(chain200.graph)
+    executor.run(expr, use_cache=False)  # warm the indexes only
+    result = benchmark(lambda: executor.run(expr, use_cache=False))
+    assert result == expr.evaluate(chain200.graph)
+
+
+def test_indexed_speedup_on_associate_heavy_query(chain200):
+    """Acceptance gate: indexes + cache buy ≥3× on the Associate chain."""
+    expr = _chain_query()
+    reference = expr.evaluate(chain200.graph)
+    executor = Executor(chain200.graph)
+    assert executor.run(expr) == reference  # warm + verify identical
+    naive = _best_seconds(lambda: expr.evaluate(chain200.graph))
+    indexed = _best_seconds(lambda: executor.run(expr))
+    speedup = naive / indexed
+    assert speedup >= 3.0, f"indexed speedup only {speedup:.1f}x"

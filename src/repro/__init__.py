@@ -12,7 +12,11 @@ Public API tour
 * :mod:`repro.core` — patterns, association-sets, the nine operators, the
   expression DSL (``ref("TA") * ref("Grad")``) and the algebraic laws;
 * :mod:`repro.engine` — the :class:`~repro.engine.database.Database`
-  facade tying everything together;
+  facade tying everything together (query entry point:
+  :meth:`~repro.engine.database.Database.query`);
+* :mod:`repro.exec` — the physical execution engine behind it: adjacency
+  and value indexes, a memoizing sub-plan cache and a parallel branch
+  scheduler;
 * :mod:`repro.oql` — the textual OQL front-end compiled to the algebra;
 * :mod:`repro.optimizer` — law-based rewriting and a cardinality cost
   model (§4, Figure 10);
@@ -28,7 +32,7 @@ Quickstart::
     db = Database.from_dataset(university())
     q1 = (ref("TA") * ref("Grad") * ref("Student") * ref("Person")
           * ref("SS#")).project(["SS#"])
-    result = db.evaluate(q1)
+    numbers = db.query(q1).values("SS#")
 """
 
 from repro.core import (
@@ -47,7 +51,7 @@ from repro.core import (
     inter,
     ref,
 )
-from repro.engine.database import Database
+from repro.engine.database import Database, QueryResult
 from repro.errors import ReproError
 from repro.objects import GraphBuilder, ObjectGraph
 from repro.schema import SchemaGraph
@@ -57,6 +61,7 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "Database",
+    "QueryResult",
     "SchemaGraph",
     "ObjectGraph",
     "GraphBuilder",

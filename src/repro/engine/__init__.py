@@ -1,5 +1,5 @@
 """Engine: the Database facade over schema, objects, queries and rules."""
 
-from repro.engine.database import Database, MutationEvent
+from repro.engine.database import Database, MutationEvent, QueryResult
 
-__all__ = ["Database", "MutationEvent"]
+__all__ = ["Database", "MutationEvent", "QueryResult"]

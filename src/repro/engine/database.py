@@ -3,28 +3,32 @@
 Glues the subsystems together the way a user of the reproduced system would
 see them: one object owning a schema graph, an object graph, a computed-
 value function registry, a mutation-event stream (consumed by the knowledge
-rule engine), and the query entry points:
+rule engine and the physical executor), and one query entry point:
 
-* :meth:`Database.evaluate` — evaluate an algebra :class:`Expr` (or OQL
-  text, compiled on the fly);
-* :meth:`Database.explain_analyze` — the plan tree annotated with
-  estimated vs actual cardinalities and per-node timing;
-* :meth:`Database.values` — the common final step of the paper's queries:
-  collect the primitive values of one class from a result association-set.
+* :meth:`Database.query` — evaluate an algebra :class:`Expr` (or OQL text)
+  through the physical execution engine (:mod:`repro.exec`) and get a
+  :class:`QueryResult` bundling the association-set with the accessors the
+  paper's queries end with (instances of a class, primitive values of a
+  class) and, on request, an EXPLAIN ANALYZE report.
+
+The older entry points — :meth:`evaluate`, :meth:`select_instances`,
+:meth:`values` — remain as thin delegates with ``DeprecationWarning``\\ s.
 
 The DML methods (:meth:`insert`, :meth:`link`, ...) delegate to the object
 graph and emit :class:`MutationEvent`\\ s so rules can react — the paper's
-OSAM* context pairs the algebra with a rule-specification language.
+OSAM* context pairs the algebra with a rule-specification language.  The
+same events keep the executor's indexes and sub-plan cache fresh.
 
 Every database owns a :class:`~repro.obs.metrics.MetricsRegistry` (shared
-with its object graph and any attached rule engine): queries run, query
-latency, and mutation events by kind are recorded automatically; export
-it with :func:`repro.obs.export.metrics_to_prometheus`.
+with its object graph, executor and any attached rule engine): queries run,
+query latency, mutation events by kind and plan-cache traffic are recorded
+automatically; export with :func:`repro.obs.export.metrics_to_prometheus`.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
@@ -33,13 +37,14 @@ from repro.core.expression import EvalTrace, Expr
 from repro.core.identity import IID
 from repro.core.predicates import FunctionRegistry
 from repro.errors import EvaluationError
+from repro.exec.executor import Executor
 from repro.objects.builder import GraphBuilder
 from repro.objects.graph import ObjectGraph
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.span import Tracer
 from repro.schema.graph import SchemaGraph
 
-__all__ = ["Database", "MutationEvent"]
+__all__ = ["Database", "MutationEvent", "QueryResult"]
 
 
 @dataclass(frozen=True)
@@ -53,6 +58,72 @@ class MutationEvent:
     kind: str
     instances: tuple[IID, ...]
     association: str | None = None
+
+
+class QueryResult:
+    """The result of one :meth:`Database.query` call.
+
+    Wraps the :class:`~repro.core.assoc_set.AssociationSet` (``.set``,
+    also reachable by iterating or ``len()``) together with the accessors
+    the paper's usage model ends queries with — the instances of one
+    class across the result patterns, or their primitive values — and
+    the :class:`~repro.obs.explain.ExplainReport` when the query ran
+    with ``explain=True``.
+    """
+
+    def __init__(
+        self,
+        result: AssociationSet,
+        database: "Database",
+        expr: Expr,
+        report: Any = None,
+    ) -> None:
+        #: The association-set the query produced.
+        self.set = result
+        #: The (compiled) expression that was evaluated.
+        self.expr = expr
+        #: The EXPLAIN ANALYZE report (``explain=True`` only), else None.
+        self.report = report
+        self._database = database
+
+    def instances(self, cls: str) -> frozenset[IID]:
+        """The instances of ``cls`` occurring in the result patterns."""
+        out: set[IID] = set()
+        for pattern in self.set:
+            out |= pattern.instances_of(cls)
+        return frozenset(out)
+
+    def values(self, cls: str) -> set[Any]:
+        """The primitive values carried by the result's ``cls`` instances.
+
+        The "retrieval" step the paper's queries end with: Query 1 asks
+        for social security *numbers*, so after ``Π(...)[SS#]`` one reads
+        the values off the SS# instances.
+        """
+        graph = self._database.graph
+        return {graph.value(i) for i in self.instances(cls)}
+
+    def __iter__(self):
+        return iter(self.set)
+
+    def __len__(self) -> int:
+        return len(self.set)
+
+    def __contains__(self, pattern: object) -> bool:
+        return pattern in self.set
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, QueryResult):
+            return other.set == self.set
+        if isinstance(other, AssociationSet):
+            return other == self.set
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.set)
+
+    def __str__(self) -> str:
+        return f"QueryResult({len(self.set)} pattern(s) for {self.expr})"
 
 
 class Database:
@@ -72,7 +143,7 @@ class Database:
         self._listeners: list[Callable[[Database, MutationEvent], None]] = []
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._m_queries = self.metrics.counter(
-            "repro_queries_total", "Queries evaluated through Database.evaluate"
+            "repro_queries_total", "Queries evaluated through Database.query"
         )
         self._m_query_seconds = self.metrics.histogram(
             "repro_query_seconds", "Wall-clock seconds per evaluated query"
@@ -81,6 +152,10 @@ class Database:
             "repro_mutation_events_total", "Mutation events emitted, by kind"
         )
         self.graph.attach_metrics(self.metrics)
+        # The physical execution engine; creating it here also registers
+        # its cache hit/miss/invalidation counters so they are present in
+        # metrics exports from the first scrape.
+        self.executor = Executor(self.graph, self.metrics)
 
     @classmethod
     def from_dataset(cls, dataset: Any) -> "Database":
@@ -91,42 +166,68 @@ class Database:
     # queries
     # ------------------------------------------------------------------
 
+    def query(
+        self,
+        q: "Expr | str",
+        *,
+        trace: Tracer | None = None,
+        explain: bool = False,
+        parallel: bool = False,
+        use_cache: bool = True,
+    ) -> QueryResult:
+        """Evaluate a query through the physical execution engine.
+
+        ``q`` is an algebra :class:`Expr` or OQL text (compiled on the
+        fly).  ``trace`` accepts any :class:`~repro.obs.span.Tracer` (the
+        legacy :class:`EvalTrace` included) to record the evaluation's
+        span tree.  ``parallel`` lets the scheduler evaluate independent
+        plan branches on a thread pool; ``use_cache=False`` bypasses the
+        sub-plan cache (reads *and* writes).  With ``explain=True`` the
+        evaluation runs under EXPLAIN ANALYZE — the report lands on
+        ``QueryResult.report``, the cache is bypassed so every plan node
+        truly executes, and ``trace`` is ignored (the report owns the
+        span tree).
+        """
+        expr = self._coerce_expr(q, "evaluate")
+        started = time.perf_counter()
+        report = None
+        if explain:
+            from repro.obs.explain import explain_analyze
+
+            report = explain_analyze(
+                expr, self.graph, metrics=self.metrics, executor=self.executor
+            )
+            result = report.result
+        else:
+            result = self.executor.run(
+                expr, trace=trace, parallel=parallel, use_cache=use_cache
+            )
+        self._m_queries.inc()
+        self._m_query_seconds.observe(time.perf_counter() - started)
+        return QueryResult(result, self, expr, report)
+
     def evaluate(
         self, query: "Expr | str", trace: Tracer | None = None
     ) -> AssociationSet:
-        """Evaluate an algebra expression or an OQL query string.
-
-        ``trace`` accepts any :class:`~repro.obs.span.Tracer` (the legacy
-        :class:`EvalTrace` included) to record the evaluation's span tree.
-        """
-        expr = self.compile(query) if isinstance(query, str) else query
-        if not isinstance(expr, Expr):
-            raise EvaluationError(f"cannot evaluate {query!r}")
-        started = time.perf_counter()
-        result = expr.evaluate(self.graph, trace)
-        self._m_queries.inc()
-        self._m_query_seconds.observe(time.perf_counter() - started)
-        return result
+        """Deprecated: use :meth:`query` (returns a :class:`QueryResult`)."""
+        warnings.warn(
+            "Database.evaluate() is deprecated; use Database.query(q).set",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.query(query, trace=trace).set
 
     def explain_analyze(self, query: "Expr | str") -> "Any":
         """EXPLAIN ANALYZE: evaluate with tracing and annotate the plan.
 
         Returns an :class:`~repro.obs.explain.ExplainReport` whose
         ``str()`` renders the plan tree with estimated vs actual
-        cardinalities, per-node timing and q-errors; node q-errors are
-        also observed in this database's ``repro_estimate_q_error``
-        histogram so cost-model accuracy accumulates across queries.
+        cardinalities, per-node timing, q-errors and the physical
+        strategy chosen per node; node q-errors are also observed in this
+        database's ``repro_estimate_q_error`` histogram so cost-model
+        accuracy accumulates across queries.
         """
-        from repro.obs.explain import explain_analyze
-
-        expr = self.compile(query) if isinstance(query, str) else query
-        if not isinstance(expr, Expr):
-            raise EvaluationError(f"cannot explain {query!r}")
-        started = time.perf_counter()
-        report = explain_analyze(expr, self.graph, metrics=self.metrics)
-        self._m_queries.inc()
-        self._m_query_seconds.observe(time.perf_counter() - started)
-        return report
+        return self.query(self._coerce_expr(query, "explain"), explain=True).report
 
     def compile(self, text: str) -> Expr:
         """Compile OQL text to an algebra expression (lazy import)."""
@@ -134,13 +235,20 @@ class Database:
 
         return compile_oql(text, self.schema, self.functions)
 
-    def values(self, result: AssociationSet, cls: str) -> set[Any]:
-        """Collect the primitive values of ``cls`` across a result set.
+    def _coerce_expr(self, query: "Expr | str", verb: str) -> Expr:
+        """OQL text → compiled Expr; an Expr passes through; else error."""
+        expr = self.compile(query) if isinstance(query, str) else query
+        if not isinstance(expr, Expr):
+            raise EvaluationError(f"cannot {verb} {query!r}")
+        return expr
 
-        This is the "retrieval" step the paper's queries end with: Query 1
-        asks for social security *numbers*, so after
-        ``Π(...)[SS#]`` one reads the values off the SS# instances.
-        """
+    def values(self, result: AssociationSet, cls: str) -> set[Any]:
+        """Deprecated: use :meth:`QueryResult.values` on a query result."""
+        warnings.warn(
+            "Database.values() is deprecated; use Database.query(q).values(cls)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         out: set[Any] = set()
         for pattern in result:
             for instance in pattern.instances_of(cls):
@@ -161,6 +269,9 @@ class Database:
 
     def _emit(self, event: MutationEvent) -> None:
         self._m_events.inc(kind=event.kind)
+        # Executor first: its indexes and cache must be consistent before
+        # any listener (e.g. a rule) runs a query in reaction to the event.
+        self.executor.on_mutation(event)
         for listener in self._listeners:
             listener(self, event)
 
@@ -205,17 +316,14 @@ class Database:
     # ------------------------------------------------------------------
 
     def select_instances(self, query: "Expr | str", cls: str) -> frozenset[IID]:
-        """The instances of ``cls`` occurring in the query's result.
-
-        The paper's usage model: "the user can query the database by
-        specifying patterns of object associations as the search condition
-        to select some objects for further processing".
-        """
-        result = self.evaluate(query)
-        out: set[IID] = set()
-        for pattern in result:
-            out |= pattern.instances_of(cls)
-        return frozenset(out)
+        """Deprecated: use :meth:`QueryResult.instances` on a query result."""
+        warnings.warn(
+            "Database.select_instances() is deprecated; use "
+            "Database.query(q).instances(cls)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.query(query).instances(cls)
 
     def delete_where(self, query: "Expr | str", cls: str) -> int:
         """Delete every ``cls`` instance selected by the pattern query.
@@ -223,7 +331,7 @@ class Database:
         Returns the number of instances deleted.  Incident edges go with
         them; each deletion emits its event (rules see every one).
         """
-        instances = self.select_instances(query, cls)
+        instances = self.query(self._coerce_expr(query, "delete by")).instances(cls)
         for instance in sorted(instances):
             self.delete(instance)
         return len(instances)
@@ -239,7 +347,7 @@ class Database:
         ``transform`` maps old value → new value.  Returns the number of
         instances updated.
         """
-        instances = self.select_instances(query, cls)
+        instances = self.query(self._coerce_expr(query, "update by")).instances(cls)
         for instance in sorted(instances):
             self.update_value(instance, transform(self.graph.value(instance)))
         return len(instances)
@@ -271,6 +379,9 @@ class Database:
         self.graph = graph_from_dict(snapshot, self.schema)
         self.builder = GraphBuilder(self.schema, self.graph)
         self.graph.attach_metrics(self.metrics)
+        # The executor's indexes and cache described the replaced graph;
+        # rebuild against the restored one.
+        self.executor = Executor(self.graph, self.metrics)
 
     def __str__(self) -> str:
         return f"Database({self.schema.name!r}, {self.graph})"

@@ -1,0 +1,30 @@
+"""Physical execution layer for the A-algebra engine.
+
+Separates logical :class:`~repro.core.expression.Expr` trees from the
+physical plans that evaluate them: incrementally maintained access
+structures (:mod:`repro.exec.indexes`), a mutation-invalidated sub-plan
+cache (:mod:`repro.exec.cache`), strategy-annotated operator trees
+(:mod:`repro.exec.physical`) and a parallel branch scheduler
+(:mod:`repro.exec.scheduler`), all coordinated by one
+:class:`~repro.exec.executor.Executor` per database.  See
+``docs/execution.md``.
+"""
+
+from repro.exec.cache import PlanCache, canonicalize, expr_dependencies
+from repro.exec.executor import Executor
+from repro.exec.indexes import IndexManager
+from repro.exec.physical import ExecContext, PhysicalNode, PhysicalPlanner
+from repro.exec.scheduler import BranchScheduler, parallel_branches
+
+__all__ = [
+    "BranchScheduler",
+    "ExecContext",
+    "Executor",
+    "IndexManager",
+    "PhysicalNode",
+    "PhysicalPlanner",
+    "PlanCache",
+    "canonicalize",
+    "expr_dependencies",
+    "parallel_branches",
+]

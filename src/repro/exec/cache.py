@@ -1,0 +1,157 @@
+"""Memoizing sub-plan cache with event-driven invalidation.
+
+Expression nodes are immutable and hashable with structural equality, so
+a (sub)expression is its own cache key.  Two refinements on top of that:
+
+* **canonicalization** — A-Union and A-Intersect are commutative, so
+  operands are sorted before keying; ``a + b`` and ``b + a`` share one
+  cache entry;
+* **dependency tracking** — each entry remembers the set of classes its
+  expression reads (extents, association ends, predicate value reads).
+  A mutation event names the classes it touched; entries whose
+  dependency set intersects are dropped.  Predicates the analyzer cannot
+  see through (callbacks, ``Apply`` functions) poison the set with
+  ``"*"``, meaning "invalidate on any mutation".
+
+The cache never observes time: correctness rests entirely on the owning
+executor feeding it every mutation event (and resetting it when the
+graph's ``version`` counter reveals an out-of-band write).
+"""
+
+from __future__ import annotations
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.expression import (
+    Associate,
+    ClassExtent,
+    Complement,
+    Difference,
+    Divide,
+    Expr,
+    Intersect,
+    Literal,
+    NonAssociate,
+    Project,
+    Select,
+    Union,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.optimizer.analysis import predicate_classes
+
+__all__ = ["PlanCache", "canonicalize", "expr_dependencies"]
+
+#: Dependency wildcard: "this entry may read anything" (opaque predicate).
+ANY = "*"
+
+
+def canonicalize(expr: Expr) -> Expr:
+    """A canonical representative of the expression's equivalence class.
+
+    Only syntactic commutativity is normalized (Union and A-Intersect
+    operands ordered by their rendering); deeper algebraic equivalences
+    are the optimizer's business, not the cache's.
+    """
+    if isinstance(expr, Union):
+        left, right = canonicalize(expr.left), canonicalize(expr.right)
+        if str(left) > str(right):
+            left, right = right, left
+        return Union(left, right)
+    if isinstance(expr, Intersect):
+        left, right = canonicalize(expr.left), canonicalize(expr.right)
+        if str(left) > str(right):
+            left, right = right, left
+        return Intersect(left, right, expr.classes)
+    if isinstance(expr, (Associate, Complement, NonAssociate)):
+        return type(expr)(
+            canonicalize(expr.left), canonicalize(expr.right), expr.spec
+        )
+    if isinstance(expr, Difference):
+        return Difference(canonicalize(expr.left), canonicalize(expr.right))
+    if isinstance(expr, Divide):
+        return Divide(canonicalize(expr.left), canonicalize(expr.right), expr.classes)
+    if isinstance(expr, Select):
+        return Select(canonicalize(expr.operand), expr.predicate)
+    if isinstance(expr, Project):
+        return Project(canonicalize(expr.operand), expr.templates, expr.links)
+    return expr  # ClassExtent / Literal — already canonical
+
+
+def expr_dependencies(expr: Expr) -> frozenset[str]:
+    """Classes whose state the expression's result depends on.
+
+    Collected over the *whole* tree (a Divide's divisor classes matter
+    even though they never appear in the result).  Contains :data:`ANY`
+    when a predicate is opaque to static analysis.
+    """
+    out: set[str] = set()
+    _collect(expr, out)
+    return frozenset(out)
+
+
+def _collect(expr: Expr, out: set[str]) -> None:
+    if isinstance(expr, ClassExtent):
+        out.add(expr.name)
+    elif isinstance(expr, Literal):
+        pass  # a materialized set: evaluation ignores the graph entirely
+    elif isinstance(expr, Select):
+        out.update(predicate_classes(expr.predicate))
+        _collect(expr.operand, out)
+    elif isinstance(expr, Project):
+        _collect(expr.operand, out)
+    else:
+        for child in expr.children():
+            _collect(child, out)
+
+
+class PlanCache:
+    """Canonical-expression → result cache, invalidated by class."""
+
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+        self._entries: dict[Expr, tuple[AssociationSet, frozenset[str]]] = {}
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_hits = metrics.counter(
+                "repro_plan_cache_hits_total", "Sub-plan cache hits"
+            )
+            self._m_misses = metrics.counter(
+                "repro_plan_cache_misses_total", "Sub-plan cache misses"
+            )
+            self._m_invalidations = metrics.counter(
+                "repro_plan_cache_invalidations_total",
+                "Cache entries dropped by mutation events",
+            )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Expr) -> AssociationSet | None:
+        """The cached result for a canonical key, counting hit or miss."""
+        entry = self._entries.get(key)
+        if self.metrics is not None:
+            (self._m_hits if entry is not None else self._m_misses).inc()
+        return entry[0] if entry is not None else None
+
+    def put(self, key: Expr, result: AssociationSet, deps: frozenset[str]) -> None:
+        self._entries[key] = (result, deps)
+
+    def invalidate_classes(self, classes) -> int:
+        """Drop entries depending on any of ``classes``; return the count."""
+        touched = set(classes)
+        stale = [
+            key
+            for key, (_, deps) in self._entries.items()
+            if ANY in deps or deps & touched
+        ]
+        for key in stale:
+            del self._entries[key]
+        if stale and self.metrics is not None:
+            self._m_invalidations.inc(len(stale))
+        return len(stale)
+
+    def clear(self) -> None:
+        if self._entries and self.metrics is not None:
+            self._m_invalidations.inc(len(self._entries))
+        self._entries.clear()
+
+    def __str__(self) -> str:
+        return f"PlanCache({len(self._entries)} entr(y/ies))"

@@ -1,0 +1,112 @@
+"""The physical execution engine: planning, caching, parallel dispatch.
+
+One :class:`Executor` serves one :class:`~repro.objects.graph.ObjectGraph`.
+It owns the derived state the physical layer runs on — an
+:class:`~repro.exec.indexes.IndexManager` and a
+:class:`~repro.exec.cache.PlanCache` — and keeps both honest through two
+channels:
+
+* :meth:`on_mutation` — the :class:`~repro.engine.database.Database`
+  forwards every mutation event; indexes update incrementally, cache
+  entries depending on the touched classes are dropped;
+* the graph's ``version`` counter — a mutation that bypassed the event
+  stream (direct graph access) leaves ``version`` ahead of what the
+  events explained, and the next :meth:`run` rebuilds everything from
+  scratch rather than serve stale results.
+
+The logical evaluator remains the semantic reference; the executor is
+an accelerator whose results are verified identical in the property
+tests (``tests/properties/test_physical_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.expression import Expr
+from repro.exec.cache import PlanCache
+from repro.exec.indexes import IndexManager
+from repro.exec.physical import ExecContext, PhysicalNode, PhysicalPlanner
+from repro.exec.scheduler import BranchScheduler, parallel_branches
+from repro.objects.graph import ObjectGraph
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Tracer
+
+__all__ = ["Executor"]
+
+
+class Executor:
+    """Physical query execution over one object graph."""
+
+    def __init__(
+        self,
+        graph: ObjectGraph,
+        metrics: MetricsRegistry | None = None,
+        max_workers: int = 4,
+    ) -> None:
+        self.graph = graph
+        self.metrics = metrics
+        self.indexes = IndexManager(graph)
+        self.cache = PlanCache(metrics)
+        self.planner = PhysicalPlanner(graph)
+        self.scheduler = BranchScheduler(max_workers)
+        self._synced_version = graph.version
+        if metrics is not None:
+            self._m_branches = metrics.counter(
+                "repro_parallel_branches_total",
+                "Plan branches dispatched to the parallel scheduler",
+            )
+            self._m_resets = metrics.counter(
+                "repro_executor_resets_total",
+                "Full index/cache rebuilds forced by out-of-band mutations",
+            )
+
+    # ------------------------------------------------------------------
+    # state maintenance
+    # ------------------------------------------------------------------
+
+    def on_mutation(self, event) -> None:
+        """Fold one mutation event into indexes and cache."""
+        self.indexes.apply(event)
+        self.cache.invalidate_classes({i.cls for i in event.instances})
+        self._synced_version = self.graph.version
+
+    def refresh(self) -> None:
+        """Drop all derived state if the graph moved without events."""
+        if self.graph.version != self._synced_version:
+            self.indexes.reset()
+            self.cache.clear()
+            self._synced_version = self.graph.version
+            if self.metrics is not None:
+                self._m_resets.inc()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def plan(self, expr: Expr) -> PhysicalNode:
+        """The physical plan the executor would run for ``expr``."""
+        self.refresh()
+        return self.planner.plan(expr)
+
+    def run(
+        self,
+        expr: Expr,
+        *,
+        trace: Tracer | None = None,
+        parallel: bool = False,
+        use_cache: bool = True,
+    ) -> AssociationSet:
+        """Evaluate ``expr`` through its physical plan."""
+        self.refresh()
+        plan = self.planner.plan(expr)
+        ctx = ExecContext(self.graph, self.indexes, self.cache, use_cache)
+        if parallel:
+            branches = parallel_branches(plan)
+            if len(branches) >= 2:
+                if self.metrics is not None:
+                    self._m_branches.inc(len(branches))
+                return self.scheduler.run(plan, branches, ctx, trace)
+        return plan.execute(ctx, trace)
+
+    def __str__(self) -> str:
+        return f"Executor({self.indexes}, {self.cache})"

@@ -1,0 +1,147 @@
+"""Physical access structures over an object graph.
+
+The logical evaluator (:meth:`repro.core.expression.Expr.evaluate`)
+re-materializes class extents as association-sets of Inner-patterns on
+every reference and rediscovers association edges pattern by pattern.
+:class:`IndexManager` keeps the two derived structures the physical
+operators lean on:
+
+* **extent sets** — the ``AssociationSet.of_inners`` view of each class
+  extent, built once and updated incrementally as instances come and go;
+* **edge-pattern sets** — one ``Pattern`` per regular edge of an
+  association, the ready-made answer to ``A *[R(A,B)] B`` over two bare
+  extents (the edge-scan join), invalidated when the association changes.
+
+Maintenance is event-driven: the owning executor feeds every
+:class:`~repro.engine.database.MutationEvent` into :meth:`apply`.
+Mutations that bypass the event stream (someone poking the graph
+directly) are caught by the graph's ``version`` counter — the executor
+calls :meth:`reset` when the version moved without events explaining it.
+"""
+
+from __future__ import annotations
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.edges import inter
+from repro.core.pattern import Pattern
+from repro.objects.graph import ObjectGraph
+from repro.schema.graph import Association
+
+__all__ = ["IndexManager"]
+
+
+class IndexManager:
+    """Incrementally maintained extent and edge-pattern indexes."""
+
+    def __init__(self, graph: ObjectGraph) -> None:
+        self.graph = graph
+        self._extent_sets: dict[str, AssociationSet] = {}
+        # keyed by assoc.key; one Inter-pattern per regular edge
+        self._edge_sets: dict[tuple[str, str, str], AssociationSet] = {}
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def extent_set(self, cls: str) -> AssociationSet:
+        """The extent of ``cls`` as Inner-patterns, cached across queries."""
+        cached = self._extent_sets.get(cls)
+        if cached is None:
+            cached = AssociationSet.of_inners(self.graph.extent(cls))
+            self._extent_sets[cls] = cached
+        return cached
+
+    def edge_set(self, assoc: Association) -> AssociationSet:
+        """One two-vertex pattern per regular edge of ``assoc``, cached.
+
+        This is the materialized result of ``A *[R(A,B)] B`` over the two
+        bare extents — the edge-scan join reads it directly instead of
+        probing adjacency per instance.
+        """
+        cached = self._edge_sets.get(assoc.key)
+        if cached is None:
+            cached = AssociationSet(
+                Pattern.from_edges((inter(a, b),))
+                for a, b in self.graph.edges(assoc)
+            )
+            self._edge_sets[assoc.key] = cached
+        return cached
+
+    def find_by_value(self, cls: str, value) -> AssociationSet:
+        """Inner-patterns of the ``cls`` instances carrying ``value``.
+
+        Delegates to the graph's per-class value index (O(1) for hashable
+        values) — the access path behind value-index select pushdown.
+        """
+        return AssociationSet.of_inners(self.graph.find_by_value(cls, value))
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def apply(self, event) -> None:
+        """Fold one mutation event into the cached structures.
+
+        Extent sets are updated in place (insert adds the Inner-pattern,
+        delete removes it); edge-pattern sets are updated for link/unlink
+        when cached, and dropped for deletes (the event does not say which
+        associations lost edges).  Value updates touch neither — patterns
+        carry identity, not values.
+        """
+        kind = event.kind
+        if kind == "insert":
+            for instance in event.instances:
+                cached = self._extent_sets.get(instance.cls)
+                if cached is not None:
+                    self._extent_sets[instance.cls] = AssociationSet(
+                        cached.patterns | {Pattern.inner(instance)}
+                    )
+            if len(event.instances) > 1:
+                # A multi-class insert wires is-a edges between the new
+                # instances (GraphBuilder.add_object); drop edge sets
+                # touching the affected classes.
+                self._drop_edge_sets({i.cls for i in event.instances})
+        elif kind == "delete":
+            for instance in event.instances:
+                cached = self._extent_sets.get(instance.cls)
+                if cached is not None:
+                    self._extent_sets[instance.cls] = AssociationSet(
+                        cached.patterns - {Pattern.inner(instance)}
+                    )
+            # incident edges went away with the instance; the event does
+            # not carry the association names, so drop edge sets touching
+            # the deleted classes.
+            self._drop_edge_sets({i.cls for i in event.instances})
+        elif kind in ("link", "unlink"):
+            a, b = event.instances
+            assoc = self.graph.schema.resolve(a.cls, b.cls, event.association)
+            cached = self._edge_sets.get(assoc.key)
+            if cached is not None:
+                pattern = Pattern.from_edges((inter(a, b),))
+                patterns = (
+                    cached.patterns | {pattern}
+                    if kind == "link"
+                    else cached.patterns - {pattern}
+                )
+                self._edge_sets[assoc.key] = AssociationSet(patterns)
+        # "update" changes values only; identity-based indexes are unaffected.
+
+    def _drop_edge_sets(self, classes: set[str]) -> None:
+        stale = [
+            key
+            for key in self._edge_sets
+            if key[0] in classes or key[1] in classes
+        ]
+        for key in stale:
+            del self._edge_sets[key]
+
+    def reset(self) -> None:
+        """Drop every cached structure (out-of-band mutation detected)."""
+        self._extent_sets.clear()
+        self._edge_sets.clear()
+
+    def __str__(self) -> str:
+        return (
+            f"IndexManager({len(self._extent_sets)} extent set(s), "
+            f"{len(self._edge_sets)} edge set(s))"
+        )

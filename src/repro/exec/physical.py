@@ -1,0 +1,432 @@
+"""Physical plans: strategy-annotated, cache-aware operator trees.
+
+A physical plan mirrors its logical :class:`~repro.core.expression.Expr`
+tree node for node — the span tree a traced execution records therefore
+still mirrors the expression tree, which ``EXPLAIN ANALYZE`` relies on.
+What changes is *how* each node computes its result:
+
+========================  =====================================================
+strategy                  applies to
+========================  =====================================================
+``extent-scan``           :class:`ClassExtent` — reads the IndexManager's
+                          cached extent set (the underlying graph extent is
+                          scanned once, then maintained incrementally)
+``edge-scan``             Associate of two bare extents matching the
+                          association's ends: the answer IS the association's
+                          edge list, read straight from the adjacency index
+``index-join``            any other Associate — index-nested-loop through
+                          ``graph.partners``, driving from the smaller operand
+                          (Associate is commutative, so the swap is free)
+``value-index-scan``      ``σ(X)[X = const]`` — answered from the per-class
+                          value index, then re-checked by the predicate
+``cache-hit``             any node whose canonical subexpression is in the
+                          plan cache (reported at run time, not plan time)
+========================  =====================================================
+
+Everything else keeps its reference kernel under an honest strategy name
+(``complement-scan``, ``free-set-scan``, ``hash-intersect``, ``union``,
+``difference``, ``divide``, ``filter-scan``, ``project``, ``literal``).
+
+The planner never consults instance data — only the schema and O(1)
+statistics — so planning is cheap enough to run per query.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.expression import (
+    Associate,
+    ClassExtent,
+    Complement,
+    Difference,
+    Divide,
+    Expr,
+    Intersect,
+    Literal,
+    NonAssociate,
+    Project,
+    Select,
+    Union,
+)
+from repro.core.operators import (
+    a_complement,
+    a_difference,
+    a_divide,
+    a_intersect,
+    a_project,
+    a_select,
+    a_union,
+    associate,
+    non_associate,
+)
+from repro.errors import EvaluationError
+from repro.exec.cache import PlanCache, canonicalize
+from repro.exec.indexes import IndexManager
+from repro.objects.graph import ObjectGraph
+from repro.obs.span import Span, Tracer
+from repro.optimizer.analysis import (
+    edge_scannable,
+    predicate_classes,
+    value_index_probe,
+)
+
+__all__ = ["ExecContext", "PhysicalNode", "PhysicalPlanner"]
+
+
+class ExecContext:
+    """Everything a physical node needs at run time.
+
+    ``precomputed`` maps ``id(node)`` → ``(result, branch_tracer)`` for
+    subtrees the parallel scheduler already evaluated on worker threads;
+    reaching such a node adopts the branch's spans instead of re-running.
+    """
+
+    __slots__ = ("graph", "indexes", "cache", "use_cache", "precomputed")
+
+    def __init__(
+        self,
+        graph: ObjectGraph,
+        indexes: IndexManager,
+        cache: PlanCache | None = None,
+        use_cache: bool = True,
+        precomputed: dict[int, tuple[AssociationSet, Tracer | None]] | None = None,
+    ) -> None:
+        self.graph = graph
+        self.indexes = indexes
+        self.cache = cache
+        self.use_cache = use_cache
+        self.precomputed = precomputed
+
+
+class PhysicalNode:
+    """One node of a physical plan (mirrors one logical node)."""
+
+    strategy = "?"
+
+    def __init__(
+        self,
+        expr: Expr,
+        children: tuple["PhysicalNode", ...] = (),
+        key: Expr | None = None,
+        deps: frozenset[str] = frozenset(),
+    ) -> None:
+        self.expr = expr
+        self.children = children
+        #: Canonical subexpression used as the plan-cache key (None = don't).
+        self.key = key
+        #: Classes this subtree's result depends on (cache invalidation).
+        self.deps = deps
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def execute(self, ctx: ExecContext, trace: Tracer | None = None) -> AssociationSet:
+        """Evaluate this subtree, mirroring ``Expr.evaluate``'s tracing."""
+        if ctx.precomputed is not None:
+            entry = ctx.precomputed.get(id(self))
+            if entry is not None:
+                result, branch = entry
+                if trace is not None and branch is not None:
+                    _adopt_spans(trace, branch)
+                return result
+        if trace is None:
+            return self._cached(ctx, None, None)
+        span = trace.begin(str(self.expr), self.expr.kind, strategy=self.strategy)
+        try:
+            result = self._cached(ctx, trace, span)
+        except BaseException as exc:
+            trace.finish(span, error=type(exc).__name__)
+            raise
+        trace.finish(span, output=len(result))
+        return result
+
+    def _cached(
+        self, ctx: ExecContext, trace: Tracer | None, span: Span | None
+    ) -> AssociationSet:
+        if ctx.use_cache and ctx.cache is not None and self.key is not None:
+            hit = ctx.cache.get(self.key)
+            if hit is not None:
+                if span is not None:
+                    span.attributes["strategy"] = "cache-hit"
+                return hit
+            result = self._execute(ctx, trace, span)
+            ctx.cache.put(self.key, result, self.deps)
+            return result
+        return self._execute(ctx, trace, span)
+
+    def _execute(
+        self, ctx: ExecContext, trace: Tracer | None, span: Span | None
+    ) -> AssociationSet:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def walk(self, depth: int = 0):
+        """Yield ``(node, depth)`` pairs, pre-order."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def describe(self) -> str:
+        """One line per node: strategy and expression, indented by depth."""
+        return "\n".join(
+            f"{'  ' * depth}{node.strategy:<18} {node.expr}"
+            for node, depth in self.walk()
+        )
+
+    def __str__(self) -> str:
+        return f"{type(self).__name__}[{self.strategy}]({self.expr})"
+
+
+def _adopt_spans(trace: Tracer, branch: Tracer) -> None:
+    """Splice a branch tracer's finished forest into the open span."""
+    if trace._stack:
+        trace._stack[-1].children.extend(branch.roots)
+    else:
+        trace.roots.extend(branch.roots)
+    trace.completed.extend(branch.completed)
+
+
+# ----------------------------------------------------------------------
+# leaves
+# ----------------------------------------------------------------------
+
+
+class ExtentScan(PhysicalNode):
+    strategy = "extent-scan"
+
+    def _execute(self, ctx, trace, span):
+        return ctx.indexes.extent_set(self.expr.name)
+
+
+class LiteralValue(PhysicalNode):
+    strategy = "literal"
+
+    def _execute(self, ctx, trace, span):
+        return self.expr.value
+
+
+# ----------------------------------------------------------------------
+# binary graph operators
+# ----------------------------------------------------------------------
+
+
+class EdgeScanJoin(PhysicalNode):
+    """Associate of two bare extents: read the edge list directly.
+
+    The operand extents are still evaluated (their spans and scan metrics
+    are part of the query's observable shape, and they are cached reads),
+    but the join itself is a dictionary lookup, not a loop.
+    """
+
+    strategy = "edge-scan"
+
+    def _execute(self, ctx, trace, span):
+        assoc, _, _ = self.expr.resolve(ctx.graph)
+        for child in self.children:
+            child.execute(ctx, trace)
+        return ctx.indexes.edge_set(assoc)
+
+
+class IndexJoin(PhysicalNode):
+    """Index-nested-loop Associate driving from the smaller operand."""
+
+    strategy = "index-join"
+
+    def _execute(self, ctx, trace, span):
+        assoc, a_cls, b_cls = self.expr.resolve(ctx.graph)
+        left = self.children[0].execute(ctx, trace)
+        right = self.children[1].execute(ctx, trace)
+        if len(right) < len(left):
+            # α *[R(A,B)] β  =  β *[R(B,A)] α — drive the probe loop from
+            # the smaller side.
+            if span is not None:
+                span.attributes["drive"] = "right"
+            return associate(right, left, ctx.graph, assoc, b_cls, a_cls)
+        if span is not None:
+            span.attributes["drive"] = "left"
+        return associate(left, right, ctx.graph, assoc, a_cls, b_cls)
+
+
+class ComplementScan(PhysicalNode):
+    strategy = "complement-scan"
+
+    def _execute(self, ctx, trace, span):
+        assoc, a_cls, b_cls = self.expr.resolve(ctx.graph)
+        left = self.children[0].execute(ctx, trace)
+        right = self.children[1].execute(ctx, trace)
+        return a_complement(left, right, ctx.graph, assoc, a_cls, b_cls)
+
+
+class FreeSetScan(PhysicalNode):
+    strategy = "free-set-scan"
+
+    def _execute(self, ctx, trace, span):
+        assoc, a_cls, b_cls = self.expr.resolve(ctx.graph)
+        left = self.children[0].execute(ctx, trace)
+        right = self.children[1].execute(ctx, trace)
+        return non_associate(left, right, ctx.graph, assoc, a_cls, b_cls)
+
+
+# ----------------------------------------------------------------------
+# set operators
+# ----------------------------------------------------------------------
+
+
+class HashIntersect(PhysicalNode):
+    strategy = "hash-intersect"
+
+    def _execute(self, ctx, trace, span):
+        left = self.children[0].execute(ctx, trace)
+        right = self.children[1].execute(ctx, trace)
+        return a_intersect(left, right, self.expr.classes)
+
+
+class UnionOp(PhysicalNode):
+    strategy = "union"
+
+    def _execute(self, ctx, trace, span):
+        left = self.children[0].execute(ctx, trace)
+        right = self.children[1].execute(ctx, trace)
+        return a_union(left, right)
+
+
+class DifferenceOp(PhysicalNode):
+    strategy = "difference"
+
+    def _execute(self, ctx, trace, span):
+        left = self.children[0].execute(ctx, trace)
+        right = self.children[1].execute(ctx, trace)
+        return a_difference(left, right)
+
+
+class DivideOp(PhysicalNode):
+    strategy = "divide"
+
+    def _execute(self, ctx, trace, span):
+        left = self.children[0].execute(ctx, trace)
+        right = self.children[1].execute(ctx, trace)
+        return a_divide(left, right, self.expr.classes)
+
+
+# ----------------------------------------------------------------------
+# unary operators
+# ----------------------------------------------------------------------
+
+
+class FilterScan(PhysicalNode):
+    strategy = "filter-scan"
+
+    def _execute(self, ctx, trace, span):
+        operand = self.children[0].execute(ctx, trace)
+        return a_select(operand, self.expr.predicate, ctx.graph)
+
+
+class ValueIndexSelect(PhysicalNode):
+    """``σ(X)[X = const]`` answered from the per-class value index.
+
+    The operand extent is still evaluated for its span; the candidate set
+    comes from the index, and the full predicate re-checks it (cheap — the
+    candidates already match — and keeps semantics exactly aligned with
+    the reference kernel for exotic value types).
+    """
+
+    strategy = "value-index-scan"
+
+    def __init__(self, expr, children, key, deps, cls: str, value: Any) -> None:
+        super().__init__(expr, children, key, deps)
+        self.cls = cls
+        self.value = value
+
+    def _execute(self, ctx, trace, span):
+        self.children[0].execute(ctx, trace)
+        candidates = ctx.indexes.find_by_value(self.cls, self.value)
+        return a_select(candidates, self.expr.predicate, ctx.graph)
+
+
+class ProjectOp(PhysicalNode):
+    strategy = "project"
+
+    def _execute(self, ctx, trace, span):
+        operand = self.children[0].execute(ctx, trace)
+        return a_project(operand, self.expr.templates, self.expr.links)
+
+
+# ----------------------------------------------------------------------
+# planner
+# ----------------------------------------------------------------------
+
+
+class PhysicalPlanner:
+    """Turns logical expression trees into physical plans."""
+
+    def __init__(self, graph: ObjectGraph) -> None:
+        self.graph = graph
+
+    def plan(self, expr: Expr) -> PhysicalNode:
+        """The physical plan for ``expr`` (node-for-node mirror)."""
+        return self._plan(expr)
+
+    def _plan(self, expr: Expr) -> PhysicalNode:
+        if isinstance(expr, ClassExtent):
+            # Cached by the IndexManager itself; no plan-cache entry.
+            return ExtentScan(expr, (), None, frozenset({expr.name}))
+        if isinstance(expr, Literal):
+            return LiteralValue(expr, (), None, frozenset())
+
+        children = tuple(self._plan(child) for child in expr.children())
+        key = canonicalize(expr)
+        deps = frozenset().union(*(c.deps for c in children)) if children else frozenset()
+
+        if isinstance(expr, Associate):
+            return self._plan_associate(expr, children, key, deps)
+        if isinstance(expr, (Complement, NonAssociate)):
+            deps = deps | self._assoc_deps(expr)
+            node_cls = ComplementScan if isinstance(expr, Complement) else FreeSetScan
+            return node_cls(expr, children, key, deps)
+        if isinstance(expr, Intersect):
+            return HashIntersect(expr, children, key, deps)
+        if isinstance(expr, Union):
+            return UnionOp(expr, children, key, deps)
+        if isinstance(expr, Difference):
+            return DifferenceOp(expr, children, key, deps)
+        if isinstance(expr, Divide):
+            return DivideOp(expr, children, key, deps)
+        if isinstance(expr, Select):
+            return self._plan_select(expr, children, key, deps)
+        if isinstance(expr, Project):
+            return ProjectOp(expr, children, key, deps)
+        raise TypeError(f"unknown expression node {expr!r}")  # pragma: no cover
+
+    def _assoc_deps(self, expr) -> frozenset[str]:
+        """End classes of a binary graph operator's association, if resolvable.
+
+        Needed because a Literal operand contributes no class dependencies
+        of its own, yet the node's result changes with the association's
+        edges.  Unresolvable nodes raise the same error at execution time,
+        so their (never-produced) results need no dependencies.
+        """
+        try:
+            _, a_cls, b_cls = expr.resolve(self.graph)
+        except EvaluationError:
+            return frozenset()
+        return frozenset({a_cls, b_cls})
+
+    def _plan_associate(self, expr, children, key, deps) -> PhysicalNode:
+        deps = deps | self._assoc_deps(expr)
+        if edge_scannable(expr, self.graph):
+            return EdgeScanJoin(expr, children, key, deps)
+        return IndexJoin(expr, children, key, deps)
+
+    def _plan_select(self, expr, children, key, deps) -> PhysicalNode:
+        deps = deps | predicate_classes(expr.predicate)
+        probe = value_index_probe(expr)
+        if probe is not None:
+            cls, value = probe
+            return ValueIndexSelect(expr, children, key, deps, cls, value)
+        return FilterScan(expr, children, key, deps)

@@ -1,0 +1,121 @@
+"""Parallel branch scheduling over physical plans.
+
+§4 of the paper argues the algebra suits parallel processing because
+rewritten queries decompose into independently evaluable branches.  The
+original :mod:`repro.optimizer.parallel` exploited exactly one shape —
+top-level A-Unions of a *logical* expression.  Here the idea generalizes
+to physical plans: :func:`parallel_branches` picks one disjoint group of
+independent subtrees (the flattened frontier under a Union spine, or the
+operand subtrees of any binary node, whichever first offers at least two
+non-trivial branches), and :class:`BranchScheduler` evaluates that group
+on a worker pool.
+
+Two constraints shape the implementation:
+
+* a :class:`~repro.obs.span.Tracer` is stack-based and not thread-safe,
+  so every branch records into its own tracer; the main thread then
+  re-executes the plan with the branch results *precomputed*, splicing
+  each branch's span tree in at the position the serial evaluation would
+  have produced it — traced output is indistinguishable in structure
+  from a serial run;
+* exactly one group is scheduled per query and branches never submit
+  nested work, so a bounded pool cannot deadlock on itself.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.assoc_set import AssociationSet
+from repro.core.expression import Union
+from repro.exec.physical import ExecContext, PhysicalNode
+from repro.obs.span import Tracer
+
+__all__ = ["parallel_branches", "BranchScheduler"]
+
+#: Minimum node count for a subtree to be worth a thread.
+_MIN_WEIGHT = 2
+
+
+def parallel_branches(plan: PhysicalNode) -> list[PhysicalNode]:
+    """One disjoint group of independent subtrees worth parallelizing.
+
+    Walks through single-child spines (Select/Project wrappers), then:
+    under a Union, takes the flattened frontier of non-Union subtrees;
+    under any other multi-child node, its operand subtrees.  Trivial
+    branches (bare extents, literals) are not worth a thread; if fewer
+    than two heavy branches remain, the search recurses into the single
+    heavy one.  Returns ``[]`` when nothing profitable exists.
+    """
+    node = plan
+    while len(node.children) == 1:
+        node = node.children[0]
+    if not node.children:
+        return []
+    if isinstance(node.expr, Union):
+        candidates = _union_frontier(node)
+    else:
+        candidates = list(node.children)
+    heavy = [c for c in candidates if _weight(c) >= _MIN_WEIGHT]
+    if len(heavy) >= 2:
+        return heavy
+    if len(heavy) == 1:
+        return parallel_branches(heavy[0])
+    return []
+
+
+def _union_frontier(node: PhysicalNode) -> list[PhysicalNode]:
+    """Maximal non-Union subtrees under a spine of Unions, left to right."""
+    if isinstance(node.expr, Union):
+        out: list[PhysicalNode] = []
+        for child in node.children:
+            out.extend(_union_frontier(child))
+        return out
+    return [node]
+
+
+def _weight(node: PhysicalNode) -> int:
+    return sum(1 for _ in node.walk())
+
+
+class BranchScheduler:
+    """Evaluates one group of plan branches on a bounded worker pool."""
+
+    def __init__(self, max_workers: int = 4) -> None:
+        self.max_workers = max_workers
+
+    def run(
+        self,
+        plan: PhysicalNode,
+        branches: list[PhysicalNode],
+        ctx: ExecContext,
+        trace: Tracer | None = None,
+    ) -> AssociationSet:
+        """Evaluate ``branches`` concurrently, then finish ``plan`` serially.
+
+        Each branch gets a private tracer (the shared one is not
+        thread-safe); the final serial pass consumes the branch results
+        through ``ExecContext.precomputed`` and splices their span trees
+        into the correct structural position.
+        """
+
+        def run_branch(branch: PhysicalNode):
+            branch_trace = Tracer() if trace is not None else None
+            return branch.execute(ctx, branch_trace), branch_trace
+
+        workers = max(1, min(self.max_workers, len(branches)))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(run_branch, branch) for branch in branches]
+            try:
+                outcomes = [future.result() for future in futures]
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+        precomputed = {
+            id(branch): outcome for branch, outcome in zip(branches, outcomes)
+        }
+        final_ctx = ExecContext(
+            ctx.graph, ctx.indexes, ctx.cache, ctx.use_cache, precomputed
+        )
+        return plan.execute(final_ctx, trace)

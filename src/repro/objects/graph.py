@@ -38,6 +38,14 @@ class ObjectGraph:
         self._adjacency: dict[tuple[str, str, str], dict[IID, set[IID]]] = {}
         # value index: cls -> hashable value -> instances carrying it
         self._value_index: dict[str, dict[Any, set[IID]]] = defaultdict(dict)
+        # edge count per association key, maintained on add/remove (O(1) reads
+        # for the cost model, which asks constantly while ranking plans)
+        self._edge_counts: dict[tuple[str, str, str], int] = {}
+        #: Monotonic mutation counter.  Every state change bumps it, so the
+        #: physical execution layer (:mod:`repro.exec`) can detect mutations
+        #: that bypassed the :class:`~repro.engine.database.Database` event
+        #: stream and drop its derived indexes/caches wholesale.
+        self.version = 0
         self._oids = OIDAllocator()
         # observability: None until attach_metrics wires a registry in
         self.metrics = None
@@ -102,6 +110,7 @@ class ObjectGraph:
         if instance in self._extents[cls]:
             raise ObjectGraphError(f"instance {instance} already exists")
         self._extents[cls].add(instance)
+        self.version += 1
         if value is not None:
             self._values[instance] = value
             self._index_value(instance, value)
@@ -142,12 +151,14 @@ class ObjectGraph:
             partners = adjacency.pop(instance, None)
             if partners:
                 edges_removed += len(partners)
+                self._edge_counts[key] = self._edge_counts.get(key, 0) - len(partners)
                 for partner in partners:
                     adjacency[partner].discard(instance)
         self._extents[instance.cls].discard(instance)
         old = self._values.pop(instance, None)
         if old is not None:
             self._unindex_value(instance, old)
+        self.version += 1
         if self.metrics is not None:
             self._m_instances.dec()
             self._m_edges.dec(edges_removed)
@@ -158,6 +169,15 @@ class ObjectGraph:
         if self.metrics is not None:
             self._m_extent_scans.inc(cls=cls)
         return frozenset(self._extents.get(cls, ()))
+
+    def extent_size(self, cls: str) -> int:
+        """``len(extent(cls))`` without copying the extent.
+
+        A statistics read, not a scan: it does not bump the extent-scan
+        counter, so cost estimation does not pollute execution metrics.
+        """
+        self.schema.class_def(cls)
+        return len(self._extents.get(cls, ()))
 
     def value(self, instance: IID) -> Any:
         """The self-describing value of a (typically primitive) instance."""
@@ -173,6 +193,7 @@ class ObjectGraph:
         self._values[instance] = value
         if value is not None:
             self._index_value(instance, value)
+        self.version += 1
 
     def find_by_value(self, cls: str, value: Any) -> frozenset[IID]:
         """Instances of ``cls`` carrying exactly ``value`` (indexed lookup).
@@ -225,9 +246,12 @@ class ObjectGraph:
         new_edge = b not in adjacency.get(a, ())
         adjacency.setdefault(a, set()).add(b)
         adjacency.setdefault(b, set()).add(a)
-        if new_edge and self.metrics is not None:
-            self._m_edges_created.inc(assoc=assoc.name)
-            self._m_edges.inc()
+        if new_edge:
+            self._edge_counts[assoc.key] = self._edge_counts.get(assoc.key, 0) + 1
+            self.version += 1
+            if self.metrics is not None:
+                self._m_edges_created.inc(assoc=assoc.name)
+                self._m_edges.inc()
 
     def remove_edge(self, assoc: Association, a: IID, b: IID) -> None:
         """Remove the regular edge between ``a`` and ``b`` (must exist)."""
@@ -236,6 +260,8 @@ class ObjectGraph:
             raise InvalidEdgeError(f"edge ({a}, {b}) not present in {assoc}")
         adjacency[a].discard(b)
         adjacency[b].discard(a)
+        self._edge_counts[assoc.key] = self._edge_counts.get(assoc.key, 0) - 1
+        self.version += 1
         if self.metrics is not None:
             self._m_edges.dec()
 
@@ -265,8 +291,8 @@ class ObjectGraph:
                     yield (instance, partner)
 
     def edge_count(self, assoc: Association) -> int:
-        """Number of regular edges stored for ``assoc``."""
-        return sum(1 for _ in self.edges(assoc))
+        """Number of regular edges stored for ``assoc`` (O(1), maintained)."""
+        return self._edge_counts.get(assoc.key, 0)
 
     # ------------------------------------------------------------------
     # complement edges (derived, Figure 4)

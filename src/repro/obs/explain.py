@@ -41,6 +41,9 @@ class ExplainNode:
     seconds: float
     self_seconds: float
     children: tuple["ExplainNode", ...] = ()
+    #: Physical strategy the executor chose ("edge-scan", "index-join",
+    #: ...); None when the naive logical evaluator produced the trace.
+    strategy: str | None = None
 
     @property
     def q_error(self) -> float:
@@ -90,10 +93,11 @@ class ExplainReport:
             f"{'est.card':>10}  {'act.card':>8}  {'ms':>8}  {'q-err':>7}  node",
         ]
         for node, depth in self.walk():
+            via = f" via {node.strategy}" if node.strategy is not None else ""
             lines.append(
                 f"{node.estimated:>10.1f}  {node.actual:>8}  "
                 f"{node.seconds * 1e3:>8.3f}  {node.q_error:>7.2f}  "
-                f"{'  ' * depth}{node.text} [{node.kind}]"
+                f"{'  ' * depth}{node.text} [{node.kind}]{via}"
             )
         lines.append(
             f"total: {len(self.result)} pattern(s) in "
@@ -111,18 +115,28 @@ def explain_analyze(
     graph: "ObjectGraph",
     cost_model: "CostModel | None" = None,
     metrics: MetricsRegistry | None = None,
+    executor: Any = None,
 ) -> ExplainReport:
     """Evaluate ``expr`` with tracing and pair estimates with actuals.
 
     ``cost_model`` defaults to a fresh :class:`CostModel` over ``graph``;
     if ``metrics`` is given, every node's q-error is observed in the
     ``repro_estimate_q_error`` histogram (labelled by operator kind).
+    With an ``executor`` (:class:`repro.exec.Executor`) the evaluation
+    runs through the physical engine — each report node then carries the
+    chosen ``strategy`` — with the sub-plan cache bypassed so every node
+    truly executes (a cache hit would truncate the plan tree mid-report).
+    Without one, the naive logical evaluator runs and ``strategy`` stays
+    ``None``.
     """
     from repro.optimizer.cost import CostModel
 
     model = cost_model if cost_model is not None else CostModel(graph)
     tracer = Tracer()
-    result = expr.evaluate(graph, tracer)
+    if executor is not None:
+        result = executor.run(expr, trace=tracer, use_cache=False)
+    else:
+        result = expr.evaluate(graph, tracer)
     root_span = tracer.roots[-1]
 
     def build(node: "Expr", span: Span) -> ExplainNode:
@@ -138,6 +152,7 @@ def explain_analyze(
             seconds=span.seconds,
             self_seconds=span.self_seconds,
             children=children,
+            strategy=span.attributes.get("strategy"),
         )
 
     root = build(expr, root_span)

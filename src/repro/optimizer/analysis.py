@@ -36,6 +36,7 @@ from repro.core.predicates import (
     ClassInstances,
     ClassValues,
     Comparison,
+    Const,
     Not,
     Or,
     Predicate,
@@ -48,6 +49,8 @@ __all__ = [
     "is_linear",
     "is_statically_homogeneous",
     "predicate_classes",
+    "edge_scannable",
+    "value_index_probe",
 ]
 
 
@@ -126,6 +129,54 @@ def _collect_predicate(predicate: Predicate, out: set[str]) -> None:
         # Callbacks and unknown predicates may read anything: poison the
         # analysis with a wildcard the callers treat as "all classes".
         out.add("*")
+
+
+def edge_scannable(expr: Expr, graph) -> bool:
+    """Whether an Associate is answerable straight from the edge list.
+
+    True when both operands are bare class extents matching the resolved
+    association's two (distinct) end classes: the result is then exactly
+    one two-vertex pattern per association edge, which the physical layer
+    reads from its adjacency index and the cost model prices as a single
+    pass over the edges.
+    """
+    if not isinstance(expr, Associate):
+        return False
+    if not (
+        isinstance(expr.left, ClassExtent) and isinstance(expr.right, ClassExtent)
+    ):
+        return False
+    try:
+        _, a_cls, b_cls = expr.resolve(graph)
+    except Exception:
+        return False
+    return (
+        expr.left.name == a_cls and expr.right.name == b_cls and a_cls != b_cls
+    )
+
+
+def value_index_probe(expr: Expr):
+    """Match ``σ(X)[X = const]`` (either comparison order).
+
+    Returns ``(class, value)`` when the Select over a bare extent is
+    answerable from the per-class value index — an existential equality
+    between the class's values and a non-None constant — else ``None``.
+    """
+    if not isinstance(expr, Select) or not isinstance(expr.operand, ClassExtent):
+        return None
+    predicate = expr.predicate
+    if not isinstance(predicate, Comparison) or predicate.op != "=":
+        return None
+    if predicate.quantifier != "exists":
+        return None
+    left, right = predicate.left, predicate.right
+    if isinstance(left, Const) and isinstance(right, ClassValues):
+        left, right = right, left
+    if not (isinstance(left, ClassValues) and isinstance(right, Const)):
+        return None
+    if left.cls != expr.operand.name or right.value is None:
+        return None
+    return left.cls, right.value
 
 
 def _collect_value(value: ValueExpr, out: set[str]) -> None:

@@ -38,7 +38,11 @@ from repro.core.expression import (
     Union,
 )
 from repro.objects.graph import ObjectGraph
-from repro.optimizer.analysis import static_classes
+from repro.optimizer.analysis import (
+    edge_scannable,
+    static_classes,
+    value_index_probe,
+)
 
 __all__ = ["Estimate", "CostModel", "SELECT_SELECTIVITY"]
 
@@ -71,7 +75,8 @@ class CostModel:
     # ------------------------------------------------------------------
 
     def extent_size(self, cls: str) -> int:
-        return len(self.graph.extent(cls))
+        # Statistics read (no extent copy, no scan-counter pollution).
+        return self.graph.extent_size(cls)
 
     def fanout(self, a_cls: str, b_cls: str, name: str | None = None) -> float:
         """Average number of B-partners per A-instance over ``R(A,B)``."""
@@ -122,6 +127,10 @@ class CostModel:
         if isinstance(expr, Select):
             inner = self.estimate(expr.operand)
             card = inner.cardinality * SELECT_SELECTIVITY
+            if value_index_probe(expr) is not None:
+                # Answered from the per-class value index: the filter only
+                # ever touches the qualifying patterns, not the whole input.
+                return Estimate(card, inner.cost + max(card, 1.0))
             return Estimate(card, inner.cost + inner.cardinality)
         if isinstance(expr, Project):
             inner = self.estimate(expr.operand)
@@ -146,8 +155,30 @@ class CostModel:
         b_size = self.extent_size(b_cls)
         fraction = right.cardinality / b_size if b_size else 0.0
         card = left.cardinality * per_instance * min(fraction, 1.0) * damping
-        work = left.cardinality * max(per_instance, 1.0)
+        work = self._strategy_work(expr, assoc, a_cls, b_cls, left, right, per_instance)
         return Estimate(card, left.cost + right.cost + work + card)
+
+    def _strategy_work(
+        self, expr, assoc, a_cls: str, b_cls: str, left, right, per_instance: float
+    ) -> float:
+        """Index-aware work of one binary graph node (patterns touched).
+
+        Mirrors the physical planner's strategy choices: an edge-scannable
+        Associate is one pass over the association's edge list; any other
+        Associate is an index-nested-loop driven from the cheaper side
+        (Associate is commutative, so the executor picks the smaller
+        operand).  Complement-flavoured operators keep the generic
+        drive-from-the-left estimate.
+        """
+        if isinstance(expr, Associate):
+            if edge_scannable(expr, self.graph):
+                return float(self.graph.edge_count(assoc))
+            reverse = self.fanout(b_cls, a_cls, assoc.name)
+            return min(
+                left.cardinality * max(per_instance, 1.0),
+                right.cardinality * max(reverse, 1.0),
+            )
+        return left.cardinality * max(per_instance, 1.0)
 
     def _intersect(self, expr: Intersect) -> Estimate:
         left = self.estimate(expr.left)

@@ -47,14 +47,23 @@ def evaluate_parallel(
     branches = decompose_unions(expr)
     if len(branches) == 1:
         return expr.evaluate(graph)
-    owned = executor is None
-    pool = executor if executor is not None else ThreadPoolExecutor(max_workers)
+    if executor is not None:
+        return _gather(executor, branches, graph)
+    # Own the pool through a context manager so it is shut down on every
+    # exit path; a failed branch additionally cancels the not-yet-started
+    # ones instead of letting them run to completion for nothing.
+    with ThreadPoolExecutor(max_workers) as pool:
+        return _gather(pool, branches, graph)
+
+
+def _gather(pool: Executor, branches: list[Expr], graph: ObjectGraph) -> AssociationSet:
+    futures = [pool.submit(branch.evaluate, graph) for branch in branches]
+    result = AssociationSet.empty()
     try:
-        futures = [pool.submit(branch.evaluate, graph) for branch in branches]
-        result = AssociationSet.empty()
         for future in futures:
             result = a_union(result, future.result())
-        return result
-    finally:
-        if owned:
-            pool.shutdown()
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        raise
+    return result

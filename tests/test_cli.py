@@ -146,11 +146,17 @@ def test_subcommand_explain(capsys):
     assert "EXPLAIN ANALYZE" in out and "q-err" in out
 
 
+# Each workload query runs three times: twice through the cached path (a
+# plan-cache miss, then a hit) and once under EXPLAIN ANALYZE.
+
+
 def test_subcommand_metrics_default_workload(capsys):
     assert main(["metrics"]) == 0
     out = capsys.readouterr().out
-    assert "repro_queries_total 3" in out
+    assert "repro_queries_total 9" in out
     assert "repro_estimate_q_error_bucket" in out
+    assert "repro_plan_cache_hits_total" in out
+    assert "repro_plan_cache_misses_total" in out
 
 
 def test_subcommand_metrics_json(capsys):
@@ -158,7 +164,9 @@ def test_subcommand_metrics_json(capsys):
 
     assert main(["metrics", "TA * Grad", "--format", "json"]) == 0
     document = json.loads(capsys.readouterr().out)
-    assert document["repro_queries_total"]["samples"][0]["value"] == 1
+    assert document["repro_queries_total"]["samples"][0]["value"] == 3
+    hits = document["repro_plan_cache_hits_total"]["samples"][0]["value"]
+    assert hits >= 1
 
 
 def test_subcommand_metrics_with_snapshot(tmp_path, db, capsys):
@@ -167,7 +175,7 @@ def test_subcommand_metrics_with_snapshot(tmp_path, db, capsys):
     path = tmp_path / "db.json"
     save_database(db, path)
     assert main(["metrics", "TA * Grad", "--db", str(path)]) == 0
-    assert "repro_queries_total 1" in capsys.readouterr().out
+    assert "repro_queries_total 3" in capsys.readouterr().out
 
 
 def test_subcommand_error_reporting(capsys):

@@ -1,0 +1,92 @@
+"""The memoizing sub-plan cache: keys, dependencies, invalidation."""
+
+import pytest
+
+from repro.core.expression import Intersect, Literal, Select, Union, ref
+from repro.core.assoc_set import AssociationSet
+from repro.core.predicates import Callback, ClassValues, Comparison, Const
+from repro.exec import PlanCache, canonicalize, expr_dependencies
+from repro.exec.cache import ANY
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCanonicalize:
+    def test_union_operands_are_ordered(self):
+        assert canonicalize(ref("B") + ref("A")) == canonicalize(ref("A") + ref("B"))
+
+    def test_intersect_operands_are_ordered(self):
+        left = Intersect(ref("B"), ref("A"), frozenset({"A"}))
+        right = Intersect(ref("A"), ref("B"), frozenset({"A"}))
+        assert canonicalize(left) == canonicalize(right)
+
+    def test_nested_commutativity_normalizes(self):
+        one = (ref("C") + ref("B")) * ref("A")
+        two = (ref("B") + ref("C")) * ref("A")
+        assert canonicalize(one) == canonicalize(two)
+
+    def test_noncommutative_order_is_preserved(self):
+        assert canonicalize(ref("A") - ref("B")) != canonicalize(ref("B") - ref("A"))
+
+    def test_canonical_form_is_semantically_equal(self):
+        expr = (ref("B") + ref("A")).project(["A"])
+        assert str(canonicalize(canonicalize(expr))) == str(canonicalize(expr))
+
+
+class TestDependencies:
+    def test_extents_and_predicates_collected(self):
+        expr = Select(
+            ref("A") * ref("B"), Comparison(ClassValues("C"), "=", Const(1))
+        )
+        assert expr_dependencies(expr) == frozenset({"A", "B", "C"})
+
+    def test_literal_depends_on_nothing(self):
+        assert expr_dependencies(Literal(AssociationSet.empty())) == frozenset()
+
+    def test_opaque_predicate_poisons(self):
+        expr = Select(ref("A"), Callback(lambda pattern, graph: True))
+        assert ANY in expr_dependencies(expr)
+
+
+class TestPlanCache:
+    def test_hit_and_miss_counters(self):
+        metrics = MetricsRegistry()
+        cache = PlanCache(metrics)
+        key = canonicalize(ref("A") * ref("B"))
+        assert cache.get(key) is None
+        cache.put(key, AssociationSet.empty(), frozenset({"A", "B"}))
+        assert cache.get(key) == AssociationSet.empty()
+        assert metrics.counter("repro_plan_cache_misses_total").value() == 1
+        assert metrics.counter("repro_plan_cache_hits_total").value() == 1
+
+    def test_invalidation_is_class_selective(self):
+        cache = PlanCache()
+        cache.put(ref("A"), AssociationSet.empty(), frozenset({"A"}))
+        cache.put(ref("B"), AssociationSet.empty(), frozenset({"B"}))
+        assert cache.invalidate_classes({"A"}) == 1
+        assert cache.get(ref("A")) is None
+        assert cache.get(ref("B")) is not None
+
+    def test_any_poison_invalidates_on_every_mutation(self):
+        cache = PlanCache()
+        cache.put(ref("A"), AssociationSet.empty(), frozenset({ANY}))
+        assert cache.invalidate_classes({"Unrelated"}) == 1
+
+    def test_clear_counts_as_invalidations(self):
+        metrics = MetricsRegistry()
+        cache = PlanCache(metrics)
+        cache.put(ref("A"), AssociationSet.empty(), frozenset({"A"}))
+        cache.put(ref("B"), AssociationSet.empty(), frozenset({"B"}))
+        cache.clear()
+        assert len(cache) == 0
+        counter = metrics.counter("repro_plan_cache_invalidations_total")
+        assert counter.value() == 2
+
+    def test_commutative_queries_share_one_entry(self):
+        cache = PlanCache()
+        cache.put(
+            canonicalize(ref("A") + ref("B")),
+            AssociationSet.empty(),
+            frozenset({"A", "B"}),
+        )
+        assert cache.get(canonicalize(ref("B") + ref("A"))) is not None
+        assert len(cache) == 1

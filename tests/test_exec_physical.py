@@ -1,0 +1,141 @@
+"""Physical planning: strategy selection, plan shape, parallel dispatch."""
+
+import pytest
+
+from repro.core.expression import Select, Union, ref
+from repro.core.predicates import ClassValues, Comparison, Const
+from repro.datasets import university
+from repro.engine.database import Database
+from repro.exec import Executor, parallel_branches
+from repro.obs.span import Tracer
+
+
+@pytest.fixture()
+def db():
+    return Database.from_dataset(university())
+
+
+def strategies(plan):
+    return {node.strategy for node, _ in plan.walk()}
+
+
+class TestStrategySelection:
+    def test_bare_extent_is_extent_scan(self, db):
+        plan = db.executor.plan(ref("TA"))
+        assert plan.strategy == "extent-scan"
+
+    def test_associate_of_two_extents_is_edge_scan(self, db):
+        plan = db.executor.plan(ref("TA") * ref("Grad"))
+        assert plan.strategy == "edge-scan"
+        assert [c.strategy for c in plan.children] == ["extent-scan"] * 2
+
+    def test_deep_associate_is_index_join(self, db):
+        plan = db.executor.plan(ref("TA") * ref("Grad") * ref("Student"))
+        assert plan.strategy == "index-join"
+        assert plan.children[0].strategy == "edge-scan"
+
+    def test_value_equality_select_uses_value_index(self, db):
+        expr = Select(ref("SS#"), Comparison(ClassValues("SS#"), "=", Const(1)))
+        assert db.executor.plan(expr).strategy == "value-index-scan"
+
+    def test_general_select_is_filter_scan(self, db):
+        expr = Select(ref("SS#"), Comparison(ClassValues("SS#"), ">", Const(1)))
+        assert db.executor.plan(expr).strategy == "filter-scan"
+
+    def test_remaining_operators_keep_reference_kernels(self, db):
+        expr = (ref("TA") | ref("Grad")) + (ref("Section") ^ ref("Room#"))
+        covered = strategies(db.executor.plan(expr))
+        assert {"complement-scan", "free-set-scan", "union"} <= covered
+
+    def test_plan_mirrors_expression_tree(self, db):
+        expr = (ref("TA") * ref("Grad")).project(["TA"])
+        plan = db.executor.plan(expr)
+        logical = [str(node) for node, _ in _walk_expr(expr)]
+        physical = [str(node.expr) for node, _ in plan.walk()]
+        assert logical == physical
+
+    def test_describe_lists_strategies(self, db):
+        text = db.executor.plan(ref("TA") * ref("Grad")).describe()
+        assert "edge-scan" in text and "extent-scan" in text
+
+
+def _walk_expr(expr, depth=0):
+    yield expr, depth
+    for child in expr.children():
+        yield from _walk_expr(child, depth + 1)
+
+
+class TestRuntimeStrategies:
+    def test_index_join_drives_from_smaller_side(self, db):
+        # |TA ∘ Grad| << |Student|: the join should probe from the left.
+        trace = Tracer()
+        db.query(ref("TA") * ref("Grad") * ref("Student"), trace=trace)
+        join_spans = [s for s in trace.completed if s.attributes.get("drive")]
+        assert join_spans and join_spans[-1].attributes["drive"] == "left"
+
+    def test_cache_hit_reported_in_span(self, db):
+        q = ref("TA") * ref("Grad")
+        db.query(q)
+        trace = Tracer()
+        db.query(q, trace=trace)
+        assert trace.roots[-1].attributes.get("strategy") == "cache-hit"
+
+    def test_explain_analyze_shows_strategy_per_node(self, db):
+        report = db.query("pi(TA * Grad)[TA]", explain=True).report
+        text = str(report)
+        assert "via project" in text
+        assert "via edge-scan" in text
+        assert "via extent-scan" in text
+        assert "via cache-hit" not in text  # explain bypasses the cache
+
+
+class TestParallelBranches:
+    def test_union_frontier_parallelizes(self, db):
+        expr = ref("TA") * ref("Grad") + ref("Section") * ref("Room#")
+        branches = parallel_branches(db.executor.plan(expr))
+        assert len(branches) == 2
+
+    def test_nested_unions_flatten(self, db):
+        expr = Union(
+            ref("TA") * ref("Grad"),
+            Union(ref("Section") * ref("Room#"), ref("Student") * ref("Person")),
+        )
+        assert len(parallel_branches(db.executor.plan(expr))) == 3
+
+    def test_non_union_binary_nodes_parallelize_operands(self, db):
+        expr = (ref("TA") * ref("Grad")) - (ref("Section") * ref("Room#"))
+        assert len(parallel_branches(db.executor.plan(expr))) == 2
+
+    def test_trivial_branches_are_not_scheduled(self, db):
+        assert parallel_branches(db.executor.plan(ref("TA") + ref("Grad"))) == []
+
+    def test_search_descends_through_wrappers(self, db):
+        expr = (ref("TA") * ref("Grad") + ref("Section") * ref("Room#")).project(
+            ["TA"]
+        )
+        assert len(parallel_branches(db.executor.plan(expr))) == 2
+
+    def test_parallel_run_counts_branches_and_agrees(self, db):
+        expr = ref("TA") * ref("Grad") + ref("Section") * ref("Room#")
+        serial = db.query(expr).set
+        parallel = db.query(expr, parallel=True).set
+        assert parallel == serial
+        branches = db.metrics.counter("repro_parallel_branches_total")
+        assert branches.value() == 2
+
+    def test_parallel_trace_matches_serial_shape(self, db):
+        expr = ref("TA") * ref("Grad") + ref("Section") * ref("Room#")
+        serial, parallel = Tracer(), Tracer()
+        db.query(expr, trace=serial, use_cache=False)
+        db.query(expr, trace=parallel, parallel=True, use_cache=False)
+
+        def shape(span):
+            return (span.name, [shape(child) for child in span.children])
+
+        assert shape(parallel.roots[-1]) == shape(serial.roots[-1])
+
+    def test_branch_failure_propagates(self, db):
+        executor = Executor(db.graph)
+        expr = ref("TA") * ref("Grad") + ref("Nope") * ref("Grad")
+        with pytest.raises(Exception):
+            executor.run(expr, parallel=True)

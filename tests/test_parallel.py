@@ -63,3 +63,38 @@ class TestEvaluate:
             ds.graph
         )
         assert merged == union_of_parts
+
+
+class TestPoolLifecycle:
+    """Regression: the owned pool must be shut down on every exit path."""
+
+    @pytest.fixture()
+    def recording(self, monkeypatch):
+        created = []
+
+        class RecordingPool(ThreadPoolExecutor):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                created.append(self)
+
+        monkeypatch.setattr(
+            "repro.optimizer.parallel.ThreadPoolExecutor", RecordingPool
+        )
+        return created
+
+    def test_owned_pool_shut_down_after_success(self, ds, recording):
+        expr = final_form()
+        assert evaluate_parallel(expr, ds.graph) == expr.evaluate(ds.graph)
+        assert len(recording) == 1 and recording[0]._shutdown
+
+    def test_owned_pool_shut_down_after_branch_failure(self, ds, recording):
+        expr = ref("A") + ref("NoSuchClass")
+        with pytest.raises(Exception):
+            evaluate_parallel(expr, ds.graph)
+        assert len(recording) == 1 and recording[0]._shutdown
+
+    def test_external_executor_is_not_shut_down(self, ds):
+        expr = final_form()
+        with ThreadPoolExecutor(2) as pool:
+            evaluate_parallel(expr, ds.graph, executor=pool)
+            assert not pool._shutdown
