@@ -5,16 +5,20 @@ Each operator is measured twice: on the paper's exact Figure 8 operands
 synthetic association-set workload (macro).  A third section pits the
 physical executor (:mod:`repro.exec` — adjacency indexes + sub-plan
 cache) against the naive logical evaluator on Associate-heavy queries at
-the largest datagen scale, asserting the speedup the indexes buy.
+the largest datagen scale, asserting the speedup the indexes buy; a
+fourth pits the compact-kernel path against that indexed executor on a
+macro Associate/Intersect query and asserts its speedup in turn.
 """
 
+import gc
+import statistics
 import time
 
 import pytest
 
 from repro.core.assoc_set import AssociationSet
 from repro.core.edges import complement, inter
-from repro.core.expression import ref
+from repro.core.expression import Intersect, ref
 from repro.core.operators import (
     a_complement,
     a_difference,
@@ -40,9 +44,12 @@ def P(*parts):
 # ----------------------------------------------------------------------
 
 
-@pytest.fixture(scope="module")
-def fig8_operands(fig7):
-    f = fig7
+def fig8_operand_sets(f):
+    """The Figure 8 operand sets, keyed by sub-figure.
+
+    A plain function (not just a fixture) so ``report.py`` can time the
+    same micro workload outside pytest.
+    """
     return {
         "8a": (
             AssociationSet([P(inter(f.a1, f.b1)), P(f.a2), P(inter(f.a3, f.b2))]),
@@ -114,6 +121,11 @@ def fig8_operands(fig7):
             ),
         ),
     }
+
+
+@pytest.fixture(scope="module")
+def fig8_operands(fig7):
+    return fig8_operand_sets(fig7)
 
 
 def test_fig8a_associate(benchmark, fig7, fig8_operands):
@@ -277,3 +289,59 @@ def test_indexed_speedup_on_associate_heavy_query(chain200):
     indexed = _best_seconds(lambda: executor.run(expr))
     speedup = naive / indexed
     assert speedup >= 3.0, f"indexed speedup only {speedup:.1f}x"
+
+
+# ----------------------------------------------------------------------
+# compact vs indexed: the arena kernels against the PR-2 executor on a
+# macro Associate/Intersect query (same chain200 dataset)
+# ----------------------------------------------------------------------
+
+
+def _macro_query():
+    """Associate chain feeding an A-Intersect — every node kernel-backed."""
+    return Intersect(_chain_query(), ref("K2") * ref("K3"), ("K2", "K3"))
+
+
+def _median_seconds(fn, repeats: int = 3) -> float:
+    """Median wall-clock seconds with the cyclic GC paused per sample.
+
+    Gen-2 collections walk every live container (graph, indexes, arena)
+    and land on arbitrary samples; pausing the collector inside the timed
+    window measures the executors instead of the collector.
+    """
+    samples = []
+    for _ in range(repeats):
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - started)
+        finally:
+            if was_enabled:
+                gc.enable()
+    return statistics.median(samples)
+
+
+def test_compact_macro_intersect_chain(benchmark, chain200):
+    expr = _macro_query()
+    executor = Executor(chain200.graph)
+    executor.run(expr, use_cache=False)  # warm the arena and indexes
+    result = benchmark(lambda: executor.run(expr, use_cache=False))
+    assert result == expr.evaluate(chain200.graph)
+
+
+def test_compact_speedup_on_macro_intersect_chain(chain200):
+    """Acceptance gate: compact kernels buy ≥2× over the indexed executor
+    on the macro Associate/Intersect query, plans uncached on both sides."""
+    expr = _macro_query()
+    reference = expr.evaluate(chain200.graph)
+    compact = Executor(chain200.graph)
+    indexed = Executor(chain200.graph, compact=False)
+    # warm the arena / indexes and verify both agree with the reference
+    assert compact.run(expr, use_cache=False) == reference
+    assert indexed.run(expr, use_cache=False) == reference
+    compact_s = _median_seconds(lambda: compact.run(expr, use_cache=False))
+    indexed_s = _median_seconds(lambda: indexed.run(expr, use_cache=False))
+    speedup = indexed_s / compact_s
+    assert speedup >= 2.0, f"compact speedup only {speedup:.1f}x"

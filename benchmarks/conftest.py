@@ -1,6 +1,11 @@
-"""Shared benchmark fixtures (built once per session)."""
+"""Shared benchmark fixtures (built once per session).
+
+Dataset seeds live in :mod:`seeds` so the fixtures here and the
+standalone ``report.py`` sweeps stay in lockstep.
+"""
 
 import pytest
+from seeds import CHAIN_SEED, FIG10_SEED, SCALED_UNI_SEED
 
 from repro.datagen import chain_dataset, figure10_dataset, university_scaled
 from repro.datasets import figure7, university
@@ -20,7 +25,7 @@ def uni_db():
 
 @pytest.fixture(scope="session")
 def scaled_uni():
-    return university_scaled(n_students=200, n_courses=20, seed=11)
+    return university_scaled(n_students=200, n_courses=20, seed=SCALED_UNI_SEED)
 
 
 @pytest.fixture(scope="session")
@@ -35,9 +40,9 @@ def scaled_rdb(scaled_uni):
 
 @pytest.fixture(scope="session")
 def fig10():
-    return figure10_dataset(extent_size=20, density=0.12, seed=7)
+    return figure10_dataset(extent_size=20, density=0.12, seed=FIG10_SEED)
 
 
 @pytest.fixture(scope="session")
 def chain200():
-    return chain_dataset(n_classes=4, extent_size=200, density=0.05, seed=5)
+    return chain_dataset(n_classes=4, extent_size=200, density=0.05, seed=CHAIN_SEED)

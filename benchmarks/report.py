@@ -2,20 +2,32 @@
 
 Runs every experiment family directly (no pytest) and prints markdown
 tables: figure exactness, law spot-checks, the relational comparison, the
-scaling sweeps, the heterogeneity comparison, and the Figure 10
-alternatives.
+scaling sweeps, the heterogeneity comparison, the Figure 10
+alternatives, and the per-operator timings (micro + macro + the
+compact-vs-indexed executor comparison).
 
 Usage:
     python benchmarks/report.py           # full run (~1 min)
     python benchmarks/report.py --quick   # smaller sweeps (~15 s)
+    python benchmarks/report.py --json BENCH_operators.json
+                                          # also write the machine-readable
+                                          # operator timings
+    python benchmarks/report.py --json-only --json BENCH_operators.json
+                                          # operator timings only, no tables
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
+import json
+import math
+import platform
 import statistics
 import sys
 import time
+
+from seeds import ALL_SEEDS, CHAIN_SEED
 
 
 def timed(fn, repeat: int = 5) -> float:
@@ -26,6 +38,32 @@ def timed(fn, repeat: int = 5) -> float:
         fn()
         samples.append((time.perf_counter() - started) * 1e3)
     return statistics.median(samples)
+
+
+def sampled(fn, repeat: int = 5) -> dict:
+    """``{median_ms, p95_ms, samples}`` over ``repeat`` runs of ``fn()``.
+
+    The cyclic GC is paused inside each timed window so gen-2 collections
+    (which walk every live dataset) don't land on arbitrary samples.
+    """
+    samples = []
+    for _ in range(repeat):
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            fn()
+            samples.append((time.perf_counter() - started) * 1e3)
+        finally:
+            if was_enabled:
+                gc.enable()
+    ordered = sorted(samples)
+    p95 = ordered[max(0, math.ceil(0.95 * len(ordered)) - 1)]
+    return {
+        "median_ms": round(statistics.median(samples), 4),
+        "p95_ms": round(p95, 4),
+        "samples": len(samples),
+    }
 
 
 def table(title: str, header: list[str], rows: list[list[str]]) -> None:
@@ -306,6 +344,152 @@ def report_observability(quick: bool) -> None:
     print("```")
 
 
+# ----------------------------------------------------------------------
+# E. per-operator timings (micro + macro + compact vs indexed)
+# ----------------------------------------------------------------------
+
+
+def operator_sections(quick: bool) -> dict:
+    """Measure every section of ``BENCH_operators.json``.
+
+    Mirrors the workloads of ``bench_operators.py`` (the operand builders
+    are shared) with ``{median_ms, p95_ms, samples}`` per entry.
+    """
+    from bench_operators import _macro_query, fig8_operand_sets
+
+    from repro.core.assoc_set import AssociationSet
+    from repro.core.operators import (
+        a_complement,
+        a_difference,
+        a_divide,
+        a_intersect,
+        a_project,
+        a_union,
+        associate,
+        non_associate,
+    )
+    from repro.datagen import chain_dataset
+    from repro.datasets import figure7
+    from repro.exec import Executor
+
+    repeat = 5 if quick else 9
+
+    f = figure7()
+    ops = fig8_operand_sets(f)
+    fig8_micro = {
+        "associate": sampled(
+            lambda: associate(*ops["8a"], f.graph, f.bc), repeat
+        ),
+        "complement": sampled(
+            lambda: a_complement(*ops["8b"], f.graph, f.bc), repeat
+        ),
+        "project": sampled(
+            lambda: a_project(ops["8c"], ["A*B", "D"], ["B:D"]), repeat
+        ),
+        "nonassociate": sampled(
+            lambda: non_associate(*ops["8d"], f.graph, f.bc), repeat
+        ),
+        "intersect": sampled(
+            lambda: a_intersect(*ops["8e"], ["B", "C"]), repeat
+        ),
+        "difference": sampled(lambda: a_difference(*ops["8f"]), repeat),
+        "divide": sampled(lambda: a_divide(*ops["8g"], ["B"]), repeat),
+    }
+
+    extent = 100 if quick else 200
+    ds = chain_dataset(
+        n_classes=4, extent_size=extent, density=0.05, seed=CHAIN_SEED
+    )
+    graph = ds.graph
+    k1 = AssociationSet.of_inners(graph.extent("K1"))
+    k2 = AssociationSet.of_inners(graph.extent("K2"))
+    assoc = ds.schema.resolve("K1", "K2")
+    chains = associate(k1, k2, graph, assoc)
+    chain_macro = {
+        "associate": sampled(lambda: associate(k1, k2, graph, assoc), repeat),
+        "complement": sampled(
+            lambda: a_complement(k1, k2, graph, assoc), repeat
+        ),
+        "nonassociate": sampled(
+            lambda: non_associate(k1, k2, graph, assoc), repeat
+        ),
+        "project": sampled(lambda: a_project(chains, ["K1"]), repeat),
+        "intersect": sampled(
+            lambda: a_intersect(chains, chains, ["K1"]), repeat
+        ),
+        "union": sampled(lambda: a_union(k1, chains), repeat),
+        "difference": sampled(lambda: a_difference(chains, k1), repeat),
+        "divide": sampled(lambda: a_divide(chains, k2, ["K1"]), repeat),
+    }
+
+    expr = _macro_query()
+    compact = Executor(graph)
+    indexed = Executor(graph, compact=False)
+    # warm the arena / indexes and check the two executors agree
+    assert compact.run(expr, use_cache=False) == indexed.run(
+        expr, use_cache=False
+    )
+    compact_stats = sampled(lambda: compact.run(expr, use_cache=False), 3)
+    indexed_stats = sampled(lambda: indexed.run(expr, use_cache=False), 3)
+    return {
+        "fig8_micro": fig8_micro,
+        "chain_macro": {
+            "extent_size": extent,
+            "operators": chain_macro,
+        },
+        "compact_vs_indexed": {
+            "query": str(expr),
+            "extent_size": extent,
+            "compact": compact_stats,
+            "indexed": indexed_stats,
+            "speedup_median": round(
+                indexed_stats["median_ms"] / compact_stats["median_ms"], 2
+            ),
+        },
+    }
+
+
+def _stat_rows(entries: dict) -> list[list[str]]:
+    return [
+        [name, f"{s['median_ms']:.3f}", f"{s['p95_ms']:.3f}", s["samples"]]
+        for name, s in entries.items()
+    ]
+
+
+def report_operators(sections: dict) -> None:
+    header = ["operator", "median ms", "p95 ms", "samples"]
+    table("E.1 Figure 8 micro operands (ms)", header, _stat_rows(sections["fig8_micro"]))
+    macro = sections["chain_macro"]
+    table(
+        f"E.2 chain macro operands (extent {macro['extent_size']}; ms)",
+        header,
+        _stat_rows(macro["operators"]),
+    )
+    cvi = sections["compact_vs_indexed"]
+    table(
+        f"E.3 compact vs indexed executor (extent {cvi['extent_size']}; ms)",
+        ["executor", "median ms", "p95 ms", "samples"],
+        _stat_rows({"compact": cvi["compact"], "indexed": cvi["indexed"]}),
+    )
+    print(f"\ncompact speedup over indexed: {cvi['speedup_median']}x")
+
+
+def write_json(path: str, quick: bool, sections: dict) -> None:
+    payload = {
+        "meta": {
+            "generated_by": "benchmarks/report.py",
+            "quick": quick,
+            "python": platform.python_version(),
+            "seeds": ALL_SEEDS,
+        },
+        "sections": sections,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {path}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="smaller sweeps")
@@ -319,7 +503,23 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="add the observability section (q-errors + Prometheus dump)",
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the operator timing sections as JSON (BENCH_operators.json)",
+    )
+    parser.add_argument(
+        "--json-only",
+        action="store_true",
+        help="run only the operator timing sections (requires --json)",
+    )
     args = parser.parse_args(argv)
+    if args.json_only and not args.json:
+        parser.error("--json-only requires --json PATH")
+
+    if args.json_only:
+        write_json(args.json, args.quick, operator_sections(args.quick))
+        return 0
 
     print("# EXPERIMENTS report (regenerated)")
     if not args.skip_exactness:
@@ -331,6 +531,10 @@ def main(argv: list[str] | None = None) -> int:
     report_figure10(args.quick)
     if args.metrics:
         report_observability(args.quick)
+    sections = operator_sections(args.quick)
+    report_operators(sections)
+    if args.json:
+        write_json(args.json, args.quick, sections)
     return 0
 
 

@@ -26,8 +26,12 @@ class AssociationSet:
     __slots__ = ("_patterns", "_hash", "_by_class")
 
     def __init__(self, patterns: Iterable[Pattern] = ()) -> None:
+        # frozenset() of a frozenset is a no-op in CPython, so feeding an
+        # already-frozen pattern set through here costs nothing extra; the
+        # hash is computed lazily because intermediate sets built inside
+        # operators are often iterated once and never hashed.
         self._patterns = frozenset(patterns)
-        self._hash = hash(self._patterns)
+        self._hash: int | None = None
         self._by_class: Mapping[str, tuple[tuple[Pattern, frozenset[IID]], ...]] | None
         self._by_class = None
 
@@ -41,13 +45,28 @@ class AssociationSet:
         return cls(())
 
     @classmethod
+    def from_frozen(cls, patterns: frozenset[Pattern]) -> "AssociationSet":
+        """Bulk-construct fast path: wrap an already-deduplicated frozenset
+        of validated patterns without copying or revalidating it.
+
+        Operators and the compact decode path build their result as a set
+        of patterns that each went through a trusted constructor; wrapping
+        that set is all the work left to do.
+        """
+        self = object.__new__(cls)
+        self._patterns = patterns
+        self._hash = None
+        self._by_class = None
+        return self
+
+    @classmethod
     def of_inners(cls, iids: Iterable[IID]) -> "AssociationSet":
         """An association-set of Inner-patterns, one per instance.
 
         This is how a bare class name in an algebra expression denotes its
         extent: ``A`` evaluates to ``{(a1), (a2), ...}``.
         """
-        return cls(Pattern.inner(i) for i in iids)
+        return cls.from_frozen(frozenset(Pattern.inner(i) for i in iids))
 
     @classmethod
     def single(cls, pattern: Pattern) -> "AssociationSet":
@@ -79,7 +98,10 @@ class AssociationSet:
         return self._patterns == other._patterns
 
     def __hash__(self) -> int:
-        return self._hash
+        h = self._hash
+        if h is None:
+            h = self._hash = hash(self._patterns)
+        return h
 
     def __or__(self, other: "AssociationSet") -> "AssociationSet":
         return AssociationSet(self._patterns | other._patterns)

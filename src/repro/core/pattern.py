@@ -20,6 +20,13 @@ Design notes
   that a derived edge equals its non-derived counterpart — see
   :mod:`repro.core.edges`).
 * The containment/overlap relationships of §3.2 are methods here.
+* ``_hash`` is computed eagerly at construction (every pattern produced by
+  an operator is immediately inserted into a set, so the hash is always
+  needed); ``_adj`` stays lazy on purpose — most patterns are only hashed
+  and compared, never walked, and building adjacency for them would cost
+  more than it saves.  Operator-internal callers that union or subset
+  already-validated patterns go through :meth:`_from_parts`, which skips
+  the O(E) endpoint re-validation of ``__init__``.
 """
 
 from __future__ import annotations
@@ -74,10 +81,28 @@ class Pattern:
     # constructors
     # ------------------------------------------------------------------
 
+    _EMPTY_EDGES: frozenset[Edge] = frozenset()
+
+    @classmethod
+    def _from_parts(
+        cls, vertices: frozenset[IID], edges: frozenset[Edge] = _EMPTY_EDGES
+    ) -> "Pattern":
+        """Trusted constructor: every edge endpoint is known to be in
+        ``vertices`` and ``vertices`` is known non-empty.  Skips the O(E)
+        endpoint validation of ``__init__`` — only for callers whose inputs
+        are unions/subsets of already-validated patterns.
+        """
+        self = object.__new__(cls)
+        self._vertices = vertices
+        self._edges = edges
+        self._hash = hash((vertices, edges))
+        self._adj = None
+        return self
+
     @classmethod
     def inner(cls, vertex: IID) -> "Pattern":
         """The Inner-pattern ``(a)``: a single vertex, no edges."""
-        return cls((vertex,))
+        return cls._from_parts(frozenset((vertex,)))
 
     @classmethod
     def from_edges(
@@ -88,12 +113,14 @@ class Pattern:
         ``extra_vertices`` adds isolated Inner-patterns (used by A-Project
         when only a single-vertex subexpression matched).
         """
-        edge_list = list(edges)
+        edge_set = frozenset(edges)
         vertices = set(extra_vertices)
-        for edge in edge_list:
+        for edge in edge_set:
             vertices.add(edge.u)
             vertices.add(edge.v)
-        return cls(vertices, edge_list)
+        if not vertices:
+            raise PatternError("a pattern must contain at least one Inner-pattern")
+        return cls._from_parts(frozenset(vertices), edge_set)
 
     @classmethod
     def build(cls, *parts: "Pattern | Edge | IID") -> "Pattern":
@@ -112,7 +139,9 @@ class Pattern:
                 vertices.add(part)
             else:  # pragma: no cover - defensive
                 raise PatternError(f"cannot build a pattern from {part!r}")
-        return cls(vertices, edges)
+        if not vertices:
+            raise PatternError("a pattern must contain at least one Inner-pattern")
+        return cls._from_parts(frozenset(vertices), frozenset(edges))
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -232,7 +261,7 @@ class Pattern:
                         seen.add(nxt)
                         frontier.append(nxt)
             remaining -= seen
-            out.append(Pattern(seen, comp_edges))
+            out.append(Pattern._from_parts(frozenset(seen), frozenset(comp_edges)))
         return out
 
     # ------------------------------------------------------------------
@@ -277,22 +306,23 @@ class Pattern:
         ``extra_edges`` (the connecting primitive pattern) added.
         """
         vertices = self._vertices | other._vertices
-        edges = set(self._edges | other._edges)
-        for edge in extra_edges:
-            edges.add(edge)
-            if edge.u not in vertices or edge.v not in vertices:
-                raise PatternError(
-                    f"connecting edge {edge} has an endpoint outside both operands"
-                )
-        return Pattern(vertices, edges)
+        edges = self._edges | other._edges
+        if extra_edges:
+            for edge in extra_edges:
+                if edge.u not in vertices or edge.v not in vertices:
+                    raise PatternError(
+                        f"connecting edge {edge} has an endpoint outside both operands"
+                    )
+            edges |= frozenset(extra_edges)
+        return Pattern._from_parts(vertices, edges)
 
     def restricted_to(self, vertices: Iterable[IID]) -> "Pattern | None":
         """Induced subpattern on ``vertices`` (``None`` if empty)."""
         keep = self._vertices & frozenset(vertices)
         if not keep:
             return None
-        edges = [e for e in self._edges if e.u in keep and e.v in keep]
-        return Pattern(keep, edges)
+        edges = frozenset(e for e in self._edges if e.u in keep and e.v in keep)
+        return Pattern._from_parts(keep, edges)
 
     # ------------------------------------------------------------------
     # paths (used by A-Project)

@@ -4,23 +4,29 @@ Separates logical :class:`~repro.core.expression.Expr` trees from the
 physical plans that evaluate them: incrementally maintained access
 structures (:mod:`repro.exec.indexes`), a mutation-invalidated sub-plan
 cache (:mod:`repro.exec.cache`), strategy-annotated operator trees
-(:mod:`repro.exec.physical`) and a parallel branch scheduler
+(:mod:`repro.exec.physical`), an integer-interning pattern arena with
+batch kernels (:mod:`repro.exec.arena`, :mod:`repro.exec.kernels`) and a
+parallel branch scheduler
 (:mod:`repro.exec.scheduler`), all coordinated by one
 :class:`~repro.exec.executor.Executor` per database.  See
 ``docs/execution.md``.
 """
 
+from repro.exec.arena import CompactSet, PatternArena
 from repro.exec.cache import PlanCache, canonicalize, expr_dependencies
 from repro.exec.executor import Executor
 from repro.exec.indexes import IndexManager
-from repro.exec.physical import ExecContext, PhysicalNode, PhysicalPlanner
+from repro.exec.physical import CompactNode, ExecContext, PhysicalNode, PhysicalPlanner
 from repro.exec.scheduler import BranchScheduler, parallel_branches
 
 __all__ = [
     "BranchScheduler",
+    "CompactNode",
+    "CompactSet",
     "ExecContext",
     "Executor",
     "IndexManager",
+    "PatternArena",
     "PhysicalNode",
     "PhysicalPlanner",
     "PlanCache",

@@ -107,7 +107,8 @@ class PlanCache:
     """Canonical-expression → result cache, invalidated by class."""
 
     def __init__(self, metrics: MetricsRegistry | None = None) -> None:
-        self._entries: dict[Expr, tuple[AssociationSet, frozenset[str]]] = {}
+        # value is an AssociationSet (decoded) or a CompactSet (arena-encoded)
+        self._entries: dict[Expr, tuple[object, frozenset[str]]] = {}
         self.metrics = metrics
         if metrics is not None:
             self._m_hits = metrics.counter(
@@ -124,14 +125,24 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key: Expr) -> AssociationSet | None:
-        """The cached result for a canonical key, counting hit or miss."""
+    def get(self, key: Expr, kind: type | None = None) -> AssociationSet | None:
+        """The cached result for a canonical key, counting hit or miss.
+
+        ``kind`` guards the entry's representation: the same canonical
+        subexpression may be cached decoded (an ``AssociationSet``, by a
+        compact-region root or a reference-kernel node) in one query and
+        compact (a ``CompactSet``, by a compact-region interior) in
+        another.  A representation mismatch counts as a miss and the
+        caller's subsequent ``put`` replaces the entry.
+        """
         entry = self._entries.get(key)
+        if entry is not None and kind is not None and not isinstance(entry[0], kind):
+            entry = None
         if self.metrics is not None:
             (self._m_hits if entry is not None else self._m_misses).inc()
         return entry[0] if entry is not None else None
 
-    def put(self, key: Expr, result: AssociationSet, deps: frozenset[str]) -> None:
+    def put(self, key: Expr, result, deps: frozenset[str]) -> None:
         self._entries[key] = (result, deps)
 
     def invalidate_classes(self, classes) -> int:

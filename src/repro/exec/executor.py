@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from repro.core.assoc_set import AssociationSet
 from repro.core.expression import Expr
+from repro.exec.arena import PatternArena
 from repro.exec.cache import PlanCache
 from repro.exec.indexes import IndexManager
 from repro.exec.physical import ExecContext, PhysicalNode, PhysicalPlanner
@@ -42,12 +43,14 @@ class Executor:
         graph: ObjectGraph,
         metrics: MetricsRegistry | None = None,
         max_workers: int = 4,
+        compact: bool = True,
     ) -> None:
         self.graph = graph
         self.metrics = metrics
         self.indexes = IndexManager(graph)
+        self.arena = PatternArena(graph, metrics)
         self.cache = PlanCache(metrics)
-        self.planner = PhysicalPlanner(graph)
+        self.planner = PhysicalPlanner(graph, metrics, compact=compact)
         self.scheduler = BranchScheduler(max_workers)
         self._synced_version = graph.version
         if metrics is not None:
@@ -65,15 +68,22 @@ class Executor:
     # ------------------------------------------------------------------
 
     def on_mutation(self, event) -> None:
-        """Fold one mutation event into indexes and cache."""
+        """Fold one mutation event into indexes, arena, and cache."""
         self.indexes.apply(event)
+        self.arena.apply(event)
         self.cache.invalidate_classes({i.cls for i in event.instances})
         self._synced_version = self.graph.version
 
     def refresh(self) -> None:
-        """Drop all derived state if the graph moved without events."""
+        """Drop all derived state if the graph moved without events.
+
+        The arena's interning tables go too — compact cache entries
+        encoded against the old id space are cleared in the same pass, so
+        the re-interned arena can never be read through stale ids.
+        """
         if self.graph.version != self._synced_version:
             self.indexes.reset()
+            self.arena.reset()
             self.cache.clear()
             self._synced_version = self.graph.version
             if self.metrics is not None:
@@ -99,7 +109,7 @@ class Executor:
         """Evaluate ``expr`` through its physical plan."""
         self.refresh()
         plan = self.planner.plan(expr)
-        ctx = ExecContext(self.graph, self.indexes, self.cache, use_cache)
+        ctx = ExecContext(self.graph, self.indexes, self.cache, use_cache, arena=self.arena)
         if parallel:
             branches = parallel_branches(plan)
             if len(branches) >= 2:

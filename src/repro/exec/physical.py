@@ -19,6 +19,10 @@ strategy                  applies to
                           (Associate is commutative, so the swap is free)
 ``value-index-scan``      ``σ(X)[X = const]`` — answered from the per-class
                           value index, then re-checked by the predicate
+``compact-kernel``        any maximal operator subtree closed over the batch
+                          kernels of :mod:`repro.exec.kernels` — executed
+                          over the integer-interned arena representation,
+                          decoded only at the region root
 ``cache-hit``             any node whose canonical subexpression is in the
                           plan cache (reported at run time, not plan time)
 ========================  =====================================================
@@ -26,6 +30,9 @@ strategy                  applies to
 Everything else keeps its reference kernel under an honest strategy name
 (``complement-scan``, ``free-set-scan``, ``hash-intersect``, ``union``,
 ``difference``, ``divide``, ``filter-scan``, ``project``, ``literal``).
+With ``PhysicalPlanner(compact=False)`` the compact path is disabled and
+those reference strategies also cover Associate/NonAssociate/Intersect/
+Union/Difference/value-index Select.
 
 The planner never consults instance data — only the schema and O(1)
 statistics — so planning is cheap enough to run per query.
@@ -62,8 +69,17 @@ from repro.core.operators import (
     non_associate,
 )
 from repro.errors import EvaluationError
+from repro.exec.arena import CompactSet, PatternArena
 from repro.exec.cache import PlanCache, canonicalize
 from repro.exec.indexes import IndexManager
+from repro.exec.kernels import (
+    k_associate,
+    k_difference,
+    k_intersect,
+    k_nonassociate,
+    k_union,
+)
+from repro.core.pattern import Pattern
 from repro.objects.graph import ObjectGraph
 from repro.obs.span import Span, Tracer
 from repro.optimizer.analysis import (
@@ -72,7 +88,7 @@ from repro.optimizer.analysis import (
     value_index_probe,
 )
 
-__all__ = ["ExecContext", "PhysicalNode", "PhysicalPlanner"]
+__all__ = ["CompactNode", "ExecContext", "PhysicalNode", "PhysicalPlanner"]
 
 
 class ExecContext:
@@ -83,7 +99,7 @@ class ExecContext:
     reaching such a node adopts the branch's spans instead of re-running.
     """
 
-    __slots__ = ("graph", "indexes", "cache", "use_cache", "precomputed")
+    __slots__ = ("graph", "indexes", "cache", "use_cache", "precomputed", "arena")
 
     def __init__(
         self,
@@ -92,12 +108,16 @@ class ExecContext:
         cache: PlanCache | None = None,
         use_cache: bool = True,
         precomputed: dict[int, tuple[AssociationSet, Tracer | None]] | None = None,
+        arena: PatternArena | None = None,
     ) -> None:
         self.graph = graph
         self.indexes = indexes
         self.cache = cache
         self.use_cache = use_cache
         self.precomputed = precomputed
+        # Compact-kernel nodes need an arena; a context built without one
+        # (tests driving plans by hand) lazily gets a private arena.
+        self.arena = arena if arena is not None else PatternArena(graph)
 
 
 class PhysicalNode:
@@ -147,7 +167,7 @@ class PhysicalNode:
         self, ctx: ExecContext, trace: Tracer | None, span: Span | None
     ) -> AssociationSet:
         if ctx.use_cache and ctx.cache is not None and self.key is not None:
-            hit = ctx.cache.get(self.key)
+            hit = ctx.cache.get(self.key, AssociationSet)
             if hit is not None:
                 if span is not None:
                     span.attributes["strategy"] = "cache-hit"
@@ -172,10 +192,15 @@ class PhysicalNode:
         for child in self.children:
             yield from child.walk(depth + 1)
 
+    @property
+    def label(self) -> str:
+        """Display label for plan listings (strategy, possibly qualified)."""
+        return self.strategy
+
     def describe(self) -> str:
         """One line per node: strategy and expression, indented by depth."""
         return "\n".join(
-            f"{'  ' * depth}{node.strategy:<18} {node.expr}"
+            f"{'  ' * depth}{node.label:<18} {node.expr}"
             for node, depth in self.walk()
         )
 
@@ -358,15 +383,230 @@ class ProjectOp(PhysicalNode):
 
 
 # ----------------------------------------------------------------------
+# compact-kernel nodes
+# ----------------------------------------------------------------------
+
+
+class CompactNode(PhysicalNode):
+    """A plan node running inside a compact region.
+
+    A *compact region* is a maximal subtree closed over kernel-supported
+    operators.  Interior nodes exchange :class:`CompactSet` values through
+    :meth:`execute_compact`; the region's root is reached through the
+    ordinary :meth:`execute` protocol and decodes its kernel result at the
+    boundary, so callers (and the span tree) see exactly what the
+    reference nodes produce.  ``span.attributes["kernel"]`` names the
+    batch kernel that ran; the strategy is ``compact-kernel`` throughout.
+    """
+
+    strategy = "compact-kernel"
+    kernel = "?"
+
+    @property
+    def label(self) -> str:
+        return f"{self.strategy}[{self.kernel}]"
+
+    # -- region root: the ordinary protocol, decoding at the boundary ----
+    # PhysicalNode.execute → _cached (decoded AssociationSet entries, so a
+    # warm repeat skips the kernel AND the decode) → _execute below.
+
+    def _execute(self, ctx, trace, span):
+        return ctx.arena.decode_set(self._run_kernel(ctx, trace, span))
+
+    # -- interior protocol: compact in, compact out ----------------------
+
+    def execute_compact(self, ctx: ExecContext, trace: Tracer | None) -> CompactSet:
+        if ctx.precomputed is not None:
+            entry = ctx.precomputed.get(id(self))
+            if entry is not None:
+                result, branch = entry
+                if trace is not None and branch is not None:
+                    _adopt_spans(trace, branch)
+                # Branch workers run through execute() and hand back a
+                # decoded set; re-encoding is interning lookups only.
+                if isinstance(result, CompactSet):
+                    return result
+                return ctx.arena.encode_set(result)
+        if trace is None:
+            return self._compact_cached(ctx, None, None)
+        span = trace.begin(str(self.expr), self.expr.kind, strategy=self.strategy)
+        try:
+            result = self._compact_cached(ctx, trace, span)
+        except BaseException as exc:
+            trace.finish(span, error=type(exc).__name__)
+            raise
+        trace.finish(span, output=len(result))
+        return result
+
+    def _compact_cached(
+        self, ctx: ExecContext, trace: Tracer | None, span: Span | None
+    ) -> CompactSet:
+        if ctx.use_cache and ctx.cache is not None and self.key is not None:
+            hit = ctx.cache.get(self.key, CompactSet)
+            if hit is not None:
+                if span is not None:
+                    span.attributes["strategy"] = "cache-hit"
+                return hit
+            result = self._run_kernel(ctx, trace, span)
+            ctx.cache.put(self.key, result, self.deps)
+            return result
+        return self._run_kernel(ctx, trace, span)
+
+    def _run_kernel(self, ctx, trace, span) -> CompactSet:
+        if span is not None:
+            span.attributes["kernel"] = self.kernel
+        return self._kernel(ctx, trace, span)
+
+    def _kernel(self, ctx, trace, span) -> CompactSet:
+        raise NotImplementedError
+
+
+class CompactExtentScan(CompactNode):
+    kernel = "extent"
+
+    def _kernel(self, ctx, trace, span):
+        return ctx.arena.extent_cset(self.expr.name)
+
+
+class CompactLiteral(CompactNode):
+    kernel = "encode"
+
+    def _kernel(self, ctx, trace, span):
+        return ctx.arena.encode_set(self.expr.value)
+
+
+class CompactEdgeScan(CompactNode):
+    """Associate of two bare extents: the arena's edge set IS the answer."""
+
+    kernel = "edge-scan"
+
+    def _kernel(self, ctx, trace, span):
+        assoc, _, _ = self.expr.resolve(ctx.graph)
+        for child in self.children:
+            child.execute_compact(ctx, trace)
+        return ctx.arena.edge_cset(assoc)
+
+
+class CompactJoin(CompactNode):
+    """Associate as a hash join over int adjacency, smaller side driving."""
+
+    kernel = "hash-join"
+
+    def _kernel(self, ctx, trace, span):
+        assoc, a_cls, b_cls = self.expr.resolve(ctx.graph)
+        left = self.children[0].execute_compact(ctx, trace)
+        right = self.children[1].execute_compact(ctx, trace)
+        if len(right) < len(left):
+            if span is not None:
+                span.attributes["drive"] = "right"
+            return k_associate(ctx.arena, right, left, assoc, b_cls, a_cls)
+        if span is not None:
+            span.attributes["drive"] = "left"
+        return k_associate(ctx.arena, left, right, assoc, a_cls, b_cls)
+
+
+class CompactFreeSetScan(CompactNode):
+    kernel = "free-set"
+
+    def _kernel(self, ctx, trace, span):
+        assoc, a_cls, b_cls = self.expr.resolve(ctx.graph)
+        left = self.children[0].execute_compact(ctx, trace)
+        right = self.children[1].execute_compact(ctx, trace)
+        return k_nonassociate(ctx.arena, left, right, assoc, a_cls, b_cls)
+
+
+class CompactIntersect(CompactNode):
+    kernel = "signature-join"
+
+    def _kernel(self, ctx, trace, span):
+        left = self.children[0].execute_compact(ctx, trace)
+        right = self.children[1].execute_compact(ctx, trace)
+        return k_intersect(ctx.arena, left, right, self.expr.classes)
+
+
+class CompactUnion(CompactNode):
+    kernel = "merge-union"
+
+    def _kernel(self, ctx, trace, span):
+        left = self.children[0].execute_compact(ctx, trace)
+        right = self.children[1].execute_compact(ctx, trace)
+        return k_union(left, right)
+
+
+class CompactDifference(CompactNode):
+    kernel = "anchored-difference"
+
+    def _kernel(self, ctx, trace, span):
+        left = self.children[0].execute_compact(ctx, trace)
+        right = self.children[1].execute_compact(ctx, trace)
+        return k_difference(left, right)
+
+
+class CompactValueSelect(CompactNode):
+    """``σ(X)[X = const]`` over the value index, interned on the way in.
+
+    Mirrors :class:`ValueIndexSelect`: the operand extent runs for its
+    span only; candidates come from the index and the full predicate
+    re-checks each one (on its decoded Inner-pattern, so exotic value
+    types behave exactly as in the reference).
+    """
+
+    kernel = "value-index"
+
+    def __init__(self, expr, children, key, deps, cls: str, value: Any) -> None:
+        super().__init__(expr, children, key, deps)
+        self.cls = cls
+        self.value = value
+
+    def _kernel(self, ctx, trace, span):
+        self.children[0].execute_compact(ctx, trace)
+        predicate = self.expr.predicate
+        graph = ctx.graph
+        vid = ctx.arena.vid
+        keys = frozenset(
+            vid(iid)
+            for iid in graph.find_by_value(self.cls, self.value)
+            if predicate.evaluate(Pattern.inner(iid), graph)
+        )
+        return CompactSet(keys)
+
+
+#: Binary operators a compact region can contain (Select is handled apart).
+_KERNEL_OPS = (Associate, NonAssociate, Intersect, Union, Difference)
+
+
+# ----------------------------------------------------------------------
 # planner
 # ----------------------------------------------------------------------
 
 
 class PhysicalPlanner:
-    """Turns logical expression trees into physical plans."""
+    """Turns logical expression trees into physical plans.
 
-    def __init__(self, graph: ObjectGraph) -> None:
+    With ``compact=True`` (the default) every maximal operator subtree
+    closed over the kernel-supported operators — Associate, NonAssociate,
+    A-Intersect, A-Union, A-Difference, and value-index A-Select — plans
+    as a compact region executed by the batch kernels; everything else
+    keeps the reference strategies.  Kernel-supported operators that fall
+    back (an unsupported operand below them, or an unresolvable
+    association) are counted by ``repro_compact_fallback_total``.
+    """
+
+    def __init__(
+        self,
+        graph: ObjectGraph,
+        metrics=None,
+        compact: bool = True,
+    ) -> None:
         self.graph = graph
+        self.compact = compact
+        if metrics is not None:
+            self._m_fallbacks = metrics.counter(
+                "repro_compact_fallback_total",
+                "Kernel-supported operators planned with reference strategies",
+            )
+        else:
+            self._m_fallbacks = None
 
     def plan(self, expr: Expr) -> PhysicalNode:
         """The physical plan for ``expr`` (node-for-node mirror)."""
@@ -378,6 +618,12 @@ class PhysicalPlanner:
             return ExtentScan(expr, (), None, frozenset({expr.name}))
         if isinstance(expr, Literal):
             return LiteralValue(expr, (), None, frozenset())
+
+        if self.compact:
+            if self._compact_ok(expr):
+                return self._plan_compact(expr)
+            if isinstance(expr, _KERNEL_OPS) and self._m_fallbacks is not None:
+                self._m_fallbacks.inc()
 
         children = tuple(self._plan(child) for child in expr.children())
         key = canonicalize(expr)
@@ -430,3 +676,64 @@ class PhysicalPlanner:
             cls, value = probe
             return ValueIndexSelect(expr, children, key, deps, cls, value)
         return FilterScan(expr, children, key, deps)
+
+    # ------------------------------------------------------------------
+    # compact regions
+    # ------------------------------------------------------------------
+
+    def _compact_ok(self, expr: Expr) -> bool:
+        """Whether ``expr`` is an operator subtree the kernels fully cover.
+
+        Leaves (extents, literals) are encodable but do not *start* a
+        region — a bare extent at the root stays a plain extent-scan.
+        Associate/NonAssociate additionally need a resolvable association
+        (unresolvable ones must raise through the reference path, at the
+        same tree position).
+        """
+        if isinstance(expr, (Associate, NonAssociate)):
+            try:
+                expr.resolve(self.graph)
+            except EvaluationError:
+                return False
+            return self._encodable(expr.left) and self._encodable(expr.right)
+        if isinstance(expr, (Intersect, Union, Difference)):
+            return self._encodable(expr.left) and self._encodable(expr.right)
+        if isinstance(expr, Select):
+            # value-index probes only apply to σ over a bare extent, which
+            # is always encodable
+            return value_index_probe(expr) is not None
+        return False
+
+    def _encodable(self, expr: Expr) -> bool:
+        if isinstance(expr, (ClassExtent, Literal)):
+            return True
+        return self._compact_ok(expr)
+
+    def _plan_compact(self, expr: Expr) -> CompactNode:
+        if isinstance(expr, ClassExtent):
+            return CompactExtentScan(expr, (), None, frozenset({expr.name}))
+        if isinstance(expr, Literal):
+            return CompactLiteral(expr, (), None, frozenset())
+
+        children = tuple(self._plan_compact(child) for child in expr.children())
+        key = canonicalize(expr)
+        deps = frozenset().union(*(c.deps for c in children))
+
+        if isinstance(expr, Associate):
+            deps = deps | self._assoc_deps(expr)
+            if edge_scannable(expr, self.graph):
+                return CompactEdgeScan(expr, children, key, deps)
+            return CompactJoin(expr, children, key, deps)
+        if isinstance(expr, NonAssociate):
+            deps = deps | self._assoc_deps(expr)
+            return CompactFreeSetScan(expr, children, key, deps)
+        if isinstance(expr, Intersect):
+            return CompactIntersect(expr, children, key, deps)
+        if isinstance(expr, Union):
+            return CompactUnion(expr, children, key, deps)
+        if isinstance(expr, Difference):
+            return CompactDifference(expr, children, key, deps)
+        assert isinstance(expr, Select)  # guaranteed by _compact_ok
+        deps = deps | predicate_classes(expr.predicate)
+        cls, value = value_index_probe(expr)
+        return CompactValueSelect(expr, children, key, deps, cls, value)

@@ -116,6 +116,11 @@ class BranchScheduler:
             id(branch): outcome for branch, outcome in zip(branches, outcomes)
         }
         final_ctx = ExecContext(
-            ctx.graph, ctx.indexes, ctx.cache, ctx.use_cache, precomputed
+            ctx.graph,
+            ctx.indexes,
+            ctx.cache,
+            ctx.use_cache,
+            precomputed,
+            arena=ctx.arena,
         )
         return plan.execute(final_ctx, trace)
