@@ -1,0 +1,147 @@
+"""Closed-loop throughput/latency benchmark for the concurrent query service.
+
+Starts a loopback :class:`~repro.server.QueryService` and drives it with
+closed-loop clients (each worker issues its next request only after the
+previous response arrived) at concurrency 1 / 4 / 16.  Reported per
+level: request-latency median and p95 (milliseconds), throughput
+(requests/second), and the sample count.
+
+Usage:
+    python benchmarks/bench_server.py            # table on stdout
+    python benchmarks/bench_server.py --quick    # fewer requests per level
+    python benchmarks/bench_server.py --json BENCH_server.json
+
+The same sections are emitted by ``report.py --json-server``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import statistics
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+#: Paper query Q1-shaped workload: a kernel-closed associate chain.
+QUERY = "pi(TA * Grad * Student * Person * SS#)[SS#]"
+
+CONCURRENCY_LEVELS = (1, 4, 16)
+
+
+def _latency_stats(samples_ms: list[float]) -> dict:
+    ordered = sorted(samples_ms)
+    p95 = ordered[max(0, math.ceil(0.95 * len(ordered)) - 1)]
+    return {
+        "median_ms": round(statistics.median(samples_ms), 4),
+        "p95_ms": round(p95, 4),
+        "samples": len(samples_ms),
+    }
+
+
+def closed_loop(
+    host: str,
+    port: int,
+    concurrency: int,
+    requests_per_worker: int,
+    query: str = QUERY,
+) -> dict:
+    """One closed-loop run: latency stats + throughput at ``concurrency``."""
+    from repro.server import ServerClient
+
+    lanes: list[list[float]] = [[] for _ in range(concurrency)]
+    barrier = threading.Barrier(concurrency + 1)
+
+    def worker(slot: int) -> None:
+        with ServerClient(host, port) as client:
+            client.query(query)  # warm the connection and server caches
+            barrier.wait()
+            for _ in range(requests_per_worker):
+                started = time.perf_counter()
+                result = client.query(query)
+                lanes[slot].append((time.perf_counter() - started) * 1e3)
+                assert result.count >= 0
+
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        futures = [pool.submit(worker, i) for i in range(concurrency)]
+        barrier.wait()
+        started = time.perf_counter()
+        for future in futures:
+            future.result()
+        elapsed = time.perf_counter() - started
+
+    flat = [sample for lane in lanes for sample in lane]
+    stats = _latency_stats(flat)
+    stats["concurrency"] = concurrency
+    stats["throughput_rps"] = round(len(flat) / elapsed, 2)
+    return stats
+
+
+def server_sections(quick: bool) -> dict:
+    """The ``BENCH_server.json`` sections: one closed loop per level."""
+    from repro.server import ServerConfig, start_server
+
+    requests_per_worker = 15 if quick else 40
+    config = ServerConfig(max_concurrency=4, queue_limit=64)
+    levels = {}
+    with start_server(config) as handle:
+        for concurrency in CONCURRENCY_LEVELS:
+            levels[str(concurrency)] = closed_loop(
+                handle.host, handle.port, concurrency, requests_per_worker
+            )
+    return {
+        "query": QUERY,
+        "requests_per_worker": requests_per_worker,
+        "server": {
+            "max_concurrency": config.max_concurrency,
+            "queue_limit": config.queue_limit,
+        },
+        "levels": levels,
+    }
+
+
+def print_table(sections: dict) -> None:
+    print(
+        f"\n### Query service closed-loop (loopback,"
+        f" {sections['server']['max_concurrency']} slots; ms)\n"
+    )
+    print("| concurrency | median ms | p95 ms | req/s | samples |")
+    print("|---|---|---|---|---|")
+    for concurrency in sorted(sections["levels"], key=int):
+        stats = sections["levels"][concurrency]
+        print(
+            f"| {concurrency} | {stats['median_ms']:.3f} | {stats['p95_ms']:.3f}"
+            f" | {stats['throughput_rps']} | {stats['samples']} |"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="fewer requests")
+    parser.add_argument(
+        "--json", metavar="PATH", help="also write BENCH_server.json"
+    )
+    args = parser.parse_args(argv)
+    sections = server_sections(args.quick)
+    print_table(sections)
+    if args.json:
+        payload = {
+            "meta": {
+                "generated_by": "benchmarks/bench_server.py",
+                "quick": args.quick,
+                "python": platform.python_version(),
+            },
+            "sections": sections,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.json}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

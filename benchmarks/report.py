@@ -14,6 +14,9 @@ Usage:
                                           # operator timings
     python benchmarks/report.py --json-only --json BENCH_operators.json
                                           # operator timings only, no tables
+    python benchmarks/report.py --json-server BENCH_server.json
+                                          # add the query-service closed loop
+                                          # (see bench_server.py)
 """
 
 from __future__ import annotations
@@ -449,6 +452,32 @@ def operator_sections(quick: bool) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# F. query service closed-loop (see bench_server.py)
+# ----------------------------------------------------------------------
+
+
+def report_server(sections: dict) -> None:
+    rows = [
+        [
+            concurrency,
+            f"{stats['median_ms']:.3f}",
+            f"{stats['p95_ms']:.3f}",
+            stats["throughput_rps"],
+            stats["samples"],
+        ]
+        for concurrency, stats in sorted(
+            sections["levels"].items(), key=lambda kv: int(kv[0])
+        )
+    ]
+    table(
+        f"F. query service closed-loop (loopback,"
+        f" {sections['server']['max_concurrency']} slots; ms)",
+        ["concurrency", "median ms", "p95 ms", "req/s", "samples"],
+        rows,
+    )
+
+
 def _stat_rows(entries: dict) -> list[list[str]]:
     return [
         [name, f"{s['median_ms']:.3f}", f"{s['p95_ms']:.3f}", s["samples"]]
@@ -513,12 +542,22 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run only the operator timing sections (requires --json)",
     )
+    parser.add_argument(
+        "--json-server",
+        metavar="PATH",
+        help="run the query-service closed loop and write BENCH_server.json",
+    )
     args = parser.parse_args(argv)
-    if args.json_only and not args.json:
-        parser.error("--json-only requires --json PATH")
+    if args.json_only and not (args.json or args.json_server):
+        parser.error("--json-only requires --json PATH (or --json-server PATH)")
 
     if args.json_only:
-        write_json(args.json, args.quick, operator_sections(args.quick))
+        if args.json:
+            write_json(args.json, args.quick, operator_sections(args.quick))
+        if args.json_server:
+            from bench_server import server_sections
+
+            write_json(args.json_server, args.quick, server_sections(args.quick))
         return 0
 
     print("# EXPERIMENTS report (regenerated)")
@@ -535,6 +574,12 @@ def main(argv: list[str] | None = None) -> int:
     report_operators(sections)
     if args.json:
         write_json(args.json, args.quick, sections)
+    if args.json_server:
+        from bench_server import server_sections
+
+        server_data = server_sections(args.quick)
+        report_server(server_data)
+        write_json(args.json_server, args.quick, server_data)
     return 0
 
 

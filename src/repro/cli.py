@@ -25,19 +25,27 @@ input/output streams, or from the command line::
     python -m repro.cli              # opens the paper's university DB
     python -m repro.cli snapshot.json
 
-Besides the shell, three observability subcommands (also exposed as the
-``repro`` console script)::
+Besides the shell, five subcommands (also exposed as the ``repro``
+console script)::
 
     repro trace "TA * Grad" [--dataset NAME | --db PATH]
                 [--format tree|jsonl|chrome]
     repro explain "pi(TA * Grad)[TA]" [--dataset NAME | --db PATH]
     repro metrics [QUERY ...] [--dataset NAME | --db PATH]
                   [--format prometheus|json]
+    repro serve [--host H] [--port P] [--dataset NAME | --db PATH]
+                [--max-concurrency N] [--queue-limit N] [--deadline S]
+                [--drain-timeout S] [--port-file PATH]
+    repro client [QUERY] --port P [--host H] [--database NAME]
+                 [--values CLASS ...] [--explain] [--trace]
+                 [--timeout S] [--metrics] [--ping]
 
 ``repro trace --format chrome`` emits Chrome ``trace_event`` JSON for
 ``chrome://tracing`` / Perfetto; ``repro metrics`` runs the given queries
 (by default the paper's Q1/Q3/Q4 workload) and prints the engine's
-metrics registry.  See ``docs/observability.md``.
+metrics registry.  ``repro serve`` runs the concurrent query service of
+:mod:`repro.server` until SIGINT/SIGTERM; ``repro client`` speaks its
+wire protocol.  See ``docs/observability.md`` and ``docs/server.md``.
 """
 
 from __future__ import annotations
@@ -318,10 +326,155 @@ def _cli_metrics(args: list[str], out: IO[str]) -> int:
     return 0
 
 
+def _cli_serve(args: list[str], out: IO[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the concurrent query service until SIGINT/SIGTERM.",
+    )
+    _add_db_arguments(parser)
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = ephemeral, default)"
+    )
+    parser.add_argument(
+        "--max-concurrency", type=int, default=4, help="queries executing at once"
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=16, help="queries allowed to wait for a slot"
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=30.0, help="default per-request deadline (s)"
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds shutdown waits for in-flight requests",
+    )
+    parser.add_argument(
+        "--port-file",
+        metavar="PATH",
+        help="write the bound port to this file once listening",
+    )
+    ns = parser.parse_args(args)
+    import signal
+    import threading
+
+    from repro.server import ServerConfig, start_server
+
+    config = ServerConfig(
+        host=ns.host,
+        port=ns.port,
+        default_database="snapshot" if ns.db is not None else ns.dataset,
+        snapshot_path=ns.db,
+        max_concurrency=ns.max_concurrency,
+        queue_limit=ns.queue_limit,
+        default_deadline=ns.deadline,
+        drain_timeout=ns.drain_timeout,
+    )
+    handle = start_server(config)
+    print(f"listening on {handle.host}:{handle.port}", file=out, flush=True)
+    if ns.port_file:
+        with open(ns.port_file, "w", encoding="utf-8") as fh:
+            fh.write(str(handle.port))
+    stop = threading.Event()
+    try:
+        signal.signal(signal.SIGINT, lambda *_: stop.set())
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    except ValueError:  # pragma: no cover — not on the main thread
+        pass
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    handle.stop()
+    print("server stopped", file=out, flush=True)
+    return 0
+
+
+def _cli_client(args: list[str], out: IO[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro client",
+        description="Run one query (or a ping/metrics frame) against repro serve.",
+    )
+    parser.add_argument("query", nargs="?", help="OQL query text")
+    parser.add_argument("--host", default="127.0.0.1", help="server address")
+    parser.add_argument("--port", type=int, required=True, help="server port")
+    parser.add_argument(
+        "--database", metavar="NAME", help="open this server-side database first"
+    )
+    parser.add_argument(
+        "--values",
+        metavar="CLASS",
+        action="append",
+        default=[],
+        help="also print the primitive values of CLASS (repeatable)",
+    )
+    parser.add_argument("--explain", action="store_true", help="EXPLAIN ANALYZE")
+    parser.add_argument(
+        "--trace", action="store_true", help="print the server's span tree (JSONL)"
+    )
+    parser.add_argument(
+        "--timeout", type=float, help="server-side deadline in seconds"
+    )
+    parser.add_argument(
+        "--metrics", action="store_true", help="print the Prometheus snapshot"
+    )
+    parser.add_argument("--ping", action="store_true", help="liveness round trip")
+    ns = parser.parse_args(args)
+    if not (ns.query or ns.metrics or ns.ping):
+        parser.error("nothing to do: give a QUERY or --metrics/--ping")
+    from repro.server import ServerClient
+
+    with ServerClient(ns.host, ns.port) as client:
+        if ns.ping:
+            pong = client.ping()
+            print(
+                f"pong from session {pong['session']}"
+                f" (protocol v{pong['protocol']})",
+                file=out,
+            )
+        if ns.database:
+            opened = client.open(ns.database)
+            print(
+                f"opened {opened['database']!r}:"
+                f" {opened['classes']} class(es),"
+                f" {opened['instances']} instance(s)",
+                file=out,
+            )
+        if ns.query:
+            result = client.query(
+                ns.query,
+                values_of=tuple(ns.values),
+                explain=ns.explain,
+                trace=ns.trace,
+                timeout=ns.timeout,
+            )
+            print(
+                f"{result.count} pattern(s)"
+                f"  [strategy={result.strategy}, {result.elapsed_ms} ms]",
+                file=out,
+            )
+            for label in result.labels():
+                print(f"  {label}", file=out)
+            for cls in ns.values:
+                print(f"{cls}: {result.values.get(cls, [])}", file=out)
+            if result.explain is not None:
+                print(result.explain, file=out)
+            if result.trace is not None:
+                for span in result.trace:
+                    print(json.dumps(span, sort_keys=True), file=out)
+        if ns.metrics:
+            print(client.metrics(), file=out)
+    return 0
+
+
 _SUBCOMMANDS = {
     "trace": _cli_trace,
     "explain": _cli_explain,
     "metrics": _cli_metrics,
+    "serve": _cli_serve,
+    "client": _cli_client,
 }
 
 
@@ -340,14 +493,19 @@ def main(argv: list[str] | None = None) -> int:
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
-    if args:
-        from repro.storage import load_database
+    try:
+        if args:
+            from repro.storage import load_database
 
-        db = load_database(args[0])
-    else:
-        from repro.datasets import university
+            db = load_database(args[0])
+        else:
+            from repro.datasets import university
 
-        db = Database.from_dataset(university())
+            db = Database.from_dataset(university())
+    except ReproError as exc:
+        # A missing/corrupt snapshot is a user error, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     run_shell(db)
     return 0
 

@@ -77,6 +77,7 @@ class QueryResult:
         database: "Database",
         expr: Expr,
         report: Any = None,
+        strategy: str | None = None,
     ) -> None:
         #: The association-set the query produced.
         self.set = result
@@ -84,6 +85,9 @@ class QueryResult:
         self.expr = expr
         #: The EXPLAIN ANALYZE report (``explain=True`` only), else None.
         self.report = report
+        #: Root physical strategy the plan ran under (``"explain"`` when
+        #: the query ran under EXPLAIN ANALYZE).
+        self.strategy = strategy
         self._database = database
 
     def instances(self, cls: str) -> frozenset[IID]:
@@ -146,7 +150,8 @@ class Database:
             "repro_queries_total", "Queries evaluated through Database.query"
         )
         self._m_query_seconds = self.metrics.histogram(
-            "repro_query_seconds", "Wall-clock seconds per evaluated query"
+            "repro_query_seconds",
+            "Wall-clock seconds per evaluated query, by root plan strategy",
         )
         self._m_events = self.metrics.counter(
             "repro_mutation_events_total", "Mutation events emitted, by kind"
@@ -174,6 +179,7 @@ class Database:
         explain: bool = False,
         parallel: bool = False,
         use_cache: bool = True,
+        compact: bool | None = None,
     ) -> QueryResult:
         """Evaluate a query through the physical execution engine.
 
@@ -182,11 +188,17 @@ class Database:
         legacy :class:`EvalTrace` included) to record the evaluation's
         span tree.  ``parallel`` lets the scheduler evaluate independent
         plan branches on a thread pool; ``use_cache=False`` bypasses the
-        sub-plan cache (reads *and* writes).  With ``explain=True`` the
-        evaluation runs under EXPLAIN ANALYZE — the report lands on
+        sub-plan cache (reads *and* writes); ``compact`` overrides the
+        planner's compact-kernel setting for this call (``False`` forces
+        the reference strategies).  With ``explain=True`` the evaluation
+        runs under EXPLAIN ANALYZE — the report lands on
         ``QueryResult.report``, the cache is bypassed so every plan node
         truly executes, and ``trace`` is ignored (the report owns the
         span tree).
+
+        Latency is observed in the ``repro_query_seconds`` histogram
+        labelled with the plan's root strategy (``strategy="explain"``
+        for EXPLAIN ANALYZE runs, whose latency is not comparable).
         """
         expr = self._coerce_expr(q, "evaluate")
         started = time.perf_counter()
@@ -194,17 +206,26 @@ class Database:
         if explain:
             from repro.obs.explain import explain_analyze
 
+            strategy = "explain"
             report = explain_analyze(
                 expr, self.graph, metrics=self.metrics, executor=self.executor
             )
             result = report.result
         else:
+            plan = self.executor.plan(expr, compact=compact)
+            strategy = plan.strategy
             result = self.executor.run(
-                expr, trace=trace, parallel=parallel, use_cache=use_cache
+                expr,
+                trace=trace,
+                parallel=parallel,
+                use_cache=use_cache,
+                plan=plan,
             )
         self._m_queries.inc()
-        self._m_query_seconds.observe(time.perf_counter() - started)
-        return QueryResult(result, self, expr, report)
+        self._m_query_seconds.observe(
+            time.perf_counter() - started, strategy=strategy
+        )
+        return QueryResult(result, self, expr, report, strategy=strategy)
 
     def evaluate(
         self, query: "Expr | str", trace: Tracer | None = None

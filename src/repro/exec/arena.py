@@ -312,51 +312,55 @@ class PatternArena:
         """
         frozen = self._cls_vids_frozen.get(cid)
         if frozen is None:
-            frozen = frozenset(self._cls_vids.get(cid, ()))
-            self._cls_vids_frozen[cid] = frozen
+            with self._lock:
+                frozen = frozenset(self._cls_vids.get(cid, ()))
+                self._cls_vids_frozen[cid] = frozen
         return frozen
 
     def extent_cset(self, cls: str) -> CompactSet:
         """The extent of ``cls`` as raw vertex ids, cached across queries."""
         cached = self._extent_csets.get(cls)
         if cached is None:
-            vid = self.vid
-            cached = CompactSet(frozenset(vid(i) for i in self.graph.extent(cls)))
-            self._extent_csets[cls] = cached
+            with self._lock:
+                vid = self.vid
+                cached = CompactSet(frozenset(vid(i) for i in self.graph.extent(cls)))
+                self._extent_csets[cls] = cached
         return cached
 
     def edge_cset(self, assoc: Association) -> CompactSet:
         """One compact two-vertex pattern per regular edge of ``assoc``."""
         cached = self._edge_csets.get(assoc.key)
         if cached is None:
-            vid = self.vid
-            pair = self.eid_of_pair
-            keys = set()
-            for a, b in self.graph.edges(assoc):
-                va, vb = vid(a), vid(b)
-                keys.add(
-                    (
-                        frozenset((va, vb)),
-                        frozenset((pair(va, vb, Polarity.REGULAR),)),
+            with self._lock:
+                vid = self.vid
+                pair = self.eid_of_pair
+                keys = set()
+                for a, b in self.graph.edges(assoc):
+                    va, vb = vid(a), vid(b)
+                    keys.add(
+                        (
+                            frozenset((va, vb)),
+                            frozenset((pair(va, vb, Polarity.REGULAR),)),
+                        )
                     )
-                )
-            cached = CompactSet(frozenset(keys))
-            self._edge_csets[assoc.key] = cached
+                cached = CompactSet(frozenset(keys))
+                self._edge_csets[assoc.key] = cached
         return cached
 
     def adjacency(self, assoc: Association) -> dict[int, tuple[int, ...]]:
         """Int-domain adjacency over the regular edges of ``assoc``."""
         adj = self._adjacency.get(assoc.key)
         if adj is None:
-            vid = self.vid
-            tmp: dict[int, list[int]] = {}
-            for a, b in self.graph.edges(assoc):
-                va, vb = vid(a), vid(b)
-                tmp.setdefault(va, []).append(vb)
-                if vb != va:
-                    tmp.setdefault(vb, []).append(va)
-            adj = {v: tuple(ps) for v, ps in tmp.items()}
-            self._adjacency[assoc.key] = adj
+            with self._lock:
+                vid = self.vid
+                tmp: dict[int, list[int]] = {}
+                for a, b in self.graph.edges(assoc):
+                    va, vb = vid(a), vid(b)
+                    tmp.setdefault(va, []).append(vb)
+                    if vb != va:
+                        tmp.setdefault(vb, []).append(va)
+                adj = {v: tuple(ps) for v, ps in tmp.items()}
+                self._adjacency[assoc.key] = adj
         return adj
 
     def adjacency_masks(self, assoc: Association) -> dict[int, int]:
@@ -367,13 +371,14 @@ class PatternArena:
         """
         masks = self._adj_masks.get(assoc.key)
         if masks is None:
-            masks = {}
-            for v, partners in self.adjacency(assoc).items():
-                m = 0
-                for p in partners:
-                    m |= 1 << p
-                masks[v] = m
-            self._adj_masks[assoc.key] = masks
+            with self._lock:
+                masks = {}
+                for v, partners in self.adjacency(assoc).items():
+                    m = 0
+                    for p in partners:
+                        m |= 1 << p
+                    masks[v] = m
+                self._adj_masks[assoc.key] = masks
         return masks
 
     # ------------------------------------------------------------------

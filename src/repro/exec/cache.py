@@ -16,9 +16,16 @@ a (sub)expression is its own cache key.  Two refinements on top of that:
 The cache never observes time: correctness rests entirely on the owning
 executor feeding it every mutation event (and resetting it when the
 graph's ``version`` counter reveals an out-of-band write).
+
+The entry table is guarded by a lock: the query service runs many
+queries against one shared executor from worker threads, so ``get`` /
+``put`` race each other (and ``invalidate_classes`` iterates the table
+while concurrent ``put`` calls would otherwise resize it mid-walk).
 """
 
 from __future__ import annotations
+
+import threading
 
 from repro.core.assoc_set import AssociationSet
 from repro.core.expression import (
@@ -109,6 +116,7 @@ class PlanCache:
     def __init__(self, metrics: MetricsRegistry | None = None) -> None:
         # value is an AssociationSet (decoded) or a CompactSet (arena-encoded)
         self._entries: dict[Expr, tuple[object, frozenset[str]]] = {}
+        self._lock = threading.Lock()
         self.metrics = metrics
         if metrics is not None:
             self._m_hits = metrics.counter(
@@ -135,7 +143,8 @@ class PlanCache:
         another.  A representation mismatch counts as a miss and the
         caller's subsequent ``put`` replaces the entry.
         """
-        entry = self._entries.get(key)
+        with self._lock:
+            entry = self._entries.get(key)
         if entry is not None and kind is not None and not isinstance(entry[0], kind):
             entry = None
         if self.metrics is not None:
@@ -143,26 +152,30 @@ class PlanCache:
         return entry[0] if entry is not None else None
 
     def put(self, key: Expr, result, deps: frozenset[str]) -> None:
-        self._entries[key] = (result, deps)
+        with self._lock:
+            self._entries[key] = (result, deps)
 
     def invalidate_classes(self, classes) -> int:
         """Drop entries depending on any of ``classes``; return the count."""
         touched = set(classes)
-        stale = [
-            key
-            for key, (_, deps) in self._entries.items()
-            if ANY in deps or deps & touched
-        ]
-        for key in stale:
-            del self._entries[key]
+        with self._lock:
+            stale = [
+                key
+                for key, (_, deps) in self._entries.items()
+                if ANY in deps or deps & touched
+            ]
+            for key in stale:
+                del self._entries[key]
         if stale and self.metrics is not None:
             self._m_invalidations.inc(len(stale))
         return len(stale)
 
     def clear(self) -> None:
-        if self._entries and self.metrics is not None:
-            self._m_invalidations.inc(len(self._entries))
-        self._entries.clear()
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+        if dropped and self.metrics is not None:
+            self._m_invalidations.inc(dropped)
 
     def __str__(self) -> str:
         return f"PlanCache({len(self._entries)} entr(y/ies))"

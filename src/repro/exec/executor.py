@@ -93,10 +93,14 @@ class Executor:
     # execution
     # ------------------------------------------------------------------
 
-    def plan(self, expr: Expr) -> PhysicalNode:
-        """The physical plan the executor would run for ``expr``."""
+    def plan(self, expr: Expr, compact: bool | None = None) -> PhysicalNode:
+        """The physical plan the executor would run for ``expr``.
+
+        ``compact`` overrides the planner's kernel-region setting for
+        this call only (``None`` keeps the constructor's default).
+        """
         self.refresh()
-        return self.planner.plan(expr)
+        return self.planner.plan(expr, compact=compact)
 
     def run(
         self,
@@ -105,10 +109,19 @@ class Executor:
         trace: Tracer | None = None,
         parallel: bool = False,
         use_cache: bool = True,
+        compact: bool | None = None,
+        plan: PhysicalNode | None = None,
     ) -> AssociationSet:
-        """Evaluate ``expr`` through its physical plan."""
-        self.refresh()
-        plan = self.planner.plan(expr)
+        """Evaluate ``expr`` through its physical plan.
+
+        A caller that already holds the plan (from :meth:`plan`, e.g. to
+        read its root strategy) passes it back via ``plan`` and skips
+        replanning; the plan must come from this executor *after* its
+        last refresh.
+        """
+        if plan is None:
+            self.refresh()
+            plan = self.planner.plan(expr, compact=compact)
         ctx = ExecContext(self.graph, self.indexes, self.cache, use_cache, arena=self.arena)
         if parallel:
             branches = parallel_branches(plan)

@@ -608,24 +608,31 @@ class PhysicalPlanner:
         else:
             self._m_fallbacks = None
 
-    def plan(self, expr: Expr) -> PhysicalNode:
-        """The physical plan for ``expr`` (node-for-node mirror)."""
-        return self._plan(expr)
+    def plan(self, expr: Expr, compact: bool | None = None) -> PhysicalNode:
+        """The physical plan for ``expr`` (node-for-node mirror).
 
-    def _plan(self, expr: Expr) -> PhysicalNode:
+        ``compact`` overrides the planner's default for this one call —
+        ``False`` forces the reference strategies, ``True`` enables the
+        kernel regions, ``None`` keeps the constructor's setting.  The
+        flag is threaded through the recursion (not stored), so
+        concurrent ``plan`` calls with different overrides are safe.
+        """
+        return self._plan(expr, self.compact if compact is None else bool(compact))
+
+    def _plan(self, expr: Expr, compact: bool) -> PhysicalNode:
         if isinstance(expr, ClassExtent):
             # Cached by the IndexManager itself; no plan-cache entry.
             return ExtentScan(expr, (), None, frozenset({expr.name}))
         if isinstance(expr, Literal):
             return LiteralValue(expr, (), None, frozenset())
 
-        if self.compact:
+        if compact:
             if self._compact_ok(expr):
                 return self._plan_compact(expr)
             if isinstance(expr, _KERNEL_OPS) and self._m_fallbacks is not None:
                 self._m_fallbacks.inc()
 
-        children = tuple(self._plan(child) for child in expr.children())
+        children = tuple(self._plan(child, compact) for child in expr.children())
         key = canonicalize(expr)
         deps = frozenset().union(*(c.deps for c in children)) if children else frozenset()
 

@@ -1,0 +1,63 @@
+"""The concurrent query service: wire protocol, asyncio server, client.
+
+The A-algebra engine below this package is an in-process library; this
+package puts a *service* in front of it, the way the paper positions the
+algebra as the processing layer of a database server:
+
+* :mod:`repro.server.protocol` — a length-prefixed JSON wire protocol
+  (request/response/error frames, result paging, structured error codes);
+* :mod:`repro.server.service` — :class:`QueryService`, an asyncio TCP
+  server with per-connection sessions over shared named databases, a
+  bounded admission queue with load shedding, per-request deadlines, and
+  graceful drain; engine work runs on a worker thread pool so the event
+  loop never blocks;
+* :mod:`repro.server.client` — :class:`ServerClient`, the blocking
+  client used by tests, benchmarks, and the ``repro client`` CLI.
+
+Quickstart::
+
+    from repro.server import ServerConfig, ServerClient, start_server
+
+    with start_server(ServerConfig(max_concurrency=4)) as server:
+        with ServerClient(server.host, server.port) as client:
+            result = client.query("pi(TA * Grad)[TA]", values_of=["TA"])
+            print(result.count, client.metrics())
+
+See ``docs/server.md`` for the protocol specification, the session
+lifecycle, and the admission-control knobs.
+"""
+
+from repro.server.client import RemoteResult, ServerClient
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    QueryTimeoutError,
+    ServerError,
+    ServerOverloadedError,
+    ServerShuttingDownError,
+)
+from repro.server.service import (
+    QueryService,
+    ServerConfig,
+    ServerHandle,
+    Session,
+    start_server,
+)
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServerError",
+    "QueryTimeoutError",
+    "ServerOverloadedError",
+    "ServerShuttingDownError",
+    "QueryService",
+    "ServerConfig",
+    "ServerHandle",
+    "Session",
+    "start_server",
+    "ServerClient",
+    "RemoteResult",
+]

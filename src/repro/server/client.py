@@ -1,0 +1,182 @@
+"""Blocking client for the concurrent query service.
+
+:class:`ServerClient` speaks the length-prefixed JSON protocol of
+:mod:`repro.server.protocol` over one TCP connection (= one server-side
+session).  It is deliberately synchronous — tests, benchmarks and the
+``repro client`` CLI all want a plain call-and-return surface::
+
+    from repro.server import ServerClient
+
+    with ServerClient("127.0.0.1", 7411) as client:
+        client.open("university")
+        result = client.query("pi(TA * Grad)[TA]", values_of=["TA"])
+        result.count          # 2
+        result.values["TA"]   # the TA values (here: none carried)
+        print(client.metrics())  # Prometheus snapshot over the wire
+
+Error frames raise the matching :class:`~repro.server.protocol.ServerError`
+subclass (``timeout`` → :class:`~repro.server.protocol.QueryTimeoutError`,
+``overloaded`` → :class:`~repro.server.protocol.ServerOverloadedError`,
+...), so callers handle structured failures as exceptions.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from repro.server.protocol import (
+    ProtocolError,
+    ServerError,
+    error_to_exception,
+    recv_frame,
+    send_frame,
+    wire_to_labels,
+)
+
+__all__ = ["RemoteResult", "ServerClient"]
+
+
+class RemoteResult:
+    """One query's response, materialized client-side.
+
+    ``patterns`` holds the wire-encoded patterns of every page (the
+    client follows ``cursor`` chains transparently unless told not to);
+    ``values`` maps class name → sorted value list for each requested
+    ``values_of`` class; ``explain``/``trace`` are present when requested.
+    """
+
+    def __init__(self, response: dict[str, Any]) -> None:
+        self.count: int = int(response.get("count", 0))
+        self.patterns: list[dict[str, Any]] = list(response.get("patterns", ()))
+        self.values: dict[str, list[Any]] = dict(response.get("values", {}))
+        self.explain: str | None = response.get("explain")
+        self.trace: list[dict[str, Any]] | None = response.get("trace")
+        self.strategy: str | None = response.get("strategy")
+        self.elapsed_ms: float | None = response.get("elapsed_ms")
+        self.cursor: str | None = response.get("cursor")
+
+    def labels(self) -> list[str]:
+        """Human renderings of the patterns (``(ta1 grad1)``-style)."""
+        return [wire_to_labels(p) for p in self.patterns]
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __str__(self) -> str:
+        return f"RemoteResult({self.count} pattern(s), strategy={self.strategy})"
+
+
+class ServerClient:
+    """One blocking connection (= one session) to a query service."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ServerError(
+                f"cannot connect to {host}:{port}: {exc}", "connection"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def _rpc(self, request: dict[str, Any]) -> dict[str, Any]:
+        """One request/response round trip; error frames raise."""
+        try:
+            send_frame(self._sock, request)
+            response = recv_frame(self._sock)
+        except OSError as exc:
+            raise ServerError(f"connection failed: {exc}", "connection") from exc
+        if response is None:
+            raise ProtocolError("server closed the connection")
+        if not response.get("ok"):
+            raise error_to_exception(response.get("error", {}))
+        return response
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        """Round-trip liveness check; returns the session id and version."""
+        return self._rpc({"op": "ping"})
+
+    def open(self, database: str) -> dict[str, Any]:
+        """Mount a server-side database for this session."""
+        return self._rpc({"op": "open", "database": database})
+
+    def query(
+        self,
+        q: str,
+        *,
+        values_of: "list[str] | tuple[str, ...]" = (),
+        explain: bool = False,
+        trace: bool = False,
+        compact: bool | None = None,
+        use_cache: bool = True,
+        timeout: float | None = None,
+        page_size: int | None = None,
+        fetch_all: bool = True,
+    ) -> RemoteResult:
+        """Evaluate OQL text server-side and return a :class:`RemoteResult`.
+
+        ``timeout`` is the *server-side* deadline (queue wait included);
+        ``page_size`` bounds patterns per frame, and ``fetch_all=True``
+        (default) follows the cursor until every page has arrived.
+        """
+        request: dict[str, Any] = {
+            "op": "query",
+            "q": q,
+            "explain": explain,
+            "trace": trace,
+            "use_cache": use_cache,
+        }
+        if values_of:
+            request["values_of"] = list(values_of)
+        if compact is not None:
+            request["compact"] = compact
+        if timeout is not None:
+            request["timeout"] = timeout
+        if page_size is not None:
+            request["page_size"] = page_size
+        result = RemoteResult(self._rpc(request))
+        while fetch_all and result.cursor is not None:
+            page = self._rpc({"op": "fetch", "cursor": result.cursor})
+            result.patterns.extend(page.get("patterns", ()))
+            result.cursor = page.get("cursor")
+        return result
+
+    def fetch(self, cursor: str) -> dict[str, Any]:
+        """One explicit page of a paged result (``patterns`` + ``cursor``)."""
+        return self._rpc({"op": "fetch", "cursor": cursor})
+
+    def metrics(self) -> str:
+        """The server's Prometheus metrics snapshot, over the wire."""
+        return str(self._rpc({"op": "metrics"})["prometheus"])
+
+    def close(self) -> None:
+        """Polite goodbye (``close`` frame), then drop the socket."""
+        try:
+            self._rpc({"op": "close"})
+        except (ServerError, ProtocolError):
+            pass  # closing anyway
+        finally:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __str__(self) -> str:
+        return f"ServerClient({self.host}:{self.port})"

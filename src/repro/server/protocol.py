@@ -1,0 +1,267 @@
+"""Length-prefixed JSON wire protocol for the concurrent query service.
+
+Framing
+-------
+Every message — request or response, either direction — is one *frame*:
+
+    +----------------+----------------------------------------+
+    | 4 bytes        | ``length`` bytes                       |
+    | big-endian u32 | UTF-8 JSON object                      |
+    +----------------+----------------------------------------+
+
+Frames larger than :data:`MAX_FRAME_BYTES` are rejected before the body
+is read, so a corrupt or hostile peer cannot make either side allocate
+unbounded memory.  Both blocking-socket helpers (used by the client) and
+``asyncio`` stream helpers (used by the server) are provided.
+
+Requests
+--------
+A request is a JSON object with an ``op`` field::
+
+    {"op": "ping"}
+    {"op": "open",  "database": "university"}
+    {"op": "query", "q": "pi(TA * Grad)[TA]",
+                    "values_of": ["SS#"],      # optional value retrieval
+                    "explain": false,          # EXPLAIN ANALYZE text
+                    "trace": false,            # span-tree export
+                    "compact": null,           # kernel strategy override
+                    "use_cache": true,
+                    "timeout": 5.0,            # per-request deadline (s)
+                    "page_size": 500}          # result paging
+    {"op": "fetch", "cursor": "c1"}            # next page of a paged result
+    {"op": "metrics"}                          # Prometheus snapshot
+    {"op": "close"}
+
+Responses
+---------
+Success frames carry ``{"ok": true, ...}`` with op-specific payload; a
+``query`` response holds ``count``, the first page of ``patterns`` (see
+:func:`pattern_to_wire`), a ``cursor`` when more pages remain, the root
+physical ``strategy``, ``elapsed_ms``, and — on request — ``values``,
+``explain`` and ``trace``.  Failure frames carry a structured error::
+
+    {"ok": false, "error": {"code": "timeout", "message": "..."}}
+
+Error codes are stable protocol surface (:data:`ERROR_CODES`); the client
+raises the matching :class:`ServerError` subclass per code.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any
+
+from repro.core.pattern import Pattern
+from repro.errors import ReproError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ERROR_CODES",
+    "ProtocolError",
+    "ServerError",
+    "QueryTimeoutError",
+    "ServerOverloadedError",
+    "ServerShuttingDownError",
+    "error_response",
+    "error_to_exception",
+    "encode_frame",
+    "send_frame",
+    "recv_frame",
+    "read_frame",
+    "write_frame",
+    "pattern_to_wire",
+    "wire_to_labels",
+]
+
+#: Bumped on incompatible wire changes; echoed in the ``ping`` response.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's JSON body (16 MiB).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+#: The stable error codes a server may return.
+ERROR_CODES = (
+    "bad_request",
+    "unknown_database",
+    "engine_error",
+    "timeout",
+    "overloaded",
+    "shutting_down",
+    "frame_too_large",
+)
+
+
+class ProtocolError(ReproError):
+    """A frame could not be read, parsed, or was oversized."""
+
+
+class ServerError(ReproError):
+    """An error frame returned by the query service.
+
+    ``code`` is one of :data:`ERROR_CODES`; subclasses exist for the
+    codes a caller typically handles individually.
+    """
+
+    code = "engine_error"
+
+    def __init__(self, message: str, code: str | None = None) -> None:
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+
+
+class QueryTimeoutError(ServerError):
+    """The request exceeded its deadline (code ``timeout``)."""
+
+    code = "timeout"
+
+
+class ServerOverloadedError(ServerError):
+    """The admission queue was full and the request was shed."""
+
+    code = "overloaded"
+
+
+class ServerShuttingDownError(ServerError):
+    """The server is draining and accepts no new requests."""
+
+    code = "shutting_down"
+
+
+_ERROR_CLASSES = {
+    "timeout": QueryTimeoutError,
+    "overloaded": ServerOverloadedError,
+    "shutting_down": ServerShuttingDownError,
+}
+
+
+def error_response(code: str, message: str) -> dict[str, Any]:
+    """The wire form of one structured error."""
+    return {"ok": False, "error": {"code": code, "message": message}}
+
+
+def error_to_exception(error: dict[str, Any]) -> ServerError:
+    """The client-side exception for an error frame's ``error`` object."""
+    code = str(error.get("code", "engine_error"))
+    message = str(error.get("message", "unknown server error"))
+    return _ERROR_CLASSES.get(code, ServerError)(message, code)
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+
+
+def encode_frame(payload: dict[str, Any]) -> bytes:
+    """Header + JSON body for one message."""
+    body = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def _decode_body(body: bytes) -> dict[str, Any]:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame body: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame body must be a JSON object")
+    return payload
+
+
+def send_frame(sock: socket.socket, payload: dict[str, Any]) -> None:
+    """Blocking send of one frame."""
+    sock.sendall(encode_frame(payload))
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; None on EOF at a frame boundary."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if not chunks:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict[str, Any] | None:
+    """Blocking read of one frame; ``None`` on clean EOF."""
+    header = _recv_exactly(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"incoming frame of {length} bytes is oversized")
+    body = _recv_exactly(sock, length) if length else b""
+    if body is None:
+        raise ProtocolError("connection closed mid-frame")
+    return _decode_body(body)
+
+
+async def read_frame(reader) -> dict[str, Any] | None:
+    """Async read of one frame from a StreamReader; ``None`` on clean EOF."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-frame") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"incoming frame of {length} bytes is oversized")
+    try:
+        body = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return _decode_body(body)
+
+
+async def write_frame(writer, payload: dict[str, Any]) -> None:
+    """Async write of one frame to a StreamWriter (drains)."""
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# result serialization
+# ----------------------------------------------------------------------
+
+
+def pattern_to_wire(pattern: Pattern) -> dict[str, Any]:
+    """One association pattern as plain JSON data.
+
+    Vertices are ``[class, oid]`` pairs in canonical order; edges are
+    ``[[class, oid], [class, oid], polarity]`` triples.  The encoding is
+    lossless for pattern *identity* (values live in the graph, not the
+    pattern) and deterministic, so pages are stable across fetches.
+    """
+    return {
+        "vertices": [[v.cls, v.oid] for v in sorted(pattern.vertices)],
+        "edges": sorted(
+            [[e.u.cls, e.u.oid], [e.v.cls, e.v.oid], e.polarity.value]
+            for e in pattern.edges
+        ),
+    }
+
+
+def wire_to_labels(wire_pattern: dict[str, Any]) -> str:
+    """A compact human rendering of one wire pattern (client display)."""
+    labels = []
+    for cls, oid in wire_pattern["vertices"]:
+        labels.append(f"{cls.lower()}{oid}" if len(cls) == 1 else f"{cls}#{oid}")
+    return "(" + " ".join(labels) + ")"

@@ -1,0 +1,594 @@
+"""The concurrent query service: asyncio TCP server over ``Database.query``.
+
+One :class:`QueryService` owns
+
+* a catalog of named, lazily mounted :class:`~repro.engine.database.Database`
+  instances — the bundled datasets plus an optional JSON snapshot — shared
+  by every session (queries are read-only; concurrent readers are safe,
+  see ``tests/test_thread_safety.py``);
+* a per-connection :class:`Session` (current database, open paging
+  cursors, request counter);
+* a bounded admission pipeline: at most ``max_concurrency`` queries
+  execute at once on a worker thread pool (the asyncio loop never blocks
+  on engine work), at most ``queue_limit`` more may wait for a slot, and
+  anything beyond that is *shed* with a structured ``overloaded`` error
+  instead of a dropped connection;
+* per-request deadlines: a request carries its own ``timeout`` (capped
+  by ``max_deadline``); the budget covers queue wait plus execution, and
+  an expiry returns a structured ``timeout`` error while other in-flight
+  requests keep running (the abandoned engine call finishes on its worker
+  thread and releases its slot then — cancellation is cooperative at the
+  await point, best-effort at the engine);
+* graceful drain: :meth:`stop` closes the listener, lets in-flight
+  requests finish (up to ``drain_timeout``), answers anything newly read
+  with ``shutting_down``, then closes the connections.
+
+Observability: the service registers
+``repro_server_requests_total{op,status}``, ``repro_server_inflight``,
+``repro_server_queue_depth``, ``repro_server_request_seconds`` and
+``repro_server_shed_total`` in its :class:`~repro.obs.metrics.MetricsRegistry`,
+which is shared with every mounted database — one ``metrics`` frame
+returns the whole engine's Prometheus snapshot over the wire.  A traced
+request opens a ``server.request`` span *above* the engine's span tree,
+so the export shows the service wrapping the executor's existing spans.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from repro.engine.database import Database
+from repro.errors import ReproError
+from repro.obs.export import metrics_to_prometheus, spans_to_jsonl
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Tracer
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    error_response,
+    pattern_to_wire,
+    read_frame,
+    write_frame,
+)
+
+__all__ = ["ServerConfig", "Session", "QueryService", "ServerHandle", "start_server"]
+
+#: Dataset names sessions may ``open`` (mirrors the CLI's ``--dataset``).
+DATASET_NAMES = ("university", "figure7", "supplier_parts", "parts_explosion")
+
+
+@dataclass
+class ServerConfig:
+    """Knobs of one :class:`QueryService` (see ``docs/server.md``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port lands on service.port
+    default_database: str = "university"
+    snapshot_path: str | None = None  # mounted under the name "snapshot"
+    max_concurrency: int = 4  # engine executions running at once
+    queue_limit: int = 16  # requests allowed to wait for a slot
+    default_deadline: float = 30.0  # seconds, when the request names none
+    max_deadline: float = 300.0  # hard cap on requested deadlines
+    drain_timeout: float = 10.0  # seconds stop() waits for in-flight work
+    page_size: int = 500  # patterns per response page
+
+
+@dataclass
+class Session:
+    """Per-connection state: identity, mounted database, paging cursors."""
+
+    id: str
+    database_name: str
+    database: Database
+    peer: str = ""
+    requests: int = 0
+    cursors: dict[str, list[list[dict[str, Any]]]] = field(default_factory=dict)
+
+
+class QueryService:
+    """Asyncio TCP query service over a catalog of shared databases."""
+
+    def __init__(
+        self, config: ServerConfig | None = None, metrics: MetricsRegistry | None = None
+    ) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.port: int | None = None  # set once the listener is bound
+        self._databases: dict[str, Database] = {}
+        self._db_lock = threading.Lock()
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.max_concurrency,
+            thread_name_prefix="repro-server",
+        )
+        self._slots: asyncio.Semaphore | None = None  # created on the loop
+        self._queued = 0
+        self._active_requests = 0
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._sessions = 0
+
+        self._m_requests = self.metrics.counter(
+            "repro_server_requests_total", "Server requests handled, by op and status"
+        )
+        self._m_inflight = self.metrics.gauge(
+            "repro_server_inflight", "Queries currently executing on worker threads"
+        )
+        self._m_queue_depth = self.metrics.gauge(
+            "repro_server_queue_depth", "Queries waiting for an execution slot"
+        )
+        self._m_shed = self.metrics.counter(
+            "repro_server_shed_total", "Requests shed because the admission queue was full"
+        )
+        self._m_request_seconds = self.metrics.histogram(
+            "repro_server_request_seconds", "Wall-clock seconds per server request, by op"
+        )
+        self._m_sessions = self.metrics.gauge(
+            "repro_server_sessions", "Currently connected sessions"
+        )
+
+    # ------------------------------------------------------------------
+    # database catalog
+    # ------------------------------------------------------------------
+
+    def database(self, name: str) -> Database:
+        """The shared database mounted under ``name`` (lazy, cached).
+
+        Known names are the bundled datasets plus ``"snapshot"`` when the
+        config points at a JSON snapshot.  All sessions opening one name
+        share a single :class:`Database`; the engine's derived state
+        (plan cache, arena, indexes) is safe under concurrent readers.
+        """
+        with self._db_lock:
+            db = self._databases.get(name)
+            if db is not None:
+                return db
+            if name == "snapshot" and self.config.snapshot_path is not None:
+                from repro.storage.serialization import load_database
+
+                loaded = load_database(self.config.snapshot_path)
+                db = Database(loaded.schema, loaded.graph, metrics=self.metrics)
+            elif name in DATASET_NAMES:
+                import repro.datasets as datasets
+
+                dataset = getattr(datasets, name)()
+                db = Database(dataset.schema, dataset.graph, metrics=self.metrics)
+            else:
+                raise LookupError(name)
+            self._databases[name] = db
+            return db
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener; ``self.port`` holds the actual port."""
+        self._loop = asyncio.get_running_loop()
+        self._slots = asyncio.Semaphore(self.config.max_concurrency)
+        self._idle.set()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        # Mount the default database eagerly so the first query pays no
+        # dataset-construction latency.
+        self.database(self.config.default_database)
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (``start`` must have run)."""
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight work, close."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(self._idle.wait(), self.config.drain_timeout)
+        except asyncio.TimeoutError:
+            pass  # drain window elapsed; close connections regardless
+        for writer in tuple(self._connections):
+            writer.close()
+        self._pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        session = Session(
+            id=uuid.uuid4().hex[:12],
+            database_name=self.config.default_database,
+            database=self.database(self.config.default_database),
+            peer=str(peer),
+        )
+        self._sessions += 1
+        self._m_sessions.inc()
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except ProtocolError as exc:
+                    await write_frame(
+                        writer, error_response("bad_request", str(exc))
+                    )
+                    break
+                if request is None:
+                    break  # client closed cleanly
+                response = await self._handle_request(session, request)
+                await write_frame(writer, response)
+                if request.get("op") == "close":
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # peer went away or the server is closing down
+        finally:
+            self._connections.discard(writer)
+            self._m_sessions.dec()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # ------------------------------------------------------------------
+    # request dispatch
+    # ------------------------------------------------------------------
+
+    async def _handle_request(
+        self, session: Session, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        op = str(request.get("op", ""))
+        session.requests += 1
+        started = time.perf_counter()
+        self._track_request(+1)
+        try:
+            if self._draining:
+                return error_response("shutting_down", "server is draining")
+            if op == "ping":
+                return {
+                    "ok": True,
+                    "pong": True,
+                    "session": session.id,
+                    "protocol": PROTOCOL_VERSION,
+                }
+            if op == "open":
+                return self._op_open(session, request)
+            if op == "query":
+                return await self._op_query(session, request)
+            if op == "fetch":
+                return self._op_fetch(session, request)
+            if op == "metrics":
+                return {"ok": True, "prometheus": metrics_to_prometheus(self.metrics)}
+            if op == "close":
+                return {"ok": True, "closed": True, "requests": session.requests}
+            return error_response("bad_request", f"unknown op {op!r}")
+        except ReproError as exc:
+            return error_response("engine_error", str(exc))
+        finally:
+            elapsed = time.perf_counter() - started
+            self._m_request_seconds.observe(elapsed, op=op or "?")
+            self._track_request(-1)
+
+    def _track_request(self, delta: int) -> None:
+        self._active_requests += delta
+        if self._active_requests == 0:
+            self._idle.set()
+        else:
+            self._idle.clear()
+
+    def _count(self, op: str, status: str) -> None:
+        self._m_requests.inc(op=op, status=status)
+
+    # -- open ----------------------------------------------------------
+
+    def _op_open(self, session: Session, request: dict[str, Any]) -> dict[str, Any]:
+        name = str(request.get("database", ""))
+        try:
+            database = self.database(name)
+        except LookupError:
+            self._count("open", "error")
+            known = list(DATASET_NAMES)
+            if self.config.snapshot_path is not None:
+                known.append("snapshot")
+            return error_response(
+                "unknown_database", f"unknown database {name!r}; known: {known}"
+            )
+        session.database_name = name
+        session.database = database
+        session.cursors.clear()
+        self._count("open", "ok")
+        return {
+            "ok": True,
+            "database": name,
+            "classes": len(database.schema.classes),
+            "instances": len(list(database.graph.instances())),
+        }
+
+    # -- query ---------------------------------------------------------
+
+    async def _op_query(
+        self, session: Session, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        text = request.get("q")
+        if not isinstance(text, str) or not text.strip():
+            self._count("query", "error")
+            return error_response("bad_request", "query op requires a 'q' string")
+        deadline = request.get("timeout")
+        try:
+            deadline = (
+                float(deadline)
+                if deadline is not None
+                else self.config.default_deadline
+            )
+        except (TypeError, ValueError):
+            self._count("query", "error")
+            return error_response("bad_request", f"bad timeout {deadline!r}")
+        deadline = min(max(deadline, 0.001), self.config.max_deadline)
+        expires = time.monotonic() + deadline
+
+        # Admission: when every slot is busy and the wait queue is full,
+        # shed; otherwise queue for a slot.
+        assert self._slots is not None
+        if self._slots.locked() and self._queued >= self.config.queue_limit:
+            self._m_shed.inc()
+            self._count("query", "shed")
+            return error_response(
+                "overloaded",
+                f"admission queue full ({self.config.queue_limit} waiting)",
+            )
+        self._queued += 1
+        self._m_queue_depth.set(self._queued)
+        try:
+            try:
+                await asyncio.wait_for(
+                    self._slots.acquire(), timeout=expires - time.monotonic()
+                )
+            except asyncio.TimeoutError:
+                self._count("query", "timeout")
+                return error_response(
+                    "timeout", f"deadline of {deadline:g}s elapsed in queue"
+                )
+        finally:
+            self._queued -= 1
+            self._m_queue_depth.set(self._queued)
+
+        # One slot held: run the engine work on the pool, under deadline.
+        self._m_inflight.inc()
+        assert self._loop is not None
+        future = self._loop.run_in_executor(
+            self._pool, self._execute_query, session, text, request
+        )
+
+        def _release(_):
+            # The slot frees only when the engine call truly finished —
+            # a timed-out request's zombie thread keeps holding it.
+            self._m_inflight.dec()
+            self._slots.release()
+
+        future.add_done_callback(_release)
+        try:
+            response = await asyncio.wait_for(
+                asyncio.shield(future), timeout=expires - time.monotonic()
+            )
+        except asyncio.TimeoutError:
+            self._count("query", "timeout")
+            return error_response(
+                "timeout", f"deadline of {deadline:g}s exceeded during execution"
+            )
+        except ReproError as exc:
+            self._count("query", "error")
+            return error_response("engine_error", str(exc))
+        self._count("query", "ok" if response.get("ok") else "error")
+        return response
+
+    def _execute_query(
+        self, session: Session, text: str, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Engine work, on a worker thread.  Returns a response frame."""
+        db = session.database
+        explain = bool(request.get("explain", False))
+        want_trace = bool(request.get("trace", False))
+        compact = request.get("compact")
+        use_cache = bool(request.get("use_cache", True))
+
+        tracer = Tracer() if want_trace else None
+        started = time.perf_counter()
+        if tracer is not None:
+            # The service's span sits above the engine's span tree, so the
+            # export shows the server request wrapping the executor spans.
+            with tracer.span(
+                "server.request",
+                op="query",
+                session=session.id,
+                database=session.database_name,
+            ):
+                result = db.query(
+                    text,
+                    trace=tracer,
+                    explain=explain,
+                    compact=compact if isinstance(compact, bool) else None,
+                    use_cache=use_cache,
+                )
+        else:
+            result = db.query(
+                text,
+                explain=explain,
+                compact=compact if isinstance(compact, bool) else None,
+                use_cache=use_cache,
+            )
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+
+        wire_patterns = sorted(
+            (pattern_to_wire(p) for p in result.set),
+            key=lambda p: (p["vertices"], p["edges"]),
+        )
+        response: dict[str, Any] = {
+            "ok": True,
+            "count": len(wire_patterns),
+            "strategy": result.strategy,
+            "elapsed_ms": round(elapsed_ms, 3),
+        }
+
+        page_size = int(request.get("page_size") or self.config.page_size)
+        page_size = max(1, page_size)
+        if len(wire_patterns) > page_size:
+            pages = [
+                wire_patterns[i : i + page_size]
+                for i in range(page_size, len(wire_patterns), page_size)
+            ]
+            cursor = uuid.uuid4().hex[:12]
+            session.cursors[cursor] = pages
+            response["patterns"] = wire_patterns[:page_size]
+            response["cursor"] = cursor
+        else:
+            response["patterns"] = wire_patterns
+            response["cursor"] = None
+
+        values_of = request.get("values_of") or ()
+        if values_of:
+            response["values"] = {
+                cls: sorted(result.values(cls), key=repr) for cls in values_of
+            }
+        if explain and result.report is not None:
+            response["explain"] = str(result.report)
+        if tracer is not None:
+            response["trace"] = [
+                json.loads(line) for line in spans_to_jsonl(tracer).splitlines()
+            ]
+        return response
+
+    # -- fetch ---------------------------------------------------------
+
+    def _op_fetch(self, session: Session, request: dict[str, Any]) -> dict[str, Any]:
+        cursor = str(request.get("cursor", ""))
+        pages = session.cursors.get(cursor)
+        if pages is None:
+            self._count("fetch", "error")
+            return error_response("bad_request", f"unknown cursor {cursor!r}")
+        page = pages.pop(0)
+        if not pages:
+            del session.cursors[cursor]
+            cursor_out = None
+        else:
+            cursor_out = cursor
+        self._count("fetch", "ok")
+        return {"ok": True, "patterns": page, "cursor": cursor_out}
+
+    def __str__(self) -> str:
+        return (
+            f"QueryService({self.config.host}:{self.port}, "
+            f"{len(self._databases)} database(s), {self._sessions} session(s) served)"
+        )
+
+
+# ----------------------------------------------------------------------
+# background-thread harness (tests, benchmarks, and the CLI's client side)
+# ----------------------------------------------------------------------
+
+
+class ServerHandle:
+    """A running :class:`QueryService` on a background thread.
+
+    ``host``/``port`` point at the loopback listener; :meth:`stop`
+    performs the graceful drain and joins the thread.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        thread: threading.Thread,
+        loop: asyncio.AbstractEventLoop,
+        stop_event: asyncio.Event,
+    ) -> None:
+        self.service = service
+        self._thread = thread
+        self._loop = loop
+        self._stop_event = stop_event
+        self._stopped = False
+
+    @property
+    def host(self) -> str:
+        return self.service.config.host
+
+    @property
+    def port(self) -> int:
+        assert self.service.port is not None
+        return self.service.port
+
+    def stop(self, timeout: float = 15.0) -> None:
+        """Drain and shut the server down; idempotent."""
+        if self._stopped:
+            return
+        self._stopped = True
+        try:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        except RuntimeError:
+            pass  # loop already gone (boot failure)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_server(
+    config: ServerConfig | None = None,
+    metrics: MetricsRegistry | None = None,
+    ready_timeout: float = 15.0,
+) -> ServerHandle:
+    """Start a :class:`QueryService` on a daemon thread and wait for it.
+
+    The returned :class:`ServerHandle` is a context manager::
+
+        with start_server(ServerConfig(max_concurrency=2)) as server:
+            with ServerClient(server.host, server.port) as client:
+                client.query("TA * Grad")
+    """
+    service = QueryService(config, metrics)
+    ready = threading.Event()
+    boot_error: list[BaseException] = []
+    box: list = []  # [(loop, stop_event)] once the service is up
+
+    async def _run() -> None:
+        try:
+            await service.start()
+        except BaseException as exc:  # bind failure, bad snapshot...
+            boot_error.append(exc)
+            ready.set()
+            return
+        stop_event = asyncio.Event()
+        box.append((asyncio.get_running_loop(), stop_event))
+        ready.set()
+        await stop_event.wait()
+        await service.stop()
+
+    thread = threading.Thread(
+        target=lambda: asyncio.run(_run()), name="repro-server-loop", daemon=True
+    )
+    thread.start()
+    if not ready.wait(ready_timeout):
+        raise RuntimeError("query service failed to start in time")
+    if boot_error:
+        thread.join(ready_timeout)
+        raise boot_error[0]
+    loop, stop_event = box[0]
+    return ServerHandle(service, thread, loop, stop_event)

@@ -181,3 +181,123 @@ def test_subcommand_metrics_with_snapshot(tmp_path, db, capsys):
 def test_subcommand_error_reporting(capsys):
     assert main(["explain", "Bogus * Query"]) == 1
     assert "error:" in capsys.readouterr().err
+
+
+def test_main_missing_snapshot_exits_nonzero(capsys):
+    # Regression: a bad snapshot path must give a one-line error and
+    # exit 1, not an unhandled StorageError traceback.
+    assert main(["/no/such/snapshot.json"]) == 1
+    captured = capsys.readouterr()
+    assert "error:" in captured.err
+    assert "Traceback" not in captured.err
+
+
+class TestServeClientSubcommands:
+    """`repro serve` + `repro client` against a loopback service."""
+
+    @pytest.fixture()
+    def server(self):
+        from repro.server import ServerConfig, start_server
+
+        with start_server(ServerConfig()) as handle:
+            yield handle
+
+    def test_client_query_round_trip(self, server, capsys):
+        code = main(
+            ["client", "pi(TA * Grad)[TA]", "--port", str(server.port)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 pattern(s)" in out
+        assert "strategy=" in out
+
+    def test_client_ping_and_metrics(self, server, capsys):
+        code = main(
+            ["client", "--port", str(server.port), "--ping", "--metrics"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pong from session" in out
+        assert "repro_server_requests_total" in out
+
+    def test_client_open_database_and_values(self, server, capsys):
+        code = main(
+            [
+                "client",
+                "pi(TA * Grad * Student * Person * SS#)[SS#]",
+                "--port",
+                str(server.port),
+                "--database",
+                "university",
+                "--values",
+                "SS#",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "opened 'university'" in out
+        assert "SS#: [333, 444]" in out
+
+    def test_client_engine_error_exits_nonzero(self, server, capsys):
+        code = main(["client", "Bogus * Query", "--port", str(server.port)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_client_connection_refused_exits_nonzero(self, capsys):
+        # Grab a port nothing is listening on.
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        code = main(["client", "--port", str(free_port), "--ping"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_subcommand_signal_shutdown(self, tmp_path):
+        # Drive `repro serve` in a real subprocess: read the bound port
+        # from --port-file, round-trip a query, then SIGTERM and assert
+        # the graceful-drain goodbye and a zero exit.
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        port_file = tmp_path / "port"
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--port-file",
+                str(port_file),
+                "--max-concurrency",
+                "2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not port_file.exists() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert port_file.exists(), "serve never wrote its port file"
+            port = int(port_file.read_text())
+            from repro.server import ServerClient
+
+            with ServerClient("127.0.0.1", port) as client:
+                assert client.query("TA * Grad").count == 2
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0
+        assert "listening on 127.0.0.1:" in out
+        assert "server stopped" in out

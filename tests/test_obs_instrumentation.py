@@ -20,7 +20,24 @@ class TestDatabaseMetrics:
         db.evaluate("TA * Grad")
         db.evaluate(ref("TA"))
         assert db.metrics.counter("repro_queries_total").value() == 2
-        assert db.metrics.histogram("repro_query_seconds").count() == 2
+        histogram = db.metrics.histogram("repro_query_seconds")
+        assert sum(series.count for _, series in histogram.samples()) == 2
+
+    def test_query_seconds_labelled_by_strategy(self, db):
+        # TA * Grad is fully kernel-closed; a bare extent stays a scan.
+        assert db.query("TA * Grad").strategy == "compact-kernel"
+        assert db.query(ref("TA")).strategy == "extent-scan"
+        assert db.query("TA * Grad", compact=False).strategy in (
+            "edge-scan",
+            "index-join",
+        )
+        assert db.query("TA * Grad", explain=True).strategy == "explain"
+        histogram = db.metrics.histogram("repro_query_seconds")
+        strategies = {labels["strategy"] for labels, _ in histogram.samples()}
+        assert "compact-kernel" in strategies
+        assert "extent-scan" in strategies
+        assert "explain" in strategies
+        assert histogram.count(strategy="compact-kernel") == 1
 
     def test_mutation_events_by_kind(self, db):
         created = db.insert("Person")

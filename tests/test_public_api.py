@@ -38,6 +38,10 @@ MODULES = [
     "repro.relational.nested",
     "repro.rules",
     "repro.schema",
+    "repro.server",
+    "repro.server.client",
+    "repro.server.protocol",
+    "repro.server.service",
     "repro.storage",
     "repro.viz",
 ]

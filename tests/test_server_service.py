@@ -1,0 +1,316 @@
+"""Loopback integration tests for the concurrent query service.
+
+Each test starts a real :class:`~repro.server.QueryService` on an
+ephemeral loopback port (background event-loop thread) and drives it
+with :class:`~repro.server.ServerClient` connections — the acceptance
+shape of the subsystem: session isolation under concurrency, structured
+timeout errors under deadline pressure, admission-queue shedding with
+the ``repro_server_shed_total`` metric, graceful drain on shutdown, and
+server spans stitched above the engine's span tree.
+"""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.datasets import figure7, university
+from repro.engine.database import Database
+from repro.server import (
+    QueryService,
+    QueryTimeoutError,
+    ServerClient,
+    ServerConfig,
+    ServerOverloadedError,
+    ServerError,
+    start_server,
+)
+
+
+@pytest.fixture()
+def server():
+    with start_server(ServerConfig()) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def slow_engine(monkeypatch):
+    """Honor a ``delay`` request field by sleeping on the worker thread.
+
+    The bundled datasets evaluate in microseconds, so deadline and
+    admission behaviour is exercised by injecting controlled latency in
+    front of the real engine call (the protocol ignores unknown request
+    fields otherwise).
+    """
+    original = QueryService._execute_query
+
+    def delayed(self, session, text, request):
+        delay = float(request.get("delay", 0) or 0)
+        if delay:
+            time.sleep(delay)
+        return original(self, session, text, request)
+
+    monkeypatch.setattr(QueryService, "_execute_query", delayed)
+
+
+def _slow_query(client, delay, timeout=None, q="TA * Grad"):
+    """A query frame carrying the test-only ``delay`` field."""
+    request = {"op": "query", "q": q, "delay": delay}
+    if timeout is not None:
+        request["timeout"] = timeout
+    return client._rpc(request)
+
+
+class TestBasics:
+    def test_ping(self, server):
+        with ServerClient(server.host, server.port) as client:
+            pong = client.ping()
+        assert pong["pong"] is True
+        assert pong["protocol"] == 1
+
+    def test_query_round_trip(self, server):
+        with ServerClient(server.host, server.port) as client:
+            result = client.query("pi(TA * Grad)[TA]", values_of=["TA"])
+        assert result.count == 2
+        assert result.strategy is not None
+        assert result.elapsed_ms is not None
+        assert len(result.patterns) == 2
+
+    def test_values_retrieval(self, server):
+        with ServerClient(server.host, server.port) as client:
+            result = client.query(
+                "pi(TA * Grad * Student * Person * SS#)[SS#]", values_of=["SS#"]
+            )
+        assert result.values["SS#"] == [333, 444]
+
+    def test_open_unknown_database(self, server):
+        with ServerClient(server.host, server.port) as client:
+            with pytest.raises(ServerError) as exc_info:
+                client.open("nonexistent")
+        assert exc_info.value.code == "unknown_database"
+
+    def test_engine_error_is_structured(self, server):
+        with ServerClient(server.host, server.port) as client:
+            with pytest.raises(ServerError) as exc_info:
+                client.query("Bogus * Query")
+            # The connection survives the error frame.
+            assert client.query("TA * Grad").count == 2
+        assert exc_info.value.code == "engine_error"
+
+    def test_bad_op_is_structured(self, server):
+        with ServerClient(server.host, server.port) as client:
+            with pytest.raises(ServerError) as exc_info:
+                client._rpc({"op": "frobnicate"})
+        assert exc_info.value.code == "bad_request"
+
+    def test_metrics_frame(self, server):
+        with ServerClient(server.host, server.port) as client:
+            client.query("TA * Grad")
+            text = client.metrics()
+        assert "repro_server_requests_total" in text
+        assert "repro_server_request_seconds" in text
+        assert "repro_queries_total" in text  # engine registry is shared
+
+
+class TestPaging:
+    def test_pages_chain_to_full_result(self, server):
+        with ServerClient(server.host, server.port) as client:
+            whole = client.query("Person + Student + Teacher")
+            paged = client.query("Person + Student + Teacher", page_size=2)
+        assert whole.count > 2
+        assert paged.patterns == whole.patterns  # fetch_all followed cursors
+
+    def test_manual_fetch(self, server):
+        with ServerClient(server.host, server.port) as client:
+            first = client.query(
+                "Person + Student + Teacher", page_size=2, fetch_all=False
+            )
+            assert len(first.patterns) == 2
+            assert first.cursor is not None
+            collected = list(first.patterns)
+            cursor = first.cursor
+            while cursor is not None:
+                page = client.fetch(cursor)
+                collected.extend(page["patterns"])
+                cursor = page["cursor"]
+        assert len(collected) == first.count
+
+    def test_unknown_cursor(self, server):
+        with ServerClient(server.host, server.port) as client:
+            with pytest.raises(ServerError) as exc_info:
+                client.fetch("nope")
+        assert exc_info.value.code == "bad_request"
+
+
+class TestConcurrentSessions:
+    def test_sessions_are_isolated(self, server):
+        """Sessions on different databases see their own results."""
+        uni = Database.from_dataset(university())
+        fig = Database.from_dataset(figure7())
+        expected_uni = len(uni.query("TA * Grad").set)
+        expected_fig = len(fig.query("B * C").set)
+
+        barrier = threading.Barrier(6)
+
+        def worker(i):
+            with ServerClient(server.host, server.port) as client:
+                if i % 2 == 0:
+                    client.open("university")
+                    q, expected = "TA * Grad", expected_uni
+                else:
+                    client.open("figure7")
+                    q, expected = "B * C", expected_fig
+                barrier.wait()
+                counts = [client.query(q).count for _ in range(4)]
+            return counts, expected
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            for counts, expected in pool.map(worker, range(6)):
+                assert counts == [expected] * 4
+
+    def test_sessions_share_server_side_database(self, server):
+        with ServerClient(server.host, server.port) as a:
+            with ServerClient(server.host, server.port) as b:
+                assert a.ping()["session"] != b.ping()["session"]
+                assert a.query("TA * Grad").count == b.query("TA * Grad").count
+
+
+class TestDeadlines:
+    def test_execution_timeout_is_structured(self, slow_engine):
+        with start_server(ServerConfig(default_deadline=30.0)) as handle:
+            with ServerClient(handle.host, handle.port) as client:
+                with pytest.raises(QueryTimeoutError):
+                    _slow_query(client, delay=1.0, timeout=0.2)
+                # The session survives; a fast query still works.
+                assert client.query("TA * Grad").count == 2
+
+    def test_timeout_leaves_others_running(self, slow_engine):
+        """One expiring request must not take concurrent ones with it."""
+        with start_server(ServerConfig(max_concurrency=2)) as handle:
+            outcomes = {}
+
+            def slow():
+                with ServerClient(handle.host, handle.port) as client:
+                    try:
+                        _slow_query(client, delay=1.0, timeout=0.2)
+                        outcomes["slow"] = "ok"
+                    except QueryTimeoutError:
+                        outcomes["slow"] = "timeout"
+
+            def fast():
+                time.sleep(0.05)  # let the slow request take its slot
+                with ServerClient(handle.host, handle.port) as client:
+                    outcomes["fast"] = client.query("TA * Grad").count
+
+            threads = [threading.Thread(target=slow), threading.Thread(target=fast)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(30)
+            assert outcomes == {"slow": "timeout", "fast": 2}
+
+    def test_queue_wait_counts_against_deadline(self, slow_engine):
+        with start_server(
+            ServerConfig(max_concurrency=1, queue_limit=4)
+        ) as handle:
+            hold = threading.Thread(
+                target=lambda: _slow_query(
+                    ServerClient(handle.host, handle.port), delay=1.0
+                )
+            )
+            hold.start()
+            time.sleep(0.2)  # the slot is now held for ~0.8s more
+            with ServerClient(handle.host, handle.port) as client:
+                with pytest.raises(QueryTimeoutError, match="queue"):
+                    client.query("TA * Grad", timeout=0.2)
+            hold.join(30)
+
+
+class TestAdmissionControl:
+    def test_overflow_sheds_with_metric(self, slow_engine):
+        with start_server(
+            ServerConfig(max_concurrency=1, queue_limit=0)
+        ) as handle:
+            hold = threading.Thread(
+                target=lambda: _slow_query(
+                    ServerClient(handle.host, handle.port), delay=1.0
+                )
+            )
+            hold.start()
+            time.sleep(0.2)  # the only slot is busy, the queue allows nobody
+            with ServerClient(handle.host, handle.port) as client:
+                with pytest.raises(ServerOverloadedError):
+                    client.query("TA * Grad")
+                text = client.metrics()
+            hold.join(30)
+        assert "repro_server_shed_total 1" in text
+        assert handle.service.metrics.counter("repro_server_shed_total").value() == 1
+
+    def test_no_shed_with_free_slots(self, server):
+        # queue_limit only gates when every slot is busy.
+        with ServerClient(server.host, server.port) as client:
+            for _ in range(8):
+                assert client.query("TA * Grad").count == 2
+        assert (
+            server.service.metrics.counter("repro_server_shed_total").value() == 0
+        )
+
+
+class TestGracefulShutdown:
+    def test_drain_finishes_in_flight_requests(self, slow_engine):
+        handle = start_server(
+            ServerConfig(max_concurrency=2, drain_timeout=10.0)
+        )
+        outcome = {}
+
+        def inflight():
+            with ServerClient(handle.host, handle.port) as client:
+                response = _slow_query(client, delay=0.6)
+                outcome["count"] = response["count"]
+
+        thread = threading.Thread(target=inflight)
+        thread.start()
+        time.sleep(0.2)  # the request is now executing on a worker thread
+        handle.stop()  # graceful drain must let it finish
+        thread.join(30)
+        assert outcome == {"count": 2}
+
+    def test_stop_is_idempotent(self, server):
+        server.stop()
+        server.stop()
+
+    def test_new_connection_after_stop_refused(self):
+        handle = start_server(ServerConfig())
+        host, port = handle.host, handle.port
+        handle.stop()
+        with pytest.raises(ServerError):
+            ServerClient(host, port)
+
+
+class TestSpanStitching:
+    def test_server_span_wraps_engine_tree(self, server):
+        with ServerClient(server.host, server.port) as client:
+            result = client.query("pi(TA * Grad)[TA]", trace=True)
+        spans = result.trace
+        assert spans is not None and len(spans) >= 2
+        roots = [s for s in spans if s["parent"] is None]
+        assert [s["name"] for s in roots] == ["server.request"]
+        root = roots[0]
+        assert root["attributes"]["database"] == "university"
+        # Every engine span hangs (transitively) below the server span.
+        by_id = {s["id"]: s for s in spans}
+        for span in spans:
+            if span is root:
+                continue
+            walk = span
+            while walk["parent"] is not None:
+                walk = by_id[walk["parent"]]
+            assert walk is root
+
+    def test_explain_over_the_wire(self, server):
+        with ServerClient(server.host, server.port) as client:
+            result = client.query("pi(TA * Grad)[TA]", explain=True, trace=True)
+        assert result.explain is not None
+        assert "EXPLAIN ANALYZE" in result.explain
+        assert any(s["name"] == "server.request" for s in result.trace)

@@ -1,0 +1,111 @@
+"""Concurrent readers on one Database must agree with serial evaluation.
+
+The query service executes requests on a worker thread pool against a
+shared, server-side :class:`~repro.engine.database.Database`, so the
+physical layer's lazily built derived state — the
+:class:`~repro.exec.cache.PlanCache` entry table and the
+:class:`~repro.exec.arena.PatternArena`'s interning/derived caches —
+is populated by many threads at once.  These regression tests drive
+exactly that shape: N threads issuing ``Database.query()`` with mixed
+compact/indexed strategies and cache on/off, compared pattern-for-
+pattern against a fresh serial evaluation.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.datasets import university
+from repro.engine.database import Database
+
+THREADS = 8
+ROUNDS = 6
+
+QUERIES = [
+    "TA * Grad",
+    "pi(TA * Grad)[TA]",
+    "Section ! Room#",
+    "TA * Grad + TA * Teacher",
+    "sigma(GPA)[GPA > 3]",
+]
+
+
+@pytest.fixture()
+def db():
+    return Database.from_dataset(university())
+
+
+def _serial_reference(queries):
+    """Expected pattern sets from a private, single-threaded Database."""
+    fresh = Database.from_dataset(university())
+    return {q: frozenset(fresh.query(q).set) for q in queries}
+
+
+def _run_threads(worker, count=THREADS):
+    """Run ``worker(index)`` on ``count`` threads with a barrier start."""
+    barrier = threading.Barrier(count)
+
+    def entry(i):
+        barrier.wait()
+        return worker(i)
+
+    with ThreadPoolExecutor(max_workers=count) as pool:
+        return [f.result() for f in [pool.submit(entry, i) for i in range(count)]]
+
+
+class TestConcurrentQueries:
+    def test_threads_agree_with_serial(self, db):
+        expected = _serial_reference(QUERIES)
+
+        def worker(i):
+            out = []
+            for round_no in range(ROUNDS):
+                q = QUERIES[(i + round_no) % len(QUERIES)]
+                # Vary the physical strategy and cache participation so
+                # compact-kernel, index-join, and cached paths interleave.
+                result = db.query(
+                    q,
+                    compact=(i + round_no) % 2 == 0,
+                    use_cache=round_no % 2 == 0,
+                )
+                out.append((q, frozenset(result.set)))
+            return out
+
+        for per_thread in _run_threads(worker):
+            for q, got in per_thread:
+                assert got == expected[q]
+
+    def test_cold_arena_populated_concurrently(self, db):
+        """First touch of every derived cache happens under contention."""
+        expected = _serial_reference(["TA * Grad"])["TA * Grad"]
+
+        def worker(i):
+            return frozenset(db.query("TA * Grad", compact=True).set)
+
+        for got in _run_threads(worker):
+            assert got == expected
+
+    def test_cache_shared_across_threads_stays_correct(self, db):
+        expected = _serial_reference(["pi(TA * Grad)[TA]"])["pi(TA * Grad)[TA]"]
+
+        def worker(i):
+            out = []
+            for _ in range(ROUNDS):
+                out.append(frozenset(db.query("pi(TA * Grad)[TA]").set))
+            return out
+
+        for per_thread in _run_threads(worker):
+            for got in per_thread:
+                assert got == expected
+
+    def test_explain_and_plain_interleave(self, db):
+        """EXPLAIN ANALYZE shares the executor; it must not corrupt it."""
+        expected = _serial_reference(["TA * Grad"])["TA * Grad"]
+
+        def worker(i):
+            result = db.query("TA * Grad", explain=(i % 2 == 0))
+            return frozenset(result.set)
+
+        for got in _run_threads(worker):
+            assert got == expected
