@@ -17,6 +17,9 @@ Usage:
     python benchmarks/report.py --json-server BENCH_server.json
                                           # add the query-service closed loop
                                           # (see bench_server.py)
+    python benchmarks/report.py --json-optimizer BENCH_optimizer.json
+                                          # add the skewed-workload cost-model
+                                          # ablation (bench_optimizer_ablation)
 """
 
 from __future__ import annotations
@@ -478,6 +481,47 @@ def report_server(sections: dict) -> None:
     )
 
 
+def report_optimizer(sections: dict) -> None:
+    dataset = sections["dataset"]
+    rows = []
+    for label, entry in sections["queries"].items():
+        for model in ("uniform", "stats"):
+            stats = entry[model]
+            rows.append(
+                [
+                    label if model == "uniform" else "",
+                    model,
+                    stats["plan"],
+                    f"{stats['median_ms']:.2f}",
+                    stats["total_patterns"],
+                    f"{stats['mean_q_error']:.1f}",
+                ]
+            )
+        rows.append(
+            [
+                "",
+                "→",
+                "same plan" if entry["same_plan"] else "plan flipped",
+                f"{entry['speedup_median']}x",
+                "",
+                "",
+            ]
+        )
+    table(
+        f"G. cost-model ablation (skewed workload,"
+        f" extent {dataset['extent_size']}; ms)",
+        ["query", "model", "chosen plan", "median ms", "patterns", "q-error"],
+        rows,
+    )
+    gates = sections["gates"]
+    print(
+        f"\nqueries ≥1.5x: {gates['queries_at_or_above_1_5x']}"
+        f" | never worse (patterns): {gates['never_worse_total_patterns']}"
+        f" | median q-error uniform → stats:"
+        f" {gates['median_q_error_uniform']} → {gates['median_q_error_stats']}"
+    )
+
+
 def _stat_rows(entries: dict) -> list[list[str]]:
     return [
         [name, f"{s['median_ms']:.3f}", f"{s['p95_ms']:.3f}", s["samples"]]
@@ -547,9 +591,17 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="run the query-service closed loop and write BENCH_server.json",
     )
+    parser.add_argument(
+        "--json-optimizer",
+        metavar="PATH",
+        help="run the skewed cost-model ablation and write BENCH_optimizer.json",
+    )
     args = parser.parse_args(argv)
-    if args.json_only and not (args.json or args.json_server):
-        parser.error("--json-only requires --json PATH (or --json-server PATH)")
+    if args.json_only and not (args.json or args.json_server or args.json_optimizer):
+        parser.error(
+            "--json-only requires --json PATH"
+            " (or --json-server / --json-optimizer PATH)"
+        )
 
     if args.json_only:
         if args.json:
@@ -558,6 +610,12 @@ def main(argv: list[str] | None = None) -> int:
             from bench_server import server_sections
 
             write_json(args.json_server, args.quick, server_sections(args.quick))
+        if args.json_optimizer:
+            from bench_optimizer_ablation import optimizer_sections
+
+            write_json(
+                args.json_optimizer, args.quick, optimizer_sections(args.quick)
+            )
         return 0
 
     print("# EXPERIMENTS report (regenerated)")
@@ -580,6 +638,12 @@ def main(argv: list[str] | None = None) -> int:
         server_data = server_sections(args.quick)
         report_server(server_data)
         write_json(args.json_server, args.quick, server_data)
+    if args.json_optimizer:
+        from bench_optimizer_ablation import optimizer_sections
+
+        optimizer_data = optimizer_sections(args.quick)
+        report_optimizer(optimizer_data)
+        write_json(args.json_optimizer, args.quick, optimizer_data)
     return 0
 
 

@@ -22,6 +22,10 @@ SCALING_SWEEP_SEED = 2
 DENSITY_SWEEP_SEED = 3
 HETERO_SEED = 9
 
+# skewed_dataset(extent_size=…) — the adaptive-planner workload where the
+# uniform and statistics-driven cost models disagree on join order
+SKEWED_SEED = 13
+
 ALL_SEEDS = {
     "scaled_uni": SCALED_UNI_SEED,
     "fig10": FIG10_SEED,
@@ -29,4 +33,5 @@ ALL_SEEDS = {
     "scaling_sweep": SCALING_SWEEP_SEED,
     "density_sweep": DENSITY_SWEEP_SEED,
     "heterogeneous": HETERO_SEED,
+    "skewed": SKEWED_SEED,
 }

@@ -12,6 +12,8 @@ Commands::
     \\explain <query>     EXPLAIN ANALYZE: estimated vs actual per node
     \\plan <query>        show the optimizer's candidate plans
     \\physical <query>    show the executor's physical plan (strategies)
+    \\analyze [N]         ANALYZE the database (optional sample size N)
+    \\stats               show the statistics catalog summary
     \\values <Class> <query>   print the primitive values of one class
     \\table <C1,C2> <query>    render the result as a value table
     \\save <path>         write a JSON snapshot of the database
@@ -25,12 +27,13 @@ input/output streams, or from the command line::
     python -m repro.cli              # opens the paper's university DB
     python -m repro.cli snapshot.json
 
-Besides the shell, five subcommands (also exposed as the ``repro``
+Besides the shell, six subcommands (also exposed as the ``repro``
 console script)::
 
     repro trace "TA * Grad" [--dataset NAME | --db PATH]
                 [--format tree|jsonl|chrome]
     repro explain "pi(TA * Grad)[TA]" [--dataset NAME | --db PATH]
+    repro analyze [--dataset NAME | --db PATH] [--sample N]
     repro metrics [QUERY ...] [--dataset NAME | --db PATH]
                   [--format prometheus|json]
     repro serve [--host H] [--port P] [--dataset NAME | --db PATH]
@@ -41,9 +44,10 @@ console script)::
                  [--timeout S] [--metrics] [--ping]
 
 ``repro trace --format chrome`` emits Chrome ``trace_event`` JSON for
-``chrome://tracing`` / Perfetto; ``repro metrics`` runs the given queries
-(by default the paper's Q1/Q3/Q4 workload) and prints the engine's
-metrics registry.  ``repro serve`` runs the concurrent query service of
+``chrome://tracing`` / Perfetto; ``repro analyze`` runs an ANALYZE pass
+(optionally sampled) and prints the statistics catalog summary table;
+``repro metrics`` runs the given queries (by default the paper's
+Q1/Q3/Q4 workload) and prints the engine's metrics registry.  ``repro serve`` runs the concurrent query service of
 :mod:`repro.server` until SIGINT/SIGTERM; ``repro client`` speaks its
 wire protocol.  See ``docs/observability.md`` and ``docs/server.md``.
 """
@@ -135,6 +139,22 @@ def _cmd_table(db: Database, args: str, out: IO[str]) -> None:
     print(render_table(db.query(query).set, db.graph, columns), file=out)
 
 
+def _cmd_analyze(db: Database, args: str, out: IO[str]) -> None:
+    sample = None
+    if args.strip():
+        try:
+            sample = int(args.strip())
+        except ValueError:
+            print("usage: \\analyze [sample-size]", file=out)
+            return
+    db.analyze(sample=sample)
+    print(db.stats.summary(), file=out)
+
+
+def _cmd_stats(db: Database, args: str, out: IO[str]) -> None:
+    print(db.stats.summary(), file=out)
+
+
 def _cmd_dot(db: Database, args: str, out: IO[str]) -> None:
     print(schema_to_dot(db.schema), file=out)
 
@@ -161,6 +181,8 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "plan": _cmd_plan,
     "physical": _cmd_physical,
+    "analyze": _cmd_analyze,
+    "stats": _cmd_stats,
     "values": _cmd_values,
     "table": _cmd_table,
     "dot": _cmd_dot,
@@ -284,6 +306,25 @@ def _cli_explain(args: list[str], out: IO[str]) -> int:
     ns = parser.parse_args(args)
     db = _open_database(ns.dataset, ns.db)
     print(db.explain_analyze(ns.query), file=out)
+    return 0
+
+
+def _cli_analyze(args: list[str], out: IO[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description="Run an ANALYZE pass and print the statistics summary.",
+    )
+    _add_db_arguments(parser)
+    parser.add_argument(
+        "--sample",
+        type=int,
+        metavar="N",
+        help="cap values/fan-outs scanned per class or association at N",
+    )
+    ns = parser.parse_args(args)
+    db = _open_database(ns.dataset, ns.db)
+    db.analyze(sample=ns.sample)
+    print(db.stats.summary(), file=out)
     return 0
 
 
@@ -472,6 +513,7 @@ def _cli_client(args: list[str], out: IO[str]) -> int:
 _SUBCOMMANDS = {
     "trace": _cli_trace,
     "explain": _cli_explain,
+    "analyze": _cli_analyze,
     "metrics": _cli_metrics,
     "serve": _cli_serve,
     "client": _cli_client,

@@ -1,10 +1,12 @@
 """Synthetic workload generators for benchmarks and the optimizer tests."""
 
 from repro.datagen.synthetic import (
+    SkewedDataset,
     SyntheticDataset,
     chain_dataset,
     figure10_dataset,
     random_graph,
+    skewed_dataset,
     star_dataset,
     university_scaled,
 )
@@ -13,8 +15,10 @@ from repro.datagen.workloads import random_walk_query, workload
 __all__ = [
     "random_walk_query",
     "workload",
+    "SkewedDataset",
     "SyntheticDataset",
     "chain_dataset",
+    "skewed_dataset",
     "star_dataset",
     "figure10_dataset",
     "random_graph",

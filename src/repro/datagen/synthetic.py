@@ -18,8 +18,10 @@ from repro.schema.graph import SchemaGraph
 
 __all__ = [
     "SyntheticDataset",
+    "SkewedDataset",
     "random_graph",
     "chain_dataset",
+    "skewed_dataset",
     "star_dataset",
     "figure10_dataset",
     "university_scaled",
@@ -35,6 +37,100 @@ class SyntheticDataset:
     extent_size: int
     density: float
     seed: int
+
+
+@dataclass(frozen=True)
+class SkewedDataset(SyntheticDataset):
+    """A synthetic dataset with deliberately skewed values and fan-outs."""
+
+    hot_value: int = 0
+    rare_value: int = 0
+
+
+def skewed_dataset(
+    extent_size: int = 1000,
+    seed: int = 0,
+    hot_fraction: float = 0.65,
+    rare_count: int = 8,
+    dense_fanout: int = 6,
+    wide_fanout: int = 20,
+) -> SkewedDataset:
+    """A value- and degree-skewed database for adaptive-planner workloads.
+
+    Two structurally identical three-hop families::
+
+        L (primitive) ==dense== M (entity) ==wide== R (primitive)
+        A (primitive) ==dense== Hub (entity) ==wide== S1 (primitive)
+
+    The first association carries ``dense_fanout`` edges per entity
+    instance, the second ``wide_fanout`` (wider still).  The values of
+    ``L`` and ``A`` are heavily skewed: ``hot_fraction`` of the extent
+    carries ``hot_value``, ``rare_count`` instances carry ``rare_value``,
+    the rest a long tail of distinct values.  A uniformity cost model
+    (fixed 0.33 selectivity, average fan-outs) cannot tell a rare-value
+    Select from a hot-value one, so on ``σ(L)[L = rare] * M * R`` it
+    prefers materializing the wide ``M * R`` pair before filtering; an
+    equi-depth histogram knows the Select keeps a handful of patterns and
+    starts there instead — the plan-choice flip these workloads measure.
+    """
+    rng = random.Random(seed)
+    n = extent_size
+    schema = SchemaGraph("skewed")
+    for name in ("L", "R", "A", "S1"):
+        schema.add_domain_class(name)
+    for name in ("M", "Hub"):
+        schema.add_entity_class(name)
+    for left, right in (("L", "M"), ("M", "R"), ("A", "Hub"), ("Hub", "S1")):
+        schema.add_association(left, right)
+
+    hot_value = 0
+    rare_value = 999_983
+    graph = ObjectGraph(schema)
+    oid = 0
+
+    def skewed_values() -> list[int]:
+        hot = int(n * hot_fraction)
+        values = [hot_value] * hot + [rare_value] * rare_count
+        values += [1 + i % (n // 10 or 1) for i in range(n - len(values))]
+        return values[:n]  # tiny extents: hot + rare may overshoot n
+
+    extents: dict[str, list] = {}
+    for cls, values in (
+        ("L", skewed_values()),
+        ("R", list(range(n))),
+        ("A", skewed_values()),
+        ("S1", list(range(n))),
+    ):
+        instances = []
+        for value in values:
+            oid += 1
+            instances.append(graph.add_instance(cls, oid, value))
+        extents[cls] = instances
+    for cls in ("M", "Hub"):
+        instances = []
+        for _ in range(n):
+            oid += 1
+            instances.append(graph.add_instance(cls, oid))
+        extents[cls] = instances
+
+    for entity, dense_cls, wide_cls in (("M", "L", "R"), ("Hub", "A", "S1")):
+        dense_assoc = schema.resolve(dense_cls, entity, None)
+        wide_assoc = schema.resolve(entity, wide_cls, None)
+        for instance in extents[entity]:
+            for partner in rng.sample(extents[dense_cls], dense_fanout):
+                graph.add_edge(dense_assoc, partner, instance)
+            for partner in rng.sample(extents[wide_cls], wide_fanout):
+                graph.add_edge(wide_assoc, instance, partner)
+
+    return SkewedDataset(
+        schema,
+        graph,
+        extent_size,
+        float(dense_fanout) / n if n else 0.0,
+        seed,
+        hot_value=hot_value,
+        rare_value=rare_value,
+    )
 
 
 def random_graph(

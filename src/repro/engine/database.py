@@ -40,8 +40,9 @@ from repro.errors import EvaluationError
 from repro.exec.executor import Executor
 from repro.objects.builder import GraphBuilder
 from repro.objects.graph import ObjectGraph
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, Q_ERROR_BUCKETS
 from repro.obs.span import Tracer
+from repro.optimizer.stats import StatisticsCatalog
 from repro.schema.graph import SchemaGraph
 
 __all__ = ["Database", "MutationEvent", "QueryResult"]
@@ -78,6 +79,7 @@ class QueryResult:
         expr: Expr,
         report: Any = None,
         strategy: str | None = None,
+        plan_expr: Expr | None = None,
     ) -> None:
         #: The association-set the query produced.
         self.set = result
@@ -88,6 +90,10 @@ class QueryResult:
         #: Root physical strategy the plan ran under (``"explain"`` when
         #: the query ran under EXPLAIN ANALYZE).
         self.strategy = strategy
+        #: The (possibly rewritten) expression that actually executed —
+        #: differs from ``expr`` when ``query(..., optimize=True)`` chose
+        #: a cheaper equivalent.
+        self.plan_expr = plan_expr if plan_expr is not None else expr
         self._database = database
 
     def instances(self, cls: str) -> frozenset[IID]:
@@ -157,15 +163,72 @@ class Database:
             "repro_mutation_events_total", "Mutation events emitted, by kind"
         )
         self.graph.attach_metrics(self.metrics)
+        # Measured statistics + execution feedback for the adaptive
+        # planner; dormant (uniform assumptions apply) until analyze().
+        self.stats = StatisticsCatalog(self.graph, self.metrics)
+        #: Q-error above which an adaptive plan choice is dropped and the
+        #: next execution re-plans (override per query via
+        #: ``query(..., replan_threshold=...)``).
+        self.replan_threshold = 10.0
+        self._m_replans = self.metrics.counter(
+            "repro_replan_total",
+            "Adaptive plan choices dropped after a q-error over threshold",
+        )
+        self._m_plan_q_error = self.metrics.histogram(
+            "repro_plan_q_error",
+            "Root q-error of adaptively planned queries (estimate vs actual)",
+            buckets=Q_ERROR_BUCKETS,
+        )
         # The physical execution engine; creating it here also registers
         # its cache hit/miss/invalidation counters so they are present in
         # metrics exports from the first scrape.
-        self.executor = Executor(self.graph, self.metrics)
+        self.executor = Executor(self.graph, self.metrics, stats=self.stats)
+        # A stats refresh makes remembered plan choices stale: drop the
+        # ones that depend on the refreshed classes (results survive).
+        self.stats.subscribe(self._on_stats_refresh)
 
     @classmethod
     def from_dataset(cls, dataset: Any) -> "Database":
         """Wrap any dataset object exposing ``.schema`` and ``.graph``."""
         return cls(dataset.schema, dataset.graph)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def analyze(
+        self,
+        sample: int | None = None,
+        classes: Iterable[str] | None = None,
+        seed: int = 0,
+    ) -> StatisticsCatalog:
+        """ANALYZE: scan the graph and refresh the statistics catalog.
+
+        ``sample=N`` caps the number of values/fan-outs scanned per class
+        or association (deterministic under ``seed``); ``classes``
+        restricts the pass.  After the first call the cost model switches
+        from uniformity assumptions to measured histograms and fan-out
+        distributions, and the catalog keeps itself fresh from mutation
+        events.  Returns the catalog (see
+        :meth:`~repro.optimizer.stats.StatisticsCatalog.summary`).
+        """
+        self.stats.analyze(sample=sample, seed=seed, classes=classes)
+        return self.stats
+
+    def _on_stats_refresh(self, classes: frozenset) -> None:
+        self.executor.cache.invalidate_stats(classes)
+
+    def _cost_model(self):
+        """The cost model current statistics justify.
+
+        Uniform assumptions until the catalog has been analyzed; recorded
+        execution feedback is consulted either way.
+        """
+        from repro.optimizer.cost import CostModel
+
+        if self.stats.analyzed:
+            return CostModel(self.graph, stats=self.stats)
+        return CostModel(self.graph, feedback=self.stats.feedback)
 
     # ------------------------------------------------------------------
     # queries
@@ -180,6 +243,8 @@ class Database:
         parallel: bool = False,
         use_cache: bool = True,
         compact: bool | None = None,
+        optimize: bool = False,
+        replan_threshold: float | None = None,
     ) -> QueryResult:
         """Evaluate a query through the physical execution engine.
 
@@ -196,6 +261,15 @@ class Database:
         truly executes, and ``trace`` is ignored (the report owns the
         span tree).
 
+        With ``optimize=True`` the query first goes through the adaptive
+        planner: the rewrite optimizer (costed with current statistics
+        and execution feedback) picks the cheapest equivalent, the choice
+        is remembered per canonical query and stamped with the stats
+        version, and after execution the root q-error is checked against
+        ``replan_threshold`` (default :attr:`replan_threshold`) — a miss
+        drops the remembered choice so the *next* execution re-plans with
+        the feedback this one recorded (``repro_replan_total``).
+
         Latency is observed in the ``repro_query_seconds`` histogram
         labelled with the plan's root strategy (``strategy="explain"``
         for EXPLAIN ANALYZE runs, whose latency is not comparable).
@@ -203,29 +277,90 @@ class Database:
         expr = self._coerce_expr(q, "evaluate")
         started = time.perf_counter()
         report = None
+        plan_expr = expr
+        plan_key = plan_entry = None
         if explain:
             from repro.obs.explain import explain_analyze
 
             strategy = "explain"
             report = explain_analyze(
-                expr, self.graph, metrics=self.metrics, executor=self.executor
+                expr,
+                self.graph,
+                cost_model=self._cost_model(),
+                metrics=self.metrics,
+                executor=self.executor,
             )
             result = report.result
         else:
-            plan = self.executor.plan(expr, compact=compact)
+            if optimize:
+                plan_key, plan_entry = self._adaptive_plan(expr)
+                plan_expr = plan_entry.expr
+            plan = self.executor.plan(plan_expr, compact=compact)
             strategy = plan.strategy
             result = self.executor.run(
-                expr,
+                plan_expr,
                 trace=trace,
                 parallel=parallel,
                 use_cache=use_cache,
                 plan=plan,
             )
+            if plan_entry is not None:
+                self._adaptive_feedback(
+                    plan_key, plan_entry, len(result), replan_threshold
+                )
         self._m_queries.inc()
         self._m_query_seconds.observe(
             time.perf_counter() - started, strategy=strategy
         )
-        return QueryResult(result, self, expr, report, strategy=strategy)
+        return QueryResult(
+            result, self, expr, report, strategy=strategy, plan_expr=plan_expr
+        )
+
+    def _adaptive_plan(self, expr: Expr):
+        """The remembered (or freshly optimized) plan choice for ``expr``."""
+        from repro.exec.cache import PlanEntry, canonicalize, expr_dependencies
+        from repro.optimizer.planner import Optimizer
+
+        key = canonicalize(expr)
+        entry = self.executor.cache.get_plan(key)
+        if entry is None or entry.stats_version != self.stats.version:
+            optimizer = Optimizer(
+                self.graph, metrics=self.metrics, cost_model=self._cost_model()
+            )
+            best = optimizer.optimize(expr)
+            entry = PlanEntry(
+                best.expr,
+                best.estimate,
+                self.stats.version,
+                expr_dependencies(expr),
+            )
+            self.executor.cache.put_plan(key, entry)
+        return key, entry
+
+    def _adaptive_feedback(
+        self,
+        key: Expr,
+        entry: Any,
+        actual: int,
+        replan_threshold: float | None,
+    ) -> None:
+        """Check a finished adaptive query's estimate against reality."""
+        threshold = (
+            replan_threshold
+            if replan_threshold is not None
+            else self.replan_threshold
+        )
+        est = max(float(entry.estimate.cardinality), 1.0)
+        act = max(float(actual), 1.0)
+        q_error = max(est, act) / min(est, act)
+        self._m_plan_q_error.observe(q_error)
+        if q_error > threshold:
+            # The choice was made on numbers that were wrong by more than
+            # the threshold: forget it.  This run recorded true sub-plan
+            # cardinalities into the feedback store, so the re-plan sees
+            # through the mis-estimate.
+            self.executor.cache.drop_plan(key)
+            self._m_replans.inc()
 
     def evaluate(
         self, query: "Expr | str", trace: Tracer | None = None
@@ -400,9 +535,15 @@ class Database:
         self.graph = graph_from_dict(snapshot, self.schema)
         self.builder = GraphBuilder(self.schema, self.graph)
         self.graph.attach_metrics(self.metrics)
-        # The executor's indexes and cache described the replaced graph;
-        # rebuild against the restored one.
-        self.executor = Executor(self.graph, self.metrics)
+        # The executor's indexes, cache and statistics described the
+        # replaced graph; rebuild against the restored one (re-analyzing
+        # if the old catalog was live, so plan quality survives rollback).
+        was_analyzed = self.stats.analyzed
+        self.stats = StatisticsCatalog(self.graph, self.metrics)
+        self.executor = Executor(self.graph, self.metrics, stats=self.stats)
+        self.stats.subscribe(self._on_stats_refresh)
+        if was_analyzed:
+            self.stats.analyze(reason="restore")
 
     def __str__(self) -> str:
         return f"Database({self.schema.name!r}, {self.graph})"

@@ -13,7 +13,7 @@ parallel branch scheduler
 """
 
 from repro.exec.arena import CompactSet, PatternArena
-from repro.exec.cache import PlanCache, canonicalize, expr_dependencies
+from repro.exec.cache import PlanCache, PlanEntry, canonicalize, expr_dependencies
 from repro.exec.executor import Executor
 from repro.exec.indexes import IndexManager
 from repro.exec.physical import CompactNode, ExecContext, PhysicalNode, PhysicalPlanner
@@ -30,6 +30,7 @@ __all__ = [
     "PhysicalNode",
     "PhysicalPlanner",
     "PlanCache",
+    "PlanEntry",
     "canonicalize",
     "expr_dependencies",
     "parallel_branches",

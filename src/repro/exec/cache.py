@@ -26,6 +26,7 @@ while concurrent ``put`` calls would otherwise resize it mid-walk).
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 
 from repro.core.assoc_set import AssociationSet
 from repro.core.expression import (
@@ -45,7 +46,7 @@ from repro.core.expression import (
 from repro.obs.metrics import MetricsRegistry
 from repro.optimizer.analysis import predicate_classes
 
-__all__ = ["PlanCache", "canonicalize", "expr_dependencies"]
+__all__ = ["PlanCache", "PlanEntry", "canonicalize", "expr_dependencies"]
 
 #: Dependency wildcard: "this entry may read anything" (opaque predicate).
 ANY = "*"
@@ -110,12 +111,38 @@ def _collect(expr: Expr, out: set[str]) -> None:
             _collect(child, out)
 
 
+@dataclass(frozen=True)
+class PlanEntry:
+    """One remembered *plan choice* (not a result) for a canonical query.
+
+    ``expr`` is the optimized expression chosen for the query,
+    ``estimate`` the :class:`~repro.optimizer.cost.Estimate` it was
+    chosen with, ``stats_version`` the statistics-catalog version the
+    estimate was computed under, and ``deps`` the class dependency set —
+    a stats refresh touching any of those classes drops the entry so the
+    next execution re-plans with the fresher numbers.
+    """
+
+    expr: Expr
+    estimate: object
+    stats_version: int
+    deps: frozenset[str]
+
+
 class PlanCache:
-    """Canonical-expression → result cache, invalidated by class."""
+    """Canonical-expression → result cache, invalidated by class.
+
+    A second, independent table remembers *plan choices*
+    (:class:`PlanEntry`): which optimized expression the adaptive planner
+    picked for a canonical query and under which statistics version.
+    Results survive a stats refresh (the data did not change), but plan
+    choices do not — they were ranked with numbers that are now stale.
+    """
 
     def __init__(self, metrics: MetricsRegistry | None = None) -> None:
         # value is an AssociationSet (decoded) or a CompactSet (arena-encoded)
         self._entries: dict[Expr, tuple[object, frozenset[str]]] = {}
+        self._plans: dict[Expr, PlanEntry] = {}
         self._lock = threading.Lock()
         self.metrics = metrics
         if metrics is not None:
@@ -155,6 +182,43 @@ class PlanCache:
         with self._lock:
             self._entries[key] = (result, deps)
 
+    # ------------------------------------------------------------------
+    # plan choices
+    # ------------------------------------------------------------------
+
+    def get_plan(self, key: Expr) -> PlanEntry | None:
+        """The remembered plan choice for a canonical query, if any."""
+        with self._lock:
+            return self._plans.get(key)
+
+    def put_plan(self, key: Expr, entry: PlanEntry) -> None:
+        with self._lock:
+            self._plans[key] = entry
+
+    def drop_plan(self, key: Expr) -> bool:
+        """Forget one plan choice (adaptive re-planning after a q-error)."""
+        with self._lock:
+            return self._plans.pop(key, None) is not None
+
+    def invalidate_stats(self, classes) -> int:
+        """Drop plan choices depending on any of ``classes``.
+
+        Called when the statistics catalog refreshes those classes: the
+        choices were ranked with numbers that no longer describe the
+        data.  Cached *results* are untouched — they depend on the data,
+        which a stats refresh does not change.
+        """
+        touched = set(classes)
+        with self._lock:
+            stale = [
+                key
+                for key, entry in self._plans.items()
+                if ANY in entry.deps or entry.deps & touched
+            ]
+            for key in stale:
+                del self._plans[key]
+        return len(stale)
+
     def invalidate_classes(self, classes) -> int:
         """Drop entries depending on any of ``classes``; return the count."""
         touched = set(classes)
@@ -174,6 +238,7 @@ class PlanCache:
         with self._lock:
             dropped = len(self._entries)
             self._entries.clear()
+            self._plans.clear()
         if dropped and self.metrics is not None:
             self._m_invalidations.inc(dropped)
 

@@ -44,9 +44,13 @@ class Executor:
         metrics: MetricsRegistry | None = None,
         max_workers: int = 4,
         compact: bool = True,
+        stats=None,
     ) -> None:
         self.graph = graph
         self.metrics = metrics
+        # Optional StatisticsCatalog: fed the same mutation events as the
+        # indexes, and its FeedbackStore collects actual cardinalities.
+        self.stats = stats
         self.indexes = IndexManager(graph)
         self.arena = PatternArena(graph, metrics)
         self.cache = PlanCache(metrics)
@@ -72,6 +76,8 @@ class Executor:
         self.indexes.apply(event)
         self.arena.apply(event)
         self.cache.invalidate_classes({i.cls for i in event.instances})
+        if self.stats is not None:
+            self.stats.apply(event)
         self._synced_version = self.graph.version
 
     def refresh(self) -> None:
@@ -85,6 +91,8 @@ class Executor:
             self.indexes.reset()
             self.arena.reset()
             self.cache.clear()
+            if self.stats is not None:
+                self.stats.on_out_of_band()
             self._synced_version = self.graph.version
             if self.metrics is not None:
                 self._m_resets.inc()
@@ -122,7 +130,14 @@ class Executor:
         if plan is None:
             self.refresh()
             plan = self.planner.plan(expr, compact=compact)
-        ctx = ExecContext(self.graph, self.indexes, self.cache, use_cache, arena=self.arena)
+        ctx = ExecContext(
+            self.graph,
+            self.indexes,
+            self.cache,
+            use_cache,
+            arena=self.arena,
+            feedback=self.stats.feedback if self.stats is not None else None,
+        )
         if parallel:
             branches = parallel_branches(plan)
             if len(branches) >= 2:

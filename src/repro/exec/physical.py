@@ -99,7 +99,15 @@ class ExecContext:
     reaching such a node adopts the branch's spans instead of re-running.
     """
 
-    __slots__ = ("graph", "indexes", "cache", "use_cache", "precomputed", "arena")
+    __slots__ = (
+        "graph",
+        "indexes",
+        "cache",
+        "use_cache",
+        "precomputed",
+        "arena",
+        "feedback",
+    )
 
     def __init__(
         self,
@@ -109,6 +117,7 @@ class ExecContext:
         use_cache: bool = True,
         precomputed: dict[int, tuple[AssociationSet, Tracer | None]] | None = None,
         arena: PatternArena | None = None,
+        feedback=None,
     ) -> None:
         self.graph = graph
         self.indexes = indexes
@@ -118,6 +127,9 @@ class ExecContext:
         # Compact-kernel nodes need an arena; a context built without one
         # (tests driving plans by hand) lazily gets a private arena.
         self.arena = arena if arena is not None else PatternArena(graph)
+        # Optional FeedbackStore: actual sub-plan cardinalities recorded
+        # on cache misses (true executions) for the adaptive cost model.
+        self.feedback = feedback
 
 
 class PhysicalNode:
@@ -174,8 +186,19 @@ class PhysicalNode:
                 return hit
             result = self._execute(ctx, trace, span)
             ctx.cache.put(self.key, result, self.deps)
+            self._record(ctx, len(result))
             return result
         return self._execute(ctx, trace, span)
+
+    def _record(self, ctx: ExecContext, actual: int) -> None:
+        """Record the actual cardinality of one true (cache-miss) run.
+
+        Only the cache-miss path records, so estimates always describe a
+        *previous* execution — EXPLAIN runs bypass the cache and never
+        feed the store, keeping q-error measurements honest.
+        """
+        if ctx.feedback is not None and self.key is not None:
+            ctx.feedback.record(self.key, actual, self.deps)
 
     def _execute(
         self, ctx: ExecContext, trace: Tracer | None, span: Span | None
@@ -449,6 +472,7 @@ class CompactNode(PhysicalNode):
                 return hit
             result = self._run_kernel(ctx, trace, span)
             ctx.cache.put(self.key, result, self.deps)
+            self._record(ctx, len(result))
             return result
         return self._run_kernel(ctx, trace, span)
 

@@ -122,5 +122,6 @@ class BranchScheduler:
             ctx.use_cache,
             precomputed,
             arena=ctx.arena,
+            feedback=ctx.feedback,
         )
         return plan.execute(final_ctx, trace)

@@ -44,6 +44,9 @@ class ExplainNode:
     #: Physical strategy the executor chose ("edge-scan", "index-join",
     #: ...); None when the naive logical evaluator produced the trace.
     strategy: str | None = None
+    #: Where the estimate came from ("exact", "histogram", "feedback",
+    #: "uniform"); None for reports built before sources were tracked.
+    source: str | None = None
 
     @property
     def q_error(self) -> float:
@@ -90,13 +93,16 @@ class ExplainReport:
         """The EXPLAIN ANALYZE table: one row per plan node, tree-indented."""
         lines = [
             "EXPLAIN ANALYZE",
-            f"{'est.card':>10}  {'act.card':>8}  {'ms':>8}  {'q-err':>7}  node",
+            f"{'est.card':>10}  {'act.card':>8}  {'ms':>8}  {'q-err':>7}  "
+            f"{'src':<9}  node",
         ]
         for node, depth in self.walk():
             via = f" via {node.strategy}" if node.strategy is not None else ""
+            source = node.source if node.source is not None else "-"
             lines.append(
                 f"{node.estimated:>10.1f}  {node.actual:>8}  "
                 f"{node.seconds * 1e3:>8.3f}  {node.q_error:>7.2f}  "
+                f"{source:<9}  "
                 f"{'  ' * depth}{node.text} [{node.kind}]{via}"
             )
         lines.append(
@@ -144,15 +150,17 @@ def explain_analyze(
             build(child, child_span)
             for child, child_span in zip(node.children(), span.children, strict=True)
         )
+        estimate = model.estimate(node)
         return ExplainNode(
             text=str(node),
             kind=node.kind.label,
-            estimated=model.estimate(node).cardinality,
+            estimated=estimate.cardinality,
             actual=span.output_cardinality or 0,
             seconds=span.seconds,
             self_seconds=span.self_seconds,
             children=children,
             strategy=span.attributes.get("strategy"),
+            source=getattr(estimate, "source", None),
         )
 
     root = build(expr, root_span)

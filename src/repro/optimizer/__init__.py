@@ -11,6 +11,8 @@ the Figure 10 example.  This package makes that concrete:
   applicable at any subtree;
 * :mod:`repro.optimizer.cost` — a cardinality/cost model fed by object
   graph statistics;
+* :mod:`repro.optimizer.stats` — the ANALYZE-style statistics catalog
+  (histograms, fan-out distributions, execution feedback) behind it;
 * :mod:`repro.optimizer.planner` — bounded exploration of the rewrite
   space and cheapest-plan selection.
 """
@@ -19,12 +21,15 @@ from repro.optimizer.analysis import is_statically_homogeneous, static_classes
 from repro.optimizer.cost import CostModel, Estimate
 from repro.optimizer.planner import Optimizer, PlanCandidate
 from repro.optimizer.rewrites import SAFE_RULES, UNSAFE_RULES, RewriteRule
+from repro.optimizer.stats import FeedbackStore, StatisticsCatalog
 
 __all__ = [
     "Optimizer",
     "PlanCandidate",
     "CostModel",
     "Estimate",
+    "StatisticsCatalog",
+    "FeedbackStore",
     "RewriteRule",
     "SAFE_RULES",
     "UNSAFE_RULES",

@@ -1,6 +1,6 @@
 """Cardinality and cost estimation.
 
-The model is deliberately simple — the same flavour of independence-and-
+Without statistics the model uses the same flavour of independence-and-
 uniformity assumptions System R used — because its job is to *rank*
 rewrite alternatives, not to predict wall-clock times:
 
@@ -13,6 +13,18 @@ rewrite alternatives, not to predict wall-clock times:
   for every intersected class;
 * Select applies a fixed default selectivity; Union adds; Difference and
   Divide keep/shrink the left input.
+
+When a :class:`~repro.optimizer.stats.StatisticsCatalog` is supplied (and
+has been analyzed), measured statistics replace the guesses: equality and
+range selectivities come from equi-depth histograms (conjunction and
+disjunction combined under independence), Associate/Complement fan-outs
+from the measured fan-out distributions, and A-Intersect matching from
+the degree-collision probability.  When a
+:class:`~repro.optimizer.stats.FeedbackStore` is supplied, actual
+cardinalities recorded by the executor override estimates for sub-plans
+that have already run.  Every :class:`Estimate` carries its ``source``
+(``exact`` / ``histogram`` / ``feedback`` / ``uniform``) so EXPLAIN can
+say where a number came from.
 
 ``cost`` accumulates the work of producing every intermediate pattern —
 the quantity the paper's §4 discussion of heterogeneous vs homogeneous
@@ -37,6 +49,15 @@ from repro.core.expression import (
     Select,
     Union,
 )
+from repro.core.predicates import (
+    And,
+    ClassValues,
+    Comparison,
+    Const,
+    Not,
+    Or,
+    Predicate,
+)
 from repro.objects.graph import ObjectGraph
 from repro.optimizer.analysis import (
     edge_scannable,
@@ -49,26 +70,53 @@ __all__ = ["Estimate", "CostModel", "SELECT_SELECTIVITY"]
 #: Default selectivity assumed for an A-Select predicate.
 SELECT_SELECTIVITY = 0.33
 
+#: Mirror-image comparison operators, for ``const op ClassValues`` forms.
+_MIRROR_OPS = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
 
 @dataclass(frozen=True)
 class Estimate:
-    """Estimated output cardinality and cumulative work of an expression."""
+    """Estimated output cardinality and cumulative work of an expression.
+
+    ``source`` names where the cardinality came from: ``"exact"`` (known
+    by construction), ``"histogram"`` (measured statistics), ``"feedback"``
+    (actual cardinality of a previous run) or ``"uniform"`` (the static
+    fallback assumptions).
+    """
 
     cardinality: float
     cost: float
+    source: str = "uniform"
 
     def __add__(self, other: "Estimate") -> "Estimate":
         return Estimate(
-            self.cardinality + other.cardinality, self.cost + other.cost
+            self.cardinality + other.cardinality,
+            self.cost + other.cost,
+            self.source,
         )
 
 
 class CostModel:
-    """Estimates expressions against one object graph's statistics."""
+    """Estimates expressions against one object graph's statistics.
 
-    def __init__(self, graph: ObjectGraph) -> None:
+    ``stats`` (optional) supplies measured statistics; ``feedback``
+    (optional) supplies recorded actuals and defaults to the catalog's
+    own store when a catalog is given.  With neither, behaviour is the
+    original uniformity model.
+    """
+
+    def __init__(
+        self,
+        graph: ObjectGraph,
+        stats=None,
+        feedback=None,
+    ) -> None:
         self.graph = graph
         self.schema = graph.schema
+        self.stats = stats
+        if feedback is None and stats is not None:
+            feedback = stats.feedback
+        self.feedback = feedback
 
     # ------------------------------------------------------------------
     # statistics accessors
@@ -86,18 +134,50 @@ class CostModel:
             return 0.0
         return self.graph.edge_count(assoc) / left_size
 
+    @property
+    def _live_stats(self):
+        """The catalog, but only once it has actually been analyzed."""
+        if self.stats is not None and self.stats.analyzed:
+            return self.stats
+        return None
+
     # ------------------------------------------------------------------
     # estimation
     # ------------------------------------------------------------------
 
     def estimate(self, expr: Expr) -> Estimate:
-        """Estimated cardinality and cumulative cost of ``expr``."""
+        """Estimated cardinality and cumulative cost of ``expr``.
+
+        Recorded feedback (an actual cardinality from a previous run of
+        the same canonical sub-plan) overrides the model's estimate;
+        estimates are clamped non-negative either way.
+        """
+        est = self._estimate(expr)
+        card = max(est.cardinality, 0.0)
+        cost = max(est.cost, 0.0)
+        actual = self._feedback_actual(expr)
+        if actual is not None:
+            # Downstream work scales with the true cardinality, so shift
+            # the cumulative cost by the estimation error as well.
+            cost = max(cost + (actual - card), 0.0)
+            return Estimate(float(actual), cost, "feedback")
+        return Estimate(card, cost, est.source)
+
+    def _feedback_actual(self, expr: Expr) -> int | None:
+        if self.feedback is None or len(self.feedback) == 0:
+            return None
+        from repro.exec.cache import canonicalize  # local: avoid cycle
+
+        entry = self.feedback.lookup(canonicalize(expr))
+        return entry.actual if entry is not None else None
+
+    def _estimate(self, expr: Expr) -> Estimate:
         if isinstance(expr, ClassExtent):
             size = self.extent_size(expr.name)
-            return Estimate(size, size)
+            return Estimate(size, size, "exact")
         if isinstance(expr, Literal):
             size = len(expr.value)
-            return Estimate(size, 0.0)
+            return Estimate(size, 0.0, "exact")
         if isinstance(expr, Associate):
             return self._binary_graph(expr, complemented=False)
         if isinstance(expr, Complement):
@@ -112,30 +192,89 @@ class CostModel:
             right = self.estimate(expr.right)
             card = left.cardinality + right.cardinality
             return Estimate(card, left.cost + right.cost + card)
-        if isinstance(expr, Difference):
+        if isinstance(expr, (Difference, Divide)):
             left = self.estimate(expr.left)
             right = self.estimate(expr.right)
-            card = left.cardinality * 0.5
-            work = left.cardinality * max(right.cardinality, 1.0)
-            return Estimate(card, left.cost + right.cost + work)
-        if isinstance(expr, Divide):
-            left = self.estimate(expr.left)
-            right = self.estimate(expr.right)
-            card = left.cardinality * 0.5
+            # Both operators return a subset of the left operand: never
+            # estimate more than the left input produces.
+            card = min(left.cardinality * 0.5, left.cardinality)
             work = left.cardinality * max(right.cardinality, 1.0)
             return Estimate(card, left.cost + right.cost + work)
         if isinstance(expr, Select):
             inner = self.estimate(expr.operand)
-            card = inner.cardinality * SELECT_SELECTIVITY
+            selectivity, source = self._selectivity(expr.predicate)
+            card = inner.cardinality * selectivity
             if value_index_probe(expr) is not None:
                 # Answered from the per-class value index: the filter only
                 # ever touches the qualifying patterns, not the whole input.
-                return Estimate(card, inner.cost + max(card, 1.0))
-            return Estimate(card, inner.cost + inner.cardinality)
+                return Estimate(card, inner.cost + max(card, 1.0), source)
+            return Estimate(card, inner.cost + inner.cardinality, source)
         if isinstance(expr, Project):
             inner = self.estimate(expr.operand)
-            return Estimate(inner.cardinality, inner.cost + inner.cardinality)
+            return Estimate(
+                inner.cardinality, inner.cost + inner.cardinality, inner.source
+            )
         raise TypeError(f"unknown expression node {expr!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # predicate selectivity
+    # ------------------------------------------------------------------
+
+    def _selectivity(self, predicate: Predicate) -> tuple[float, str]:
+        """Estimated fraction of patterns satisfying ``predicate``.
+
+        Histogram-backed where the catalog can answer (equality/range
+        comparisons between one class's values and a constant); Boolean
+        combinators combine operand selectivities under independence;
+        anything opaque falls back to :data:`SELECT_SELECTIVITY`.
+        """
+        if isinstance(predicate, Comparison):
+            sel = self._comparison_selectivity(predicate)
+            if sel is not None:
+                return sel, "histogram"
+            return SELECT_SELECTIVITY, "uniform"
+        if isinstance(predicate, And):
+            sel, source = 1.0, "uniform"
+            for operand in predicate.operands:
+                s, src = self._selectivity(operand)
+                sel *= s
+                if src == "histogram":
+                    source = "histogram"
+            return sel, source
+        if isinstance(predicate, Or):
+            miss, source = 1.0, "uniform"
+            for operand in predicate.operands:
+                s, src = self._selectivity(operand)
+                miss *= 1.0 - s
+                if src == "histogram":
+                    source = "histogram"
+            return 1.0 - miss, source
+        if isinstance(predicate, Not):
+            sel, source = self._selectivity(predicate.operand)
+            return 1.0 - sel, source
+        return SELECT_SELECTIVITY, "uniform"
+
+    def _comparison_selectivity(self, predicate: Comparison) -> float | None:
+        """Histogram answer for ``ClassValues op Const`` (either order)."""
+        stats = self._live_stats
+        if stats is None or predicate.quantifier != "exists":
+            return None
+        left, op, right = predicate.left, predicate.op, predicate.right
+        if isinstance(left, Const) and isinstance(right, ClassValues):
+            mirrored = _MIRROR_OPS.get(op)
+            if mirrored is None:
+                return None
+            left, op, right = right, mirrored, left
+        if not (isinstance(left, ClassValues) and isinstance(right, Const)):
+            return None
+        histogram = stats.histogram(left.cls)
+        if histogram is None:
+            return None
+        return histogram.selectivity_cmp(op, right.value)
+
+    # ------------------------------------------------------------------
+    # graph operators
+    # ------------------------------------------------------------------
 
     def _binary_graph(
         self, expr, complemented: bool, damping: float = 1.0
@@ -149,14 +288,27 @@ class CostModel:
             # to a generic quadratic guess.
             card = left.cardinality * right.cardinality * 0.1 * damping
             return Estimate(card, left.cost + right.cost + card)
-        per_instance = self.fanout(a_cls, b_cls, assoc.name)
-        if complemented:
-            per_instance = max(self.extent_size(b_cls) - per_instance, 0.0)
+        source = "uniform"
+        stats = self._live_stats
+        summary = (
+            stats.fanout_summary(a_cls, b_cls, assoc.name)
+            if stats is not None
+            else None
+        )
+        if summary is not None:
+            per_instance = (
+                summary.complement_mean if complemented else summary.mean
+            )
+            source = "histogram"
+        else:
+            per_instance = self.fanout(a_cls, b_cls, assoc.name)
+            if complemented:
+                per_instance = max(self.extent_size(b_cls) - per_instance, 0.0)
         b_size = self.extent_size(b_cls)
         fraction = right.cardinality / b_size if b_size else 0.0
         card = left.cardinality * per_instance * min(fraction, 1.0) * damping
         work = self._strategy_work(expr, assoc, a_cls, b_cls, left, right, per_instance)
-        return Estimate(card, left.cost + right.cost + work + card)
+        return Estimate(card, left.cost + right.cost + work + card, source)
 
     def _strategy_work(
         self, expr, assoc, a_cls: str, b_cls: str, left, right, per_instance: float
@@ -186,10 +338,17 @@ class CostModel:
         classes = expr.classes
         if classes is None:
             classes = static_classes(expr.left) & static_classes(expr.right)
+        stats = self._live_stats
+        source = "uniform"
         match_probability = 1.0
         for cls in classes:
+            measured = stats.match_probability(cls) if stats is not None else None
+            if measured is not None:
+                match_probability *= measured
+                source = "histogram"
+                continue
             size = self.extent_size(cls) if self.schema.has_class(cls) else 1
             match_probability /= max(size, 1)
         card = left.cardinality * right.cardinality * match_probability
         work = left.cardinality + right.cardinality + card
-        return Estimate(card, left.cost + right.cost + work)
+        return Estimate(card, left.cost + right.cost + work, source)

@@ -49,11 +49,12 @@ class Optimizer:
         rules: tuple[RewriteRule, ...] = SAFE_RULES,
         max_candidates: int = 200,
         metrics: MetricsRegistry | None = None,
+        cost_model: CostModel | None = None,
     ) -> None:
         self.graph = graph
         self.rules = rules
         self.max_candidates = max_candidates
-        self.cost_model = CostModel(graph)
+        self.cost_model = cost_model if cost_model is not None else CostModel(graph)
         self.metrics = metrics
         if metrics is not None:
             self._m_plans = metrics.counter(
@@ -119,10 +120,27 @@ class Optimizer:
         return best
 
     def explain(self, expr: Expr, top: int = 10) -> str:
-        """A cost-ordered table of candidate plans for inspection."""
+        """A cost-ordered table of candidate plans for inspection.
+
+        Includes a per-node estimate breakdown of the cheapest plan so a
+        bad choice is diagnosable: each node reports where its cardinality
+        came from (``exact`` / ``histogram`` / ``feedback`` / ``uniform``).
+        """
         candidates = sorted(
             self.equivalents(expr), key=lambda c: c.estimate.cost
         )
         lines = [f"{len(candidates)} candidate plan(s); cheapest first:"]
         lines += [f"  {candidate}" for candidate in candidates[:top]]
+        lines.append("cheapest plan estimates (per node):")
+        lines += self._node_estimates(candidates[0].expr)
         return "\n".join(lines)
+
+    def _node_estimates(self, expr: Expr, depth: int = 0) -> list[str]:
+        estimate = self.cost_model.estimate(expr)
+        lines = [
+            f"  card={estimate.cardinality:10.1f}  src={estimate.source:<9}"
+            f"  {'  ' * depth}{expr}"
+        ]
+        for child in expr.children():
+            lines += self._node_estimates(child, depth + 1)
+        return lines

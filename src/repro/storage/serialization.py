@@ -147,7 +147,11 @@ def load_database(path: "str | Path") -> Database:
         )
     schema = schema_from_dict(document["schema"])
     graph = graph_from_dict(document["graph"], schema)
-    return Database(schema, graph)
+    db = Database(schema, graph)
+    # A loaded snapshot is a settled extent: analyze up front so plan
+    # choice is statistics-driven from the first query.
+    db.analyze()
+    return db
 
 
 def _reject(value: Any) -> Any:

@@ -34,6 +34,7 @@ MODULES = [
     "repro.oql",
     "repro.optimizer",
     "repro.optimizer.parallel",
+    "repro.optimizer.stats",
     "repro.relational",
     "repro.relational.nested",
     "repro.rules",
