@@ -48,8 +48,14 @@ def closed_loop(
     concurrency: int,
     requests_per_worker: int,
     query: str = QUERY,
+    trace_stamp: bool = False,
 ) -> dict:
-    """One closed-loop run: latency stats + throughput at ``concurrency``."""
+    """One closed-loop run: latency stats + throughput at ``concurrency``.
+
+    ``trace_stamp=True`` stamps a trace context on every request (the
+    cheap correlation mode, no span collection) — the "observability on"
+    side of the overhead guard.
+    """
     from repro.server import ServerClient
 
     lanes: list[list[float]] = [[] for _ in range(concurrency)]
@@ -61,7 +67,7 @@ def closed_loop(
             barrier.wait()
             for _ in range(requests_per_worker):
                 started = time.perf_counter()
-                result = client.query(query)
+                result = client.query(query, trace_stamp=trace_stamp)
                 lanes[slot].append((time.perf_counter() - started) * 1e3)
                 assert result.count >= 0
 
@@ -100,6 +106,57 @@ def server_sections(quick: bool) -> dict:
             "queue_limit": config.queue_limit,
         },
         "levels": levels,
+        "observability_overhead": observability_overhead(quick),
+    }
+
+
+#: Overhead gate: observability-on median latency must stay within 5 %
+#: of the baseline, plus a 0.2 ms absolute allowance for scheduler noise
+#: (loopback medians sit around a millisecond, where pure percentages
+#: flap).
+OVERHEAD_RELATIVE = 0.05
+OVERHEAD_ABSOLUTE_MS = 0.2
+
+
+def observability_overhead(quick: bool) -> dict:
+    """Median latency at concurrency 16, observability off vs on.
+
+    *Off*: event log disabled (``event_capacity=0``), plain requests.
+    *On*: event ring enabled plus a client-stamped trace context on
+    every request — the always-on operational posture (full span
+    collection stays opt-in per request and is not part of the gate).
+    The ``within_budget`` flag asserts
+    ``on <= off * (1 + OVERHEAD_RELATIVE) + OVERHEAD_ABSOLUTE_MS``.
+    """
+    from repro.server import ServerConfig, start_server
+
+    requests_per_worker = 10 if quick else 25
+    concurrency = 16
+    sides = {}
+    for side, config in (
+        ("off", ServerConfig(max_concurrency=4, queue_limit=64, event_capacity=0)),
+        ("on", ServerConfig(max_concurrency=4, queue_limit=64, event_capacity=1024)),
+    ):
+        with start_server(config) as handle:
+            sides[side] = closed_loop(
+                handle.host,
+                handle.port,
+                concurrency,
+                requests_per_worker,
+                trace_stamp=(side == "on"),
+            )
+    off_median = sides["off"]["median_ms"]
+    on_median = sides["on"]["median_ms"]
+    budget_ms = off_median * (1 + OVERHEAD_RELATIVE) + OVERHEAD_ABSOLUTE_MS
+    return {
+        "concurrency": concurrency,
+        "off": sides["off"],
+        "on": sides["on"],
+        "overhead_pct": round((on_median / off_median - 1) * 100, 2)
+        if off_median
+        else 0.0,
+        "budget_ms": round(budget_ms, 4),
+        "within_budget": on_median <= budget_ms,
     }
 
 
@@ -115,6 +172,23 @@ def print_table(sections: dict) -> None:
         print(
             f"| {concurrency} | {stats['median_ms']:.3f} | {stats['p95_ms']:.3f}"
             f" | {stats['throughput_rps']} | {stats['samples']} |"
+        )
+    overhead = sections.get("observability_overhead")
+    if overhead:
+        verdict = "PASS" if overhead["within_budget"] else "FAIL"
+        print(
+            f"\n### Observability overhead (concurrency"
+            f" {overhead['concurrency']}, events+trace stamping vs off)\n"
+        )
+        print(
+            f"| off median ms | on median ms | overhead | budget ms | gate |"
+        )
+        print("|---|---|---|---|---|")
+        print(
+            f"| {overhead['off']['median_ms']:.3f}"
+            f" | {overhead['on']['median_ms']:.3f}"
+            f" | {overhead['overhead_pct']:+.2f}%"
+            f" | {overhead['budget_ms']:.3f} | {verdict} |"
         )
 
 
@@ -140,6 +214,15 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"\nwrote {args.json}", file=sys.stderr)
+    overhead = sections.get("observability_overhead", {})
+    if overhead and not overhead.get("within_budget", True):
+        print(
+            f"observability overhead gate FAILED:"
+            f" on={overhead['on']['median_ms']} ms"
+            f" > budget={overhead['budget_ms']} ms",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -27,7 +27,7 @@ input/output streams, or from the command line::
     python -m repro.cli              # opens the paper's university DB
     python -m repro.cli snapshot.json
 
-Besides the shell, six subcommands (also exposed as the ``repro``
+Besides the shell, eight subcommands (also exposed as the ``repro``
 console script)::
 
     repro trace "TA * Grad" [--dataset NAME | --db PATH]
@@ -35,21 +35,35 @@ console script)::
     repro explain "pi(TA * Grad)[TA]" [--dataset NAME | --db PATH]
     repro analyze [--dataset NAME | --db PATH] [--sample N]
     repro metrics [QUERY ...] [--dataset NAME | --db PATH]
-                  [--format prometheus|json]
+                  [--format prometheus|json] [--watch N [--iterations K]]
     repro serve [--host H] [--port P] [--dataset NAME | --db PATH]
                 [--max-concurrency N] [--queue-limit N] [--deadline S]
                 [--drain-timeout S] [--port-file PATH]
+                [--admin-port P] [--admin-port-file PATH]
+                [--slow-query-threshold S] [--slow-query-q-error Q]
+                [--event-capacity N]
     repro client [QUERY] --port P [--host H] [--database NAME]
                  [--values CLASS ...] [--explain] [--trace]
-                 [--timeout S] [--metrics] [--ping]
+                 [--trace-out PATH] [--timeout S]
+                 [--metrics [--raw]] [--ping]
+    repro events --port P [--type T] [--after SEQ] [--limit N]
+                 [--follow [--interval S] [--iterations K]]
+    repro slow-queries --port P [--limit N] [--json]
 
 ``repro trace --format chrome`` emits Chrome ``trace_event`` JSON for
 ``chrome://tracing`` / Perfetto; ``repro analyze`` runs an ANALYZE pass
 (optionally sampled) and prints the statistics catalog summary table;
 ``repro metrics`` runs the given queries (by default the paper's
-Q1/Q3/Q4 workload) and prints the engine's metrics registry.  ``repro serve`` runs the concurrent query service of
-:mod:`repro.server` until SIGINT/SIGTERM; ``repro client`` speaks its
-wire protocol.  See ``docs/observability.md`` and ``docs/server.md``.
+Q1/Q3/Q4 workload) and prints the engine's metrics registry —
+``--watch N`` re-runs the workload every N seconds and prints counter
+deltas as per-second rates.  ``repro serve`` runs the concurrent query
+service of :mod:`repro.server` until SIGINT/SIGTERM, with an HTTP admin
+side port (``/healthz``, ``/readyz``, ``/metrics``, ``/events``,
+``/slow-queries``) unless ``--admin-port -1``; ``repro client`` speaks
+its wire protocol (``--trace`` prints the stitched end-to-end span tree,
+``--metrics`` a sorted aligned table); ``repro events`` tails the
+server's structured event log and ``repro slow-queries`` its slow-query
+captures.  See ``docs/observability.md`` and ``docs/server.md``.
 """
 
 from __future__ import annotations
@@ -346,6 +360,19 @@ def _cli_metrics(args: list[str], out: IO[str]) -> int:
         default="prometheus",
         help="Prometheus exposition text or a JSON document",
     )
+    parser.add_argument(
+        "--watch",
+        type=float,
+        metavar="N",
+        help="re-run the workload every N seconds and print counter deltas"
+        " as per-second rates (gauges print their current value)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        metavar="K",
+        help="with --watch: stop after K samples (default: until ^C)",
+    )
     ns = parser.parse_args(args)
     from repro.obs import metrics_to_json, metrics_to_prometheus
 
@@ -353,18 +380,78 @@ def _cli_metrics(args: list[str], out: IO[str]) -> int:
     queries = ns.queries or (
         list(_DEFAULT_WORKLOAD) if ns.db is None and ns.dataset == "university" else []
     )
-    for query in queries:
-        # Twice through the cached path (a miss, then a hit) so plan-cache
-        # traffic shows up in the export, then once under EXPLAIN ANALYZE
-        # for the q-error histogram.
-        db.query(query)
-        db.query(query)
-        db.explain_analyze(query)
-    if ns.format == "prometheus":
-        print(metrics_to_prometheus(db.metrics), file=out)
-    else:
-        print(json.dumps(metrics_to_json(db.metrics), indent=2), file=out)
+
+    def run_workload() -> None:
+        for query in queries:
+            # Twice through the cached path (a miss, then a hit) so
+            # plan-cache traffic shows up in the export, then once under
+            # EXPLAIN ANALYZE for the q-error histogram.
+            db.query(query)
+            db.query(query)
+            db.explain_analyze(query)
+
+    run_workload()
+    if ns.watch is None:
+        if ns.format == "prometheus":
+            print(metrics_to_prometheus(db.metrics), file=out)
+        else:
+            print(json.dumps(metrics_to_json(db.metrics), indent=2), file=out)
+        return 0
+
+    import time as _time
+
+    interval = max(ns.watch, 0.01)
+    previous = _counter_samples(metrics_to_json(db.metrics))
+    sample = 0
+    try:
+        while ns.iterations is None or sample < ns.iterations:
+            _time.sleep(interval)
+            run_workload()
+            current = _counter_samples(metrics_to_json(db.metrics))
+            sample += 1
+            print(f"--- sample {sample} (interval {interval:g}s) ---", file=out)
+            width = max((len(k) for k in current), default=0)
+            for key in sorted(current):
+                kind, value = current[key]
+                if kind == "counter":
+                    delta = value - previous.get(key, ("counter", 0.0))[1]
+                    if delta:
+                        print(
+                            f"{key:<{width}}  +{delta:g}"
+                            f"  ({delta / interval:.1f}/s)",
+                            file=out,
+                        )
+                else:  # gauge: absolute level, not a rate
+                    print(f"{key:<{width}}  {value:g}", file=out)
+            out.flush() if hasattr(out, "flush") else None
+            previous = current
+    except KeyboardInterrupt:  # pragma: no cover — interactive exit
+        pass
     return 0
+
+
+def _counter_samples(document: dict) -> dict[str, tuple[str, float]]:
+    """Flatten a ``metrics_to_json`` document to ``series → (kind, value)``.
+
+    Counters and gauges keep their value; histograms contribute their
+    ``_count`` series (observation counts delta nicely, sums don't read
+    well as rates).
+    """
+    flat: dict[str, tuple[str, float]] = {}
+    for name, entry in document.items():
+        kind = entry.get("kind")
+        for sample in entry.get("samples", ()):
+            labels = sample.get("labels") or {}
+            suffix = (
+                "{" + ",".join(f'{k}="{v}"' for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            if kind in ("counter", "gauge"):
+                flat[f"{name}{suffix}"] = (kind, float(sample["value"]))
+            else:
+                flat[f"{name}_count{suffix}"] = ("counter", float(sample["count"]))
+    return flat
 
 
 def _cli_serve(args: list[str], out: IO[str]) -> int:
@@ -397,6 +484,37 @@ def _cli_serve(args: list[str], out: IO[str]) -> int:
         metavar="PATH",
         help="write the bound port to this file once listening",
     )
+    parser.add_argument(
+        "--admin-port",
+        type=int,
+        default=0,
+        metavar="P",
+        help="HTTP admin side port (0 = ephemeral, default; -1 disables)",
+    )
+    parser.add_argument(
+        "--admin-port-file",
+        metavar="PATH",
+        help="write the bound admin port to this file once listening",
+    )
+    parser.add_argument(
+        "--slow-query-threshold",
+        type=float,
+        metavar="S",
+        help="capture queries slower than S seconds in the slow-query log",
+    )
+    parser.add_argument(
+        "--slow-query-q-error",
+        type=float,
+        metavar="Q",
+        help="capture EXPLAIN'd queries whose worst q-error is >= Q",
+    )
+    parser.add_argument(
+        "--event-capacity",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="structured event-ring size (0 disables the event log)",
+    )
     ns = parser.parse_args(args)
     import signal
     import threading
@@ -412,12 +530,22 @@ def _cli_serve(args: list[str], out: IO[str]) -> int:
         queue_limit=ns.queue_limit,
         default_deadline=ns.deadline,
         drain_timeout=ns.drain_timeout,
+        admin_port=None if ns.admin_port < 0 else ns.admin_port,
+        slow_query_threshold=ns.slow_query_threshold,
+        slow_query_q_error=ns.slow_query_q_error,
+        event_capacity=ns.event_capacity,
     )
     handle = start_server(config)
     print(f"listening on {handle.host}:{handle.port}", file=out, flush=True)
+    admin_port = handle.service.admin_port
+    if admin_port is not None:
+        print(f"admin on http://{handle.host}:{admin_port}", file=out, flush=True)
     if ns.port_file:
         with open(ns.port_file, "w", encoding="utf-8") as fh:
             fh.write(str(handle.port))
+    if ns.admin_port_file and admin_port is not None:
+        with open(ns.admin_port_file, "w", encoding="utf-8") as fh:
+            fh.write(str(admin_port))
     stop = threading.Event()
     try:
         signal.signal(signal.SIGINT, lambda *_: stop.set())
@@ -453,13 +581,27 @@ def _cli_client(args: list[str], out: IO[str]) -> int:
     )
     parser.add_argument("--explain", action="store_true", help="EXPLAIN ANALYZE")
     parser.add_argument(
-        "--trace", action="store_true", help="print the server's span tree (JSONL)"
+        "--trace",
+        action="store_true",
+        help="stitch and print the end-to-end client+server span tree",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="also write the stitched trace as Chrome trace_event JSON",
     )
     parser.add_argument(
         "--timeout", type=float, help="server-side deadline in seconds"
     )
     parser.add_argument(
-        "--metrics", action="store_true", help="print the Prometheus snapshot"
+        "--metrics",
+        action="store_true",
+        help="print the server's metrics as a sorted, aligned table",
+    )
+    parser.add_argument(
+        "--raw",
+        action="store_true",
+        help="with --metrics: print the raw Prometheus exposition text",
     )
     parser.add_argument("--ping", action="store_true", help="liveness round trip")
     ns = parser.parse_args(args)
@@ -488,7 +630,7 @@ def _cli_client(args: list[str], out: IO[str]) -> int:
                 ns.query,
                 values_of=tuple(ns.values),
                 explain=ns.explain,
-                trace=ns.trace,
+                trace=ns.trace or bool(ns.trace_out),
                 timeout=ns.timeout,
             )
             print(
@@ -502,11 +644,144 @@ def _cli_client(args: list[str], out: IO[str]) -> int:
                 print(f"{cls}: {result.values.get(cls, [])}", file=out)
             if result.explain is not None:
                 print(result.explain, file=out)
-            if result.trace is not None:
-                for span in result.trace:
-                    print(json.dumps(span, sort_keys=True), file=out)
+            if result.tracer is not None:
+                from repro.obs import spans_to_chrome_trace, spans_to_tree
+
+                if ns.trace:
+                    print(f"trace {result.trace_id}:", file=out)
+                    print(spans_to_tree(result.tracer), file=out)
+                if ns.trace_out:
+                    with open(ns.trace_out, "w", encoding="utf-8") as fh:
+                        json.dump(spans_to_chrome_trace(result.tracer), fh, indent=2)
+                    print(f"trace written to {ns.trace_out}", file=out)
         if ns.metrics:
-            print(client.metrics(), file=out)
+            text = client.metrics()
+            print(text if ns.raw else _metrics_table(text), file=out)
+    return 0
+
+
+def _metrics_table(prometheus_text: str) -> str:
+    """Prometheus exposition text as a sorted, aligned two-column table.
+
+    Sample lines (``name{labels} value``) sort lexically; ``# HELP`` /
+    ``# TYPE`` commentary is dropped — the table is for eyeballs, the raw
+    text (``--raw``) for scrapers.
+    """
+    rows = []
+    for line in prometheus_text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series, _, value = line.rpartition(" ")
+        rows.append((series, value))
+    rows.sort()
+    width = max((len(series) for series, _ in rows), default=0)
+    return "\n".join(f"{series:<{width}}  {value}" for series, value in rows)
+
+
+def _cli_events(args: list[str], out: IO[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro events",
+        description="Tail the structured event log of a running repro serve.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="server address")
+    parser.add_argument("--port", type=int, required=True, help="server port")
+    parser.add_argument("--type", metavar="T", help="only events of this type")
+    parser.add_argument(
+        "--after", type=int, metavar="SEQ", help="only events past this sequence"
+    )
+    parser.add_argument(
+        "--limit", type=int, metavar="N", help="at most the newest N events"
+    )
+    parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep polling for new events (one JSON line each)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="with --follow: poll every S seconds (default 1)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        metavar="K",
+        help="with --follow: stop after K polls (default: until ^C)",
+    )
+    ns = parser.parse_args(args)
+    import time as _time
+
+    from repro.server import ServerClient
+
+    with ServerClient(ns.host, ns.port) as client:
+        page = client.events(type=ns.type, after=ns.after, limit=ns.limit)
+        for event in page["events"]:
+            print(json.dumps(event, sort_keys=True), file=out)
+        if not ns.follow:
+            if page.get("dropped"):
+                print(
+                    f"# {page['dropped']} older event(s) dropped by the ring",
+                    file=out,
+                )
+            return 0
+        cursor = page["last_seq"]
+        polls = 0
+        try:
+            while ns.iterations is None or polls < ns.iterations:
+                _time.sleep(max(ns.interval, 0.01))
+                page = client.events(type=ns.type, after=cursor)
+                for event in page["events"]:
+                    print(json.dumps(event, sort_keys=True), file=out)
+                cursor = page["last_seq"]
+                polls += 1
+        except KeyboardInterrupt:  # pragma: no cover — interactive exit
+            pass
+    return 0
+
+
+def _cli_slow_queries(args: list[str], out: IO[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro slow-queries",
+        description="Show the slow-query log of a running repro serve.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="server address")
+    parser.add_argument("--port", type=int, required=True, help="server port")
+    parser.add_argument(
+        "--limit", type=int, metavar="N", help="at most the newest N records"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="raw JSON records instead of the summary"
+    )
+    ns = parser.parse_args(args)
+    from repro.server import ServerClient
+
+    with ServerClient(ns.host, ns.port) as client:
+        page = client.slow_queries(limit=ns.limit)
+    records = page["slow_queries"]
+    if ns.json:
+        print(json.dumps(records, indent=2, sort_keys=True), file=out)
+        return 0
+    print(
+        f"{len(records)} record(s) shown, {page['total']} captured total", file=out
+    )
+    for record in records:
+        print(
+            f"\n[{record.get('reason')}] {record.get('query')}"
+            f"  ({record.get('elapsed_ms')} ms, queue"
+            f" {record.get('queue_wait_ms')} ms,"
+            f" strategy={record.get('strategy')},"
+            f" stats v{record.get('stats_version')})",
+            file=out,
+        )
+        if record.get("trace_id"):
+            print(f"  trace_id: {record['trace_id']}", file=out)
+        plan = record.get("plan")
+        if plan:
+            for line in str(plan).splitlines():
+                print(f"  {line}", file=out)
     return 0
 
 
@@ -517,6 +792,8 @@ _SUBCOMMANDS = {
     "metrics": _cli_metrics,
     "serve": _cli_serve,
     "client": _cli_client,
+    "events": _cli_events,
+    "slow-queries": _cli_slow_queries,
 }
 
 

@@ -40,6 +40,7 @@ from repro.errors import EvaluationError
 from repro.exec.executor import Executor
 from repro.objects.builder import GraphBuilder
 from repro.objects.graph import ObjectGraph
+from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry, Q_ERROR_BUCKETS
 from repro.obs.span import Tracer
 from repro.optimizer.stats import StatisticsCatalog
@@ -145,6 +146,7 @@ class Database:
         graph: ObjectGraph | None = None,
         functions: FunctionRegistry | None = None,
         metrics: MetricsRegistry | None = None,
+        events: EventLog | None = None,
     ) -> None:
         self.schema = schema
         self.graph = graph if graph is not None else ObjectGraph(schema)
@@ -152,6 +154,13 @@ class Database:
         self.builder = GraphBuilder(schema, self.graph)
         self._listeners: list[Callable[[Database, MutationEvent], None]] = []
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Structured operational journal (mutation batches, plan-cache
+        #: invalidations, stats refreshes, replans); the query service
+        #: passes its own shared ring so engine events interleave with
+        #: request events in one stream.
+        self.events = (
+            events if events is not None else EventLog(metrics=self.metrics)
+        )
         self._m_queries = self.metrics.counter(
             "repro_queries_total", "Queries evaluated through Database.query"
         )
@@ -216,7 +225,13 @@ class Database:
         return self.stats
 
     def _on_stats_refresh(self, classes: frozenset) -> None:
-        self.executor.cache.invalidate_stats(classes)
+        dropped = self.executor.cache.invalidate_stats(classes)
+        self.events.emit(
+            "stats.refresh",
+            version=self.stats.version,
+            classes=sorted(classes),
+            plans_dropped=dropped,
+        )
 
     def _cost_model(self):
         """The cost model current statistics justify.
@@ -361,6 +376,12 @@ class Database:
             # through the mis-estimate.
             self.executor.cache.drop_plan(key)
             self._m_replans.inc()
+            self.events.emit(
+                "replan",
+                query=str(key),
+                q_error=round(q_error, 3),
+                threshold=threshold,
+            )
 
     def evaluate(
         self, query: "Expr | str", trace: Tracer | None = None
@@ -427,7 +448,19 @@ class Database:
         self._m_events.inc(kind=event.kind)
         # Executor first: its indexes and cache must be consistent before
         # any listener (e.g. a rule) runs a query in reaction to the event.
-        self.executor.on_mutation(event)
+        invalidated = self.executor.on_mutation(event)
+        self.events.emit(
+            "mutation",
+            kind=event.kind,
+            instances=len(event.instances),
+            association=event.association,
+        )
+        if invalidated:
+            self.events.emit(
+                "plan_cache.invalidate",
+                entries=invalidated,
+                classes=sorted({i.cls for i in event.instances}),
+            )
         for listener in self._listeners:
             listener(self, event)
 

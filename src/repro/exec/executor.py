@@ -71,14 +71,19 @@ class Executor:
     # state maintenance
     # ------------------------------------------------------------------
 
-    def on_mutation(self, event) -> None:
-        """Fold one mutation event into indexes, arena, and cache."""
+    def on_mutation(self, event) -> int:
+        """Fold one mutation event into indexes, arena, and cache.
+
+        Returns the number of cache entries the event invalidated (the
+        database's event log records non-zero counts).
+        """
         self.indexes.apply(event)
         self.arena.apply(event)
-        self.cache.invalidate_classes({i.cls for i in event.instances})
+        invalidated = self.cache.invalidate_classes({i.cls for i in event.instances})
         if self.stats is not None:
             self.stats.apply(event)
         self._synced_version = self.graph.version
+        return invalidated
 
     def refresh(self) -> None:
         """Drop all derived state if the graph moved without events.

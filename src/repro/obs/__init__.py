@@ -1,6 +1,6 @@
 """Observability: span-tree tracing, metrics, exporters, EXPLAIN ANALYZE.
 
-Three layers, all engine-agnostic and dependency-free:
+Four layers, all engine-agnostic and dependency-free:
 
 * :mod:`repro.obs.span` — :class:`Tracer`/:class:`Span` trees mirroring
   expression trees, each span carrying a structured :class:`OperatorKind`,
@@ -9,8 +9,13 @@ Three layers, all engine-agnostic and dependency-free:
   gauges and fixed-bucket histograms, instrumented across the engine
   facade, optimizer, rule engine and object graph;
 * :mod:`repro.obs.export` / :mod:`repro.obs.explain` — JSON-lines and
-  Chrome ``trace_event`` span exports, Prometheus text exposition, and
-  :func:`explain_analyze` estimate-vs-actual plan reports.
+  Chrome ``trace_event`` span exports (plus :func:`spans_from_wire`, the
+  inverse used for cross-process trace stitching), Prometheus text
+  exposition, and :func:`explain_analyze` estimate-vs-actual plan
+  reports;
+* :mod:`repro.obs.events` — :class:`EventLog`, a bounded thread-safe
+  ring of typed JSON events (the operational journal the query service
+  writes), and :class:`SlowQueryLog` for slow-query capture records.
 
 Quickstart::
 
@@ -28,10 +33,12 @@ See ``docs/observability.md`` for the span model, the metric inventory
 and the ``repro trace`` / ``repro metrics`` CLI subcommands.
 """
 
+from repro.obs.events import Event, EventLog, SlowQueryLog, events_to_jsonl
 from repro.obs.explain import ExplainNode, ExplainReport, explain_analyze
 from repro.obs.export import (
     metrics_to_json,
     metrics_to_prometheus,
+    spans_from_wire,
     spans_to_chrome_trace,
     spans_to_jsonl,
     spans_to_tree,
@@ -58,9 +65,14 @@ __all__ = [
     "TIME_BUCKETS",
     "CARDINALITY_BUCKETS",
     "Q_ERROR_BUCKETS",
+    "Event",
+    "EventLog",
+    "SlowQueryLog",
+    "events_to_jsonl",
     "spans_to_tree",
     "spans_to_jsonl",
     "spans_to_chrome_trace",
+    "spans_from_wire",
     "metrics_to_prometheus",
     "metrics_to_json",
     "ExplainNode",

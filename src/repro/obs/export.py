@@ -6,6 +6,10 @@
   parents) for log pipelines;
 * :func:`spans_to_chrome_trace` — Chrome ``trace_event`` JSON; load the
   dump in ``chrome://tracing`` / Perfetto for a query flamegraph;
+* :func:`spans_from_wire` — the inverse of :func:`spans_to_jsonl`:
+  rebuild :class:`~repro.obs.span.Span` trees from wire records, which
+  is how the server client stitches a remote span tree under its local
+  ``client.call`` span (see :mod:`repro.server.client`);
 * :func:`metrics_to_prometheus` — Prometheus text exposition format 0.0.4;
 * :func:`metrics_to_json` — the same registry as plain JSON data.
 
@@ -19,13 +23,14 @@ import json
 import math
 from typing import Any, Iterable
 
-from repro.obs.span import Span, Tracer
+from repro.obs.span import OperatorKind, Span, Tracer
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = [
     "spans_to_tree",
     "spans_to_jsonl",
     "spans_to_chrome_trace",
+    "spans_from_wire",
     "metrics_to_prometheus",
     "metrics_to_json",
 ]
@@ -123,6 +128,40 @@ def spans_to_chrome_trace(
                 }
             )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+_KIND_BY_LABEL = {kind.value: kind for kind in OperatorKind}
+
+
+def spans_from_wire(records: Iterable[dict[str, Any]]) -> list[Span]:
+    """Rebuild span trees from :func:`spans_to_jsonl`-shaped records.
+
+    Accepts the parsed JSON objects (``id``/``parent`` links, as a
+    ``query`` response's ``trace`` field carries them) in pre-order and
+    returns the root :class:`~repro.obs.span.Span`\\ s with children
+    re-attached.  Unknown operator kinds map to ``OperatorKind.OTHER``;
+    timing is preserved as recorded (the emitter's clock), so a caller
+    merging trees from another process should rebase the roots into its
+    own timeline first.
+    """
+    by_id: dict[int, Span] = {}
+    roots: list[Span] = []
+    for record in records:
+        span = Span(
+            name=str(record.get("name", "?")),
+            kind=_KIND_BY_LABEL.get(record.get("kind"), OperatorKind.OTHER),
+            start=float(record.get("start", 0.0)),
+            output_cardinality=record.get("output_cardinality"),
+            attributes=dict(record.get("attributes") or {}),
+        )
+        span.end = span.start + float(record.get("seconds", 0.0))
+        by_id[record["id"]] = span
+        parent = record.get("parent")
+        if parent is None or parent not in by_id:
+            roots.append(span)
+        else:
+            by_id[parent].children.append(span)
+    return roots
 
 
 # ----------------------------------------------------------------------

@@ -12,7 +12,12 @@ algebra as the processing layer of a database server:
   graceful drain; engine work runs on a worker thread pool so the event
   loop never blocks;
 * :mod:`repro.server.client` — :class:`ServerClient`, the blocking
-  client used by tests, benchmarks, and the ``repro client`` CLI.
+  client used by tests, benchmarks, and the ``repro client`` CLI; it can
+  stamp a trace context and stitch the server's span tree under a local
+  ``client.call`` root for end-to-end traces;
+* :mod:`repro.server.admin` — :class:`AdminServer`, an HTTP side port
+  serving ``/healthz``, ``/readyz``, ``/metrics``, ``/events`` and
+  ``/slow-queries`` for probes and scrapers.
 
 Quickstart::
 
@@ -27,6 +32,7 @@ See ``docs/server.md`` for the protocol specification, the session
 lifecycle, and the admission-control knobs.
 """
 
+from repro.server.admin import AdminServer
 from repro.server.client import RemoteResult, ServerClient
 from repro.server.protocol import (
     MAX_FRAME_BYTES,
@@ -60,4 +66,5 @@ __all__ = [
     "start_server",
     "ServerClient",
     "RemoteResult",
+    "AdminServer",
 ]

@@ -18,13 +18,28 @@ Error frames raise the matching :class:`~repro.server.protocol.ServerError`
 subclass (``timeout`` → :class:`~repro.server.protocol.QueryTimeoutError`,
 ``overloaded`` → :class:`~repro.server.protocol.ServerOverloadedError`,
 ...), so callers handle structured failures as exceptions.
+
+Cross-process tracing: ``query(trace=True)`` stamps a fresh trace
+context (``trace_id`` + the client root's span id) into the request,
+reconstructs the span tree the server returns
+(:func:`~repro.obs.export.spans_from_wire`), rebases it onto this
+process's ``perf_counter`` timeline, and mounts it under a local
+``client.call`` root — :attr:`RemoteResult.tracer` then holds one
+stitched end-to-end tree (client call → ``server.request`` →
+``server.queue_wait`` + engine operator spans) ready for
+:func:`~repro.obs.export.spans_to_tree` or a Chrome ``trace_event``
+export.
 """
 
 from __future__ import annotations
 
 import socket
+import time
+import uuid
 from typing import Any
 
+from repro.obs.export import spans_from_wire
+from repro.obs.span import Tracer
 from repro.server.protocol import (
     ProtocolError,
     ServerError,
@@ -35,6 +50,23 @@ from repro.server.protocol import (
 )
 
 __all__ = ["RemoteResult", "ServerClient"]
+
+
+def _rebase(span, offset: float) -> None:
+    """Shift a reconstructed span tree onto this process's timeline.
+
+    Server spans carry the *server's* ``perf_counter`` values; adding
+    ``send_time - server_root_start`` places the server root exactly at
+    the moment the client sent the request, preserving every relative
+    duration.  On loopback the true clock skew is negligible, so the
+    stitched tree nests correctly; across hosts it is still the honest
+    best effort (relative durations stay exact, absolute placement is
+    approximate).
+    """
+    for node, _ in span.walk():
+        node.start += offset
+        if node.end is not None:
+            node.end += offset
 
 
 class RemoteResult:
@@ -54,7 +86,12 @@ class RemoteResult:
         self.trace: list[dict[str, Any]] | None = response.get("trace")
         self.strategy: str | None = response.get("strategy")
         self.elapsed_ms: float | None = response.get("elapsed_ms")
+        self.queue_wait_ms: float | None = response.get("queue_wait_ms")
         self.cursor: str | None = response.get("cursor")
+        #: Stamped trace id (``query(trace=True)`` / ``trace_stamp=True``).
+        self.trace_id: str | None = response.get("trace_id")
+        #: The stitched client+server span tree (``trace=True`` only).
+        self.tracer: "Tracer | None" = None
 
     def labels(self) -> list[str]:
         """Human renderings of the patterns (``(ta1 grad1)``-style)."""
@@ -118,6 +155,7 @@ class ServerClient:
         values_of: "list[str] | tuple[str, ...]" = (),
         explain: bool = False,
         trace: bool = False,
+        trace_stamp: bool = False,
         compact: bool | None = None,
         use_cache: bool = True,
         timeout: float | None = None,
@@ -129,6 +167,12 @@ class ServerClient:
         ``timeout`` is the *server-side* deadline (queue wait included);
         ``page_size`` bounds patterns per frame, and ``fetch_all=True``
         (default) follows the cursor until every page has arrived.
+
+        ``trace=True`` stamps a trace context, asks the server for its
+        span tree, and stitches it under a local ``client.call`` root
+        (:attr:`RemoteResult.tracer`); ``trace_stamp=True`` stamps the
+        context *without* span collection — the cheap mode that still
+        correlates the server's event log by ``trace_id``.
         """
         request: dict[str, Any] = {
             "op": "query",
@@ -145,11 +189,40 @@ class ServerClient:
             request["timeout"] = timeout
         if page_size is not None:
             request["page_size"] = page_size
-        result = RemoteResult(self._rpc(request))
+
+        tracer: Tracer | None = None
+        root = None
+        if trace or trace_stamp:
+            trace_id = uuid.uuid4().hex
+            span_id = uuid.uuid4().hex[:16]
+            request["trace_ctx"] = {"trace_id": trace_id, "parent_span_id": span_id}
+        if trace:
+            tracer = Tracer()
+            root = tracer.begin(
+                "client.call",
+                op="query",
+                server=f"{self.host}:{self.port}",
+                trace_id=trace_id,
+                span_id=span_id,
+            )
+        sent_at = time.perf_counter()
+        try:
+            response = self._rpc(request)
+        except BaseException as exc:
+            if tracer is not None and root is not None:
+                tracer.finish(root, error=type(exc).__name__)
+            raise
+        result = RemoteResult(response)
         while fetch_all and result.cursor is not None:
             page = self._rpc({"op": "fetch", "cursor": result.cursor})
             result.patterns.extend(page.get("patterns", ()))
             result.cursor = page.get("cursor")
+        if tracer is not None and root is not None:
+            for remote_root in spans_from_wire(result.trace or ()):
+                _rebase(remote_root, sent_at - remote_root.start)
+                root.children.append(remote_root)
+            tracer.finish(root, output=result.count)
+            result.tracer = tracer
         return result
 
     def fetch(self, cursor: str) -> dict[str, Any]:
@@ -159,6 +232,34 @@ class ServerClient:
     def metrics(self) -> str:
         """The server's Prometheus metrics snapshot, over the wire."""
         return str(self._rpc({"op": "metrics"})["prometheus"])
+
+    def events(
+        self,
+        *,
+        type: str | None = None,
+        after: int | None = None,
+        limit: int | None = None,
+    ) -> dict[str, Any]:
+        """The server's structured event ring (``events`` + ``last_seq``).
+
+        ``after`` resumes from a sequence number — remember the returned
+        ``last_seq`` and pass it back to tail-follow without replays.
+        """
+        request: dict[str, Any] = {"op": "events"}
+        if type is not None:
+            request["type"] = type
+        if after is not None:
+            request["after"] = after
+        if limit is not None:
+            request["limit"] = limit
+        return self._rpc(request)
+
+    def slow_queries(self, *, limit: int | None = None) -> dict[str, Any]:
+        """Captured slow-query records (``slow_queries`` + ``total``)."""
+        request: dict[str, Any] = {"op": "slow_queries"}
+        if limit is not None:
+            request["limit"] = limit
+        return self._rpc(request)
 
     def close(self) -> None:
         """Polite goodbye (``close`` frame), then drop the socket."""

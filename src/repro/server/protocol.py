@@ -30,15 +30,27 @@ A request is a JSON object with an ``op`` field::
                     "page_size": 500}          # result paging
     {"op": "fetch", "cursor": "c1"}            # next page of a paged result
     {"op": "metrics"}                          # Prometheus snapshot
+    {"op": "events", "type": "request.finish", # structured event ring
+                     "after": 17, "limit": 50} #   (all fields optional)
+    {"op": "slow_queries", "limit": 10}        # slow-query capture records
     {"op": "close"}
+
+Any request may additionally carry a **trace context** stamped by the
+caller — ``{"trace_ctx": {"trace_id": "...", "parent_span_id": "..."}}``
+— which the server threads through its event log and, for traced
+queries, into the ``server.request`` span's attributes, so a client can
+stitch the returned span tree under its own root (see
+``ServerClient.query(trace=True)``).
 
 Responses
 ---------
 Success frames carry ``{"ok": true, ...}`` with op-specific payload; a
 ``query`` response holds ``count``, the first page of ``patterns`` (see
 :func:`pattern_to_wire`), a ``cursor`` when more pages remain, the root
-physical ``strategy``, ``elapsed_ms``, and — on request — ``values``,
-``explain`` and ``trace``.  Failure frames carry a structured error::
+physical ``strategy``, ``elapsed_ms``, ``queue_wait_ms`` (admission
+wait), the echoed ``trace_id`` when a context was stamped, and — on
+request — ``values``, ``explain`` and ``trace``.  Failure frames carry a
+structured error::
 
     {"ok": false, "error": {"code": "timeout", "message": "..."}}
 

@@ -25,12 +25,34 @@ One :class:`QueryService` owns
 
 Observability: the service registers
 ``repro_server_requests_total{op,status}``, ``repro_server_inflight``,
-``repro_server_queue_depth``, ``repro_server_request_seconds`` and
-``repro_server_shed_total`` in its :class:`~repro.obs.metrics.MetricsRegistry`,
-which is shared with every mounted database — one ``metrics`` frame
-returns the whole engine's Prometheus snapshot over the wire.  A traced
-request opens a ``server.request`` span *above* the engine's span tree,
-so the export shows the service wrapping the executor's existing spans.
+``repro_server_queue_depth``, ``repro_server_request_seconds``,
+``repro_server_queue_wait_seconds`` and ``repro_server_shed_total`` in
+its :class:`~repro.obs.metrics.MetricsRegistry`, which is shared with
+every mounted database — one ``metrics`` frame returns the whole
+engine's Prometheus snapshot over the wire.  Beyond metrics, the live
+observability pipeline has three more pieces (``docs/observability.md``,
+"Operating the service"):
+
+* a **structured event log** (:class:`~repro.obs.events.EventLog`)
+  shared with every mounted database: request start/finish, admission
+  sheds, timeouts, mutation batches, plan-cache invalidations, stats
+  refreshes and replans all land in one bounded ring, drained by the
+  ``events`` wire op / ``/events`` admin route / ``repro events`` CLI;
+* **cross-process trace propagation**: a request may carry a
+  ``trace_ctx`` (``trace_id`` + ``parent_span_id``); the service stamps
+  both into its events and — when ``trace`` is requested — stitches a
+  ``server.request`` span above the engine's span tree with an explicit
+  ``server.queue_wait`` child covering admission wait, so the client can
+  mount the returned tree under its own ``client.call`` root;
+* a **slow-query log** (:class:`~repro.obs.events.SlowQueryLog`):
+  queries over ``slow_query_threshold`` seconds (or whose EXPLAIN run
+  shows a q-error over ``slow_query_q_error``) capture query text, the
+  physical plan with strategy annotations, per-node est/actual
+  cardinalities and q-errors, stats version and admission state.
+
+With ``admin_port`` configured, an HTTP side port
+(:class:`~repro.server.admin.AdminServer`) serves ``/healthz``,
+``/readyz``, ``/metrics``, ``/events`` and ``/slow-queries``.
 """
 
 from __future__ import annotations
@@ -46,9 +68,11 @@ from typing import Any
 
 from repro.engine.database import Database
 from repro.errors import ReproError
+from repro.obs.events import EventLog, SlowQueryLog
 from repro.obs.export import metrics_to_prometheus, spans_to_jsonl
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.span import Tracer
+from repro.obs.span import Span, Tracer
+from repro.server.admin import AdminServer
 from repro.server.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -62,6 +86,14 @@ __all__ = ["ServerConfig", "Session", "QueryService", "ServerHandle", "start_ser
 
 #: Dataset names sessions may ``open`` (mirrors the CLI's ``--dataset``).
 DATASET_NAMES = ("university", "figure7", "supplier_parts", "parts_explosion")
+
+
+def _trace_id_of(request: dict[str, Any]) -> str | None:
+    """The client-stamped trace id of a request frame, if any."""
+    ctx = request.get("trace_ctx")
+    if isinstance(ctx, dict) and ctx.get("trace_id"):
+        return str(ctx["trace_id"])
+    return None
 
 
 @dataclass
@@ -78,6 +110,11 @@ class ServerConfig:
     max_deadline: float = 300.0  # hard cap on requested deadlines
     drain_timeout: float = 10.0  # seconds stop() waits for in-flight work
     page_size: int = 500  # patterns per response page
+    admin_port: int | None = None  # HTTP admin side port (None = disabled)
+    slow_query_threshold: float | None = None  # seconds; None = no capture
+    slow_query_q_error: float | None = None  # EXPLAIN max q-error trigger
+    event_capacity: int = 1024  # event-ring size (0 disables the log)
+    slow_query_capacity: int = 128  # slow-query ring size
 
 
 @dataclass
@@ -101,6 +138,14 @@ class QueryService:
         self.config = config if config is not None else ServerConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.port: int | None = None  # set once the listener is bound
+        self.admin_port: int | None = None  # set once the admin port is bound
+        #: One event ring for the whole process: engine events from every
+        #: mounted database interleave with the service's request events.
+        self.events = EventLog(self.config.event_capacity, self.metrics)
+        self.slow_queries = SlowQueryLog(
+            self.config.slow_query_capacity, self.metrics
+        )
+        self._admin: AdminServer | None = None
         self._databases: dict[str, Database] = {}
         self._db_lock = threading.Lock()
         self._server: asyncio.AbstractServer | None = None
@@ -132,6 +177,10 @@ class QueryService:
         self._m_request_seconds = self.metrics.histogram(
             "repro_server_request_seconds", "Wall-clock seconds per server request, by op"
         )
+        self._m_queue_wait = self.metrics.histogram(
+            "repro_server_queue_wait_seconds",
+            "Seconds an admitted query waited for an execution slot",
+        )
         self._m_sessions = self.metrics.gauge(
             "repro_server_sessions", "Currently connected sessions"
         )
@@ -156,12 +205,22 @@ class QueryService:
                 from repro.storage.serialization import load_database
 
                 loaded = load_database(self.config.snapshot_path)
-                db = Database(loaded.schema, loaded.graph, metrics=self.metrics)
+                db = Database(
+                    loaded.schema,
+                    loaded.graph,
+                    metrics=self.metrics,
+                    events=self.events,
+                )
             elif name in DATASET_NAMES:
                 import repro.datasets as datasets
 
                 dataset = getattr(datasets, name)()
-                db = Database(dataset.schema, dataset.graph, metrics=self.metrics)
+                db = Database(
+                    dataset.schema,
+                    dataset.graph,
+                    metrics=self.metrics,
+                    events=self.events,
+                )
             else:
                 raise LookupError(name)
             self._databases[name] = db
@@ -180,9 +239,17 @@ class QueryService:
             self._handle_connection, self.config.host, self.config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.admin_port is not None:
+            self._admin = AdminServer(self)
+            await self._admin.start(self.config.host, self.config.admin_port)
+            self.admin_port = self._admin.port
         # Mount the default database eagerly so the first query pays no
         # dataset-construction latency.
         self.database(self.config.default_database)
+        self.events.emit(
+            "server.start", host=self.config.host, port=self.port,
+            admin_port=self.admin_port,
+        )
 
     async def serve_forever(self) -> None:
         """Serve until cancelled (``start`` must have run)."""
@@ -193,6 +260,7 @@ class QueryService:
     async def stop(self) -> None:
         """Graceful drain: stop accepting, finish in-flight work, close."""
         self._draining = True
+        self.events.emit("server.drain", active_requests=self._active_requests)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -200,9 +268,23 @@ class QueryService:
             await asyncio.wait_for(self._idle.wait(), self.config.drain_timeout)
         except asyncio.TimeoutError:
             pass  # drain window elapsed; close connections regardless
+        if self._admin is not None:
+            await self._admin.stop()
         for writer in tuple(self._connections):
             writer.close()
         self._pool.shutdown(wait=False)
+        self.events.emit("server.stop")
+
+    def readiness(self) -> dict[str, Any]:
+        """The ``/readyz`` snapshot: catalog mount state and drain state."""
+        mounted = sorted(self._databases)
+        return {
+            "ready": bool(
+                not self._draining and self.config.default_database in mounted
+            ),
+            "draining": self._draining,
+            "databases": mounted,
+        }
 
     # ------------------------------------------------------------------
     # connection handling
@@ -255,36 +337,65 @@ class QueryService:
         self, session: Session, request: dict[str, Any]
     ) -> dict[str, Any]:
         op = str(request.get("op", ""))
+        trace_id = _trace_id_of(request)
         session.requests += 1
         started = time.perf_counter()
         self._track_request(+1)
+        self.events.emit(
+            "request.start", trace_id=trace_id, op=op or "?", session=session.id
+        )
+        response: dict[str, Any]
         try:
-            if self._draining:
-                return error_response("shutting_down", "server is draining")
-            if op == "ping":
-                return {
-                    "ok": True,
-                    "pong": True,
-                    "session": session.id,
-                    "protocol": PROTOCOL_VERSION,
-                }
-            if op == "open":
-                return self._op_open(session, request)
-            if op == "query":
-                return await self._op_query(session, request)
-            if op == "fetch":
-                return self._op_fetch(session, request)
-            if op == "metrics":
-                return {"ok": True, "prometheus": metrics_to_prometheus(self.metrics)}
-            if op == "close":
-                return {"ok": True, "closed": True, "requests": session.requests}
-            return error_response("bad_request", f"unknown op {op!r}")
+            response = await self._dispatch(session, op, request)
         except ReproError as exc:
-            return error_response("engine_error", str(exc))
+            response = error_response("engine_error", str(exc))
         finally:
             elapsed = time.perf_counter() - started
             self._m_request_seconds.observe(elapsed, op=op or "?")
             self._track_request(-1)
+        status = (
+            "ok" if response.get("ok") else response.get("error", {}).get("code", "?")
+        )
+        self.events.emit(
+            "request.finish",
+            trace_id=trace_id,
+            op=op or "?",
+            session=session.id,
+            status=status,
+            elapsed_ms=round(elapsed * 1e3, 3),
+        )
+        return response
+
+    async def _dispatch(
+        self, session: Session, op: str, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Route one request frame to its op handler."""
+        if self._draining:
+            return error_response("shutting_down", "server is draining")
+        if op == "ping":
+            self._count("ping", "ok")
+            return {
+                "ok": True,
+                "pong": True,
+                "session": session.id,
+                "protocol": PROTOCOL_VERSION,
+            }
+        if op == "open":
+            return self._op_open(session, request)
+        if op == "query":
+            return await self._op_query(session, request)
+        if op == "fetch":
+            return self._op_fetch(session, request)
+        if op == "metrics":
+            self._count("metrics", "ok")
+            return {"ok": True, "prometheus": metrics_to_prometheus(self.metrics)}
+        if op == "events":
+            return self._op_events(request)
+        if op == "slow_queries":
+            return self._op_slow_queries(request)
+        if op == "close":
+            return {"ok": True, "closed": True, "requests": session.requests}
+        return error_response("bad_request", f"unknown op {op!r}")
 
     def _track_request(self, delta: int) -> None:
         self._active_requests += delta
@@ -342,6 +453,8 @@ class QueryService:
             return error_response("bad_request", f"bad timeout {deadline!r}")
         deadline = min(max(deadline, 0.001), self.config.max_deadline)
         expires = time.monotonic() + deadline
+        trace_id = _trace_id_of(request)
+        received = time.perf_counter()
 
         # Admission: when every slot is busy and the wait queue is full,
         # shed; otherwise queue for a slot.
@@ -349,6 +462,13 @@ class QueryService:
         if self._slots.locked() and self._queued >= self.config.queue_limit:
             self._m_shed.inc()
             self._count("query", "shed")
+            self.events.emit(
+                "admission.shed",
+                trace_id=trace_id,
+                session=session.id,
+                queued=self._queued,
+                queue_limit=self.config.queue_limit,
+            )
             return error_response(
                 "overloaded",
                 f"admission queue full ({self.config.queue_limit} waiting)",
@@ -362,18 +482,27 @@ class QueryService:
                 )
             except asyncio.TimeoutError:
                 self._count("query", "timeout")
+                self.events.emit(
+                    "request.timeout",
+                    trace_id=trace_id,
+                    session=session.id,
+                    where="queue",
+                    deadline=deadline,
+                )
                 return error_response(
                     "timeout", f"deadline of {deadline:g}s elapsed in queue"
                 )
         finally:
             self._queued -= 1
             self._m_queue_depth.set(self._queued)
+        admitted = time.perf_counter()
+        self._m_queue_wait.observe(admitted - received)
 
         # One slot held: run the engine work on the pool, under deadline.
         self._m_inflight.inc()
         assert self._loop is not None
         future = self._loop.run_in_executor(
-            self._pool, self._execute_query, session, text, request
+            self._pool, self._execute_query, session, text, request, received, admitted
         )
 
         def _release(_):
@@ -389,6 +518,13 @@ class QueryService:
             )
         except asyncio.TimeoutError:
             self._count("query", "timeout")
+            self.events.emit(
+                "request.timeout",
+                trace_id=trace_id,
+                session=session.id,
+                where="execution",
+                deadline=deadline,
+            )
             return error_response(
                 "timeout", f"deadline of {deadline:g}s exceeded during execution"
             )
@@ -399,26 +535,55 @@ class QueryService:
         return response
 
     def _execute_query(
-        self, session: Session, text: str, request: dict[str, Any]
+        self,
+        session: Session,
+        text: str,
+        request: dict[str, Any],
+        received: float | None = None,
+        admitted: float | None = None,
     ) -> dict[str, Any]:
-        """Engine work, on a worker thread.  Returns a response frame."""
+        """Engine work, on a worker thread.  Returns a response frame.
+
+        ``received``/``admitted`` are the loop's ``perf_counter`` stamps
+        at frame receipt and slot acquisition; the traced
+        ``server.request`` span is rebased to start at ``received`` with
+        an explicit ``server.queue_wait`` child covering the gap, so the
+        admission wait the asyncio side imposed is visible in the tree a
+        remote client stitches.
+        """
         db = session.database
         explain = bool(request.get("explain", False))
         want_trace = bool(request.get("trace", False))
         compact = request.get("compact")
         use_cache = bool(request.get("use_cache", True))
+        trace_ctx = request.get("trace_ctx")
+        trace_ctx = trace_ctx if isinstance(trace_ctx, dict) else {}
+        trace_id = _trace_id_of(request)
 
         tracer = Tracer() if want_trace else None
         started = time.perf_counter()
         if tracer is not None:
             # The service's span sits above the engine's span tree, so the
             # export shows the server request wrapping the executor spans.
-            with tracer.span(
-                "server.request",
-                op="query",
-                session=session.id,
-                database=session.database_name,
-            ):
+            attrs: dict[str, Any] = {
+                "op": "query",
+                "session": session.id,
+                "database": session.database_name,
+            }
+            if trace_id:
+                attrs["trace_id"] = trace_id
+            if trace_ctx.get("parent_span_id"):
+                attrs["parent_span_id"] = str(trace_ctx["parent_span_id"])
+            with tracer.span("server.request", **attrs) as server_span:
+                if received is not None and admitted is not None:
+                    # Rebase the root to frame-receipt time and make the
+                    # admission wait an explicit child span (appended
+                    # directly: it already ended before this thread ran).
+                    server_span.start = received
+                    queue_span = Span(
+                        "server.queue_wait", start=received, end=admitted
+                    )
+                    server_span.children.append(queue_span)
                 result = db.query(
                     text,
                     trace=tracer,
@@ -433,18 +598,27 @@ class QueryService:
                 compact=compact if isinstance(compact, bool) else None,
                 use_cache=use_cache,
             )
-        elapsed_ms = (time.perf_counter() - started) * 1e3
+        finished = time.perf_counter()
+        elapsed_ms = (finished - started) * 1e3
 
         wire_patterns = sorted(
             (pattern_to_wire(p) for p in result.set),
             key=lambda p: (p["vertices"], p["edges"]),
+        )
+        queue_wait_ms = (
+            (admitted - received) * 1e3
+            if received is not None and admitted is not None
+            else 0.0
         )
         response: dict[str, Any] = {
             "ok": True,
             "count": len(wire_patterns),
             "strategy": result.strategy,
             "elapsed_ms": round(elapsed_ms, 3),
+            "queue_wait_ms": round(queue_wait_ms, 3),
         }
+        if trace_id:
+            response["trace_id"] = trace_id
 
         page_size = int(request.get("page_size") or self.config.page_size)
         page_size = max(1, page_size)
@@ -472,7 +646,102 @@ class QueryService:
             response["trace"] = [
                 json.loads(line) for line in spans_to_jsonl(tracer).splitlines()
             ]
+
+        # The capture trigger measures *request* latency (queue wait and
+        # worker dispatch included) — what the caller experienced — not
+        # just the engine call.
+        request_elapsed_s = (
+            finished - received if received is not None else elapsed_ms / 1e3
+        )
+        self._maybe_capture_slow(
+            session,
+            text,
+            result,
+            elapsed_s=request_elapsed_s,
+            queue_wait_ms=queue_wait_ms,
+            trace_id=trace_id,
+        )
         return response
+
+    def _maybe_capture_slow(
+        self,
+        session: Session,
+        text: str,
+        result: Any,
+        *,
+        elapsed_s: float,
+        queue_wait_ms: float,
+        trace_id: str | None,
+    ) -> None:
+        """Record a slow-query entry when a capture threshold trips.
+
+        Two independent triggers: wall-clock latency over
+        ``slow_query_threshold``, and (when the request already ran
+        EXPLAIN) a worst-node q-error over ``slow_query_q_error``.  The
+        per-node estimate/actual detail comes from a *diagnostic*
+        ``explain_analyze`` rerun on this worker thread — paid only for
+        queries that already tripped a threshold, never on the hot path.
+        """
+        threshold = self.config.slow_query_threshold
+        q_threshold = self.config.slow_query_q_error
+        if threshold is None and q_threshold is None:
+            return
+        reason = None
+        if threshold is not None and elapsed_s >= threshold:
+            reason = "latency"
+        if (
+            reason is None
+            and q_threshold is not None
+            and getattr(result, "report", None) is not None
+            and result.report.max_q_error >= q_threshold
+        ):
+            reason = "q_error"
+        if reason is None:
+            return
+
+        db = session.database
+        entry: dict[str, Any] = {
+            "query": text,
+            "database": session.database_name,
+            "session": session.id,
+            "reason": reason,
+            "elapsed_ms": round(elapsed_s * 1e3, 3),
+            "queue_wait_ms": round(queue_wait_ms, 3),
+            "strategy": result.strategy,
+            "stats_version": db.stats.version,
+            "admission": {
+                "inflight": self._active_requests,
+                "queued": self._queued,
+            },
+        }
+        if trace_id:
+            entry["trace_id"] = trace_id
+        try:
+            report = db.explain_analyze(text)
+            entry["plan"] = report.pretty()
+            entry["max_q_error"] = round(report.max_q_error, 3)
+            entry["nodes"] = [
+                {
+                    "operator": node.text,
+                    "kind": node.kind,
+                    "strategy": node.strategy,
+                    "depth": depth,
+                    "estimated": node.estimated,
+                    "actual": node.actual,
+                    "q_error": round(node.q_error, 3),
+                }
+                for node, depth in report.walk()
+            ]
+        except ReproError as exc:  # diagnostics must never fail the query
+            entry["plan_error"] = str(exc)
+        self.slow_queries.record(entry)
+        self.events.emit(
+            "query.slow",
+            trace_id=trace_id,
+            reason=reason,
+            elapsed_ms=entry["elapsed_ms"],
+            query=text,
+        )
 
     # -- fetch ---------------------------------------------------------
 
@@ -490,6 +759,47 @@ class QueryService:
             cursor_out = cursor
         self._count("fetch", "ok")
         return {"ok": True, "patterns": page, "cursor": cursor_out}
+
+    # -- events / slow queries -----------------------------------------
+
+    def _op_events(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Drain the structured event ring (optionally filtered/resumed)."""
+        type_filter = request.get("type")
+        after = request.get("after")
+        limit = request.get("limit")
+        try:
+            after = int(after) if after is not None else None
+            limit = int(limit) if limit is not None else None
+        except (TypeError, ValueError):
+            self._count("events", "error")
+            return error_response("bad_request", "after/limit must be integers")
+        events = self.events.events(
+            type=str(type_filter) if type_filter is not None else None,
+            after=after,
+            limit=limit,
+        )
+        self._count("events", "ok")
+        return {
+            "ok": True,
+            "events": [event.to_dict() for event in events],
+            "last_seq": self.events.last_seq,
+            "dropped": self.events.dropped,
+        }
+
+    def _op_slow_queries(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Return captured slow-query records, newest last."""
+        limit = request.get("limit")
+        try:
+            limit = int(limit) if limit is not None else None
+        except (TypeError, ValueError):
+            self._count("slow_queries", "error")
+            return error_response("bad_request", "limit must be an integer")
+        self._count("slow_queries", "ok")
+        return {
+            "ok": True,
+            "slow_queries": self.slow_queries.records(limit=limit),
+            "total": self.slow_queries.total,
+        }
 
     def __str__(self) -> str:
         return (

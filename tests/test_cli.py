@@ -1,6 +1,8 @@
 """The interactive OQL shell, driven through string streams."""
 
 import io
+import json
+import time
 
 import pytest
 
@@ -301,3 +303,203 @@ class TestServeClientSubcommands:
         assert proc.returncode == 0
         assert "listening on 127.0.0.1:" in out
         assert "server stopped" in out
+
+
+class TestObservabilitySubcommands:
+    """`repro client --trace/--metrics`, `repro events`, `repro slow-queries`."""
+
+    @pytest.fixture()
+    def server(self):
+        from repro.server import ServerConfig, start_server
+
+        with start_server(
+            ServerConfig(admin_port=0, slow_query_threshold=0.0)
+        ) as handle:
+            yield handle
+
+    def test_client_trace_prints_stitched_tree(self, server, capsys):
+        code = main(
+            ["client", "pi(TA * Grad)[TA]", "--port", str(server.port), "--trace"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace " in out  # trace id header
+        assert "client.call" in out
+        assert "server.request" in out
+        assert "server.queue_wait" in out
+        assert "[A-Project]" in out  # engine spans made it across
+
+    def test_client_trace_out_writes_chrome_json(self, server, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        code = main(
+            [
+                "client",
+                "TA * Grad",
+                "--port",
+                str(server.port),
+                "--trace-out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        document = json.loads(path.read_text())
+        names = {event["name"] for event in document["traceEvents"]}
+        assert {"client.call", "server.request", "server.queue_wait"} <= names
+
+    def test_client_metrics_table_is_sorted_and_aligned(self, server, capsys):
+        assert (
+            main(["client", "--port", str(server.port), "--ping", "--metrics"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        table = [
+            line
+            for line in out.splitlines()
+            if line.startswith("repro_")
+        ]
+        assert table == sorted(table)
+        assert not any(line.startswith("#") for line in out.splitlines()[1:])
+        # Two-column alignment: every row splits into series and value.
+        for line in table:
+            series, value = line.rsplit(None, 1)
+            float(value.replace("+Inf", "inf"))
+
+    def test_client_metrics_raw_preserves_prometheus_text(self, server, capsys):
+        assert (
+            main(
+                [
+                    "client",
+                    "--port",
+                    str(server.port),
+                    "--ping",
+                    "--metrics",
+                    "--raw",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "# HELP repro_server_requests_total" in out
+        assert "# TYPE repro_server_requests_total counter" in out
+
+    def test_events_subcommand_prints_jsonl(self, server, capsys):
+        from repro.server import ServerClient
+
+        with ServerClient("127.0.0.1", server.port) as client:
+            client.query("TA * Grad")
+        code = main(["events", "--port", str(server.port), "--type", "request.finish"])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records
+        assert all(r["type"] == "request.finish" for r in records)
+
+    def test_events_follow_iterations_terminates(self, server, capsys):
+        code = main(
+            [
+                "events",
+                "--port",
+                str(server.port),
+                "--follow",
+                "--interval",
+                "0.05",
+                "--iterations",
+                "2",
+            ]
+        )
+        assert code == 0
+
+    def test_slow_queries_subcommand_shows_plan(self, server, capsys):
+        from repro.server import ServerClient
+
+        with ServerClient("127.0.0.1", server.port) as client:
+            client.query("pi(TA * Grad)[TA]")  # threshold 0.0: always slow
+        code = main(["slow-queries", "--port", str(server.port)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[latency]" in out
+        assert "pi(TA * Grad)[TA]" in out
+        assert "EXPLAIN ANALYZE" in out
+
+    def test_slow_queries_json_mode(self, server, capsys):
+        from repro.server import ServerClient
+
+        with ServerClient("127.0.0.1", server.port) as client:
+            client.query("TA * Grad")
+        code = main(["slow-queries", "--port", str(server.port), "--json"])
+        assert code == 0
+        records = json.loads(capsys.readouterr().out)
+        assert records and records[0]["reason"] == "latency"
+
+    def test_serve_admin_port_file_and_http_routes(self, tmp_path):
+        import signal
+        import subprocess
+        import sys as _sys
+        import urllib.request
+
+        port_file = tmp_path / "port"
+        admin_port_file = tmp_path / "admin_port"
+        proc = subprocess.Popen(
+            [
+                _sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--port",
+                "0",
+                "--port-file",
+                str(port_file),
+                "--admin-port-file",
+                str(admin_port_file),
+                "--slow-query-threshold",
+                "0.0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not admin_port_file.exists() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert admin_port_file.exists(), "serve never wrote its admin port"
+            admin_port = int(admin_port_file.read_text())
+            port = int(port_file.read_text())
+
+            from repro.server import ServerClient
+
+            with ServerClient("127.0.0.1", port) as client:
+                assert client.query("TA * Grad").count == 2
+
+            def get(path):
+                url = f"http://127.0.0.1:{admin_port}{path}"
+                with urllib.request.urlopen(url, timeout=10) as resp:
+                    return resp.status, resp.read().decode()
+
+            assert get("/healthz") == (200, "ok\n")
+            status, ready = get("/readyz")
+            assert status == 200 and json.loads(ready)["ready"] is True
+            status, metrics = get("/metrics")
+            assert status == 200 and "repro_server_requests_total" in metrics
+            status, slow = get("/slow-queries")
+            assert status == 200 and json.loads(slow)
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0
+        assert "admin on http://127.0.0.1:" in out
+
+
+class TestMetricsWatch:
+    def test_watch_iterations_prints_rates(self, capsys):
+        code = main(
+            ["metrics", "TA * Grad", "--watch", "0.05", "--iterations", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "--- sample 1" in out and "--- sample 2" in out
+        assert "/s)" in out  # counter deltas print as per-second rates
+        assert "repro_queries_total" in out

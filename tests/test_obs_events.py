@@ -1,0 +1,119 @@
+"""EventLog / SlowQueryLog: ring bounds, sequence gaps, metrics, export."""
+
+import json
+
+from repro.obs import EventLog, MetricsRegistry, SlowQueryLog, events_to_jsonl
+
+
+class TestEventLogBasics:
+    def test_emit_returns_event_with_increasing_seq(self):
+        log = EventLog(capacity=8)
+        first = log.emit("request.start", op="query")
+        second = log.emit("request.finish", op="query", status="ok")
+        assert (first.seq, second.seq) == (1, 2)
+        assert second.data == {"op": "query", "status": "ok"}
+        assert log.last_seq == 2
+
+    def test_trace_id_round_trips_through_to_dict(self):
+        log = EventLog()
+        event = log.emit("admission.shed", trace_id="abc123", queued=4)
+        assert event.to_dict()["trace_id"] == "abc123"
+        assert "trace_id" not in log.emit("server.start").to_dict()
+
+    def test_events_are_oldest_first(self):
+        log = EventLog()
+        for i in range(5):
+            log.emit("tick", n=i)
+        assert [e.data["n"] for e in log.events()] == [0, 1, 2, 3, 4]
+
+
+class TestRingBounds:
+    def test_overflow_drops_oldest_and_counts(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.emit("tick", n=i)
+        held = log.events()
+        assert [e.data["n"] for e in held] == [2, 3, 4]
+        assert log.dropped == 2
+        assert len(log) == 3
+
+    def test_sequence_gap_reveals_drops(self):
+        """A consumer resuming from a remembered seq sees the gap."""
+        log = EventLog(capacity=2)
+        for i in range(4):
+            log.emit("tick", n=i)
+        seqs = [e.seq for e in log.events()]
+        assert seqs == [3, 4]  # 1 and 2 were overwritten
+        assert log.last_seq == 4
+
+    def test_capacity_zero_disables_the_log(self):
+        log = EventLog(capacity=0)
+        assert not log.enabled
+        assert log.emit("tick") is None
+        assert log.events() == []
+        assert len(log) == 0
+        assert log.last_seq == 0
+
+
+class TestFiltering:
+    def test_type_after_and_limit(self):
+        log = EventLog()
+        for i in range(6):
+            log.emit("even" if i % 2 == 0 else "odd", n=i)
+        assert [e.data["n"] for e in log.events(type="odd")] == [1, 3, 5]
+        assert [e.seq for e in log.events(after=4)] == [5, 6]
+        assert [e.seq for e in log.events(limit=2)] == [5, 6]  # newest N
+        assert [e.seq for e in log.events(type="even", limit=1)] == [5]
+
+
+class TestEventMetrics:
+    def test_emissions_and_drops_are_counted(self):
+        registry = MetricsRegistry()
+        log = EventLog(capacity=2, metrics=registry)
+        for _ in range(3):
+            log.emit("tick")
+        assert registry.counter("repro_events_total").value(type="tick") == 3
+        assert registry.counter("repro_events_dropped_total").value() == 1
+
+
+class TestJsonlExport:
+    def test_every_line_parses_and_orders(self):
+        log = EventLog()
+        log.emit("a", x=1)
+        log.emit("b", trace_id="t1")
+        lines = events_to_jsonl(log).splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["type"] for r in records] == ["a", "b"]
+        assert records[1]["trace_id"] == "t1"
+
+    def test_accepts_plain_event_iterable(self):
+        log = EventLog()
+        event = log.emit("a")
+        assert events_to_jsonl([event]) == events_to_jsonl(log)
+
+    def test_empty_log_exports_empty_string(self):
+        assert events_to_jsonl(EventLog()) == ""
+
+
+class TestSlowQueryLog:
+    def test_record_and_ring_bound(self):
+        log = SlowQueryLog(capacity=2)
+        for i in range(3):
+            log.record({"query": f"q{i}", "reason": "latency"})
+        assert [r["query"] for r in log.records()] == ["q1", "q2"]
+        assert log.total == 3
+
+    def test_limit_keeps_newest(self):
+        log = SlowQueryLog()
+        for i in range(4):
+            log.record({"query": f"q{i}", "reason": "latency"})
+        assert [r["query"] for r in log.records(limit=2)] == ["q2", "q3"]
+
+    def test_reason_labels_the_metric(self):
+        registry = MetricsRegistry()
+        log = SlowQueryLog(metrics=registry)
+        log.record({"query": "a", "reason": "latency"})
+        log.record({"query": "b", "reason": "q_error"})
+        counter = registry.counter("repro_slow_queries_total")
+        assert counter.value(reason="latency") == 1
+        assert counter.value(reason="q_error") == 1

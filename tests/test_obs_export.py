@@ -166,3 +166,57 @@ class TestJsonMetricsExport:
         assert samples == {"insert": 1, "delete": 2}
         assert document["demo_seconds"]["buckets"] == [0.1, 1.0]
         assert document["demo_seconds"]["samples"][0]["count"] == 2
+
+
+class TestSpansFromWire:
+    """spans_from_wire is the inverse of spans_to_jsonl (tree + fields)."""
+
+    def _roundtrip(self, tracer):
+        from repro.obs import spans_from_wire
+
+        records = [
+            json.loads(line) for line in spans_to_jsonl(tracer).splitlines()
+        ]
+        return spans_from_wire(records)
+
+    def test_reconstructs_the_tree_shape(self, traced):
+        tracer, _ = traced
+        roots = self._roundtrip(tracer)
+        assert len(roots) == len(tracer.roots)
+
+        def shape(span):
+            return (span.name, [shape(child) for child in span.children])
+
+        assert [shape(r) for r in roots] == [shape(r) for r in tracer.roots]
+
+    def test_preserves_fields_and_durations(self, traced):
+        tracer, _ = traced
+        original = {
+            (s.name, tuple(a for a in sorted(s.attributes)))
+            for s, _ in tracer.spans()
+        }
+        rebuilt_spans = [s for root in self._roundtrip(tracer) for s, _ in root.walk()]
+        rebuilt = {
+            (s.name, tuple(a for a in sorted(s.attributes))) for s in rebuilt_spans
+        }
+        assert rebuilt == original
+        by_name = {s.name: s for s in rebuilt_spans}
+        for span, _ in tracer.spans():
+            assert by_name[span.name].seconds == pytest.approx(
+                span.seconds, abs=1e-9
+            )
+            assert by_name[span.name].kind is span.kind
+            assert by_name[span.name].output_cardinality == span.output_cardinality
+
+    def test_empty_input_gives_no_roots(self):
+        from repro.obs import spans_from_wire
+
+        assert spans_from_wire([]) == []
+
+    def test_reconstruction_exports_again(self, traced):
+        """The rebuilt tree feeds straight back into the exporters."""
+        tracer, _ = traced
+        roots = self._roundtrip(tracer)
+        assert spans_to_tree(roots)
+        document = spans_to_chrome_trace(roots)
+        assert len(document["traceEvents"]) == len(tracer.completed)

@@ -27,6 +27,7 @@ MODULES = [
     "repro.errors",
     "repro.objects",
     "repro.obs",
+    "repro.obs.events",
     "repro.obs.explain",
     "repro.obs.export",
     "repro.obs.metrics",
@@ -40,6 +41,7 @@ MODULES = [
     "repro.rules",
     "repro.schema",
     "repro.server",
+    "repro.server.admin",
     "repro.server.client",
     "repro.server.protocol",
     "repro.server.service",

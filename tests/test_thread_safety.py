@@ -109,3 +109,86 @@ class TestConcurrentQueries:
 
         for got in _run_threads(worker):
             assert got == expected
+
+
+class TestConcurrentMetricsRegistry:
+    """Hammer one MetricsRegistry from N threads while exporting it.
+
+    The admin endpoint's /metrics route and the `metrics` wire op render
+    Prometheus/JSON snapshots on the event loop while worker threads
+    update counters, gauges, and histograms mid-request — this is that
+    interleaving, minus the sockets.
+    """
+
+    def test_updates_from_n_threads_total_correctly(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        per_thread = 200
+
+        def worker(i):
+            counter = registry.counter("hammer_total", "test counter")
+            gauge = registry.gauge("hammer_live", "test gauge")
+            histogram = registry.histogram("hammer_seconds", "test histogram")
+            for n in range(per_thread):
+                counter.inc(kind=f"k{n % 3}")
+                gauge.inc()
+                gauge.dec()
+                histogram.observe(0.001 * n, op="q")
+            return True
+
+        assert all(_run_threads(worker))
+        counter = registry.counter("hammer_total")
+        total = sum(counter.value(kind=f"k{k}") for k in range(3))
+        assert total == THREADS * per_thread
+        assert registry.gauge("hammer_live").value() == 0
+        series = registry.histogram("hammer_seconds").samples()
+        assert sum(s.count for _, s in series) == THREADS * per_thread
+
+    def test_export_during_concurrent_updates_is_parseable(self):
+        import json
+        import time
+
+        from repro.obs import (
+            MetricsRegistry,
+            metrics_to_json,
+            metrics_to_prometheus,
+        )
+
+        registry = MetricsRegistry()
+        stop = threading.Event()
+
+        def writer(i):
+            counter = registry.counter("busy_total", "test counter")
+            histogram = registry.histogram("busy_seconds", "test histogram")
+            n = 0
+            while not stop.is_set():
+                counter.inc(src=f"t{i % 4}")
+                histogram.observe(0.01 * (n % 7))
+                n += 1
+            return n
+
+        def exporter(i):
+            snapshots = 0
+            while not stop.is_set():
+                text = metrics_to_prometheus(registry)
+                for line in text.strip().splitlines():
+                    if not line.startswith("#"):
+                        name_part, value = line.rsplit(" ", 1)
+                        assert name_part
+                        float(value.replace("+Inf", "inf"))
+                json.dumps(metrics_to_json(registry))
+                snapshots += 1
+            return snapshots
+
+        def worker(i):
+            # Half the threads write, half continuously export and parse.
+            if i == THREADS - 1:
+                # Last thread is the clock: let the others race briefly.
+                time.sleep(0.3)
+                stop.set()
+                return 0
+            return writer(i) if i % 2 == 0 else exporter(i)
+
+        results = _run_threads(worker)
+        assert sum(results) > 0  # both sides actually ran
