@@ -12,7 +12,6 @@ from repro.core.expression import ref
 from repro.datasets import university
 from repro.engine.database import Database
 from repro.rules import Rule, RuleEngine
-from repro.storage import load_database, save_database
 
 
 def fresh_db():
@@ -56,15 +55,15 @@ def test_dml_with_rules(benchmark, n_rules):
 def test_save(benchmark, tmp_path, scaled_uni):
     db = Database.from_dataset(scaled_uni)
     path = tmp_path / "scaled.json"
-    benchmark(save_database, db, path)
+    benchmark(db.save, path)
     assert path.stat().st_size > 10_000
 
 
 def test_load(benchmark, tmp_path, scaled_uni):
     db = Database.from_dataset(scaled_uni)
     path = tmp_path / "scaled.json"
-    save_database(db, path)
-    restored = benchmark(load_database, path)
+    db.save(path)
+    restored = benchmark(Database.open, path)
     assert len(restored.graph.extent("Student")) == 200
 
 

@@ -1,0 +1,176 @@
+"""Storage-engine ingest benchmark: MemoryEngine vs FileEngine.
+
+Replays a datagen chain workload (every instance as an insert, every
+edge as a link) into a fresh database per engine configuration and
+measures mutation throughput.  The gate: FileEngine with the default
+``sync="batch"`` policy must stay within 30% of MemoryEngine (ratio
+>= 0.7) — the WAL may not make durable ingest dramatically slower than
+volatile ingest.  ``sync="always"`` is reported for context (it pays an
+fsync per mutation and is expected to be far slower); recovery time for
+the written store is reported too.
+
+Usage:
+    python benchmarks/bench_storage.py               # table on stdout
+    python benchmarks/bench_storage.py --quick       # smaller workload
+    python benchmarks/bench_storage.py --json BENCH_storage.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+#: FileEngine(batch) must reach this fraction of MemoryEngine throughput.
+GATE_RATIO = 0.7
+
+
+def build_workload(extent_size: int, density: float):
+    """The mutation stream of one datagen chain dataset.
+
+    Returns ``(schema, ops)`` where each op is ``("insert", cls)`` or
+    ``("link", a, b)`` over the instances the inserts will create.
+    """
+    from repro.datagen import chain_dataset
+
+    dataset = chain_dataset(n_classes=4, extent_size=extent_size, density=density)
+    ops = []
+    id_map = {}
+    for cls in ("K0", "K1", "K2", "K3"):
+        for instance in sorted(dataset.graph.extent(cls)):
+            ops.append(("insert", cls, instance))
+    for assoc in dataset.schema.associations:
+        for a, b in sorted(dataset.graph.edges(assoc)):
+            ops.append(("link", a, b))
+    return dataset.schema, ops
+
+
+def run_ingest(schema, ops, engine_factory, repeats: int = 3):
+    """Replay the workload into a fresh database; best-of-N mutations/sec.
+
+    Each repeat starts from a fresh database and engine; the fastest run
+    is reported (standard best-of practice — the slower runs measure GC
+    pauses and page-cache misses, not the engine).
+    """
+    from repro.engine.database import Database
+
+    best = None
+    for _ in range(repeats):
+        db = Database.open(engine_factory(), schema=schema, analyze=False)
+        id_map = {}
+        started = time.perf_counter()
+        for op in ops:
+            if op[0] == "insert":
+                _, cls, template = op
+                id_map[template] = db.insert(cls)[cls]
+            else:
+                _, a, b = op
+                db.link(id_map[a], id_map[b])
+        elapsed = time.perf_counter() - started
+        db.engine.flush()
+        flushed = time.perf_counter() - started
+        db.close()
+        if best is None or flushed < best[1]:
+            best = (elapsed, flushed)
+    elapsed, flushed = best
+    return {
+        "mutations": len(ops),
+        "repeats": repeats,
+        "elapsed_s": round(elapsed, 4),
+        "elapsed_flushed_s": round(flushed, 4),
+        "throughput_ops": round(len(ops) / flushed, 1),
+    }
+
+
+def run_recovery(store: Path):
+    """Reopen the store as after a crash; seconds to a queryable database."""
+    from repro.engine.database import Database
+
+    started = time.perf_counter()
+    db = Database.open(store, create=False)
+    elapsed = time.perf_counter() - started
+    instances = len(set(db.graph.instances()))
+    db.close()
+    return {"elapsed_s": round(elapsed, 4), "instances": instances}
+
+
+def main(argv: list[str] | None = None) -> int:
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="smaller workload")
+    parser.add_argument("--json", metavar="PATH", help="write results as JSON")
+    ns = parser.parse_args(argv)
+
+    from repro.storage.engine import FileEngine, MemoryEngine
+
+    extent = 60 if ns.quick else 150
+    density = 0.08
+    schema, ops = build_workload(extent, density)
+    print(f"workload: {len(ops)} mutations (chain-4, extent {extent})")
+
+    tmp = Path(tempfile.mkdtemp(prefix="bench-storage-"))
+    sections: dict = {"workload": {"mutations": len(ops), "extent": extent}}
+    stores: list[Path] = []  # fresh directory per repeat (no re-recovery)
+
+    def batch_engine():
+        stores.append(tmp / f"batch-{len(stores)}")
+        return FileEngine(stores[-1], sync="batch", checkpoint_interval=10**9)
+
+    always = iter(range(100))
+
+    def always_engine():
+        return FileEngine(
+            tmp / f"always-{next(always)}", sync="always", background=False
+        )
+
+    try:
+        sections["memory"] = run_ingest(schema, ops, MemoryEngine)
+        sections["file_batch"] = run_ingest(schema, ops, batch_engine)
+        sections["file_always"] = run_ingest(schema, ops, always_engine, repeats=1)
+        sections["recovery"] = run_recovery(stores[-1])
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    ratio = (
+        sections["file_batch"]["throughput_ops"]
+        / sections["memory"]["throughput_ops"]
+    )
+    sections["gate"] = {
+        "ratio": round(ratio, 3),
+        "required": GATE_RATIO,
+        "ok": ratio >= GATE_RATIO,
+    }
+
+    for name in ("memory", "file_batch", "file_always"):
+        row = sections[name]
+        print(f"{name:12s}  {row['throughput_ops']:>10.1f} ops/s  "
+              f"({row['elapsed_flushed_s']:.3f}s)")
+    print(f"recovery      {sections['recovery']['elapsed_s']:.3f}s "
+          f"({sections['recovery']['instances']} instances)")
+    print(f"gate: file_batch/memory = {ratio:.3f} (need >= {GATE_RATIO})")
+
+    if ns.json:
+        document = {
+            "meta": {
+                "generated_by": "benchmarks/bench_storage.py",
+                "python": platform.python_version(),
+                "quick": ns.quick,
+            },
+            "sections": sections,
+        }
+        Path(ns.json).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {ns.json}")
+
+    if not sections["gate"]["ok"]:
+        print("GATE FAILED: durable ingest fell more than 30% behind", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -178,9 +178,7 @@ def _cmd_save(db: Database, args: str, out: IO[str]) -> None:
     if not path:
         print("usage: \\save <path>", file=out)
         return
-    from repro.storage import save_database
-
-    save_database(db, path)
+    db.save(path)
     print(f"saved to {path}", file=out)
 
 
@@ -261,11 +259,9 @@ _DEFAULT_WORKLOAD = (
 
 
 def _open_database(dataset: str, db_path: str | None) -> Database:
-    """A Database from a snapshot path or a bundled dataset by name."""
+    """A Database from a storage path or a bundled dataset by name."""
     if db_path is not None:
-        from repro.storage import load_database
-
-        return load_database(db_path)
+        return Database.open(db_path, create=False)
     import repro.datasets as datasets
 
     return Database.from_dataset(getattr(datasets, dataset)())
@@ -279,7 +275,11 @@ def _add_db_arguments(parser: argparse.ArgumentParser) -> None:
         default="university",
         help="bundled dataset to open (default: university)",
     )
-    source.add_argument("--db", metavar="PATH", help="JSON snapshot to open")
+    source.add_argument(
+        "--db",
+        metavar="PATH",
+        help="database to open: a storage directory or a JSON snapshot",
+    )
 
 
 def _cli_trace(args: list[str], out: IO[str]) -> int:
@@ -785,6 +785,102 @@ def _cli_slow_queries(args: list[str], out: IO[str]) -> int:
     return 0
 
 
+def _cli_init(args: list[str], out: IO[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro init",
+        description="Create a durable storage directory seeded from a dataset"
+        " or snapshot.",
+    )
+    parser.add_argument("path", help="storage directory to create")
+    _add_db_arguments(parser)
+    parser.add_argument(
+        "--sync",
+        choices=("always", "batch", "never"),
+        default="batch",
+        help="WAL fsync policy of the new store (default: batch)",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="WAL records between automatic checkpoints (default: 1024)",
+    )
+    ns = parser.parse_args(args)
+    from repro.errors import StorageError
+
+    source = _open_database(ns.dataset, ns.db)
+    with Database.open(
+        ns.path,
+        schema=source.schema,
+        graph=source.graph,
+        sync=ns.sync,
+        checkpoint_interval=ns.checkpoint_interval,
+    ) as db:
+        if not db.engine.durable:
+            raise StorageError(f"{ns.path} did not open as a storage directory")
+        instances = sum(
+            len(db.graph.extent(c.name)) for c in db.schema.classes
+        )
+        print(
+            f"initialized {ns.path}: schema {db.schema.name!r},"
+            f" {instances} instance(s), sync={ns.sync}",
+            file=out,
+        )
+    return 0
+
+
+def _cli_wal(args: list[str], out: IO[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro wal",
+        description="Inspect and verify a write-ahead log"
+        " (checksums every record).",
+    )
+    parser.add_argument("path", help="storage directory or WAL file")
+    parser.add_argument(
+        "--tail", type=int, metavar="N", help="also print the last N records"
+    )
+    parser.add_argument("--json", action="store_true", help="JSON summary")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when the log has a torn tail",
+    )
+    ns = parser.parse_args(args)
+    from pathlib import Path
+
+    from repro.storage.wal import read_wal, wal_info
+
+    path = Path(ns.path)
+    if path.is_dir():
+        path = path / "wal.log"
+    info = wal_info(path)
+    if ns.json:
+        print(json.dumps(info.to_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        seqs = (
+            f"seq {info.first_seq}..{info.last_seq}"
+            if info.records
+            else "empty"
+        )
+        kinds = ", ".join(f"{k}={n}" for k, n in sorted(info.kinds.items()))
+        print(f"{info.path}: {info.records} record(s), {seqs}", file=out)
+        print(f"  {info.bytes} byte(s){', kinds: ' + kinds if kinds else ''}", file=out)
+        if info.torn_bytes:
+            print(
+                f"  torn tail: {info.torn_bytes} byte(s) past the last"
+                " complete record (recovery will truncate)",
+                file=out,
+            )
+        else:
+            print("  verified clean (every checksum valid)", file=out)
+    if ns.tail:
+        records, _, _ = read_wal(path)
+        for record in records[-ns.tail :]:
+            print(json.dumps(record.to_payload(), sort_keys=True), file=out)
+    return 1 if (ns.strict and info.torn_bytes) else 0
+
+
 _SUBCOMMANDS = {
     "trace": _cli_trace,
     "explain": _cli_explain,
@@ -794,6 +890,8 @@ _SUBCOMMANDS = {
     "client": _cli_client,
     "events": _cli_events,
     "slow-queries": _cli_slow_queries,
+    "init": _cli_init,
+    "wal": _cli_wal,
 }
 
 
@@ -814,9 +912,7 @@ def main(argv: list[str] | None = None) -> int:
             return 1
     try:
         if args:
-            from repro.storage import load_database
-
-            db = load_database(args[0])
+            db = Database.open(args[0], create=False)
         else:
             from repro.datasets import university
 

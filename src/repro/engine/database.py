@@ -23,20 +23,33 @@ Every database owns a :class:`~repro.obs.metrics.MetricsRegistry` (shared
 with its object graph, executor and any attached rule engine): queries run,
 query latency, mutation events by kind and plan-cache traffic are recorded
 automatically; export with :func:`repro.obs.export.metrics_to_prometheus`.
+
+Persistence is a lifecycle, not a pair of free functions: every database
+owns a :class:`~repro.storage.engine.StorageEngine` (an in-process
+:class:`~repro.storage.engine.MemoryEngine` unless told otherwise) and
+the same :class:`MutationEvent` stream that keeps the arena, indexes and
+statistics fresh doubles as the engine's write-ahead-log record format.
+:meth:`Database.open` is the one entry point — a storage directory gets
+the durable :class:`~repro.storage.engine.FileEngine` with WAL + crash
+recovery, a ``.json`` path gets classic single-file snapshots, no path
+gets pure memory — and :meth:`save`, :meth:`close` and ``with`` blocks
+round out the lifecycle.  See :doc:`docs/storage.md <storage>`.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.core.assoc_set import AssociationSet
 from repro.core.expression import EvalTrace, Expr
 from repro.core.identity import IID
 from repro.core.predicates import FunctionRegistry
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, StorageError
 from repro.exec.executor import Executor
 from repro.objects.builder import GraphBuilder
 from repro.objects.graph import ObjectGraph
@@ -45,6 +58,10 @@ from repro.obs.metrics import MetricsRegistry, Q_ERROR_BUCKETS
 from repro.obs.span import Tracer
 from repro.optimizer.stats import StatisticsCatalog
 from repro.schema.graph import SchemaGraph
+from repro.storage.engine import FileEngine, MemoryEngine, StorageEngine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.wal import WalRecord
 
 __all__ = ["Database", "MutationEvent", "QueryResult"]
 
@@ -54,12 +71,16 @@ class MutationEvent:
     """A change to the extensional database, delivered to listeners.
 
     ``kind`` is one of ``"insert"``, ``"delete"``, ``"link"``, ``"unlink"``,
-    ``"update"``.
+    ``"update"``.  ``value`` carries the inserted/updated primitive value
+    so the event is self-contained — a storage engine can write it as a
+    WAL record and recovery can replay it without consulting the (gone)
+    graph state.
     """
 
     kind: str
     instances: tuple[IID, ...]
     association: str | None = None
+    value: Any = None
 
 
 class QueryResult:
@@ -147,12 +168,21 @@ class Database:
         functions: FunctionRegistry | None = None,
         metrics: MetricsRegistry | None = None,
         events: EventLog | None = None,
+        engine: StorageEngine | None = None,
     ) -> None:
         self.schema = schema
         self.graph = graph if graph is not None else ObjectGraph(schema)
         self.functions = functions if functions is not None else FunctionRegistry()
         self.builder = GraphBuilder(schema, self.graph)
         self._listeners: list[Callable[[Database, MutationEvent], None]] = []
+        #: Serializes mutations (and checkpoint capture) across threads;
+        #: the storage engine's background checkpointer takes it so the
+        #: (graph state, WAL position) pair it writes is consistent.
+        self.write_lock = threading.RLock()
+        self._closed = False
+        #: Where :meth:`save` rewrites the legacy single-file snapshot
+        #: (set by :meth:`open` on a ``.json`` path, or by ``save(path)``).
+        self._snapshot_path: Path | None = None
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Structured operational journal (mutation batches, plan-cache
         #: invalidations, stats refreshes, replans); the query service
@@ -195,11 +225,278 @@ class Database:
         # A stats refresh makes remembered plan choices stale: drop the
         # ones that depend on the refreshed classes (results survive).
         self.stats.subscribe(self._on_stats_refresh)
+        #: The storage backend consuming this database's mutation events.
+        self.engine = engine if engine is not None else MemoryEngine()
+        self.engine.attach(self)
 
     @classmethod
-    def from_dataset(cls, dataset: Any) -> "Database":
-        """Wrap any dataset object exposing ``.schema`` and ``.graph``."""
-        return cls(dataset.schema, dataset.graph)
+    def from_dataset(cls, dataset: Any, *, analyze: bool = True) -> "Database":
+        """Wrap any dataset object exposing ``.schema`` and ``.graph``.
+
+        The statistics catalog is analyzed up front (``analyze=False``
+        opts out), matching :meth:`open` — every construction path leaves
+        stats warm so plan choice is measured, not assumed, from the
+        first query.
+        """
+        db = cls(dataset.schema, dataset.graph)
+        if analyze:
+            db.analyze()
+        return db
+
+    # ------------------------------------------------------------------
+    # lifecycle: open / save / close
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: "str | Path | None" = None,
+        *,
+        engine: StorageEngine | None = None,
+        schema: SchemaGraph | None = None,
+        graph: ObjectGraph | None = None,
+        create: bool = True,
+        analyze: bool = True,
+        functions: FunctionRegistry | None = None,
+        metrics: MetricsRegistry | None = None,
+        events: EventLog | None = None,
+        sync: str = "batch",
+        checkpoint_interval: int = 1024,
+    ) -> "Database":
+        """Open a database over a storage backend.  The one entry point:
+
+        * ``path`` is a directory (or absent and about to be created as
+          one) — the durable :class:`~repro.storage.engine.FileEngine`:
+          an existing store is recovered (checkpoint + WAL-tail replay),
+          a fresh one is created (requires ``schema``; ``create=False``
+          forbids creation).  ``sync`` and ``checkpoint_interval`` tune
+          its durability/compaction knobs.
+        * ``path`` is a ``.json`` file — the classic single-file
+          snapshot: loaded into a :class:`MemoryEngine` database that
+          remembers the path, so :meth:`save` rewrites it.
+        * ``path`` is ``None`` — pure in-memory database over ``schema``
+          (which is then required).
+
+        Pass ``engine=`` to supply a configured backend explicitly (also
+        accepted positionally); the path heuristics are skipped.
+        ``graph`` seeds a *freshly created* store with existing data
+        (``repro init`` uses this to load a dataset into a new
+        directory).  ``analyze=False`` leaves the stats catalog lazy
+        instead of warming it on open.  Works as a context manager:
+        ``with Database.open(...) as db: ...`` closes on exit.
+        """
+        if isinstance(path, StorageEngine):
+            # Convenience: a configured engine may be passed positionally.
+            engine, path = path, None
+        if engine is None:
+            if path is None:
+                engine = MemoryEngine()
+            else:
+                p = Path(path)
+                if p.is_file() or (not p.exists() and p.suffix == ".json"):
+                    return cls._open_snapshot(
+                        p,
+                        schema=schema,
+                        graph=graph,
+                        create=create,
+                        analyze=analyze,
+                        functions=functions,
+                        metrics=metrics,
+                        events=events,
+                    )
+                else:
+                    engine = FileEngine(
+                        p,
+                        create=create,
+                        sync=sync,
+                        checkpoint_interval=checkpoint_interval,
+                    )
+        if isinstance(engine, FileEngine):
+            return cls._open_store(
+                engine,
+                schema=schema,
+                graph=graph,
+                analyze=analyze,
+                functions=functions,
+                metrics=metrics,
+                events=events,
+            )
+        if schema is None:
+            raise StorageError("opening an in-memory database requires a schema")
+        db = cls(
+            schema,
+            graph,
+            functions=functions,
+            metrics=metrics,
+            events=events,
+            engine=engine,
+        )
+        if analyze:
+            db.analyze()
+        return db
+
+    @classmethod
+    def _open_store(
+        cls,
+        engine: FileEngine,
+        *,
+        schema: SchemaGraph | None,
+        graph: ObjectGraph | None,
+        analyze: bool,
+        functions: FunctionRegistry | None,
+        metrics: MetricsRegistry | None,
+        events: EventLog | None,
+    ) -> "Database":
+        """Open (recover or create) a durable ``FileEngine`` store."""
+        from repro.storage.serialization import graph_from_dict, schema_from_dict
+
+        state = engine.open_store()
+        if state is None:
+            if schema is None:
+                raise StorageError(
+                    f"creating a new store at {engine.dir} requires a schema"
+                )
+            db = cls(
+                schema,
+                graph,
+                functions=functions,
+                metrics=metrics,
+                events=events,
+                engine=engine,
+            )
+            engine.initialize(db)
+        else:
+            stored_schema = schema_from_dict(state.document["schema"])
+            graph = graph_from_dict(state.document["graph"], stored_schema)
+            engine.begin_recovery()
+            try:
+                db = cls(
+                    stored_schema,
+                    graph,
+                    functions=functions,
+                    metrics=metrics,
+                    events=events,
+                    engine=engine,
+                )
+                # Analyze *before* replaying, mirroring the live timeline
+                # (the checkpoint captured an analyzed database): replayed
+                # events then drive the same incremental stats maintenance
+                # the original mutations did.
+                if analyze:
+                    db.analyze()
+                for record in state.records:
+                    db._apply_record(record)
+            finally:
+                engine.end_recovery()
+            db.events.emit(
+                "recovery.replay",
+                records=len(state.records),
+                torn_bytes=state.torn_bytes,
+                last_seq=engine.last_seq,
+                path=str(engine.dir),
+            )
+            return db
+        if analyze:
+            db.analyze()
+        return db
+
+    @classmethod
+    def _open_snapshot(
+        cls,
+        path: Path,
+        *,
+        schema: SchemaGraph | None,
+        graph: ObjectGraph | None,
+        create: bool,
+        analyze: bool,
+        functions: FunctionRegistry | None,
+        metrics: MetricsRegistry | None,
+        events: EventLog | None,
+    ) -> "Database":
+        """Open a legacy single-file JSON snapshot (memory engine)."""
+        from repro.storage.serialization import read_snapshot
+
+        if path.is_file():
+            loaded_schema, loaded_graph = read_snapshot(path)
+            db = cls(
+                loaded_schema,
+                loaded_graph,
+                functions=functions,
+                metrics=metrics,
+                events=events,
+            )
+        else:
+            if not create:
+                raise StorageError(f"no snapshot at {path} (create=False)")
+            if schema is None:
+                raise StorageError(
+                    f"creating a new snapshot at {path} requires a schema"
+                )
+            db = cls(
+                schema,
+                graph,
+                functions=functions,
+                metrics=metrics,
+                events=events,
+            )
+        db._snapshot_path = path
+        if analyze:
+            db.analyze()
+        return db
+
+    def save(self, path: "str | Path | None" = None) -> None:
+        """Persist the current state.
+
+        With a durable engine and no ``path``: a checkpoint (WAL
+        compaction included).  With ``path``: a standalone single-file
+        JSON snapshot is exported there (any engine), and a memory-engine
+        database remembers the path for future bare ``save()`` calls.
+        """
+        if path is None and self.engine.durable:
+            self.engine.checkpoint(reason="save")
+            return
+        target = Path(path) if path is not None else self._snapshot_path
+        if target is None:
+            raise StorageError(
+                "save() needs a path: in-memory database with no snapshot file"
+            )
+        from repro.storage.serialization import write_snapshot
+
+        with self.write_lock:
+            write_snapshot(self, target)
+        if not self.engine.durable:
+            self._snapshot_path = target
+
+    def close(self) -> None:
+        """Flush and close the storage engine; further mutations error.
+
+        A durable engine checkpoints its dirty tail (unless configured
+        not to) and releases the WAL.  Queries over the in-memory state
+        keep working — ``close`` ends the *persistence* lifecycle.
+        Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.engine.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()
+
+    def describe_storage(self) -> dict[str, Any]:
+        """Operational summary of the storage engine (admin surface)."""
+        out = self.engine.describe()
+        out["closed"] = self._closed
+        if self._snapshot_path is not None:
+            out["snapshot_path"] = str(self._snapshot_path)
+        return out
 
     # ------------------------------------------------------------------
     # statistics
@@ -446,7 +743,11 @@ class Database:
 
     def _emit(self, event: MutationEvent) -> None:
         self._m_events.inc(kind=event.kind)
-        # Executor first: its indexes and cache must be consistent before
+        # The storage engine first: the WAL must hold the record before
+        # derived state reflects it (during recovery the engine skips the
+        # append — the records are already on disk).
+        self.engine.append(event)
+        # Executor next: its indexes and cache must be consistent before
         # any listener (e.g. a rule) runs a query in reaction to the event.
         invalidated = self.executor.on_mutation(event)
         self.events.emit(
@@ -464,41 +765,98 @@ class Database:
         for listener in self._listeners:
             listener(self, event)
 
+    def _writable(self) -> None:
+        if self._closed:
+            raise StorageError("database is closed; no further mutations")
+
     def insert(
         self, classes: "Iterable[str] | str", value: Any = None
     ) -> dict[str, IID]:
         """Insert a new object participating in ``classes``."""
-        created = self.builder.add_object(classes, value=value)
-        self._emit(MutationEvent("insert", tuple(created.values())))
+        with self.write_lock:
+            self._writable()
+            created = self.builder.add_object(classes, value=value)
+            self._emit(
+                MutationEvent("insert", tuple(created.values()), value=value)
+            )
         return created
 
     def insert_value(self, cls: str, value: Any) -> IID:
         """Insert a primitive-class instance carrying ``value``."""
-        instance = self.builder.add_value(cls, value)
-        self._emit(MutationEvent("insert", (instance,)))
+        with self.write_lock:
+            self._writable()
+            instance = self.builder.add_value(cls, value)
+            self._emit(MutationEvent("insert", (instance,), value=value))
         return instance
 
     def link(self, a: IID, b: IID, assoc_name: str | None = None) -> None:
         """Associate two instances (emits a ``link`` event)."""
-        assoc = self.schema.resolve(a.cls, b.cls, assoc_name)
-        self.graph.add_edge(assoc, a, b)
-        self._emit(MutationEvent("link", (a, b), assoc.name))
+        with self.write_lock:
+            self._writable()
+            assoc = self.schema.resolve(a.cls, b.cls, assoc_name)
+            self.graph.add_edge(assoc, a, b)
+            self._emit(MutationEvent("link", (a, b), assoc.name))
 
     def unlink(self, a: IID, b: IID, assoc_name: str | None = None) -> None:
         """Remove the association between two instances."""
-        assoc = self.schema.resolve(a.cls, b.cls, assoc_name)
-        self.graph.remove_edge(assoc, a, b)
-        self._emit(MutationEvent("unlink", (a, b), assoc.name))
+        with self.write_lock:
+            self._writable()
+            assoc = self.schema.resolve(a.cls, b.cls, assoc_name)
+            self.graph.remove_edge(assoc, a, b)
+            self._emit(MutationEvent("unlink", (a, b), assoc.name))
 
     def delete(self, instance: IID) -> None:
         """Delete one instance (and its incident edges)."""
-        self.graph.remove_instance(instance)
-        self._emit(MutationEvent("delete", (instance,)))
+        with self.write_lock:
+            self._writable()
+            self.graph.remove_instance(instance)
+            self._emit(MutationEvent("delete", (instance,)))
 
     def update_value(self, instance: IID, value: Any) -> None:
         """Change the value carried by a primitive instance."""
-        self.graph.set_value(instance, value)
-        self._emit(MutationEvent("update", (instance,)))
+        with self.write_lock:
+            self._writable()
+            self.graph.set_value(instance, value)
+            self._emit(MutationEvent("update", (instance,), value=value))
+
+    def _apply_record(self, record: "WalRecord") -> None:
+        """Re-apply one WAL record during recovery.
+
+        The mutation goes through the same graph operations and the same
+        :meth:`_emit` path the original process used (the engine skips
+        re-appending), so the arena, indexes and statistics catalog come
+        back exactly as incremental maintenance would have left them.
+        """
+        kind = record.kind
+        if kind == "insert":
+            # All instances of one insert share one object OID; pinning
+            # it through the builder also recreates the is-a edges.
+            self.builder.add_object(
+                [i.cls for i in record.instances],
+                oid=record.instances[0].oid,
+                value=record.value,
+            )
+            self._emit(
+                MutationEvent("insert", record.instances, value=record.value)
+            )
+        elif kind == "delete":
+            (instance,) = record.instances
+            self.graph.remove_instance(instance)
+            self._emit(MutationEvent("delete", (instance,)))
+        elif kind in ("link", "unlink"):
+            a, b = record.instances
+            assoc = self.schema.resolve(a.cls, b.cls, record.association)
+            if kind == "link":
+                self.graph.add_edge(assoc, a, b)
+            else:
+                self.graph.remove_edge(assoc, a, b)
+            self._emit(MutationEvent(kind, (a, b), assoc.name))
+        elif kind == "update":
+            (instance,) = record.instances
+            self.graph.set_value(instance, record.value)
+            self._emit(MutationEvent("update", (instance,), value=record.value))
+        else:
+            raise StorageError(f"unknown WAL record kind {record.kind!r}")
 
     # ------------------------------------------------------------------
     # query-driven bulk operations (§2's "system-defined operations")
@@ -542,41 +900,82 @@ class Database:
         return len(instances)
 
     # ------------------------------------------------------------------
-    # snapshots (poor-man's transactions)
+    # savepoints: checkpoints + rollback (poor-man's transactions)
     # ------------------------------------------------------------------
+    #
+    # One code path, two flavors.  `checkpoint(name)` / `rollback(name)`
+    # are the named savepoints the storage engine keeps (durable files
+    # under a FileEngine, in-process documents under a MemoryEngine);
+    # `snapshot()` / `restore(dict)` are the anonymous flavor, where the
+    # caller holds the captured document.  `rollback` accepts either a
+    # checkpoint name or a snapshot dict and both funnel into `restore`.
+
+    def checkpoint(self, name: str | None = None) -> str:
+        """Capture the current state as a named savepoint; returns the name.
+
+        Under a durable engine this writes a checkpoint document and
+        compacts the WAL (the same operation the background compactor
+        runs); under the memory engine it keeps the document in process.
+        Either way :meth:`rollback` by the returned name restores it.
+        An omitted ``name`` still checkpoints (auto-named) — useful as
+        "flush + compact now" on a durable store.
+        """
+        with self.write_lock:
+            return self.engine.checkpoint(name=name, reason="api")
+
+    def rollback(self, to: "str | dict") -> None:
+        """Roll the extensional state back to a savepoint.
+
+        ``to`` is a checkpoint name (see :meth:`checkpoint`) or an
+        anonymous snapshot dict (see :meth:`snapshot`).  Emits no
+        mutation events — a rollback is not new information for rules to
+        react to.
+        """
+        document = to if isinstance(to, dict) else self.engine.load_checkpoint(to)
+        self.restore(document)
 
     def snapshot(self) -> dict:
         """Capture the current extensional state (instances + edges).
 
-        Together with :meth:`restore` this gives save-point semantics:
-        take a snapshot, mutate freely (e.g. let corrective rules run),
-        and roll back if the outcome is unwanted.  The schema is not part
-        of the snapshot — DDL is assumed settled.
+        The anonymous flavor of :meth:`checkpoint`: the returned dict is
+        the same graph document a checkpoint stores, held by the caller
+        instead of the engine.  The schema is not part of the snapshot —
+        DDL is assumed settled.
         """
         from repro.storage.serialization import graph_to_dict
 
-        return graph_to_dict(self.graph)
+        with self.write_lock:
+            return graph_to_dict(self.graph)
 
     def restore(self, snapshot: dict) -> None:
         """Replace the object graph with a previously captured snapshot.
 
-        Emits no mutation events (a rollback is not new information for
-        rules to react to).
+        The underlying operation of :meth:`rollback`.  Emits no mutation
+        events (a rollback is not new information for rules to react
+        to); under a durable engine the restored state is immediately
+        re-anchored with a fresh checkpoint so crash recovery agrees
+        with what this process now sees.
         """
         from repro.storage.serialization import graph_from_dict
 
-        self.graph = graph_from_dict(snapshot, self.schema)
-        self.builder = GraphBuilder(self.schema, self.graph)
-        self.graph.attach_metrics(self.metrics)
-        # The executor's indexes, cache and statistics described the
-        # replaced graph; rebuild against the restored one (re-analyzing
-        # if the old catalog was live, so plan quality survives rollback).
-        was_analyzed = self.stats.analyzed
-        self.stats = StatisticsCatalog(self.graph, self.metrics)
-        self.executor = Executor(self.graph, self.metrics, stats=self.stats)
-        self.stats.subscribe(self._on_stats_refresh)
-        if was_analyzed:
-            self.stats.analyze(reason="restore")
+        with self.write_lock:
+            self._writable()
+            self.graph = graph_from_dict(snapshot, self.schema)
+            self.builder = GraphBuilder(self.schema, self.graph)
+            self.graph.attach_metrics(self.metrics)
+            # The executor's indexes, cache and statistics described the
+            # replaced graph; rebuild against the restored one (re-analyzing
+            # if the old catalog was live, so plan quality survives rollback).
+            was_analyzed = self.stats.analyzed
+            self.stats = StatisticsCatalog(self.graph, self.metrics)
+            self.executor = Executor(self.graph, self.metrics, stats=self.stats)
+            self.stats.subscribe(self._on_stats_refresh)
+            if was_analyzed:
+                self.stats.analyze(reason="restore")
+            if self.engine.durable:
+                # The WAL tail describes the pre-rollback history; anchor
+                # recovery at the restored state instead.
+                self.engine.checkpoint(reason="rollback")
 
     def __str__(self) -> str:
         return f"Database({self.schema.name!r}, {self.graph})"

@@ -25,6 +25,7 @@ from typing import Any, Iterator
 
 __all__ = [
     "Counter",
+    "CounterChild",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -94,6 +95,15 @@ class Counter(Metric):
         with self._lock:
             self._values[key] = self._values.get(key, 0.0) + amount
 
+    def child(self, **labels: Any) -> "CounterChild":
+        """One labelled series with the label key resolved once.
+
+        For hot paths (e.g. the WAL appending per mutation): a child's
+        :meth:`~CounterChild.inc` skips per-call label validation and
+        sorting.
+        """
+        return CounterChild(self, _label_key(labels))
+
     def value(self, **labels: Any) -> float:
         """Current value of one labelled series (0.0 if never incremented)."""
         return self._values.get(_label_key(labels), 0.0)
@@ -106,6 +116,21 @@ class Counter(Metric):
         """``(labels, value)`` pairs, sorted by label-set."""
         with self._lock:
             return [(dict(key), value) for key, value in sorted(self._values.items())]
+
+
+class CounterChild:
+    """One pre-resolved labelled series of a :class:`Counter`."""
+
+    __slots__ = ("_counter", "_key")
+
+    def __init__(self, counter: Counter, key: LabelKey) -> None:
+        self._counter = counter
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        values = self._counter._values
+        with self._counter._lock:
+            values[self._key] = values.get(self._key, 0.0) + amount
 
 
 class Gauge(Metric):

@@ -225,6 +225,34 @@ class ServerClient:
             result.tracer = tracer
         return result
 
+    def mutate(
+        self,
+        mutations: "list[dict[str, Any]] | tuple[dict[str, Any], ...]",
+        *,
+        durable: bool = True,
+    ) -> dict[str, Any]:
+        """Apply a batch of mutations to the session's database.
+
+        Each mutation is a dict with an ``action`` key::
+
+            {"action": "insert",       "classes": ["TA", "Grad"], "value": None}
+            {"action": "insert_value", "cls": "GPA", "value": 3.8}
+            {"action": "link",   "a": ["TA", 3], "b": ["Grad", 3],
+                                 "assoc": "isa_TA_Grad"}   # assoc optional
+            {"action": "unlink", "a": [...], "b": [...]}
+            {"action": "delete", "instance": ["GPA", 41]}
+            {"action": "update", "instance": ["GPA", 41], "value": 3.9}
+
+        With ``durable`` (the default) the server acknowledges only
+        after its storage engine flushed the WAL — a returned response
+        means the batch survives ``kill -9``.  The response carries
+        ``applied``, per-action ``results`` (created OIDs for inserts)
+        and the engine's ``durable_seq``.
+        """
+        return self._rpc(
+            {"op": "mutate", "mutations": list(mutations), "durable": durable}
+        )
+
     def fetch(self, cursor: str) -> dict[str, Any]:
         """One explicit page of a paged result (``patterns`` + ``cursor``)."""
         return self._rpc({"op": "fetch", "cursor": cursor})

@@ -29,6 +29,9 @@ A request is a JSON object with an ``op`` field::
                     "timeout": 5.0,            # per-request deadline (s)
                     "page_size": 500}          # result paging
     {"op": "fetch", "cursor": "c1"}            # next page of a paged result
+    {"op": "mutate", "mutations": [            # DML batch (see below)
+        {"action": "insert_value", "cls": "GPA", "value": 3.8}],
+                     "durable": true}          # ack only after WAL flush
     {"op": "metrics"}                          # Prometheus snapshot
     {"op": "events", "type": "request.finish", # structured event ring
                      "after": 17, "limit": 50} #   (all fields optional)
@@ -49,7 +52,13 @@ Success frames carry ``{"ok": true, ...}`` with op-specific payload; a
 :func:`pattern_to_wire`), a ``cursor`` when more pages remain, the root
 physical ``strategy``, ``elapsed_ms``, ``queue_wait_ms`` (admission
 wait), the echoed ``trace_id`` when a context was stamped, and — on
-request — ``values``, ``explain`` and ``trace``.  Failure frames carry a
+request — ``values``, ``explain`` and ``trace``.  A ``mutate`` response
+holds ``applied`` (actions that landed), per-action ``results`` (created
+OIDs for inserts) and ``durable_seq`` — with ``durable`` (the default)
+the frame is sent only after the storage engine's WAL flushed, so an
+acknowledged batch survives ``kill -9`` (actions: ``insert``,
+``insert_value``, ``link``, ``unlink``, ``delete``, ``update``; see
+``ServerClient.mutate``).  Failure frames carry a
 structured error::
 
     {"ok": false, "error": {"code": "timeout", "message": "..."}}

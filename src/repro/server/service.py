@@ -66,6 +66,7 @@ from dataclasses import dataclass, field
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
+from repro.core.identity import IID
 from repro.engine.database import Database
 from repro.errors import ReproError
 from repro.obs.events import EventLog, SlowQueryLog
@@ -193,7 +194,8 @@ class QueryService:
         """The shared database mounted under ``name`` (lazy, cached).
 
         Known names are the bundled datasets plus ``"snapshot"`` when the
-        config points at a JSON snapshot.  All sessions opening one name
+        config points at a JSON snapshot or storage directory.  All
+        sessions opening one name
         share a single :class:`Database`; the engine's derived state
         (plan cache, arena, indexes) is safe under concurrent readers.
         """
@@ -202,12 +204,11 @@ class QueryService:
             if db is not None:
                 return db
             if name == "snapshot" and self.config.snapshot_path is not None:
-                from repro.storage.serialization import load_database
-
-                loaded = load_database(self.config.snapshot_path)
-                db = Database(
-                    loaded.schema,
-                    loaded.graph,
+                # A storage directory mounts durable (WAL + recovery); a
+                # JSON file mounts as the classic in-memory snapshot.
+                db = Database.open(
+                    self.config.snapshot_path,
+                    create=False,
                     metrics=self.metrics,
                     events=self.events,
                 )
@@ -273,6 +274,13 @@ class QueryService:
         for writer in tuple(self._connections):
             writer.close()
         self._pool.shutdown(wait=False)
+        # Flush every mounted database's storage engine: a durable mount
+        # checkpoints its WAL tail so the next open recovers instantly.
+        for name in sorted(self._databases):
+            try:
+                self._databases[name].close()
+            except ReproError:  # pragma: no cover — close must not block stop
+                pass
         self.events.emit("server.stop")
 
     def readiness(self) -> dict[str, Any]:
@@ -384,6 +392,8 @@ class QueryService:
             return self._op_open(session, request)
         if op == "query":
             return await self._op_query(session, request)
+        if op == "mutate":
+            return await self._op_mutate(session, request)
         if op == "fetch":
             return self._op_fetch(session, request)
         if op == "metrics":
@@ -744,6 +754,128 @@ class QueryService:
         )
 
     # -- fetch ---------------------------------------------------------
+
+    # -- mutate --------------------------------------------------------
+
+    async def _op_mutate(
+        self, session: Session, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Apply a batch of mutations; acknowledge only once durable.
+
+        The batch runs on a worker thread (a WAL fsync must not stall
+        the event loop) and, with ``durable`` set (the default), the
+        response is sent only after the engine flushed — an acknowledged
+        mutation survives ``kill -9``.  Batches serialize per database
+        through its write lock; there are no transactions, so a failing
+        action leaves the earlier ones applied (``applied`` says how
+        many landed).
+        """
+        mutations = request.get("mutations")
+        if not isinstance(mutations, list) or not mutations:
+            self._count("mutate", "error")
+            return error_response(
+                "bad_request", "mutate op requires a nonempty 'mutations' list"
+            )
+        durable = bool(request.get("durable", True))
+        trace_id = _trace_id_of(request)
+        assert self._loop is not None
+        self._m_inflight.inc()
+        future = self._loop.run_in_executor(
+            self._pool,
+            self._execute_mutations,
+            session,
+            mutations,
+            durable,
+            trace_id,
+        )
+        future.add_done_callback(lambda _: self._m_inflight.dec())
+        response = await asyncio.shield(future)
+        self._count("mutate", "ok" if response.get("ok") else "error")
+        return response
+
+    def _execute_mutations(
+        self,
+        session: Session,
+        mutations: list[Any],
+        durable: bool,
+        trace_id: str | None,
+    ) -> dict[str, Any]:
+        """Worker-thread side of ``mutate``: apply, then group-commit."""
+        db = session.database
+        results: list[dict[str, Any]] = []
+        applied = 0
+        failure: dict[str, Any] | None = None
+        for action in mutations:
+            try:
+                results.append(self._apply_mutation(db, action))
+                applied += 1
+            except (KeyError, TypeError, ValueError) as exc:
+                failure = error_response(
+                    "bad_request", f"malformed mutation {applied}: {exc!r}"
+                )
+                break
+            except ReproError as exc:
+                failure = error_response(
+                    "engine_error", f"mutation {applied} failed: {exc}"
+                )
+                break
+        # Group commit: one flush acknowledges the whole batch (partial
+        # batches flush too — what landed before the failure is durable).
+        durable_seq = db.engine.flush() if durable else db.engine.last_seq
+        self.events.emit(
+            "mutation.batch",
+            trace_id=trace_id,
+            session=session.id,
+            database=session.database_name,
+            count=applied,
+            durable=durable,
+            durable_seq=durable_seq,
+            status="error" if failure else "ok",
+        )
+        if failure is not None:
+            failure["applied"] = applied
+            failure["durable_seq"] = durable_seq
+            return failure
+        return {
+            "ok": True,
+            "applied": applied,
+            "results": results,
+            "durable_seq": durable_seq,
+        }
+
+    @staticmethod
+    def _apply_mutation(db: Database, action: Any) -> dict[str, Any]:
+        """One wire mutation → one Database DML call → wire result."""
+        if not isinstance(action, dict):
+            raise TypeError(f"mutation must be an object, got {action!r}")
+        kind = action.get("action")
+        if kind == "insert":
+            created = db.insert(action["classes"], action.get("value"))
+            return {
+                "action": "insert",
+                "created": {cls: i.oid for cls, i in created.items()},
+            }
+        if kind == "insert_value":
+            instance = db.insert_value(action["cls"], action["value"])
+            return {"action": "insert_value", "created": [instance.cls, instance.oid]}
+        if kind in ("link", "unlink"):
+            a = IID(str(action["a"][0]), int(action["a"][1]))
+            b = IID(str(action["b"][0]), int(action["b"][1]))
+            (db.link if kind == "link" else db.unlink)(
+                a, b, action.get("assoc")
+            )
+            return {"action": kind}
+        if kind == "delete":
+            instance = action["instance"]
+            db.delete(IID(str(instance[0]), int(instance[1])))
+            return {"action": "delete"}
+        if kind == "update":
+            instance = action["instance"]
+            db.update_value(
+                IID(str(instance[0]), int(instance[1])), action["value"]
+            )
+            return {"action": "update"}
+        raise ValueError(f"unknown mutation action {kind!r}")
 
     def _op_fetch(self, session: Session, request: dict[str, Any]) -> dict[str, Any]:
         cursor = str(request.get("cursor", ""))

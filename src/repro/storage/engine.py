@@ -1,0 +1,566 @@
+"""Pluggable storage engines: durability behind the ``Database`` facade.
+
+A :class:`StorageEngine` receives every mutation event the
+:class:`~repro.engine.database.Database` emits (the same stream that
+keeps the arena, indexes and statistics catalog fresh) and owns the
+persistence of the extensional state.  Two backends ship:
+
+* :class:`MemoryEngine` — no durability; checkpoints are kept as
+  in-process documents.  This is the default and preserves the classic
+  "Database lives in one process's memory" behavior, while giving
+  named save-points (:meth:`~repro.engine.database.Database.checkpoint`
+  / :meth:`~repro.engine.database.Database.rollback`) the same API as
+  the durable backend.
+
+* :class:`FileEngine` — a storage directory holding an append-only
+  write-ahead log of mutation records (:mod:`repro.storage.wal`),
+  periodically compacted JSON checkpoints, and a ``MANIFEST.json``
+  naming the current recovery base.  Crash recovery loads the latest
+  checkpoint and replays the WAL tail (tolerating a torn final record);
+  a background thread batches fsyncs (group commit) and compacts the
+  log once enough records accumulate.
+
+The swappable-backend shape follows the ``IIndexStore`` abstraction of
+ioncore-python's association/datastore services (SNIPPETS.md snippets
+1–2): the service logic binds to the interface, the deployment picks the
+backend.
+
+Directory layout of a :class:`FileEngine` store::
+
+    store/
+      MANIFEST.json            # current checkpoint + WAL + named savepoints
+      checkpoint-000000.json   # snapshot documents (schema + graph + wal_seq)
+      wal.log                  # mutation records past the current checkpoint
+
+Observability: engines register ``repro_wal_records_total{kind}``,
+``repro_wal_fsync_seconds`` and ``repro_checkpoint_total{engine,reason}``
+in the database's metrics registry and emit ``wal.checkpoint`` /
+``recovery.replay`` events into its event log.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import StorageError
+from repro.storage.wal import WalRecord, WalWriter, read_wal
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.engine.database import Database, MutationEvent
+
+__all__ = [
+    "StorageEngine",
+    "MemoryEngine",
+    "FileEngine",
+    "RecoveredState",
+    "STORE_FORMAT",
+]
+
+#: Format marker of a storage directory's MANIFEST.
+STORE_FORMAT = "repro-store-v1"
+
+
+class RecoveredState:
+    """What :meth:`FileEngine.open_store` found on disk.
+
+    ``document`` is the recovery-base checkpoint document (schema +
+    graph), ``records`` the WAL tail past it (already filtered and
+    sequence-ordered), ``torn_bytes`` how many trailing bytes a torn
+    final record cost (0 for a clean log).
+    """
+
+    def __init__(
+        self,
+        document: dict[str, Any],
+        records: list[WalRecord],
+        torn_bytes: int = 0,
+    ) -> None:
+        self.document = document
+        self.records = records
+        self.torn_bytes = torn_bytes
+
+
+class StorageEngine:
+    """Interface every storage backend implements.
+
+    The engine is attached to exactly one database
+    (:meth:`attach`, called from ``Database.__init__``); from then on
+    ``Database._emit`` tees every mutation event into :meth:`append`.
+    """
+
+    #: Short backend identifier (metrics label, ``describe()``).
+    name = "abstract"
+    #: Whether appended records survive process death once flushed.
+    durable = False
+
+    def __init__(self) -> None:
+        self._db: "Database | None" = None
+        self._seq = 0
+        self._recovering = False
+        self._m_checkpoints = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def attach(self, db: "Database") -> None:
+        """Bind to ``db`` and register metrics in its registry."""
+        self._db = db
+        self._m_checkpoints = db.metrics.counter(
+            "repro_checkpoint_total", "Checkpoints written, by engine and reason"
+        )
+
+    def close(self) -> None:
+        """Flush and release resources; further appends are errors."""
+
+    def begin_recovery(self) -> None:
+        """Enter replay mode: :meth:`append` becomes a no-op.
+
+        Recovery re-emits mutation events through the database's normal
+        path so derived state rebuilds identically, but the records are
+        already on disk — re-appending would duplicate them.
+        """
+        self._recovering = True
+
+    def end_recovery(self) -> None:
+        """Leave replay mode; appends persist again."""
+        self._recovering = False
+
+    # -- the WAL side ---------------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest appended record."""
+        return self._seq
+
+    def append(self, event: "MutationEvent") -> int | None:
+        """Persist one mutation event; returns its WAL sequence number.
+
+        Returns ``None`` while recovery is replaying (the records are
+        already on disk).
+        """
+        if self._recovering:
+            return None
+        self._seq += 1
+        return self._seq
+
+    def flush(self) -> int:
+        """Make every appended record durable; returns the durable seq."""
+        return self._seq
+
+    # -- checkpoints ----------------------------------------------------
+
+    def checkpoint(self, name: str | None = None, reason: str = "api") -> str:
+        """Capture the attached database's state; returns the name."""
+        raise NotImplementedError
+
+    def load_checkpoint(self, name: str) -> dict[str, Any]:
+        """The graph document a checkpoint captured."""
+        raise NotImplementedError
+
+    def checkpoints(self) -> list[str]:
+        """Names of the retrievable checkpoints, oldest first."""
+        raise NotImplementedError
+
+    # -- plumbing -------------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        """Operational summary (surfaced by ``Database.describe_storage``)."""
+        return {"engine": self.name, "durable": self.durable, "last_seq": self._seq}
+
+    def _require_db(self) -> "Database":
+        if self._db is None:
+            raise StorageError(f"{type(self).__name__} is not attached to a database")
+        return self._db
+
+    def _count_checkpoint(self, reason: str) -> None:
+        if self._m_checkpoints is not None:
+            self._m_checkpoints.inc(engine=self.name, reason=reason)
+
+    def __str__(self) -> str:
+        return f"{type(self).__name__}(seq={self._seq})"
+
+
+class MemoryEngine(StorageEngine):
+    """The non-durable backend: checkpoints held as in-process documents.
+
+    Mutation events are counted but not persisted; named checkpoints
+    give :meth:`Database.checkpoint`/:meth:`Database.rollback` the same
+    semantics as the durable backend, minus crash survival.
+    """
+
+    name = "memory"
+    durable = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._checkpoints: dict[str, dict[str, Any]] = {}
+
+    def checkpoint(self, name: str | None = None, reason: str = "api") -> str:
+        from repro.storage.serialization import graph_to_dict
+
+        db = self._require_db()
+        if name is None:
+            name = f"ckpt-{self._seq:06d}"
+        self._checkpoints[name] = {
+            "graph": graph_to_dict(db.graph),
+            "wal_seq": self._seq,
+        }
+        self._count_checkpoint(reason)
+        return name
+
+    def load_checkpoint(self, name: str) -> dict[str, Any]:
+        try:
+            return self._checkpoints[name]["graph"]
+        except KeyError:
+            raise StorageError(f"unknown checkpoint {name!r}") from None
+
+    def checkpoints(self) -> list[str]:
+        return list(self._checkpoints)
+
+
+class FileEngine(StorageEngine):
+    """Durable backend: WAL + compacted checkpoints in one directory.
+
+    ``sync`` picks the fsync policy of the WAL (see
+    :data:`repro.storage.wal.SYNC_MODES`): ``"always"`` pays one fsync
+    per mutation, ``"batch"`` (default) groups commits — the background
+    thread syncs at least every ``batch_seconds`` and callers needing a
+    durability guarantee call :meth:`flush` (the server does, before
+    acknowledging a mutation batch) — and ``"never"`` leaves it to the
+    OS.  ``checkpoint_interval`` bounds the WAL: once that many records
+    accumulate past the newest checkpoint, the background thread writes
+    a fresh checkpoint and truncates the log.
+    """
+
+    name = "file"
+    durable = True
+
+    MANIFEST = "MANIFEST.json"
+    WAL = "wal.log"
+
+    def __init__(
+        self,
+        path: "str | Path",
+        *,
+        create: bool = True,
+        sync: str = "batch",
+        batch_seconds: float = 0.05,
+        checkpoint_interval: int = 1024,
+        checkpoint_on_close: bool = True,
+        background: bool = True,
+    ) -> None:
+        super().__init__()
+        self.dir = Path(path)
+        self.create = create
+        self.sync_mode = sync
+        self.batch_seconds = max(float(batch_seconds), 0.001)
+        self.checkpoint_interval = max(int(checkpoint_interval), 1)
+        self.checkpoint_on_close = checkpoint_on_close
+        self.background = background
+        self._lock = threading.RLock()
+        self._writer: WalWriter | None = None
+        self._manifest: dict[str, Any] = {}
+        self._records_since_checkpoint = 0
+        self._closed = False
+        self._thread: threading.Thread | None = None
+        self._wake = threading.Condition(self._lock)
+        self._m_records = None
+        self._m_record_kinds: dict[str, Any] = {}
+        self._m_fsync = None
+
+    # -- attach / metrics ----------------------------------------------
+
+    def attach(self, db: "Database") -> None:
+        super().attach(db)
+        self._m_records = db.metrics.counter(
+            "repro_wal_records_total", "WAL records appended, by mutation kind"
+        )
+        self._m_record_kinds = {}
+        self._m_fsync = db.metrics.histogram(
+            "repro_wal_fsync_seconds", "Wall-clock seconds per WAL fsync"
+        )
+
+    # -- store opening --------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.dir / self.MANIFEST
+
+    @property
+    def wal_path(self) -> Path:
+        return self.dir / self.WAL
+
+    def open_store(self) -> RecoveredState | None:
+        """Read the on-disk state; ``None`` means a fresh (empty) store.
+
+        For an existing store: loads the manifest and its recovery-base
+        checkpoint, reads the WAL tail past it (truncating a torn final
+        record in place), and positions the sequence counter after the
+        newest surviving record.  Call exactly once, before
+        :meth:`attach`-time appends can happen.
+        """
+        if self.manifest_path.exists():
+            return self._recover()
+        if self.dir.exists() and any(self.dir.iterdir()):
+            raise StorageError(
+                f"{self.dir} is not empty and holds no {self.MANIFEST}; "
+                "refusing to treat it as a storage directory"
+            )
+        if not self.create:
+            raise StorageError(f"no store at {self.dir} (create=False)")
+        return None
+
+    def _recover(self) -> RecoveredState:
+        try:
+            self._manifest = json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StorageError(f"cannot read {self.manifest_path}: {exc}") from exc
+        if self._manifest.get("format") != STORE_FORMAT:
+            raise StorageError(
+                f"unsupported store format {self._manifest.get('format')!r}"
+            )
+        checkpoint_file = self.dir / self._manifest["checkpoint"]
+        try:
+            document = json.loads(checkpoint_file.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StorageError(f"cannot read checkpoint {checkpoint_file}: {exc}") from exc
+        base_seq = int(document.get("wal_seq", 0))
+        records, good_size, torn_bytes = read_wal(self.wal_path)
+        if torn_bytes:
+            # Drop the torn tail in place so the next append starts at a
+            # clean frame boundary.
+            with self.wal_path.open("r+b") as fh:
+                fh.truncate(good_size)
+        records = [r for r in records if r.seq > base_seq]
+        self._seq = max([base_seq] + [r.seq for r in records])
+        self._records_since_checkpoint = len(records)
+        self._open_writer()
+        return RecoveredState(document, records, torn_bytes)
+
+    def initialize(self, db: "Database") -> None:
+        """Create a fresh store for ``db``'s current state."""
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self._manifest = {
+            "format": STORE_FORMAT,
+            "checkpoint": "",
+            "wal": self.WAL,
+            "named": {},
+            "created": time.time(),
+        }
+        self.wal_path.touch()
+        self._open_writer()
+        self.checkpoint(reason="create")
+
+    def _open_writer(self) -> None:
+        self._writer = WalWriter(
+            self.wal_path, sync=self.sync_mode, on_sync=self._observe_fsync
+        )
+        if self.background and self._thread is None:
+            self._thread = threading.Thread(
+                target=self._background_loop,
+                name=f"repro-storage-{self.dir.name}",
+                daemon=True,
+            )
+            self._thread.start()
+
+    def _observe_fsync(self, seconds: float) -> None:
+        if self._m_fsync is not None:
+            self._m_fsync.observe(seconds)
+
+    # -- append / flush -------------------------------------------------
+
+    def append(self, event: "MutationEvent") -> int | None:
+        if self._recovering:
+            return None
+        with self._lock:
+            if self._closed:
+                raise StorageError(f"store {self.dir} is closed")
+            if self._writer is None:
+                raise StorageError(f"store {self.dir} was never opened")
+            self._seq += 1
+            # Built inline (the WalRecord.to_payload shape) — this runs
+            # once per mutation and skipping the dataclass matters.
+            payload: dict[str, Any] = {
+                "seq": self._seq,
+                "kind": event.kind,
+                "in": [[i.cls, i.oid] for i in event.instances],
+            }
+            if event.association is not None:
+                payload["assoc"] = event.association
+            if event.value is not None:
+                payload["value"] = event.value
+            self._writer.append_payload(self._seq, payload)
+            self._records_since_checkpoint += 1
+            if self._m_records is not None:
+                child = self._m_record_kinds.get(event.kind)
+                if child is None:
+                    child = self._m_records.child(kind=event.kind)
+                    self._m_record_kinds[event.kind] = child
+                child.inc()
+            # Only a due checkpoint warrants waking the background thread
+            # early; batch fsyncs ride its timed wait — notifying on mere
+            # pending bytes would degrade "batch" to fsync-per-append.
+            if self._records_since_checkpoint >= self.checkpoint_interval:
+                self._wake.notify()
+            return self._seq
+
+    def flush(self) -> int:
+        """Group commit: fsync the WAL; returns the durable sequence."""
+        with self._lock:
+            if self._writer is None or self._closed:
+                return self._seq
+            return self._writer.sync()
+
+    # -- checkpoints ----------------------------------------------------
+
+    def checkpoint(self, name: str | None = None, reason: str = "api") -> str:
+        """Write a checkpoint document and compact the WAL.
+
+        The checkpoint becomes the recovery base (the WAL restarts
+        empty); with ``name`` it is additionally recorded as a named
+        savepoint retained across future compactions.
+        """
+        from repro.storage.serialization import graph_to_dict, schema_to_dict
+
+        db = self._require_db()
+        # The database's write lock makes (graph state, WAL seq) a
+        # consistent pair even while other threads mutate.
+        with db.write_lock:
+            with self._lock:
+                if self._writer is None:
+                    raise StorageError(f"store {self.dir} was never opened")
+                self._writer.sync()
+                seq = self._seq
+                document = {
+                    "format": STORE_FORMAT + "+checkpoint",
+                    "schema": schema_to_dict(db.schema),
+                    "graph": graph_to_dict(db.graph),
+                    "wal_seq": seq,
+                    "name": name,
+                    "written": time.time(),
+                }
+                suffix = f"-{name}" if name else ""
+                filename = f"checkpoint-{seq:06d}{suffix}.json"
+                self._write_atomic(self.dir / filename, document)
+                previous = self._manifest.get("checkpoint")
+                named = dict(self._manifest.get("named", {}))
+                if name:
+                    named[name] = filename
+                self._manifest.update(checkpoint=filename, named=named)
+                self._write_atomic(self.manifest_path, self._manifest)
+                self._writer.truncate()
+                records = self._records_since_checkpoint
+                self._records_since_checkpoint = 0
+                if previous and previous != filename and previous not in named.values():
+                    # The superseded unnamed checkpoint is garbage now.
+                    try:
+                        (self.dir / previous).unlink()
+                    except OSError:  # pragma: no cover — already gone
+                        pass
+        self._count_checkpoint(reason)
+        db.events.emit(
+            "wal.checkpoint",
+            seq=seq,
+            records=records,
+            reason=reason,
+            name=name,
+            file=filename,
+        )
+        return name if name else filename
+
+    def load_checkpoint(self, name: str) -> dict[str, Any]:
+        with self._lock:
+            named = self._manifest.get("named", {})
+            filename = named.get(name, name)
+            path = self.dir / filename
+            if not path.exists():
+                raise StorageError(f"unknown checkpoint {name!r} in {self.dir}")
+            try:
+                document = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                raise StorageError(f"cannot read checkpoint {path}: {exc}") from exc
+        return document["graph"]
+
+    def checkpoints(self) -> list[str]:
+        with self._lock:
+            return list(self._manifest.get("named", {}))
+
+    def _write_atomic(self, path: Path, document: dict[str, Any]) -> None:
+        """tmp + fsync + rename, then fsync the directory entry."""
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        try:
+            body = json.dumps(document, indent=1, default=_reject_value)
+        except TypeError as exc:
+            raise StorageError(f"unserializable value in checkpoint: {exc}") from exc
+        with tmp.open("w", encoding="utf-8") as fh:
+            fh.write(body)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        try:
+            dir_fd = os.open(self.dir, os.O_RDONLY)
+        except OSError:  # pragma: no cover — e.g. non-POSIX fs
+            return
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+    # -- background group commit + compaction ---------------------------
+
+    def _background_loop(self) -> None:
+        while True:
+            with self._lock:
+                self._wake.wait(timeout=self.batch_seconds)
+                if self._closed:
+                    return
+                writer = self._writer
+                pending = writer.pending if writer is not None else 0
+                due = self._records_since_checkpoint >= self.checkpoint_interval
+            try:
+                if pending and self.sync_mode == "batch":
+                    self.flush()
+                if due:
+                    self.checkpoint(reason="auto")
+            except StorageError:  # pragma: no cover — e.g. closed mid-flight
+                return
+
+    # -- close ----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            dirty = self._records_since_checkpoint > 0
+        if dirty and self.checkpoint_on_close:
+            self.checkpoint(reason="close")
+        with self._lock:
+            self._closed = True
+            self._wake.notify_all()
+            writer, self._writer = self._writer, None
+        if writer is not None:
+            writer.close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def describe(self) -> dict[str, Any]:
+        out = super().describe()
+        with self._lock:
+            out.update(
+                path=str(self.dir),
+                sync=self.sync_mode,
+                checkpoint_interval=self.checkpoint_interval,
+                wal_records_since_checkpoint=self._records_since_checkpoint,
+                checkpoint=self._manifest.get("checkpoint"),
+                named_checkpoints=sorted(self._manifest.get("named", {})),
+            )
+        return out
+
+
+def _reject_value(value: Any) -> Any:
+    raise TypeError(f"value {value!r} is not JSON-serializable")

@@ -20,6 +20,7 @@ ints and floats, as the paper's primitive domains suggest).
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Any
 
@@ -34,6 +35,8 @@ __all__ = [
     "schema_from_dict",
     "graph_to_dict",
     "graph_from_dict",
+    "write_snapshot",
+    "read_snapshot",
     "save_database",
     "load_database",
 ]
@@ -122,8 +125,12 @@ def graph_from_dict(data: dict[str, Any], schema: SchemaGraph) -> ObjectGraph:
     return graph
 
 
-def save_database(db: Database, path: "str | Path") -> None:
-    """Write a database snapshot to ``path`` as JSON."""
+def write_snapshot(db: Database, path: "str | Path") -> None:
+    """Write a standalone single-file JSON snapshot of ``db``.
+
+    The mechanism behind :meth:`Database.save` for ``.json`` targets;
+    user code goes through the lifecycle API instead.
+    """
     document = {
         "format": FORMAT,
         "schema": schema_to_dict(db.schema),
@@ -135,8 +142,11 @@ def save_database(db: Database, path: "str | Path") -> None:
         raise StorageError(f"unserializable value in database: {exc}") from exc
 
 
-def load_database(path: "str | Path") -> Database:
-    """Load a database snapshot written by :func:`save_database`."""
+def read_snapshot(path: "str | Path") -> tuple[SchemaGraph, ObjectGraph]:
+    """Read a snapshot file back into ``(schema, graph)``.
+
+    The mechanism behind :meth:`Database.open` for ``.json`` paths.
+    """
     try:
         document = json.loads(Path(path).read_text())
     except (OSError, json.JSONDecodeError) as exc:
@@ -147,11 +157,27 @@ def load_database(path: "str | Path") -> Database:
         )
     schema = schema_from_dict(document["schema"])
     graph = graph_from_dict(document["graph"], schema)
-    db = Database(schema, graph)
-    # A loaded snapshot is a settled extent: analyze up front so plan
-    # choice is statistics-driven from the first query.
-    db.analyze()
-    return db
+    return schema, graph
+
+
+def save_database(db: Database, path: "str | Path") -> None:
+    """Deprecated: use :meth:`Database.save` (lifecycle API)."""
+    warnings.warn(
+        "save_database() is deprecated; use Database.save(path)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    db.save(path)
+
+
+def load_database(path: "str | Path") -> Database:
+    """Deprecated: use :meth:`Database.open` (lifecycle API)."""
+    warnings.warn(
+        "load_database() is deprecated; use Database.open(path)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return Database.open(path)
 
 
 def _reject(value: Any) -> Any:

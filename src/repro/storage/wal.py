@@ -1,0 +1,369 @@
+"""Write-ahead log: durable framing of the mutation-event stream.
+
+The WAL is the storage engine's source of truth between checkpoints: one
+append-only file of :class:`WalRecord`\\ s, each the durable form of one
+:class:`~repro.engine.database.MutationEvent`.  Recovery replays the
+records past the last checkpoint through the same mutation path the
+original process used, so the arena, indexes and statistics catalog come
+back identical — and the log doubles as a replication stream (ship the
+tail, replay it on a replica).
+
+Framing
+-------
+Each record is::
+
+    +---------------+---------------+------------------------+
+    | u32 length    | u32 crc32     | ``length`` bytes       |
+    | little-endian | of payload    | UTF-8 JSON object      |
+    +---------------+---------------+------------------------+
+
+The CRC makes torn writes detectable: a crash mid-append leaves either a
+short header, a short payload, or a checksum mismatch at the tail, and
+:class:`WalReader` stops cleanly at the last complete record instead of
+propagating garbage.  Everything before the torn tail is trusted — the
+writer never updates in place.
+
+Record payloads are small JSON objects::
+
+    {"seq": 7, "kind": "link", "in": [["TA", 3], ["Grad", 3]],
+     "assoc": "isa_TA_Grad"}
+    {"seq": 8, "kind": "insert", "in": [["GPA", 41]], "value": 3.8}
+
+``seq`` increases by one per record across the life of the store (it
+survives compaction — a checkpoint remembers the sequence number it
+covers, and recovery replays only the records past it).
+
+:class:`WalWriter` owns the append side with batched fsync: ``append``
+buffers into the OS, and durability is paid either per record
+(``sync="always"``), on an explicit :meth:`WalWriter.sync` (group
+commit; ``sync="batch"``, the default), or never (``sync="never"``, for
+throwaway stores and benchmarks measuring the ceiling).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.core.identity import IID
+from repro.errors import StorageError
+
+__all__ = [
+    "WalRecord",
+    "WalReader",
+    "WalWriter",
+    "WalInfo",
+    "encode_record",
+    "encode_payload",
+    "decode_payload",
+    "read_wal",
+    "wal_info",
+    "SYNC_MODES",
+]
+
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+
+#: Accepted ``sync`` policies for :class:`WalWriter`.
+SYNC_MODES = ("always", "batch", "never")
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable mutation: the WAL form of a ``MutationEvent``.
+
+    ``instances`` are ``(class, oid)`` identities; ``value`` carries the
+    inserted/updated primitive value (``None`` otherwise) and must be
+    JSON-representable, exactly like snapshot values.
+    """
+
+    seq: int
+    kind: str
+    instances: tuple[IID, ...]
+    association: str | None = None
+    value: Any = None
+
+    def to_payload(self) -> dict[str, Any]:
+        """The record as the JSON object that goes on disk."""
+        payload: dict[str, Any] = {
+            "seq": self.seq,
+            "kind": self.kind,
+            "in": [[i.cls, i.oid] for i in self.instances],
+        }
+        if self.association is not None:
+            payload["assoc"] = self.association
+        if self.value is not None:
+            payload["value"] = self.value
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "WalRecord":
+        """Rebuild a record from :meth:`to_payload` output."""
+        try:
+            return cls(
+                seq=int(payload["seq"]),
+                kind=str(payload["kind"]),
+                instances=tuple(
+                    IID(str(c), int(o)) for c, o in payload["in"]
+                ),
+                association=payload.get("assoc"),
+                value=payload.get("value"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StorageError(f"malformed WAL payload: {exc}") from exc
+
+    def __str__(self) -> str:
+        suffix = f" via {self.association}" if self.association else ""
+        return f"WalRecord(#{self.seq} {self.kind} {list(self.instances)}{suffix})"
+
+
+#: Shared compact encoder — ``json.dumps`` with keyword arguments builds
+#: a fresh ``JSONEncoder`` per call, which dominates the cost of encoding
+#: a small record.
+_ENCODER = json.JSONEncoder(separators=(",", ":"), sort_keys=True)
+
+# The appending side runs once per mutation, so it reuses the C one-shot
+# encoder instead of rebuilding it per record (what JSONEncoder.encode
+# does internally).  No circular-reference tracking: payloads are trees
+# built here from scratch.
+try:
+    from json import encoder as _json_encoder
+
+    _c_encode = _json_encoder.c_make_encoder(
+        None,  # markers
+        None,  # default
+        _json_encoder.encode_basestring_ascii,
+        None,  # indent
+        ":", ",",  # separators
+        True,  # sort_keys
+        False,  # skipkeys
+        True,  # allow_nan
+    )
+except (ImportError, AttributeError):  # pragma: no cover — no _json
+    _c_encode = None
+
+
+def encode_payload(payload: dict[str, Any]) -> bytes:
+    """Header + JSON bytes for one record's payload object."""
+    try:
+        if _c_encode is not None:
+            body = "".join(_c_encode(payload, 0)).encode("utf-8")
+        else:  # pragma: no cover — pure-Python fallback
+            body = _ENCODER.encode(payload).encode("utf-8")
+    except TypeError as exc:
+        raise StorageError(
+            f"WAL record #{payload.get('seq')} carries an unserializable"
+            f" value: {exc}"
+        ) from exc
+    return _FRAME.pack(len(body), zlib.crc32(body)) + body
+
+
+def encode_record(record: WalRecord) -> bytes:
+    """Header + JSON payload bytes for one record."""
+    return encode_payload(record.to_payload())
+
+
+def decode_payload(body: bytes) -> WalRecord:
+    """Payload bytes back to a record (checksum already verified)."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StorageError(f"undecodable WAL payload: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise StorageError("WAL payload must be a JSON object")
+    return WalRecord.from_payload(payload)
+
+
+class WalReader:
+    """Sequential reader tolerating a torn final record.
+
+    Iterating yields every complete, checksum-valid record.  A torn tail
+    — short header, short payload, or CRC mismatch on the *last* frame —
+    ends iteration cleanly; :attr:`torn_bytes` then holds the number of
+    trailing bytes that were dropped and :attr:`good_size` the offset of
+    the last valid frame boundary (the truncation point recovery uses).
+    Corruption *before* the tail (a bad CRC followed by more valid data)
+    is not a crash artifact and raises :class:`StorageError`.
+    """
+
+    def __init__(self, stream: io.BufferedIOBase, size: int | None = None) -> None:
+        self._stream = stream
+        if size is None:
+            pos = stream.tell()
+            stream.seek(0, os.SEEK_END)
+            size = stream.tell()
+            stream.seek(pos)
+        self._size = size
+        self.good_size = stream.tell()
+        self.torn_bytes = 0
+
+    def __iter__(self) -> Iterator[WalRecord]:
+        while True:
+            start = self._stream.tell()
+            header = self._stream.read(_FRAME.size)
+            if not header:
+                return  # clean EOF at a frame boundary
+            if len(header) < _FRAME.size:
+                self._tear(start)
+                return
+            length, crc = _FRAME.unpack(header)
+            body = self._stream.read(length)
+            if len(body) < length or zlib.crc32(body) != crc:
+                self._tear(start)
+                return
+            record = decode_payload(body)
+            self.good_size = self._stream.tell()
+            yield record
+
+    def _tear(self, offset: int) -> None:
+        """Record a torn tail at ``offset`` (must actually be the tail)."""
+        if self._size - offset > _FRAME.size + 64 * 1024:
+            # Far more trailing bytes than one torn frame plausibly
+            # explains: this is corruption, not a crash artifact.
+            raise StorageError(
+                f"WAL corrupt at offset {offset}: bad frame followed by "
+                f"{self._size - offset} more bytes"
+            )
+        self.torn_bytes = self._size - offset
+        self.good_size = offset
+
+
+def read_wal(path: "str | Path") -> tuple[list[WalRecord], int, int]:
+    """Read a WAL file: ``(records, good_size, torn_bytes)``.
+
+    Tolerates a torn final record (see :class:`WalReader`); a missing
+    file reads as empty.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], 0, 0
+    with path.open("rb") as stream:
+        reader = WalReader(stream)
+        records = list(reader)
+        return records, reader.good_size, reader.torn_bytes
+
+
+@dataclass
+class WalInfo:
+    """Summary of one WAL file (the ``repro wal`` CLI's data)."""
+
+    path: str
+    records: int = 0
+    first_seq: int | None = None
+    last_seq: int | None = None
+    bytes: int = 0
+    torn_bytes: int = 0
+    kinds: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the log verified clean (no torn tail)."""
+        return self.torn_bytes == 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "records": self.records,
+            "first_seq": self.first_seq,
+            "last_seq": self.last_seq,
+            "bytes": self.bytes,
+            "torn_bytes": self.torn_bytes,
+            "kinds": dict(sorted(self.kinds.items())),
+            "ok": self.ok,
+        }
+
+
+def wal_info(path: "str | Path") -> WalInfo:
+    """Scan and verify one WAL file (checksums every record)."""
+    records, good_size, torn = read_wal(path)
+    info = WalInfo(path=str(path), bytes=good_size + torn, torn_bytes=torn)
+    info.records = len(records)
+    if records:
+        info.first_seq = records[0].seq
+        info.last_seq = records[-1].seq
+    for record in records:
+        info.kinds[record.kind] = info.kinds.get(record.kind, 0) + 1
+    return info
+
+
+class WalWriter:
+    """Append side of one WAL file, with batched fsync.
+
+    Not thread-safe on its own — the owning engine serializes appends.
+    ``on_sync(seconds)`` is invoked after every fsync with its duration
+    (the engine feeds ``repro_wal_fsync_seconds``).
+    """
+
+    def __init__(
+        self,
+        path: "str | Path",
+        *,
+        sync: str = "batch",
+        on_sync: Callable[[float], None] | None = None,
+    ) -> None:
+        if sync not in SYNC_MODES:
+            raise StorageError(f"unknown WAL sync mode {sync!r}; use {SYNC_MODES}")
+        self.path = Path(path)
+        self.sync_mode = sync
+        self._on_sync = on_sync
+        self._file = self.path.open("ab")
+        #: Records appended but not yet fsynced (group-commit backlog).
+        self.pending = 0
+        #: Sequence number of the last record made durable by a sync.
+        self.durable_seq = 0
+        self._last_seq = 0
+
+    def append(self, record: WalRecord) -> None:
+        """Buffer one record (durable after the next sync)."""
+        self.append_payload(record.seq, record.to_payload())
+
+    def append_payload(self, seq: int, payload: dict[str, Any]) -> None:
+        """Buffer one record given as its payload object.
+
+        The hot-path form — the engine builds the payload straight from
+        the mutation event without materializing a :class:`WalRecord`.
+        The bytes stay in the userspace buffer until :meth:`sync` — one
+        flush syscall per group commit, not per record — so a crash can
+        lose at most the records of the current batch window, which is
+        exactly the ``sync="batch"`` contract.
+        """
+        self._file.write(encode_payload(payload))
+        self._last_seq = seq
+        self.pending += 1
+        if self.sync_mode == "always":
+            self.sync()
+
+    def sync(self) -> int:
+        """Flush + fsync the file; returns the now-durable sequence."""
+        if self.pending or self.sync_mode != "never":
+            import time
+
+            self._file.flush()
+            started = time.perf_counter()
+            os.fsync(self._file.fileno())
+            if self._on_sync is not None:
+                self._on_sync(time.perf_counter() - started)
+        self.pending = 0
+        self.durable_seq = self._last_seq
+        return self.durable_seq
+
+    def truncate(self) -> None:
+        """Drop every record (post-checkpoint compaction)."""
+        self._file.truncate(0)
+        self._file.seek(0)
+        os.fsync(self._file.fileno())
+        self.pending = 0
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            try:
+                os.fsync(self._file.fileno())
+            except OSError:  # pragma: no cover — fs without fsync
+                pass
+            self._file.close()

@@ -1,0 +1,94 @@
+"""End-to-end crash recovery: serve --db, mutate, kill -9, reopen.
+
+The durability contract under test: once the server acknowledges a
+``mutate`` batch with ``durable=True``, those mutations survive a
+``SIGKILL`` of the server process — no graceful shutdown, no final
+checkpoint, just the checkpoint base plus the WAL.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.engine.database import Database
+from repro.server.client import ServerClient
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def run_cli(*args):
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=60,
+        cwd=REPO,
+    )
+
+
+def test_kill9_then_restart_preserves_acknowledged_batch(tmp_path):
+    store = tmp_path / "store"
+    init = run_cli("init", str(store), "--dataset", "university")
+    assert init.returncode == 0, init.stderr
+
+    port_file = tmp_path / "port"
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--db", str(store),
+            "--port-file", str(port_file),
+            "--admin-port", "-1",
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        env=env,
+        cwd=REPO,
+    )
+    try:
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if port_file.exists() and port_file.read_text().strip():
+                break
+            assert proc.poll() is None, proc.stderr.read().decode()
+            time.sleep(0.05)
+        else:
+            raise AssertionError("server never wrote its port file")
+        port = int(port_file.read_text())
+
+        client = ServerClient(port=port)
+        try:
+            response = client.mutate(
+                [
+                    {"action": "insert_value", "cls": "GPA", "value": 1.23},
+                    {"action": "insert_value", "cls": "SS#", "value": 98765},
+                ],
+                durable=True,
+            )
+        finally:
+            client.close()
+        assert response["ok"] and response["applied"] == 2
+        assert response["durable_seq"] >= 2
+
+        # kill -9: the WAL is all that survives.
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+    recovered = Database.open(store, create=False)
+    try:
+        assert 1.23 in recovered.query("GPA").values("GPA")
+        assert 98765 in recovered.query("SS#").values("SS#")
+        # The seeded dataset also survived (checkpoint base).
+        result = recovered.query("pi(TA * Grad * Student * Person * SS#)[SS#]")
+        assert result.values("SS#") == {333, 444}
+    finally:
+        recovered.close()

@@ -15,7 +15,6 @@ from repro.optimizer import Optimizer
 from repro.optimizer.parallel import decompose_unions, evaluate_parallel
 from repro.rules import Rule, RuleEngine
 from repro.schema import parse_ddl
-from repro.storage import load_database, save_database
 from repro.viz import render_table
 
 LIBRARY_DDL = """
@@ -99,8 +98,8 @@ def test_template_through_everything(db, tmp_path):
 
     # 7. Persist, reload, re-run via OQL text.
     path = tmp_path / "library.json"
-    save_database(db, path)
-    restored = load_database(path)
+    db.save(path)
+    restored = Database.open(path)
     assert restored.values(restored.evaluate(text), "RName") == {"Ada"}
 
 

@@ -8,8 +8,6 @@ from repro.engine.database import Database
 from repro.storage import (
     graph_from_dict,
     graph_to_dict,
-    load_database,
-    save_database,
 )
 from tests.properties.strategies import object_graphs
 
@@ -34,8 +32,8 @@ def test_graph_dict_round_trip(graph):
 def test_queries_agree_after_file_round_trip(tmp_path_factory, graph):
     db = Database(graph.schema, graph)
     path = tmp_path_factory.mktemp("snap") / "db.json"
-    save_database(db, path)
-    restored = load_database(path)
+    db.save(path)
+    restored = Database.open(path)
     query = (ref("A") * ref("B") * ref("C")).project(["A", "C"], ["A:C"])
     assert query.evaluate(db.graph) == query.evaluate(restored.graph)
 

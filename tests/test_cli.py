@@ -94,10 +94,8 @@ def test_save_command(db, tmp_path):
 
 
 def test_main_with_snapshot(tmp_path, db, monkeypatch, capsys):
-    from repro.storage import save_database
-
     path = tmp_path / "db.json"
-    save_database(db, path)
+    db.save(path)
     monkeypatch.setattr("sys.stdin", io.StringIO("\\quit\n"))
     assert main([str(path)]) == 0
     assert "A-algebra shell" in capsys.readouterr().out
@@ -172,10 +170,8 @@ def test_subcommand_metrics_json(capsys):
 
 
 def test_subcommand_metrics_with_snapshot(tmp_path, db, capsys):
-    from repro.storage import save_database
-
     path = tmp_path / "db.json"
-    save_database(db, path)
+    db.save(path)
     assert main(["metrics", "TA * Grad", "--db", str(path)]) == 0
     assert "repro_queries_total 3" in capsys.readouterr().out
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.datasets import figure7, parts_explosion, supplier_parts, university
 from repro.engine.database import Database
-from repro.storage import load_database, save_database
 
 
 @pytest.mark.parametrize(
@@ -14,8 +13,8 @@ def test_round_trip(tmp_path, factory):
     dataset = factory()
     db = Database.from_dataset(dataset)
     path = tmp_path / "snapshot.json"
-    save_database(db, path)
-    restored = load_database(path)
+    db.save(path)
+    restored = Database.open(path)
     assert set(restored.graph.instances()) == set(db.graph.instances())
     for assoc in db.schema.associations:
         matching = restored.schema.association(assoc.key)
@@ -33,8 +32,8 @@ def test_figure8a_reproduces_after_round_trip(tmp_path):
     f = figure7()
     db = Database.from_dataset(f)
     path = tmp_path / "fig7.json"
-    save_database(db, path)
-    restored = load_database(path)
+    db.save(path)
+    restored = Database.open(path)
 
     P = Pattern.build
     alpha = AssociationSet([P(inter(f.a1, f.b1)), P(f.a2), P(inter(f.a3, f.b2))])
@@ -49,8 +48,8 @@ def test_figure8a_reproduces_after_round_trip(tmp_path):
 def test_queries_after_university_round_trip(tmp_path):
     db = Database.from_dataset(university())
     path = tmp_path / "uni.json"
-    save_database(db, path)
-    restored = load_database(path)
+    db.save(path)
+    restored = Database.open(path)
     for query, cls, expected in (
         ("pi(TA * Grad * Student * Person * SS#)[SS#]", "SS#", {333, 444}),
         (

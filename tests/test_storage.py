@@ -10,8 +10,6 @@ from repro.errors import StorageError
 from repro.storage import (
     graph_from_dict,
     graph_to_dict,
-    load_database,
-    save_database,
     schema_from_dict,
     schema_to_dict,
 )
@@ -58,14 +56,14 @@ class TestGraphRoundTrip:
 class TestDatabaseFiles:
     def test_save_load_query(self, db, tmp_path):
         path = tmp_path / "uni.json"
-        save_database(db, path)
-        restored = load_database(path)
-        result = restored.evaluate("pi(TA * Grad * Student * Person * SS#)[SS#]")
-        assert restored.values(result, "SS#") == {333, 444}
+        db.save(path)
+        restored = Database.open(path)
+        result = restored.query("pi(TA * Grad * Student * Person * SS#)[SS#]")
+        assert result.values("SS#") == {333, 444}
 
     def test_snapshot_is_json(self, db, tmp_path):
         path = tmp_path / "uni.json"
-        save_database(db, path)
+        db.save(path)
         document = json.loads(path.read_text())
         assert document["format"] == "repro-aalgebra-v1"
         # Complement edges are derived, never stored: edge volume equals
@@ -80,11 +78,11 @@ class TestDatabaseFiles:
         path = tmp_path / "bad.json"
         path.write_text(json.dumps({"format": "other"}))
         with pytest.raises(StorageError):
-            load_database(path)
+            Database.open(path)
 
     def test_unreadable_file(self, tmp_path):
         with pytest.raises(StorageError):
-            load_database(tmp_path / "missing.json")
+            Database.open(tmp_path / "missing.json", create=False)
 
     def test_unserializable_value(self, tmp_path):
         from repro.schema.graph import SchemaGraph
@@ -94,4 +92,20 @@ class TestDatabaseFiles:
         fresh = Database(schema)
         fresh.insert_value("V", object())
         with pytest.raises(StorageError):
-            save_database(fresh, tmp_path / "x.json")
+            fresh.save(tmp_path / "x.json")
+
+
+class TestDeprecatedShims:
+    """save_database/load_database still work, loudly."""
+
+    def test_round_trip_warns(self, db, tmp_path):
+        from repro.storage import load_database, save_database
+
+        path = tmp_path / "uni.json"
+        with pytest.warns(DeprecationWarning, match="Database.save"):
+            save_database(db, path)
+        with pytest.warns(DeprecationWarning, match="Database.open"):
+            restored = load_database(path)
+        assert set(restored.graph.instances()) == set(db.graph.instances())
+        # load_database's historical contract: the catalog comes back warm.
+        assert restored.stats.analyzed

@@ -1,0 +1,336 @@
+"""The storage subsystem: WAL framing, FileEngine durability, recovery."""
+
+import json
+import threading
+
+import pytest
+
+from repro.core.identity import IID
+from repro.engine.database import Database
+from repro.errors import StorageError
+from repro.schema.graph import SchemaGraph
+from repro.storage.engine import FileEngine, MemoryEngine
+from repro.storage.wal import (
+    WalRecord,
+    WalWriter,
+    decode_payload,
+    encode_record,
+    read_wal,
+    wal_info,
+)
+
+
+def small_schema() -> SchemaGraph:
+    schema = SchemaGraph("small")
+    schema.add_entity_class("A")
+    schema.add_entity_class("B")
+    schema.add_domain_class("V")
+    schema.add_association("A", "B", "AB")
+    schema.add_association("A", "V", "AV")
+    return schema
+
+
+def open_store(path, **kw):
+    kw.setdefault("schema", small_schema())
+    kw.setdefault("sync", "always")
+    return Database.open(path, **kw)
+
+
+# ----------------------------------------------------------------------
+# WAL framing
+# ----------------------------------------------------------------------
+
+
+class TestWalFraming:
+    def test_record_round_trip(self):
+        record = WalRecord(
+            seq=7,
+            kind="link",
+            instances=(IID("A", 1), IID("B", 2)),
+            association="AB",
+        )
+        assert decode_payload(encode_record(record)[8:]) == record
+
+    def test_value_round_trip(self):
+        record = WalRecord(seq=1, kind="insert", instances=(IID("V", 3),), value=3.8)
+        assert decode_payload(encode_record(record)[8:]).value == 3.8
+
+    def test_unserializable_value_rejected(self):
+        record = WalRecord(seq=1, kind="insert", instances=(IID("V", 1),), value=object())
+        with pytest.raises(StorageError):
+            encode_record(record)
+
+    def test_writer_reader_round_trip(self, tmp_path):
+        path = tmp_path / "wal.log"
+        writer = WalWriter(path, sync="always")
+        records = [
+            WalRecord(seq=i, kind="insert", instances=(IID("V", i),), value=i)
+            for i in range(1, 6)
+        ]
+        for record in records:
+            writer.append(record)
+        writer.close()
+        read, good, torn = read_wal(path)
+        assert read == records
+        assert torn == 0
+        assert good == path.stat().st_size
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "wal.log"
+        writer = WalWriter(path, sync="always")
+        for i in range(1, 4):
+            writer.append(
+                WalRecord(seq=i, kind="insert", instances=(IID("V", i),), value=i)
+            )
+        writer.close()
+        size = path.stat().st_size
+        with path.open("r+b") as fh:
+            fh.truncate(size - 5)  # mid-record
+        read, good, torn = read_wal(path)
+        assert [r.seq for r in read] == [1, 2]
+        assert torn == 5 or torn > 0
+        assert good + torn == size - 5
+
+    def test_corrupt_middle_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        writer = WalWriter(path, sync="always")
+        big = "x" * 70_000  # follow-up bytes exceed the torn-frame bound
+        writer.append(WalRecord(seq=1, kind="insert", instances=(IID("V", 1),), value=1))
+        writer.append(WalRecord(seq=2, kind="insert", instances=(IID("V", 2),), value=big))
+        writer.close()
+        data = bytearray(path.read_bytes())
+        data[10] ^= 0xFF  # flip a payload byte of record 1
+        path.write_bytes(bytes(data))
+        with pytest.raises(StorageError):
+            read_wal(path)
+
+    def test_wal_info_summary(self, tmp_path):
+        path = tmp_path / "wal.log"
+        writer = WalWriter(path, sync="always")
+        writer.append(WalRecord(seq=1, kind="insert", instances=(IID("V", 1),), value=1))
+        writer.append(
+            WalRecord(
+                seq=2, kind="link", instances=(IID("A", 1), IID("V", 1)), association="AV"
+            )
+        )
+        writer.close()
+        info = wal_info(path)
+        assert info.ok
+        assert info.records == 2
+        assert (info.first_seq, info.last_seq) == (1, 2)
+        assert info.kinds == {"insert": 1, "link": 1}
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_wal(tmp_path / "absent.log") == ([], 0, 0)
+
+    def test_bad_sync_mode_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            WalWriter(tmp_path / "w.log", sync="sometimes")
+
+
+# ----------------------------------------------------------------------
+# FileEngine stores
+# ----------------------------------------------------------------------
+
+
+class TestFileEngine:
+    def test_create_writes_manifest_and_checkpoint(self, tmp_path):
+        store = tmp_path / "store"
+        db = open_store(store)
+        manifest = json.loads((store / "MANIFEST.json").read_text())
+        assert manifest["format"] == "repro-store-v1"
+        assert (store / manifest["checkpoint"]).exists()
+        assert (store / "wal.log").exists()
+        db.close()
+
+    def test_create_false_requires_store(self, tmp_path):
+        with pytest.raises(StorageError):
+            Database.open(tmp_path / "nope", create=False)
+
+    def test_fresh_store_requires_schema(self, tmp_path):
+        with pytest.raises(StorageError):
+            Database.open(tmp_path / "fresh")
+
+    def test_foreign_directory_refused(self, tmp_path):
+        (tmp_path / "junk.txt").write_text("hello")
+        with pytest.raises(StorageError):
+            Database.open(tmp_path)
+
+    def test_mutations_land_in_wal(self, tmp_path):
+        store = tmp_path / "store"
+        db = open_store(store)
+        a = db.insert("A")["A"]
+        v = db.insert_value("V", 41)
+        db.link(a, v)
+        info = wal_info(store / "wal.log")
+        assert info.records == 3
+        assert info.kinds == {"insert": 2, "link": 1}
+
+    def test_reopen_after_close_recovers_state(self, tmp_path):
+        store = tmp_path / "store"
+        db = open_store(store)
+        a = db.insert("A")["A"]
+        db.link(a, db.insert_value("V", 41))
+        expected = db.snapshot()
+        db.close()
+        with Database.open(store) as db2:
+            assert db2.snapshot() == expected
+
+    def test_crash_recovery_replays_wal_tail(self, tmp_path):
+        store = tmp_path / "store"
+        db = open_store(store)
+        a = db.insert("A")["A"]
+        b = db.insert("B")["B"]
+        db.link(a, b)
+        v = db.insert_value("V", 3.8)
+        db.link(a, v)
+        db.update_value(v, 3.9)
+        expected = db.snapshot()
+        # No close: the only durable state is checkpoint + WAL.
+        db2 = open_store(store, create=False)
+        assert db2.snapshot() == expected
+        assert db2.graph.value(IID("V", v.oid)) == 3.9
+
+    def test_delete_and_unlink_replay(self, tmp_path):
+        store = tmp_path / "store"
+        db = open_store(store)
+        a = db.insert("A")["A"]
+        b = db.insert("B")["B"]
+        db.link(a, b)
+        db.unlink(a, b)
+        v = db.insert_value("V", 1)
+        db.delete(v)
+        expected = db.snapshot()
+        db2 = open_store(store, create=False)
+        assert db2.snapshot() == expected
+        assert not db2.graph.extent("V")
+
+    def test_torn_final_record_recovers_cleanly(self, tmp_path):
+        store = tmp_path / "store"
+        db = open_store(store)
+        for i in range(5):
+            db.insert_value("V", i)
+        wal = store / "wal.log"
+        size = wal.stat().st_size
+        with wal.open("r+b") as fh:
+            fh.truncate(size - 3)
+        db2 = open_store(store, create=False)
+        assert len(db2.graph.extent("V")) == 4
+        # The torn bytes were truncated away; the log verifies clean now.
+        assert wal_info(wal).ok
+        replay = db2.events.events(type="recovery.replay")
+        # The whole incomplete final record counts as torn, not just the
+        # three missing bytes.
+        assert replay and replay[-1].data["torn_bytes"] > 0
+
+    def test_checkpoint_compacts_wal(self, tmp_path):
+        store = tmp_path / "store"
+        db = open_store(store)
+        for i in range(10):
+            db.insert_value("V", i)
+        assert wal_info(store / "wal.log").records == 10
+        db.checkpoint()
+        assert wal_info(store / "wal.log").records == 0
+        # State survives a post-compaction crash (checkpoint is the base).
+        db2 = open_store(store, create=False)
+        assert len(db2.graph.extent("V")) == 10
+
+    def test_auto_checkpoint_interval(self, tmp_path):
+        store = tmp_path / "store"
+        db = open_store(store, checkpoint_interval=5)
+        assert isinstance(db.engine, FileEngine)
+        for i in range(12):
+            db.insert_value("V", i)
+        # The background thread compacts once >= 5 records accumulate.
+        pause = threading.Event()
+        for _ in range(100):
+            if wal_info(store / "wal.log").records < 12:
+                break
+            pause.wait(0.05)
+        assert wal_info(store / "wal.log").records < 12
+        assert any(
+            e.data.get("reason") == "auto"
+            for e in db.events.events(type="wal.checkpoint")
+        )
+        db.close()
+
+    def test_named_checkpoint_survives_restart(self, tmp_path):
+        store = tmp_path / "store"
+        db = open_store(store)
+        db.insert_value("V", 1)
+        db.checkpoint("one")
+        db.insert_value("V", 2)
+        db.close()
+        db2 = Database.open(store)
+        assert sorted(db2.engine.checkpoints()) == ["one"]
+        db2.rollback("one")
+        assert len(db2.graph.extent("V")) == 1
+        # Rollback re-anchored recovery: a crash right now comes back to
+        # the restored state, not the pre-rollback one.
+        db3 = open_store(store, create=False)
+        assert len(db3.graph.extent("V")) == 1
+
+    def test_wal_metrics_and_events(self, tmp_path):
+        store = tmp_path / "store"
+        db = open_store(store)
+        db.insert_value("V", 1)
+        db.checkpoint()
+        from repro.obs.export import metrics_to_prometheus
+
+        text = metrics_to_prometheus(db.metrics)
+        assert "repro_wal_records_total" in text
+        assert "repro_wal_fsync_seconds" in text
+        assert "repro_checkpoint_total" in text
+        assert db.events.events(type="wal.checkpoint")
+
+    def test_closed_database_rejects_mutations(self, tmp_path):
+        db = open_store(tmp_path / "store")
+        db.close()
+        with pytest.raises(StorageError):
+            db.insert_value("V", 1)
+        db.close()  # idempotent
+
+    def test_describe_storage(self, tmp_path):
+        db = open_store(tmp_path / "store")
+        out = db.describe_storage()
+        assert out["engine"] == "file"
+        assert out["durable"] is True
+        assert out["sync"] == "always"
+        db.close()
+        assert db.describe_storage()["closed"] is True
+
+    def test_flush_returns_durable_seq(self, tmp_path):
+        db = open_store(tmp_path / "store", sync="batch")
+        db.insert_value("V", 1)
+        db.insert_value("V", 2)
+        assert db.engine.flush() == db.engine.last_seq
+
+
+class TestMemoryEngine:
+    def test_default_engine_is_memory(self):
+        db = Database(small_schema())
+        assert isinstance(db.engine, MemoryEngine)
+        assert not db.engine.durable
+
+    def test_named_checkpoints_roll_back(self):
+        db = Database(small_schema())
+        db.insert_value("V", 1)
+        name = db.checkpoint("base")
+        assert name == "base"
+        db.insert_value("V", 2)
+        db.rollback("base")
+        assert len(db.graph.extent("V")) == 1
+        assert db.engine.checkpoints() == ["base"]
+
+    def test_unknown_checkpoint_rejected(self):
+        db = Database(small_schema())
+        with pytest.raises(StorageError):
+            db.rollback("never-made")
+
+    def test_anonymous_snapshot_shares_semantics(self):
+        db = Database(small_schema())
+        db.insert_value("V", 1)
+        snap = db.snapshot()
+        db.insert_value("V", 2)
+        db.rollback(snap)  # a dict rolls back through the same path
+        assert len(db.graph.extent("V")) == 1
