@@ -18,7 +18,7 @@ import pytest
 
 from repro.core.assoc_set import AssociationSet
 from repro.core.edges import complement, inter
-from repro.core.expression import Intersect, ref
+from repro.core.expression import Intersect, Select, ref
 from repro.core.operators import (
     a_complement,
     a_difference,
@@ -31,7 +31,16 @@ from repro.core.operators import (
     non_associate,
 )
 from repro.core.pattern import Pattern
-from repro.core.predicates import Callback
+from repro.core.predicates import (
+    And,
+    Callback,
+    ClassValues,
+    Comparison,
+    Const,
+    Not,
+    Or,
+    ValueUnion,
+)
 from repro.exec import Executor
 
 
@@ -345,3 +354,98 @@ def test_compact_speedup_on_macro_intersect_chain(chain200):
     indexed_s = _median_seconds(lambda: indexed.run(expr, use_cache=False))
     speedup = indexed_s / compact_s
     assert speedup >= 2.0, f"compact speedup only {speedup:.1f}x"
+
+
+# ----------------------------------------------------------------------
+# compiled vs object σ: column-mask selects on the σ-heavy valued chain
+# (V0—V1—V2 at 400 per extent, skewed integer values)
+# ----------------------------------------------------------------------
+
+
+def sigma_predicates(rare):
+    """The three σ-heavy predicates, one per chain class.
+
+    A range band OR'd with a rare-value equality, a three-element
+    IN-list, and a negated band — together they exercise every compiled
+    leaf shape (bisect ranges, equality groups, IN unions, Not masks).
+    """
+    return {
+        "V0": Or(
+            And(
+                Comparison(ClassValues("V0"), ">=", Const(1)),
+                Comparison(ClassValues("V0"), "<", Const(20)),
+            ),
+            Comparison(ClassValues("V0"), "=", Const(rare)),
+        ),
+        "V1": Comparison(
+            ClassValues("V1"), "in", ValueUnion(Const(1), Const(2), Const(rare))
+        ),
+        "V2": Not(Comparison(ClassValues("V2"), "<", Const(10))),
+    }
+
+
+def sigma_query(rare):
+    """σ-heavy chain macro query: every extent filtered before joining."""
+    preds = sigma_predicates(rare)
+    return (
+        Select(ref("V0"), preds["V0"])
+        * Select(ref("V1"), preds["V1"])
+        * Select(ref("V2"), preds["V2"])
+    )
+
+
+def test_compiled_select_sigma_chain(benchmark, sigma_chain):
+    expr = sigma_query(sigma_chain.rare_value)
+    executor = Executor(sigma_chain.graph)
+    executor.run(expr, use_cache=False)  # warm arena + columns
+    result = benchmark(lambda: executor.run(expr, use_cache=False))
+    assert result == expr.evaluate(sigma_chain.graph)
+
+
+def test_object_select_sigma_chain(benchmark, sigma_chain):
+    expr = sigma_query(sigma_chain.rare_value)
+    executor = Executor(sigma_chain.graph)
+    executor.run(expr, use_cache=False, compiled_select=False)
+    result = benchmark(
+        lambda: executor.run(expr, use_cache=False, compiled_select=False)
+    )
+    assert result == expr.evaluate(sigma_chain.graph)
+
+
+def test_compiled_select_speedup_on_sigma_heavy_chain(sigma_chain):
+    """Acceptance gate: compiled column masks buy ≥2× over the object σ
+    path on the σ-heavy chain, plans uncached on both sides."""
+    expr = sigma_query(sigma_chain.rare_value)
+    reference = expr.evaluate(sigma_chain.graph)
+    executor = Executor(sigma_chain.graph)
+    # warm the arena / columns and verify both paths match the reference
+    assert executor.run(expr, use_cache=False) == reference
+    assert executor.run(expr, use_cache=False, compiled_select=False) == reference
+    compiled_s = _median_seconds(lambda: executor.run(expr, use_cache=False))
+    object_s = _median_seconds(
+        lambda: executor.run(expr, use_cache=False, compiled_select=False)
+    )
+    speedup = object_s / compiled_s
+    assert speedup >= 2.0, f"compiled-select speedup only {speedup:.1f}x"
+
+
+def test_compiled_select_never_slower(sigma_chain):
+    """Acceptance gate: on pure σ-over-extent queries every compiled
+    predicate shape is at least as fast as the object path (25% slack
+    absorbs timer noise on sub-millisecond runs)."""
+    executor = Executor(sigma_chain.graph)
+    for cls, predicate in sigma_predicates(sigma_chain.rare_value).items():
+        expr = Select(ref(cls), predicate)
+        reference = expr.evaluate(sigma_chain.graph)
+        assert executor.run(expr, use_cache=False) == reference
+        assert (
+            executor.run(expr, use_cache=False, compiled_select=False) == reference
+        )
+        compiled_s = _median_seconds(lambda: executor.run(expr, use_cache=False))
+        object_s = _median_seconds(
+            lambda: executor.run(expr, use_cache=False, compiled_select=False)
+        )
+        assert compiled_s <= object_s * 1.25, (
+            f"compiled σ slower than object path on {cls}: "
+            f"{compiled_s * 1e3:.3f}ms vs {object_s * 1e3:.3f}ms"
+        )

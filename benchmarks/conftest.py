@@ -5,9 +5,14 @@ standalone ``report.py`` sweeps stay in lockstep.
 """
 
 import pytest
-from seeds import CHAIN_SEED, FIG10_SEED, SCALED_UNI_SEED
+from seeds import CHAIN_SEED, FIG10_SEED, SCALED_UNI_SEED, SIGMA_SEED
 
-from repro.datagen import chain_dataset, figure10_dataset, university_scaled
+from repro.datagen import (
+    chain_dataset,
+    figure10_dataset,
+    university_scaled,
+    valued_chain_dataset,
+)
 from repro.datasets import figure7, university
 from repro.engine.database import Database
 from repro.relational import map_object_graph
@@ -46,3 +51,10 @@ def fig10():
 @pytest.fixture(scope="session")
 def chain200():
     return chain_dataset(n_classes=4, extent_size=200, density=0.05, seed=CHAIN_SEED)
+
+
+@pytest.fixture(scope="session")
+def sigma_chain():
+    return valued_chain_dataset(
+        n_classes=3, extent_size=400, density=0.02, seed=SIGMA_SEED
+    )

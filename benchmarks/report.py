@@ -33,7 +33,7 @@ import statistics
 import sys
 import time
 
-from seeds import ALL_SEEDS, CHAIN_SEED
+from seeds import ALL_SEEDS, CHAIN_SEED, SIGMA_SEED
 
 
 def timed(fn, repeat: int = 5) -> float:
@@ -361,7 +361,7 @@ def operator_sections(quick: bool) -> dict:
     Mirrors the workloads of ``bench_operators.py`` (the operand builders
     are shared) with ``{median_ms, p95_ms, samples}`` per entry.
     """
-    from bench_operators import _macro_query, fig8_operand_sets
+    from bench_operators import _macro_query, fig8_operand_sets, sigma_query
 
     from repro.core.assoc_set import AssociationSet
     from repro.core.operators import (
@@ -374,7 +374,7 @@ def operator_sections(quick: bool) -> dict:
         associate,
         non_associate,
     )
-    from repro.datagen import chain_dataset
+    from repro.datagen import chain_dataset, valued_chain_dataset
     from repro.datasets import figure7
     from repro.exec import Executor
 
@@ -437,6 +437,26 @@ def operator_sections(quick: bool) -> dict:
     )
     compact_stats = sampled(lambda: compact.run(expr, use_cache=False), 3)
     indexed_stats = sampled(lambda: indexed.run(expr, use_cache=False), 3)
+
+    sigma_extent = 200 if quick else 400
+    sigma_ds = valued_chain_dataset(
+        n_classes=3, extent_size=sigma_extent, density=0.02, seed=SIGMA_SEED
+    )
+    sigma_expr = sigma_query(sigma_ds.rare_value)
+    sigma_exec = Executor(sigma_ds.graph)
+    # warm the arena / columns and check the two σ paths agree
+    assert sigma_exec.run(sigma_expr, use_cache=False) == sigma_exec.run(
+        sigma_expr, use_cache=False, compiled_select=False
+    )
+    compiled_stats = sampled(
+        lambda: sigma_exec.run(sigma_expr, use_cache=False), repeat
+    )
+    object_stats = sampled(
+        lambda: sigma_exec.run(
+            sigma_expr, use_cache=False, compiled_select=False
+        ),
+        repeat,
+    )
     return {
         "fig8_micro": fig8_micro,
         "chain_macro": {
@@ -450,6 +470,15 @@ def operator_sections(quick: bool) -> dict:
             "indexed": indexed_stats,
             "speedup_median": round(
                 indexed_stats["median_ms"] / compact_stats["median_ms"], 2
+            ),
+        },
+        "sigma_compiled_vs_object": {
+            "query": str(sigma_expr),
+            "extent_size": sigma_extent,
+            "compiled": compiled_stats,
+            "object": object_stats,
+            "speedup_median": round(
+                object_stats["median_ms"] / compiled_stats["median_ms"], 2
             ),
         },
     }
@@ -545,6 +574,14 @@ def report_operators(sections: dict) -> None:
         _stat_rows({"compact": cvi["compact"], "indexed": cvi["indexed"]}),
     )
     print(f"\ncompact speedup over indexed: {cvi['speedup_median']}x")
+    sigma = sections["sigma_compiled_vs_object"]
+    table(
+        f"E.4 compiled vs object σ (valued chain, extent"
+        f" {sigma['extent_size']}; ms)",
+        ["σ path", "median ms", "p95 ms", "samples"],
+        _stat_rows({"compiled": sigma["compiled"], "object": sigma["object"]}),
+    )
+    print(f"\ncompiled-σ speedup over object path: {sigma['speedup_median']}x")
 
 
 def write_json(path: str, quick: bool, sections: dict) -> None:

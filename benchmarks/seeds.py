@@ -26,6 +26,10 @@ HETERO_SEED = 9
 # uniform and statistics-driven cost models disagree on join order
 SKEWED_SEED = 13
 
+# valued_chain_dataset(n_classes=3, extent_size=…) — the σ-heavy chain
+# where the compiled-vs-object select gate runs
+SIGMA_SEED = 17
+
 ALL_SEEDS = {
     "scaled_uni": SCALED_UNI_SEED,
     "fig10": FIG10_SEED,
@@ -34,4 +38,5 @@ ALL_SEEDS = {
     "density_sweep": DENSITY_SWEEP_SEED,
     "heterogeneous": HETERO_SEED,
     "skewed": SKEWED_SEED,
+    "sigma": SIGMA_SEED,
 }

@@ -9,6 +9,7 @@ from repro.datagen.synthetic import (
     skewed_dataset,
     star_dataset,
     university_scaled,
+    valued_chain_dataset,
 )
 from repro.datagen.workloads import random_walk_query, workload
 
@@ -23,4 +24,5 @@ __all__ = [
     "figure10_dataset",
     "random_graph",
     "university_scaled",
+    "valued_chain_dataset",
 ]

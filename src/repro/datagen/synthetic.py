@@ -25,6 +25,7 @@ __all__ = [
     "star_dataset",
     "figure10_dataset",
     "university_scaled",
+    "valued_chain_dataset",
 ]
 
 
@@ -190,6 +191,67 @@ def chain_dataset(
         schema.add_association(left, right)
     graph = random_graph(schema, extent_size, density, seed)
     return SyntheticDataset(schema, graph, extent_size, density, seed)
+
+
+def valued_chain_dataset(
+    n_classes: int = 3,
+    extent_size: int = 50,
+    density: float = 0.1,
+    seed: int = 0,
+    hot_fraction: float = 0.5,
+    rare_count: int = 8,
+) -> SkewedDataset:
+    """A linear schema ``V0—V1—…—V(n-1)`` of *primitive* classes.
+
+    The σ-heavy counterpart of :func:`chain_dataset`: every class carries
+    skewed integer values (``hot_fraction`` of each extent at the hot
+    value, ``rare_count`` instances at the rare value, a modular long tail
+    for the rest), so selection predicates over any chain class are
+    meaningful — range bands, IN-lists and rare-equality all select
+    non-trivial, distinct fractions.  Edges follow the same density model
+    as :func:`random_graph`.
+    """
+    rng = random.Random(seed)
+    n = extent_size
+    schema = SchemaGraph(f"valued-chain-{n_classes}")
+    names = [f"V{i}" for i in range(n_classes)]
+    for name in names:
+        schema.add_domain_class(name)
+    for left, right in zip(names, names[1:]):
+        schema.add_association(left, right)
+
+    hot_value = 0
+    rare_value = 999_983
+    graph = ObjectGraph(schema)
+    oid = 0
+    hot = int(n * hot_fraction)
+    tail_mod = n // 10 or 1
+    for name in names:
+        values = [hot_value] * hot + [rare_value] * rare_count
+        values += [1 + i % tail_mod for i in range(n - len(values))]
+        for value in values[:n]:
+            oid += 1
+            graph.add_instance(name, oid, value)
+    for assoc in schema.associations:
+        left = sorted(graph.extent(assoc.left))
+        right = sorted(graph.extent(assoc.right))
+        for a in left:
+            linked = False
+            for b in right:
+                if rng.random() < density:
+                    graph.add_edge(assoc, a, b)
+                    linked = True
+            if not linked:
+                graph.add_edge(assoc, a, rng.choice(right))
+    return SkewedDataset(
+        schema,
+        graph,
+        extent_size,
+        density,
+        seed,
+        hot_value=hot_value,
+        rare_value=rare_value,
+    )
 
 
 def star_dataset(

@@ -555,6 +555,7 @@ class Database:
         parallel: bool = False,
         use_cache: bool = True,
         compact: bool | None = None,
+        compiled_select: bool | None = None,
         optimize: bool = False,
         replan_threshold: float | None = None,
     ) -> QueryResult:
@@ -567,7 +568,9 @@ class Database:
         plan branches on a thread pool; ``use_cache=False`` bypasses the
         sub-plan cache (reads *and* writes); ``compact`` overrides the
         planner's compact-kernel setting for this call (``False`` forces
-        the reference strategies).  With ``explain=True`` the evaluation
+        the reference strategies); ``compiled_select`` overrides the
+        column-mask σ lowering the same way (``False`` forces the
+        per-pattern object path).  With ``explain=True`` the evaluation
         runs under EXPLAIN ANALYZE — the report lands on
         ``QueryResult.report``, the cache is bypassed so every plan node
         truly executes, and ``trace`` is ignored (the report owns the
@@ -607,7 +610,9 @@ class Database:
             if optimize:
                 plan_key, plan_entry = self._adaptive_plan(expr)
                 plan_expr = plan_entry.expr
-            plan = self.executor.plan(plan_expr, compact=compact)
+            plan = self.executor.plan(
+                plan_expr, compact=compact, compiled_select=compiled_select
+            )
             strategy = plan.strategy
             result = self.executor.run(
                 plan_expr,

@@ -5,8 +5,9 @@ physical plans that evaluate them: incrementally maintained access
 structures (:mod:`repro.exec.indexes`), a mutation-invalidated sub-plan
 cache (:mod:`repro.exec.cache`), strategy-annotated operator trees
 (:mod:`repro.exec.physical`), an integer-interning pattern arena with
-batch kernels (:mod:`repro.exec.arena`, :mod:`repro.exec.kernels`) and a
-parallel branch scheduler
+batch kernels (:mod:`repro.exec.arena`, :mod:`repro.exec.kernels`), a
+typed column store with compiled predicate masks
+(:mod:`repro.exec.columns`) and a parallel branch scheduler
 (:mod:`repro.exec.scheduler`), all coordinated by one
 :class:`~repro.exec.executor.Executor` per database.  See
 ``docs/execution.md``.
@@ -14,6 +15,7 @@ parallel branch scheduler
 
 from repro.exec.arena import CompactSet, PatternArena
 from repro.exec.cache import PlanCache, PlanEntry, canonicalize, expr_dependencies
+from repro.exec.columns import ColumnStore, compile_select, compiled_select_probe
 from repro.exec.executor import Executor
 from repro.exec.indexes import IndexManager
 from repro.exec.physical import CompactNode, ExecContext, PhysicalNode, PhysicalPlanner
@@ -21,6 +23,7 @@ from repro.exec.scheduler import BranchScheduler, parallel_branches
 
 __all__ = [
     "BranchScheduler",
+    "ColumnStore",
     "CompactNode",
     "CompactSet",
     "ExecContext",
@@ -32,6 +35,8 @@ __all__ = [
     "PlanCache",
     "PlanEntry",
     "canonicalize",
+    "compile_select",
+    "compiled_select_probe",
     "expr_dependencies",
     "parallel_branches",
 ]

@@ -45,6 +45,7 @@ from repro.core.edges import Edge, Polarity
 from repro.core.identity import IID
 from repro.core.pattern import Pattern
 from repro.errors import PatternError
+from repro.exec.columns import ColumnStore
 from repro.objects.graph import ObjectGraph
 from repro.schema.graph import Association
 
@@ -150,6 +151,8 @@ class PatternArena:
         self._edge_csets: dict[tuple[str, str, str], CompactSet] = {}
         self._adjacency: dict[tuple[str, str, str], dict[int, tuple[int, ...]]] = {}
         self._adj_masks: dict[tuple[str, str, str], dict[int, int]] = {}
+        #: typed attribute columns keyed by this arena's vertex ids
+        self.columns = ColumnStore(self, metrics)
         # --- metrics ---
         if metrics is not None:
             self._m_encoded = metrics.counter(
@@ -418,7 +421,8 @@ class PatternArena:
             assoc = self.graph.schema.resolve(a.cls, b.cls, event.association)
             self._patch_assoc(assoc, a, b, add=(kind == "link"))
         # "update" changes values only; identity-based structures are
-        # unaffected.
+        # unaffected — but the value columns must be patched.
+        self.columns.apply(event)
 
     def _patch_assoc(self, assoc: Association, a: IID, b: IID, *, add: bool) -> None:
         va, vb = self.vid(a), self.vid(b)
@@ -484,6 +488,7 @@ class PatternArena:
             self._edge_csets.clear()
             self._adjacency.clear()
             self._adj_masks.clear()
+            self.columns.reset()
             if self._g_vertices is not None:
                 self._g_vertices.set(0)
                 self._g_edges.set(0)

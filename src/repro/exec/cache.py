@@ -15,7 +15,10 @@ a (sub)expression is its own cache key.  Two refinements on top of that:
 
 The cache never observes time: correctness rests entirely on the owning
 executor feeding it every mutation event (and resetting it when the
-graph's ``version`` counter reveals an out-of-band write).
+graph's ``version`` counter reveals an out-of-band write).  The arena's
+:class:`~repro.exec.columns.ColumnStore` rides the same event stream, so
+a cached compact result and the column masks that produced it can never
+disagree about which mutations they have seen.
 
 The entry table is guarded by a lock: the query service runs many
 queries against one shared executor from worker threads, so ``get`` /

@@ -45,6 +45,7 @@ class Executor:
         max_workers: int = 4,
         compact: bool = True,
         stats=None,
+        compiled_select: bool = True,
     ) -> None:
         self.graph = graph
         self.metrics = metrics
@@ -54,7 +55,13 @@ class Executor:
         self.indexes = IndexManager(graph)
         self.arena = PatternArena(graph, metrics)
         self.cache = PlanCache(metrics)
-        self.planner = PhysicalPlanner(graph, metrics, compact=compact)
+        self.planner = PhysicalPlanner(
+            graph, metrics, compact=compact, compiled_select=compiled_select
+        )
+        # The stats catalog's histogram/distinct builders scan columns
+        # instead of objects once a class's column is materialized.
+        if stats is not None and hasattr(stats, "attach_columns"):
+            stats.attach_columns(self.arena.columns)
         self.scheduler = BranchScheduler(max_workers)
         self._synced_version = graph.version
         if metrics is not None:
@@ -106,14 +113,21 @@ class Executor:
     # execution
     # ------------------------------------------------------------------
 
-    def plan(self, expr: Expr, compact: bool | None = None) -> PhysicalNode:
+    def plan(
+        self,
+        expr: Expr,
+        compact: bool | None = None,
+        compiled_select: bool | None = None,
+    ) -> PhysicalNode:
         """The physical plan the executor would run for ``expr``.
 
-        ``compact`` overrides the planner's kernel-region setting for
-        this call only (``None`` keeps the constructor's default).
+        ``compact`` / ``compiled_select`` override the planner's settings
+        for this call only (``None`` keeps the constructor's defaults).
         """
         self.refresh()
-        return self.planner.plan(expr, compact=compact)
+        return self.planner.plan(
+            expr, compact=compact, compiled_select=compiled_select
+        )
 
     def run(
         self,
@@ -123,6 +137,7 @@ class Executor:
         parallel: bool = False,
         use_cache: bool = True,
         compact: bool | None = None,
+        compiled_select: bool | None = None,
         plan: PhysicalNode | None = None,
     ) -> AssociationSet:
         """Evaluate ``expr`` through its physical plan.
@@ -134,7 +149,9 @@ class Executor:
         """
         if plan is None:
             self.refresh()
-            plan = self.planner.plan(expr, compact=compact)
+            plan = self.planner.plan(
+                expr, compact=compact, compiled_select=compiled_select
+            )
         ctx = ExecContext(
             self.graph,
             self.indexes,

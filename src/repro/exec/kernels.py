@@ -25,6 +25,7 @@ __all__ = [
     "k_difference",
     "k_intersect",
     "k_nonassociate",
+    "k_select_mask",
     "k_union",
 ]
 
@@ -104,7 +105,23 @@ def k_associate(
     cont_get = cont.get
     out: set = set()
     add = out.add
-    for _, vids_a, eids_a, insts_a in alpha_rows:
+    # Raw-int alpha keys (class extents and mask-filtered σ results) carry
+    # exactly one instance and no edges, so the general loop's per-row set
+    # unions collapse: the continuation's edge set IS the pattern's.
+    composites = []
+    for row in alpha_rows:
+        key = row[0]
+        if isinstance(key, int):
+            lst = cont_get(key)
+            if lst is None:
+                continue
+            sa = row[1]
+            for connect, rows_b in lst:
+                for vids_b, eids_b in rows_b:
+                    add((vids_b | sa, connect | eids_b))
+        else:
+            composites.append(row)
+    for _, vids_a, eids_a, insts_a in composites:
         for a_m in insts_a:
             lst = cont_get(a_m)
             if lst is None:
@@ -115,6 +132,24 @@ def k_associate(
                 for vids_b, eids_b in rows_b:
                     add((vids_a | vids_b, eids_ac | eids_b))
     return CompactSet(frozenset(out))
+
+
+# ----------------------------------------------------------------------
+# A-Select (compiled masks)
+# ----------------------------------------------------------------------
+
+
+def k_select_mask(base: CompactSet, vids: frozenset) -> CompactSet:
+    """``σ`` over an extent as a selection-mask intersection.
+
+    ``vids`` is the set of vertex ids whose singleton pattern satisfies
+    the compiled predicate (:meth:`ColumnStore.eval_select`); ``base`` is
+    the operand extent in compact form, whose keys are raw ints.  Masks
+    are only exact for singleton patterns — a multi-instance pattern's
+    predicate is not distributive over its instances — so the planner
+    applies this kernel exclusively over bare class extents.
+    """
+    return CompactSet(base.keys & vids)
 
 
 # ----------------------------------------------------------------------

@@ -19,6 +19,12 @@ strategy                  applies to
                           (Associate is commutative, so the swap is free)
 ``value-index-scan``      ``σ(X)[X = const]`` — answered from the per-class
                           value index, then re-checked by the predicate
+``compact-select``        any other σ over a bare extent whose predicate
+                          compiles to column masks
+                          (:func:`repro.exec.columns.compile_select`) —
+                          evaluated as a selection bitmask over the arena's
+                          typed attribute columns, joined to the region by
+                          ``k_select_mask``
 ``compact-kernel``        any maximal operator subtree closed over the batch
                           kernels of :mod:`repro.exec.kernels` — executed
                           over the integer-interned arena representation,
@@ -29,10 +35,12 @@ strategy                  applies to
 
 Everything else keeps its reference kernel under an honest strategy name
 (``complement-scan``, ``free-set-scan``, ``hash-intersect``, ``union``,
-``difference``, ``divide``, ``filter-scan``, ``project``, ``literal``).
-With ``PhysicalPlanner(compact=False)`` the compact path is disabled and
+``difference``, ``divide``, ``object-eval``, ``project``, ``literal``).
+``object-eval`` is the per-pattern ``Predicate.evaluate`` σ path — the
+fallback for predicates the column compiler cannot lower.  With
+``PhysicalPlanner(compact=False)`` the compact path is disabled and
 those reference strategies also cover Associate/NonAssociate/Intersect/
-Union/Difference/value-index Select.
+Union/Difference/value-index/compiled Select.
 
 The planner never consults instance data — only the schema and O(1)
 statistics — so planning is cheap enough to run per query.
@@ -71,12 +79,14 @@ from repro.core.operators import (
 from repro.errors import EvaluationError
 from repro.exec.arena import CompactSet, PatternArena
 from repro.exec.cache import PlanCache, canonicalize
+from repro.exec.columns import compiled_select_probe
 from repro.exec.indexes import IndexManager
 from repro.exec.kernels import (
     k_associate,
     k_difference,
     k_intersect,
     k_nonassociate,
+    k_select_mask,
     k_union,
 )
 from repro.core.pattern import Pattern
@@ -368,7 +378,9 @@ class DivideOp(PhysicalNode):
 
 
 class FilterScan(PhysicalNode):
-    strategy = "filter-scan"
+    """σ via per-pattern ``Predicate.evaluate`` — the object path."""
+
+    strategy = "object-eval"
 
     def _execute(self, ctx, trace, span):
         operand = self.children[0].execute(ctx, trace)
@@ -595,6 +607,37 @@ class CompactValueSelect(CompactNode):
         return CompactSet(keys)
 
 
+class CompactMaskSelect(CompactNode):
+    """σ over a bare extent via compiled column masks.
+
+    The predicate was lowered to a column-mask program at plan time
+    (:func:`repro.exec.columns.compile_select`); the kernel evaluates it
+    over the class's typed column to a set of satisfying vertex ids and
+    intersects the operand extent with it — no Pattern is allocated and
+    no per-pattern ``evaluate`` runs.  ``span.attributes["mask_card"]``
+    reports the mask's cardinality for ``EXPLAIN ANALYZE``.
+    """
+
+    strategy = "compact-select"
+    kernel = "mask-eval"
+
+    def __init__(self, expr, children, key, deps, cls: str) -> None:
+        super().__init__(expr, children, key, deps)
+        self.cls = cls
+
+    def _kernel(self, ctx, trace, span):
+        base = self.children[0].execute_compact(ctx, trace)
+        vids = ctx.arena.columns.eval_select(self.expr.predicate, self.cls)
+        if vids is None:  # pragma: no cover - planner guarantees compilable
+            decoded = a_select(
+                ctx.arena.decode_set(base), self.expr.predicate, ctx.graph
+            )
+            return ctx.arena.encode_set(decoded)
+        if span is not None:
+            span.attributes["mask_card"] = len(vids)
+        return k_select_mask(base, vids)
+
+
 #: Binary operators a compact region can contain (Select is handled apart).
 _KERNEL_OPS = (Associate, NonAssociate, Intersect, Union, Difference)
 
@@ -614,6 +657,13 @@ class PhysicalPlanner:
     keeps the reference strategies.  Kernel-supported operators that fall
     back (an unsupported operand below them, or an unresolvable
     association) are counted by ``repro_compact_fallback_total``.
+
+    With ``compiled_select=True`` (the default) a σ over a bare extent
+    whose predicate the column compiler can lower plans as a
+    ``compact-select`` mask evaluation; σ-over-extent predicates it
+    cannot lower are counted by ``repro_select_fallback_total`` and run
+    the object path.  ``repro_select_compiled_total`` counts the lowered
+    ones.
     """
 
     def __init__(
@@ -621,29 +671,53 @@ class PhysicalPlanner:
         graph: ObjectGraph,
         metrics=None,
         compact: bool = True,
+        compiled_select: bool = True,
     ) -> None:
         self.graph = graph
         self.compact = compact
+        self.compiled_select = compiled_select
         if metrics is not None:
             self._m_fallbacks = metrics.counter(
                 "repro_compact_fallback_total",
                 "Kernel-supported operators planned with reference strategies",
             )
+            self._m_select_compiled = metrics.counter(
+                "repro_select_compiled_total",
+                "Selects planned as compiled column-mask evaluation",
+            )
+            self._m_select_fallback = metrics.counter(
+                "repro_select_fallback_total",
+                "Selects over bare extents falling back to the object path",
+            )
         else:
             self._m_fallbacks = None
+            self._m_select_compiled = None
+            self._m_select_fallback = None
 
-    def plan(self, expr: Expr, compact: bool | None = None) -> PhysicalNode:
+    def plan(
+        self,
+        expr: Expr,
+        compact: bool | None = None,
+        compiled_select: bool | None = None,
+    ) -> PhysicalNode:
         """The physical plan for ``expr`` (node-for-node mirror).
 
-        ``compact`` overrides the planner's default for this one call —
-        ``False`` forces the reference strategies, ``True`` enables the
-        kernel regions, ``None`` keeps the constructor's setting.  The
-        flag is threaded through the recursion (not stored), so
-        concurrent ``plan`` calls with different overrides are safe.
+        ``compact`` and ``compiled_select`` override the planner's
+        defaults for this one call — ``False`` forces the reference
+        strategies, ``True`` enables them, ``None`` keeps the
+        constructor's setting.  The flags are threaded through the
+        recursion (not stored), so concurrent ``plan`` calls with
+        different overrides are safe.
         """
-        return self._plan(expr, self.compact if compact is None else bool(compact))
+        return self._plan(
+            expr,
+            self.compact if compact is None else bool(compact),
+            self.compiled_select
+            if compiled_select is None
+            else bool(compiled_select),
+        )
 
-    def _plan(self, expr: Expr, compact: bool) -> PhysicalNode:
+    def _plan(self, expr: Expr, compact: bool, compiled: bool) -> PhysicalNode:
         if isinstance(expr, ClassExtent):
             # Cached by the IndexManager itself; no plan-cache entry.
             return ExtentScan(expr, (), None, frozenset({expr.name}))
@@ -651,12 +725,21 @@ class PhysicalPlanner:
             return LiteralValue(expr, (), None, frozenset())
 
         if compact:
-            if self._compact_ok(expr):
-                return self._plan_compact(expr)
+            if self._compact_ok(expr, compiled):
+                return self._plan_compact(expr, compiled)
             if isinstance(expr, _KERNEL_OPS) and self._m_fallbacks is not None:
                 self._m_fallbacks.inc()
+            if (
+                compiled
+                and isinstance(expr, Select)
+                and isinstance(expr.operand, ClassExtent)
+                and self._m_select_fallback is not None
+            ):
+                self._m_select_fallback.inc()
 
-        children = tuple(self._plan(child, compact) for child in expr.children())
+        children = tuple(
+            self._plan(child, compact, compiled) for child in expr.children()
+        )
         key = canonicalize(expr)
         deps = frozenset().union(*(c.deps for c in children)) if children else frozenset()
 
@@ -712,7 +795,7 @@ class PhysicalPlanner:
     # compact regions
     # ------------------------------------------------------------------
 
-    def _compact_ok(self, expr: Expr) -> bool:
+    def _compact_ok(self, expr: Expr, compiled: bool) -> bool:
         """Whether ``expr`` is an operator subtree the kernels fully cover.
 
         Leaves (extents, literals) are encodable but do not *start* a
@@ -726,27 +809,36 @@ class PhysicalPlanner:
                 expr.resolve(self.graph)
             except EvaluationError:
                 return False
-            return self._encodable(expr.left) and self._encodable(expr.right)
+            return self._encodable(expr.left, compiled) and self._encodable(
+                expr.right, compiled
+            )
         if isinstance(expr, (Intersect, Union, Difference)):
-            return self._encodable(expr.left) and self._encodable(expr.right)
+            return self._encodable(expr.left, compiled) and self._encodable(
+                expr.right, compiled
+            )
         if isinstance(expr, Select):
-            # value-index probes only apply to σ over a bare extent, which
-            # is always encodable
-            return value_index_probe(expr) is not None
+            # Both σ forms apply only over a bare extent, which is always
+            # encodable: the value-index probe, and the compiled column
+            # masks (exact only over singleton patterns).
+            if value_index_probe(expr) is not None:
+                return True
+            return compiled and compiled_select_probe(expr) is not None
         return False
 
-    def _encodable(self, expr: Expr) -> bool:
+    def _encodable(self, expr: Expr, compiled: bool) -> bool:
         if isinstance(expr, (ClassExtent, Literal)):
             return True
-        return self._compact_ok(expr)
+        return self._compact_ok(expr, compiled)
 
-    def _plan_compact(self, expr: Expr) -> CompactNode:
+    def _plan_compact(self, expr: Expr, compiled: bool) -> CompactNode:
         if isinstance(expr, ClassExtent):
             return CompactExtentScan(expr, (), None, frozenset({expr.name}))
         if isinstance(expr, Literal):
             return CompactLiteral(expr, (), None, frozenset())
 
-        children = tuple(self._plan_compact(child) for child in expr.children())
+        children = tuple(
+            self._plan_compact(child, compiled) for child in expr.children()
+        )
         key = canonicalize(expr)
         deps = frozenset().union(*(c.deps for c in children))
 
@@ -766,5 +858,11 @@ class PhysicalPlanner:
             return CompactDifference(expr, children, key, deps)
         assert isinstance(expr, Select)  # guaranteed by _compact_ok
         deps = deps | predicate_classes(expr.predicate)
-        cls, value = value_index_probe(expr)
-        return CompactValueSelect(expr, children, key, deps, cls, value)
+        probe = value_index_probe(expr)
+        if probe is not None:
+            cls, value = probe
+            return CompactValueSelect(expr, children, key, deps, cls, value)
+        cls = compiled_select_probe(expr)
+        if self._m_select_compiled is not None:
+            self._m_select_compiled.inc()
+        return CompactMaskSelect(expr, children, key, deps, cls)

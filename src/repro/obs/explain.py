@@ -47,6 +47,10 @@ class ExplainNode:
     #: Where the estimate came from ("exact", "histogram", "feedback",
     #: "uniform"); None for reports built before sources were tracked.
     source: str | None = None
+    #: Cardinality of the compiled selection bitmask a ``compact-select``
+    #: node intersected with its operand (the number of vertex ids whose
+    #: column values satisfy the predicate); None for every other node.
+    mask_card: int | None = None
 
     @property
     def q_error(self) -> float:
@@ -98,6 +102,8 @@ class ExplainReport:
         ]
         for node, depth in self.walk():
             via = f" via {node.strategy}" if node.strategy is not None else ""
+            if node.mask_card is not None:
+                via += f" (mask={node.mask_card})"
             source = node.source if node.source is not None else "-"
             lines.append(
                 f"{node.estimated:>10.1f}  {node.actual:>8}  "
@@ -161,6 +167,7 @@ def explain_analyze(
             children=children,
             strategy=span.attributes.get("strategy"),
             source=getattr(estimate, "source", None),
+            mask_card=span.attributes.get("mask_card"),
         )
 
     root = build(expr, root_span)

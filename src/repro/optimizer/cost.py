@@ -57,6 +57,7 @@ from repro.core.predicates import (
     Not,
     Or,
     Predicate,
+    ValueUnion,
 )
 from repro.objects.graph import ObjectGraph
 from repro.optimizer.analysis import (
@@ -72,6 +73,25 @@ SELECT_SELECTIVITY = 0.33
 
 #: Mirror-image comparison operators, for ``const op ClassValues`` forms.
 _MIRROR_OPS = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _in_list_consts(value) -> tuple | None:
+    """The constant pool of an IN-list right-hand side, or ``None``.
+
+    Accepts a single :class:`Const` or a :class:`ValueUnion` whose leaves
+    are all constants (nested unions flatten, matching ``values()``).
+    """
+    if isinstance(value, Const):
+        return (value.value,)
+    if isinstance(value, ValueUnion):
+        out: list = []
+        for operand in value.operands:
+            part = _in_list_consts(operand)
+            if part is None:
+                return None
+            out.extend(part)
+        return tuple(out)
+    return None
 
 
 @dataclass(frozen=True)
@@ -208,6 +228,16 @@ class CostModel:
                 # Answered from the per-class value index: the filter only
                 # ever touches the qualifying patterns, not the whole input.
                 return Estimate(card, inner.cost + max(card, 1.0), source)
+            from repro.exec.columns import (  # local: avoid cycle
+                compiled_select_probe,
+            )
+
+            if compiled_select_probe(expr) is not None:
+                # Compiled column-mask σ: each row costs a bit test, not a
+                # per-pattern object evaluation — an order of magnitude
+                # cheaper than the object path over the same input.
+                work = max(0.1 * inner.cardinality, 1.0)
+                return Estimate(card, inner.cost + work, source)
             return Estimate(card, inner.cost + inner.cardinality, source)
         if isinstance(expr, Project):
             inner = self.estimate(expr.operand)
@@ -265,6 +295,20 @@ class CostModel:
             if mirrored is None:
                 return None
             left, op, right = right, mirrored, left
+        if op == "in" and isinstance(left, ClassValues):
+            # IN-list: sum of the per-element equality selectivities,
+            # capped at 1 (distinct constants select disjoint rows).
+            histogram = stats.histogram(left.cls)
+            consts = _in_list_consts(right)
+            if histogram is None or consts is None:
+                return None
+            total = 0.0
+            for value in consts:
+                sel = histogram.selectivity_eq(value)
+                if sel is None:
+                    return None
+                total += sel
+            return min(total, 1.0)
         if not (isinstance(left, ClassValues) and isinstance(right, Const)):
             return None
         histogram = stats.histogram(left.cls)

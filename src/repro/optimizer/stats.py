@@ -357,6 +357,12 @@ class StatisticsCatalog:
         self._assocs: dict[tuple[str, str, str], AssociationStats] = {}
         self._dirty: Counter = Counter()
         self._subscribers: list[Callable[[frozenset[str]], None]] = []
+        #: Optional column-store provider (duck-typed: ``is_materialized``
+        #: + ``values_snapshot``).  Attached by the executor; when a
+        #: class's typed column is materialized, histogram/distinct
+        #: builders read its values from the column instead of boxing
+        #: every object, and auto-refresh rescans become column-only.
+        self._columns = None
         if metrics is not None:
             self._m_refresh = metrics.counter(
                 "repro_stats_refresh_total",
@@ -379,6 +385,16 @@ class StatisticsCatalog:
     def subscribe(self, fn: Callable[[frozenset[str]], None]) -> None:
         """Call ``fn(refreshed_classes)`` after every (re-)analyze pass."""
         self._subscribers.append(fn)
+
+    def attach_columns(self, provider) -> None:
+        """Attach a :class:`~repro.exec.columns.ColumnStore` (duck-typed).
+
+        Purely an accelerator: analyze passes over a class whose column is
+        materialized read values straight out of the typed column, and the
+        staleness auto-refresh downgrades to a column-only rescan for such
+        classes (association fan-outs are left to the normal thresholds).
+        """
+        self._columns = provider
 
     def analyze(
         self,
@@ -426,11 +442,17 @@ class StatisticsCatalog:
         count = len(extent)
         if not self.schema.class_def(cls).is_primitive:
             return ClassStats(cls, count, count, None)
-        instances = sorted(extent)
         sampled = sample is not None and count > sample
-        if sampled:
-            instances = rng.sample(instances, sample)
-        values = [self.graph.value(i) for i in instances]
+        values = None
+        if not sampled and self._columns is not None:
+            # A materialized column already holds every live value boxed
+            # once — scan it instead of re-boxing through the object graph.
+            values = self._columns.values_snapshot(cls)
+        if values is None:
+            instances = sorted(extent)
+            if sampled:
+                instances = rng.sample(instances, sample)
+            values = [self.graph.value(i) for i in instances]
         histogram = EquiDepthHistogram.build(values, self.histogram_bins)
         distinct = len(set(map(repr, values)))
         return ClassStats(cls, count, distinct, histogram, sampled)
@@ -506,8 +528,52 @@ class StatisticsCatalog:
         for cls in touched:
             self._dirty[cls] += 1
         stale = sorted(cls for cls in touched if self._dirty[cls] >= self._threshold(cls))
-        if stale:
-            self.analyze(classes=stale, reason="auto")
+        if not stale:
+            return
+        # Classes whose typed column is materialized get a targeted cheap
+        # rescan — one pass over the column's live values, no association
+        # re-analysis (fan-outs keep their own staleness accounting).
+        columnar = [cls for cls in stale if self._column_backed(cls)]
+        rest = [cls for cls in stale if cls not in columnar]
+        if columnar:
+            self._rescan_columns(columnar)
+        if rest:
+            self.analyze(classes=rest, reason="auto")
+
+    def _column_backed(self, cls: str) -> bool:
+        """Whether ``cls`` can be auto-refreshed from its typed column."""
+        return (
+            self._columns is not None
+            and self.schema.has_class(cls)
+            and self.schema.class_def(cls).is_primitive
+            and self._columns.is_materialized(cls)
+        )
+
+    def _rescan_columns(self, classes: list[str]) -> int:
+        """Column-only re-analyze: rebuild class stats from live column
+        values, skip the association scans, and publish a new version the
+        same way :meth:`analyze` does (subscribers, metrics, dirty reset).
+        """
+        for cls in classes:
+            values = self._columns.values_snapshot(cls)
+            if values is None:  # raced a reset: fall back to the full path
+                self._classes[cls] = self._analyze_class(cls, None, random.Random(0))
+            else:
+                histogram = EquiDepthHistogram.build(values, self.histogram_bins)
+                distinct = len(set(map(repr, values)))
+                self._classes[cls] = ClassStats(
+                    cls, len(values), distinct, histogram
+                )
+            self._dirty.pop(cls, None)
+        self.version += 1
+        self.feedback.stats_version = self.version
+        if self.metrics is not None:
+            self._m_refresh.inc(reason="auto-column")
+            self._m_version.set(self.version)
+        refreshed = frozenset(classes)
+        for fn in self._subscribers:
+            fn(refreshed)
+        return self.version
 
     def _threshold(self, cls: str) -> int:
         stats = self._classes.get(cls)

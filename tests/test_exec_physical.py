@@ -57,9 +57,21 @@ class TestStrategySelection:
         assert plan.kernel == "value-index"
         assert legacy.plan(expr).strategy == "value-index-scan"
 
-    def test_general_select_is_filter_scan(self, db):
+    def test_general_select_compiles_to_compact_select(self, db):
         expr = Select(ref("SS#"), Comparison(ClassValues("SS#"), ">", Const(1)))
-        assert db.executor.plan(expr).strategy == "filter-scan"
+        plan = db.executor.plan(expr)
+        assert plan.strategy == "compact-select"
+        assert plan.kernel == "mask-eval"
+        # forcing the object path falls back to per-pattern evaluation
+        forced = db.executor.plan(expr, compiled_select=False)
+        assert forced.strategy == "object-eval"
+
+    def test_uncompilable_select_is_object_eval(self, db):
+        # Apply/Callback predicates cannot lower to column masks
+        from repro.core.predicates import Callback
+
+        expr = Select(ref("SS#"), Callback(lambda p, g: True))
+        assert db.executor.plan(expr).strategy == "object-eval"
 
     def test_unsupported_operators_keep_reference_kernels(self, db, legacy):
         expr = (ref("TA") | ref("Grad")) + (ref("Section") ^ ref("Room#"))
@@ -112,6 +124,34 @@ class TestRuntimeStrategies:
         assert "via project" in text
         assert "via compact-kernel" in text  # the TA * Grad region
         assert "via cache-hit" not in text  # explain bypasses the cache
+
+    def test_explain_analyze_shows_compiled_mask_cardinality(self, db):
+        expr = Select(ref("SS#"), Comparison(ClassValues("SS#"), ">", Const(1)))
+        report = db.query(expr, explain=True).report
+        text = str(report)
+        assert "via compact-select" in text
+        assert "(mask=" in text
+        root = report.root
+        assert root.mask_card is not None and root.mask_card == root.actual
+
+    def test_describe_shows_sigma_strategy(self, db):
+        expr = Select(ref("SS#"), Comparison(ClassValues("SS#"), ">", Const(1)))
+        assert "compact-select" in db.executor.plan(expr).describe()
+        forced = db.executor.plan(expr, compiled_select=False)
+        assert "object-eval" in forced.describe()
+
+    def test_select_strategy_counters(self, db):
+        compiled = db.metrics.counter("repro_select_compiled_total")
+        fallback = db.metrics.counter("repro_select_fallback_total")
+        before_c, before_f = compiled.value(), fallback.value()
+        db.executor.plan(
+            Select(ref("SS#"), Comparison(ClassValues("SS#"), ">", Const(1)))
+        )
+        assert compiled.value() == before_c + 1
+        from repro.core.predicates import Callback
+
+        db.executor.plan(Select(ref("SS#"), Callback(lambda p, g: True)))
+        assert fallback.value() == before_f + 1
 
 
 class TestParallelBranches:
