@@ -20,6 +20,9 @@ Usage:
     python benchmarks/report.py --json-optimizer BENCH_optimizer.json
                                           # add the skewed-workload cost-model
                                           # ablation (bench_optimizer_ablation)
+    python benchmarks/report.py --json-views BENCH_views.json
+                                          # add incremental view maintenance vs
+                                          # full recompute (see bench_views.py)
 """
 
 from __future__ import annotations
@@ -633,11 +636,19 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="run the skewed cost-model ablation and write BENCH_optimizer.json",
     )
+    parser.add_argument(
+        "--json-views",
+        metavar="PATH",
+        help="run incremental view maintenance vs recompute and write"
+        " BENCH_views.json",
+    )
     args = parser.parse_args(argv)
-    if args.json_only and not (args.json or args.json_server or args.json_optimizer):
+    if args.json_only and not (
+        args.json or args.json_server or args.json_optimizer or args.json_views
+    ):
         parser.error(
             "--json-only requires --json PATH"
-            " (or --json-server / --json-optimizer PATH)"
+            " (or --json-server / --json-optimizer / --json-views PATH)"
         )
 
     if args.json_only:
@@ -653,6 +664,10 @@ def main(argv: list[str] | None = None) -> int:
             write_json(
                 args.json_optimizer, args.quick, optimizer_sections(args.quick)
             )
+        if args.json_views:
+            from bench_views import views_sections
+
+            write_json(args.json_views, args.quick, views_sections(args.quick))
         return 0
 
     print("# EXPERIMENTS report (regenerated)")
@@ -681,6 +696,12 @@ def main(argv: list[str] | None = None) -> int:
         optimizer_data = optimizer_sections(args.quick)
         report_optimizer(optimizer_data)
         write_json(args.json_optimizer, args.quick, optimizer_data)
+    if args.json_views:
+        from bench_views import report_views, views_sections
+
+        views_data = views_sections(args.quick)
+        report_views(views_data)
+        write_json(args.json_views, args.quick, views_data)
     return 0
 
 

@@ -49,6 +49,8 @@ console script)::
     repro events --port P [--type T] [--after SEQ] [--limit N]
                  [--follow [--interval S] [--iterations K]]
     repro slow-queries --port P [--limit N] [--json]
+    repro subscribe VIEW --port P [--host H] [--database NAME]
+                    [--create QUERY] [--timeout S] [--iterations K]
 
 ``repro trace --format chrome`` emits Chrome ``trace_event`` JSON for
 ``chrome://tracing`` / Perfetto; ``repro analyze`` runs an ANALYZE pass
@@ -63,7 +65,10 @@ side port (``/healthz``, ``/readyz``, ``/metrics``, ``/events``,
 its wire protocol (``--trace`` prints the stitched end-to-end span tree,
 ``--metrics`` a sorted aligned table); ``repro events`` tails the
 server's structured event log and ``repro slow-queries`` its slow-query
-captures.  See ``docs/observability.md`` and ``docs/server.md``.
+captures; ``repro subscribe`` opens a live materialized-view delta feed
+(``docs/views.md``) and prints the snapshot plus every ``view.delta`` /
+``view.resync`` frame as JSON lines.  See ``docs/observability.md`` and
+``docs/server.md``.
 """
 
 from __future__ import annotations
@@ -742,6 +747,74 @@ def _cli_events(args: list[str], out: IO[str]) -> int:
     return 0
 
 
+def _cli_subscribe(args: list[str], out: IO[str]) -> int:
+    """Live materialized-view delta feed as JSON lines."""
+    parser = argparse.ArgumentParser(
+        prog="repro subscribe",
+        description=(
+            "Subscribe to a materialized view of a running repro serve and "
+            "print its snapshot plus every delta/resync frame as JSON lines."
+        ),
+    )
+    parser.add_argument("view", help="materialized view name")
+    parser.add_argument("--host", default="127.0.0.1", help="server address")
+    parser.add_argument("--port", type=int, required=True, help="server port")
+    parser.add_argument(
+        "--database", metavar="NAME", help="open this database first"
+    )
+    parser.add_argument(
+        "--create",
+        metavar="QUERY",
+        help="create the view from this OQL text before subscribing",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="wait up to S seconds per notification poll (default 1)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        metavar="K",
+        help="stop after K notification frames (default: until ^C)",
+    )
+    ns = parser.parse_args(args)
+    from repro.server import ServerClient
+
+    with ServerClient(ns.host, ns.port) as client:
+        if ns.database:
+            client.open(ns.database)
+        if ns.create:
+            client.create_view(ns.view, ns.create)
+        snapshot = client.subscribe(ns.view)
+        print(
+            json.dumps(
+                {
+                    "view": snapshot["view"],
+                    "version": snapshot["version"],
+                    "count": snapshot["count"],
+                    "patterns": snapshot["patterns"],
+                },
+                sort_keys=True,
+            ),
+            file=out,
+        )
+        frames = 0
+        try:
+            while ns.iterations is None or frames < ns.iterations:
+                frame = client.next_notification(timeout=ns.timeout)
+                if frame is None:
+                    continue
+                print(json.dumps(frame, sort_keys=True), file=out)
+                out.flush()
+                frames += 1
+        except KeyboardInterrupt:  # pragma: no cover — interactive exit
+            pass
+    return 0
+
+
 def _cli_slow_queries(args: list[str], out: IO[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro slow-queries",
@@ -890,6 +963,7 @@ _SUBCOMMANDS = {
     "client": _cli_client,
     "events": _cli_events,
     "slow-queries": _cli_slow_queries,
+    "subscribe": _cli_subscribe,
     "init": _cli_init,
     "wal": _cli_wal,
 }

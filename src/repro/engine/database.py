@@ -59,6 +59,7 @@ from repro.obs.span import Tracer
 from repro.optimizer.stats import StatisticsCatalog
 from repro.schema.graph import SchemaGraph
 from repro.storage.engine import FileEngine, MemoryEngine, StorageEngine
+from repro.views.registry import MaterializedView, ViewRegistry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.storage.wal import WalRecord
@@ -225,6 +226,11 @@ class Database:
         # A stats refresh makes remembered plan choices stale: drop the
         # ones that depend on the refreshed classes (results survive).
         self.stats.subscribe(self._on_stats_refresh)
+        #: Materialized views, maintained incrementally off the mutation
+        #: event stream; created before the engine attaches so checkpoint
+        #: documents written during initialization can include view
+        #: definitions.
+        self.views = ViewRegistry(self)
         #: The storage backend consuming this database's mutation events.
         self.engine = engine if engine is not None else MemoryEngine()
         self.engine.attach(self)
@@ -384,6 +390,10 @@ class Database:
                 # the original mutations did.
                 if analyze:
                     db.analyze()
+                # Rebuild view definitions before replaying so replayed
+                # mutations maintain the materializations incrementally,
+                # exactly as the original mutations did.
+                db.views.load_definitions(state.document.get("views", ()))
                 for record in state.records:
                     db._apply_record(record)
             finally:
@@ -746,7 +756,7 @@ class Database:
         """Register a mutation listener (the rule engine uses this)."""
         self._listeners.append(listener)
 
-    def _emit(self, event: MutationEvent) -> None:
+    def _emit(self, event: MutationEvent, pre_version: int | None = None) -> None:
         self._m_events.inc(kind=event.kind)
         # The storage engine first: the WAL must hold the record before
         # derived state reflects it (during recovery the engine skips the
@@ -754,7 +764,12 @@ class Database:
         self.engine.append(event)
         # Executor next: its indexes and cache must be consistent before
         # any listener (e.g. a rule) runs a query in reaction to the event.
-        invalidated = self.executor.on_mutation(event)
+        invalidated = self.executor.on_mutation(event, pre_version)
+        # Views next: materializations must be fresh before any listener
+        # (or a subscription push) observes the post-mutation state.
+        # ``pre_version`` is the graph version the DML method saw before
+        # mutating — the registry's out-of-band write guard.
+        self.views.on_mutation(event, pre_version)
         self.events.emit(
             "mutation",
             kind=event.kind,
@@ -780,9 +795,11 @@ class Database:
         """Insert a new object participating in ``classes``."""
         with self.write_lock:
             self._writable()
+            pre_version = self.graph.version
             created = self.builder.add_object(classes, value=value)
             self._emit(
-                MutationEvent("insert", tuple(created.values()), value=value)
+                MutationEvent("insert", tuple(created.values()), value=value),
+                pre_version,
             )
         return created
 
@@ -790,8 +807,9 @@ class Database:
         """Insert a primitive-class instance carrying ``value``."""
         with self.write_lock:
             self._writable()
+            pre_version = self.graph.version
             instance = self.builder.add_value(cls, value)
-            self._emit(MutationEvent("insert", (instance,), value=value))
+            self._emit(MutationEvent("insert", (instance,), value=value), pre_version)
         return instance
 
     def link(self, a: IID, b: IID, assoc_name: str | None = None) -> None:
@@ -799,30 +817,34 @@ class Database:
         with self.write_lock:
             self._writable()
             assoc = self.schema.resolve(a.cls, b.cls, assoc_name)
+            pre_version = self.graph.version
             self.graph.add_edge(assoc, a, b)
-            self._emit(MutationEvent("link", (a, b), assoc.name))
+            self._emit(MutationEvent("link", (a, b), assoc.name), pre_version)
 
     def unlink(self, a: IID, b: IID, assoc_name: str | None = None) -> None:
         """Remove the association between two instances."""
         with self.write_lock:
             self._writable()
             assoc = self.schema.resolve(a.cls, b.cls, assoc_name)
+            pre_version = self.graph.version
             self.graph.remove_edge(assoc, a, b)
-            self._emit(MutationEvent("unlink", (a, b), assoc.name))
+            self._emit(MutationEvent("unlink", (a, b), assoc.name), pre_version)
 
     def delete(self, instance: IID) -> None:
         """Delete one instance (and its incident edges)."""
         with self.write_lock:
             self._writable()
+            pre_version = self.graph.version
             self.graph.remove_instance(instance)
-            self._emit(MutationEvent("delete", (instance,)))
+            self._emit(MutationEvent("delete", (instance,)), pre_version)
 
     def update_value(self, instance: IID, value: Any) -> None:
         """Change the value carried by a primitive instance."""
         with self.write_lock:
             self._writable()
+            pre_version = self.graph.version
             self.graph.set_value(instance, value)
-            self._emit(MutationEvent("update", (instance,), value=value))
+            self._emit(MutationEvent("update", (instance,), value=value), pre_version)
 
     def _apply_record(self, record: "WalRecord") -> None:
         """Re-apply one WAL record during recovery.
@@ -833,6 +855,7 @@ class Database:
         back exactly as incremental maintenance would have left them.
         """
         kind = record.kind
+        pre_version = self.graph.version
         if kind == "insert":
             # All instances of one insert share one object OID; pinning
             # it through the builder also recreates the is-a edges.
@@ -842,12 +865,13 @@ class Database:
                 value=record.value,
             )
             self._emit(
-                MutationEvent("insert", record.instances, value=record.value)
+                MutationEvent("insert", record.instances, value=record.value),
+                pre_version,
             )
         elif kind == "delete":
             (instance,) = record.instances
             self.graph.remove_instance(instance)
-            self._emit(MutationEvent("delete", (instance,)))
+            self._emit(MutationEvent("delete", (instance,)), pre_version)
         elif kind in ("link", "unlink"):
             a, b = record.instances
             assoc = self.schema.resolve(a.cls, b.cls, record.association)
@@ -855,11 +879,13 @@ class Database:
                 self.graph.add_edge(assoc, a, b)
             else:
                 self.graph.remove_edge(assoc, a, b)
-            self._emit(MutationEvent(kind, (a, b), assoc.name))
+            self._emit(MutationEvent(kind, (a, b), assoc.name), pre_version)
         elif kind == "update":
             (instance,) = record.instances
             self.graph.set_value(instance, record.value)
-            self._emit(MutationEvent("update", (instance,), value=record.value))
+            self._emit(
+                MutationEvent("update", (instance,), value=record.value), pre_version
+            )
         else:
             raise StorageError(f"unknown WAL record kind {record.kind!r}")
 
@@ -903,6 +929,46 @@ class Database:
         for instance in sorted(instances):
             self.update_value(instance, transform(self.graph.value(instance)))
         return len(instances)
+
+    # ------------------------------------------------------------------
+    # materialized views
+    # ------------------------------------------------------------------
+
+    def create_view(self, name: str, query: "Expr | str") -> MaterializedView:
+        """Register a named materialized view over an algebra expression.
+
+        ``query`` may be OQL text (compiled against this schema) or an
+        :class:`Expr`.  The view materializes immediately and is then
+        maintained incrementally off the mutation-event stream; its
+        definition rides in durable checkpoints and is rebuilt on
+        recovery.  Definitions must serialize — views over literal
+        association-sets or opaque callback predicates are rejected.
+        """
+        with self.write_lock:
+            self._writable()
+            view = self.views.create(name, self._coerce_expr(query, "materialize"))
+            if self.engine.durable:
+                # View DDL rides only in checkpoint documents (the WAL
+                # holds DML); anchor one now so the definition survives.
+                self.engine.checkpoint(reason="view-ddl")
+        return view
+
+    def drop_view(self, name: str) -> None:
+        """Remove a materialized view by name."""
+        with self.write_lock:
+            self._writable()
+            self.views.drop(name)
+            if self.engine.durable:
+                self.engine.checkpoint(reason="view-ddl")
+
+    def refresh_view(self, name: str) -> frozenset:
+        """Fully recompute one view; returns its new materialization."""
+        with self.write_lock:
+            return self.views.refresh(name)
+
+    def view(self, name: str) -> MaterializedView:
+        """The registered view named ``name``."""
+        return self.views.get(name)
 
     # ------------------------------------------------------------------
     # savepoints: checkpoints + rollback (poor-man's transactions)
@@ -977,6 +1043,10 @@ class Database:
             self.stats.subscribe(self._on_stats_refresh)
             if was_analyzed:
                 self.stats.analyze(reason="restore")
+            # View materializations described the replaced graph (rollback
+            # emits no mutation events, so delta maintenance never saw the
+            # state change): re-attach and rebuild them.
+            self.views.rebind()
             if self.engine.durable:
                 # The WAL tail describes the pre-rollback history; anchor
                 # recovery at the restored state instead.

@@ -30,6 +30,7 @@ __all__ = [
     "OQLCompileError",
     "RuleError",
     "StorageError",
+    "ViewError",
 ]
 
 
@@ -136,3 +137,7 @@ class RuleError(ReproError):
 
 class StorageError(ReproError):
     """Serialization or deserialization of a database failed."""
+
+
+class ViewError(ReproError):
+    """A materialized-view definition or maintenance operation failed."""

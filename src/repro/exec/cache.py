@@ -49,7 +49,13 @@ from repro.core.expression import (
 from repro.obs.metrics import MetricsRegistry
 from repro.optimizer.analysis import predicate_classes
 
-__all__ = ["PlanCache", "PlanEntry", "canonicalize", "expr_dependencies"]
+__all__ = [
+    "PlanCache",
+    "PlanEntry",
+    "canonicalize",
+    "expr_dependencies",
+    "expr_value_dependencies",
+]
 
 #: Dependency wildcard: "this entry may read anything" (opaque predicate).
 ANY = "*"
@@ -114,6 +120,29 @@ def _collect(expr: Expr, out: set[str]) -> None:
             _collect(child, out)
 
 
+def expr_value_dependencies(expr: Expr) -> frozenset[str]:
+    """Classes whose *values* (not structure) the expression reads.
+
+    Every operator except A-Select produces patterns from extents and
+    edges alone — an attribute-only ``update`` event cannot change its
+    result.  Only classes a predicate reads values of (plus :data:`ANY`
+    for opaque predicates) make an entry stale under an update, so
+    update events invalidate against this narrower set.
+    """
+    out: set[str] = set()
+    _collect_values(expr, out)
+    return frozenset(out)
+
+
+def _collect_values(expr: Expr, out: set[str]) -> None:
+    if isinstance(expr, Select):
+        out.update(predicate_classes(expr.predicate))
+        _collect_values(expr.operand, out)
+    else:
+        for child in expr.children():
+            _collect_values(child, out)
+
+
 @dataclass(frozen=True)
 class PlanEntry:
     """One remembered *plan choice* (not a result) for a canonical query.
@@ -143,8 +172,10 @@ class PlanCache:
     """
 
     def __init__(self, metrics: MetricsRegistry | None = None) -> None:
-        # value is an AssociationSet (decoded) or a CompactSet (arena-encoded)
-        self._entries: dict[Expr, tuple[object, frozenset[str]]] = {}
+        # value is an AssociationSet (decoded) or a CompactSet (arena-encoded);
+        # each entry carries (result, class deps, value-only deps) — the
+        # third set gates invalidation for attribute-only update events.
+        self._entries: dict[Expr, tuple[object, frozenset[str], frozenset[str]]] = {}
         self._plans: dict[Expr, PlanEntry] = {}
         self._lock = threading.Lock()
         self.metrics = metrics
@@ -182,8 +213,9 @@ class PlanCache:
         return entry[0] if entry is not None else None
 
     def put(self, key: Expr, result, deps: frozenset[str]) -> None:
+        value_deps = expr_value_dependencies(key)
         with self._lock:
-            self._entries[key] = (result, deps)
+            self._entries[key] = (result, deps, value_deps)
 
     # ------------------------------------------------------------------
     # plan choices
@@ -222,14 +254,24 @@ class PlanCache:
                 del self._plans[key]
         return len(stale)
 
-    def invalidate_classes(self, classes) -> int:
-        """Drop entries depending on any of ``classes``; return the count."""
+    def invalidate_classes(self, classes, kind: str | None = None) -> int:
+        """Drop entries depending on any of ``classes``; return the count.
+
+        ``kind`` is the mutation-event kind, when the caller knows it.
+        An ``"update"`` event changes attribute values only — patterns
+        (extents, edges) are untouched — so it checks each entry's
+        value-dependency set instead of the full class-dependency set:
+        plans that reach a class solely through edges survive.  Opaque
+        (:data:`ANY`) entries always drop.
+        """
         touched = set(classes)
+        values_only = kind == "update"
         with self._lock:
             stale = [
                 key
-                for key, (_, deps) in self._entries.items()
-                if ANY in deps or deps & touched
+                for key, (_, deps, value_deps) in self._entries.items()
+                if ANY in deps
+                or (value_deps if values_only else deps) & touched
             ]
             for key in stale:
                 del self._entries[key]

@@ -78,15 +78,37 @@ class Executor:
     # state maintenance
     # ------------------------------------------------------------------
 
-    def on_mutation(self, event) -> int:
+    def on_mutation(self, event, pre_version: int | None = None) -> int:
         """Fold one mutation event into indexes, arena, and cache.
+
+        ``pre_version`` is the graph version the caller observed before
+        applying the mutation, when it can vouch for one.  A mismatch
+        with the version this executor last synced to means writes hit
+        the graph *between* events (out-of-band) — the incremental state
+        would explain the new version without ever having seen them, so
+        everything derived is rebuilt instead.
 
         Returns the number of cache entries the event invalidated (the
         database's event log records non-zero counts).
         """
+        if pre_version is not None and pre_version != self._synced_version:
+            self.indexes.reset()
+            self.arena.reset()
+            self.cache.clear()
+            if self.stats is not None:
+                self.stats.on_out_of_band()
+            self._synced_version = self.graph.version
+            if self.metrics is not None:
+                self._m_resets.inc()
+            return 0
         self.indexes.apply(event)
         self.arena.apply(event)
-        invalidated = self.cache.invalidate_classes({i.cls for i in event.instances})
+        # Per-kind delta classification: attribute-only updates invalidate
+        # against each entry's value-dependency set, so plans that touch
+        # the class solely through edges keep their cached results.
+        invalidated = self.cache.invalidate_classes(
+            {i.cls for i in event.instances}, kind=event.kind
+        )
         if self.stats is not None:
             self.stats.apply(event)
         self._synced_version = self.graph.version

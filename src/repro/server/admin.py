@@ -13,7 +13,9 @@ listener.  GET routes:
   format (scrape this);
 * ``/events?type=T&after=N&limit=N`` — the structured event ring as a
   JSON array (``after`` resumes from a sequence number);
-* ``/slow-queries?limit=N`` — captured slow-query records as JSON.
+* ``/slow-queries?limit=N`` — captured slow-query records as JSON;
+* ``/views`` — one row per materialized view across mounted databases
+  (name, definition, pattern count, change version).
 
 Anything else is ``404``; non-GET methods are ``405``.  Responses are
 ``Connection: close`` — every probe is one short-lived connection, which
@@ -140,6 +142,9 @@ class AdminServer:
             body = json.dumps(
                 [event.to_dict() for event in events], sort_keys=True, default=str
             )
+            return 200, "application/json", body + "\n"
+        if path == "/views":
+            body = json.dumps(self.service.view_rows(), sort_keys=True, default=str)
             return 200, "application/json", body + "\n"
         if path == "/slow-queries":
             records = self.service.slow_queries.records(limit=_int_param("limit"))

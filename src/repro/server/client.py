@@ -36,6 +36,7 @@ from __future__ import annotations
 import socket
 import time
 import uuid
+from collections import deque
 from typing import Any
 
 from repro.obs.export import spans_from_wire
@@ -118,16 +119,30 @@ class ServerClient:
             raise ServerError(
                 f"cannot connect to {host}:{port}: {exc}", "connection"
             ) from exc
+        #: Notification frames (``view.delta``/``view.resync``/...) read
+        #: off the wire while waiting for a response; drained in arrival
+        #: order by :meth:`next_notification`.
+        self._notifications: deque = deque()
 
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
 
     def _rpc(self, request: dict[str, Any]) -> dict[str, Any]:
-        """One request/response round trip; error frames raise."""
+        """One request/response round trip; error frames raise.
+
+        The server may interleave subscription push frames ahead of the
+        response (a session's own mutate delivers the view delta before
+        the ack); anything carrying ``notify`` is buffered, the first
+        non-notification frame is the response.
+        """
         try:
             send_frame(self._sock, request)
-            response = recv_frame(self._sock)
+            while True:
+                response = recv_frame(self._sock)
+                if response is None or "notify" not in response:
+                    break
+                self._notifications.append(response)
         except OSError as exc:
             raise ServerError(f"connection failed: {exc}", "connection") from exc
         if response is None:
@@ -281,6 +296,68 @@ class ServerClient:
         if limit is not None:
             request["limit"] = limit
         return self._rpc(request)
+
+    # ------------------------------------------------------------------
+    # materialized views
+    # ------------------------------------------------------------------
+
+    def views(self) -> list[dict[str, Any]]:
+        """Info rows for the session database's materialized views."""
+        return list(self._rpc({"op": "views"}).get("views", ()))
+
+    def create_view(self, name: str, q: str) -> dict[str, Any]:
+        """Define and materialize a server-side view from OQL text."""
+        return self._rpc({"op": "create_view", "name": name, "q": q})
+
+    def drop_view(self, name: str) -> dict[str, Any]:
+        return self._rpc({"op": "drop_view", "name": name})
+
+    def subscribe(self, view: str) -> dict[str, Any]:
+        """Open a live delta feed on ``view``; returns the initial snapshot.
+
+        The response carries ``version`` and the full ``patterns``
+        snapshot; subsequent changes arrive as ``view.delta`` /
+        ``view.resync`` notification frames — read them with
+        :meth:`next_notification`.  Apply a delta only when its
+        ``version`` exceeds the last one seen (the snapshot's included);
+        on ``view.resync`` replace the local copy wholesale.
+        """
+        return self._rpc({"op": "subscribe", "view": view})
+
+    def unsubscribe(self, view: str) -> dict[str, Any]:
+        return self._rpc({"op": "unsubscribe", "view": view})
+
+    def next_notification(
+        self, timeout: float | None = None
+    ) -> dict[str, Any] | None:
+        """The next buffered or wire notification frame, else ``None``.
+
+        Blocks up to ``timeout`` seconds for a frame to arrive
+        (``None`` = the connection's default timeout).  Returns ``None``
+        on timeout; raises :class:`ProtocolError` if the server closes
+        the connection or sends a non-notification frame while no
+        request is in flight.
+        """
+        if self._notifications:
+            return self._notifications.popleft()
+        previous = self._sock.gettimeout()
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        try:
+            frame = recv_frame(self._sock)
+        except socket.timeout:
+            return None
+        except OSError as exc:
+            raise ServerError(f"connection failed: {exc}", "connection") from exc
+        finally:
+            self._sock.settimeout(previous)
+        if frame is None:
+            raise ProtocolError(
+                "server closed the connection while waiting for a notification"
+            )
+        if "notify" not in frame:
+            raise ProtocolError(f"unexpected non-notification frame: {frame!r}")
+        return frame
 
     def slow_queries(self, *, limit: int | None = None) -> dict[str, Any]:
         """Captured slow-query records (``slow_queries`` + ``total``)."""

@@ -36,6 +36,12 @@ A request is a JSON object with an ``op`` field::
     {"op": "events", "type": "request.finish", # structured event ring
                      "after": 17, "limit": 50} #   (all fields optional)
     {"op": "slow_queries", "limit": 10}        # slow-query capture records
+    {"op": "views"}                            # materialized-view catalog
+    {"op": "create_view", "name": "v",         # define + materialize a view
+                          "q": "TA * Grad"}
+    {"op": "drop_view", "name": "v"}
+    {"op": "subscribe", "view": "v"}           # live delta feed (see below)
+    {"op": "unsubscribe", "view": "v"}
     {"op": "close"}
 
 Any request may additionally carry a **trace context** stamped by the
@@ -65,6 +71,29 @@ structured error::
 
 Error codes are stable protocol surface (:data:`ERROR_CODES`); the client
 raises the matching :class:`ServerError` subclass per code.
+
+Push frames (view subscriptions)
+--------------------------------
+After ``subscribe`` (whose response carries the initial ``version`` and
+``patterns`` snapshot), the server may write **notification frames** to
+the session at any point — between a request and its response included.
+They are distinguished from responses by a ``notify`` field instead of
+``ok``::
+
+    {"notify": "view.delta",  "database": "...", "view": "v",
+     "version": 7, "origin": "delta",           # or "refresh"
+     "added": [wire patterns], "removed": [wire patterns]}
+    {"notify": "view.resync", "database": "...", "view": "v",
+     "version": 9, "reason": "overflow",        # backlog was dropped
+     "patterns": [wire patterns], "count": 12}  # full current state
+    {"notify": "view.dropped", "database": "...", "view": "v",
+     "reason": "..."}                           # view no longer exists
+
+``version`` is per-view monotonic; a subscriber applies a delta only
+when its version exceeds what it has, and replaces its copy wholesale on
+``view.resync``.  A session's deltas caused by its *own* mutate arrive
+before the mutate acknowledgement.  :class:`ServerClient` buffers
+notification frames transparently (``next_notification``).
 """
 
 from __future__ import annotations

@@ -52,7 +52,21 @@ observability pipeline has three more pieces (``docs/observability.md``,
 
 With ``admin_port`` configured, an HTTP side port
 (:class:`~repro.server.admin.AdminServer`) serves ``/healthz``,
-``/readyz``, ``/metrics``, ``/events`` and ``/slow-queries``.
+``/readyz``, ``/metrics``, ``/events``, ``/slow-queries`` and ``/views``.
+
+**Live view subscriptions** (``docs/views.md``): a session may
+``subscribe`` to a materialized view of its current database.  The
+service registers one :class:`~repro.views.registry.ViewRegistry`
+listener per mounted database; view deltas are built into wire frames on
+the mutating worker thread and handed to the event loop, which fans them
+out into a bounded per-subscription queue (``subscription_queue``).  A
+full queue drops the backlog and marks the subscription for **resync** —
+the next flush sends one ``view.resync`` frame carrying the complete
+current materialization instead of the lost deltas, so a subscriber
+never sees a gap it cannot detect.  Push frames are written under a
+per-session write lock, and every response write first flushes the
+session's pending pushes — a client that mutates a view it subscribes to
+receives the ``view.delta`` frame *before* the mutate acknowledgement.
 """
 
 from __future__ import annotations
@@ -62,13 +76,14 @@ import json
 import threading
 import time
 import uuid
+from collections import deque
 from dataclasses import dataclass, field
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
 from repro.core.identity import IID
 from repro.engine.database import Database
-from repro.errors import ReproError
+from repro.errors import ReproError, ViewError
 from repro.obs.events import EventLog, SlowQueryLog
 from repro.obs.export import metrics_to_prometheus, spans_to_jsonl
 from repro.obs.metrics import MetricsRegistry
@@ -116,11 +131,40 @@ class ServerConfig:
     slow_query_q_error: float | None = None  # EXPLAIN max q-error trigger
     event_capacity: int = 1024  # event-ring size (0 disables the log)
     slow_query_capacity: int = 128  # slow-query ring size
+    subscription_queue: int = 64  # pending push frames per subscription
+
+
+def _wire_patterns(patterns) -> list[dict[str, Any]]:
+    """Wire-encode a pattern set in the service's canonical order."""
+    return sorted(
+        (pattern_to_wire(p) for p in patterns),
+        key=lambda p: (p["vertices"], p["edges"]),
+    )
 
 
 @dataclass
+class _Subscription:
+    """One session's live feed of one view's deltas.
+
+    ``queue`` holds wire-ready push frames awaiting the session's next
+    flush.  When it would exceed ``ServerConfig.subscription_queue`` the
+    backlog is dropped and ``needs_resync`` records why; the next flush
+    then sends one ``view.resync`` frame with the full materialization
+    instead of the lost deltas.
+    """
+
+    view: str
+    queue: deque = field(default_factory=deque)
+    needs_resync: str | None = None
+
+
+@dataclass(eq=False)
 class Session:
-    """Per-connection state: identity, mounted database, paging cursors."""
+    """Per-connection state: identity, mounted database, paging cursors.
+
+    ``eq=False`` keeps identity hashing — the service tracks sessions in
+    per-view subscriber sets.
+    """
 
     id: str
     database_name: str
@@ -128,6 +172,9 @@ class Session:
     peer: str = ""
     requests: int = 0
     cursors: dict[str, list[list[dict[str, Any]]]] = field(default_factory=dict)
+    subscriptions: dict[str, _Subscription] = field(default_factory=dict)
+    writer: asyncio.StreamWriter | None = None
+    write_lock: asyncio.Lock | None = None
 
 
 class QueryService:
@@ -162,6 +209,11 @@ class QueryService:
         self._idle = asyncio.Event()
         self._connections: set[asyncio.StreamWriter] = set()
         self._sessions = 0
+        #: (database name, view name) → sessions subscribed to that view.
+        #: Mutated only on the event loop; read from worker threads to
+        #: skip frame building when nobody is listening.
+        self._view_sessions: dict[tuple[str, str], set[Session]] = {}
+        self._push_tasks: set[asyncio.Task] = set()
 
         self._m_requests = self.metrics.counter(
             "repro_server_requests_total", "Server requests handled, by op and status"
@@ -224,6 +276,8 @@ class QueryService:
                 )
             else:
                 raise LookupError(name)
+            # Fan this database's view deltas out to wire subscriptions.
+            db.views.subscribe(self._make_view_listener(name))
             self._databases[name] = db
             return db
 
@@ -271,6 +325,8 @@ class QueryService:
             pass  # drain window elapsed; close connections regardless
         if self._admin is not None:
             await self._admin.stop()
+        for task in tuple(self._push_tasks):
+            task.cancel()
         for writer in tuple(self._connections):
             writer.close()
         self._pool.shutdown(wait=False)
@@ -295,6 +351,141 @@ class QueryService:
         }
 
     # ------------------------------------------------------------------
+    # view subscriptions
+    # ------------------------------------------------------------------
+
+    def _make_view_listener(self, db_name: str):
+        """A ViewRegistry listener fanning deltas out to subscribed sessions.
+
+        Runs on whichever thread committed the mutation (a server worker,
+        usually), while the database's write lock is held — so it only
+        *builds* the wire frame there and hands delivery to the event
+        loop.  ``call_soon_threadsafe`` preserves scheduling order, which
+        makes the delta-before-ack guarantee deterministic: the fanout
+        callback is queued during the DML call, strictly before the
+        worker's own completion callback resolves the mutate future.
+        """
+
+        def listener(view, added, removed, origin: str) -> None:
+            loop = self._loop
+            if loop is None or loop.is_closed():
+                return
+            key = (db_name, view.name)
+            if not self._view_sessions.get(key):
+                return
+            frame = {
+                "notify": "view.delta",
+                "database": db_name,
+                "view": view.name,
+                "version": view.version,
+                "origin": origin,
+                "added": _wire_patterns(added),
+                "removed": _wire_patterns(removed),
+            }
+            try:
+                loop.call_soon_threadsafe(self._fanout_view_frame, key, frame)
+            except RuntimeError:  # pragma: no cover — loop closed mid-call
+                pass
+
+        return listener
+
+    def _fanout_view_frame(self, key: tuple[str, str], frame: dict[str, Any]) -> None:
+        """Queue one push frame on every subscribed session (loop thread)."""
+        for session in list(self._view_sessions.get(key, ())):
+            sub = session.subscriptions.get(frame["view"])
+            if sub is None:
+                continue
+            if (
+                sub.needs_resync is None
+                and len(sub.queue) >= self.config.subscription_queue
+            ):
+                sub.queue.clear()
+                sub.needs_resync = "overflow"
+                self.events.emit(
+                    "subscription.overflow",
+                    session=session.id,
+                    view=frame["view"],
+                    database=key[0],
+                )
+            if sub.needs_resync is None:
+                sub.queue.append(frame)
+            self._schedule_push(session)
+
+    def _schedule_push(self, session: Session) -> None:
+        """Flush a session's pending pushes soon (idempotent per frame)."""
+        if session.writer is None:
+            return
+        task = asyncio.ensure_future(self._flush_session(session))
+        self._push_tasks.add(task)
+        task.add_done_callback(self._push_tasks.discard)
+
+    async def _flush_session(self, session: Session) -> None:
+        """Write every queued push frame for ``session`` (loop thread)."""
+        writer, lock = session.writer, session.write_lock
+        if writer is None or lock is None or not session.subscriptions:
+            return
+        async with lock:
+            try:
+                for sub in list(session.subscriptions.values()):
+                    await self._drain_subscription(session, writer, sub)
+            except (ConnectionError, OSError):
+                pass  # the connection handler notices and cleans up
+
+    async def _drain_subscription(
+        self, session: Session, writer: asyncio.StreamWriter, sub: _Subscription
+    ) -> None:
+        if sub.needs_resync is not None:
+            reason, sub.needs_resync = sub.needs_resync, None
+            sub.queue.clear()
+            try:
+                view = session.database.views.get(sub.view)
+            except ViewError:
+                # The view was dropped while the backlog overflowed.
+                session.subscriptions.pop(sub.view, None)
+                self._unregister_subscription(session, sub.view)
+                await write_frame(
+                    writer,
+                    {
+                        "notify": "view.dropped",
+                        "database": session.database_name,
+                        "view": sub.view,
+                        "reason": reason,
+                    },
+                )
+                return
+            await write_frame(
+                writer,
+                {
+                    "notify": "view.resync",
+                    "database": session.database_name,
+                    "view": sub.view,
+                    "version": view.version,
+                    "reason": reason,
+                    "patterns": _wire_patterns(view.patterns),
+                    "count": len(view.patterns),
+                },
+            )
+        while sub.queue:
+            await write_frame(writer, sub.queue.popleft())
+
+    def _register_subscription(self, session: Session, view_name: str) -> None:
+        key = (session.database_name, view_name)
+        self._view_sessions.setdefault(key, set()).add(session)
+
+    def _unregister_subscription(self, session: Session, view_name: str) -> None:
+        key = (session.database_name, view_name)
+        sessions = self._view_sessions.get(key)
+        if sessions is not None:
+            sessions.discard(session)
+            if not sessions:
+                del self._view_sessions[key]
+
+    def _drop_session_subscriptions(self, session: Session) -> None:
+        for name in list(session.subscriptions):
+            self._unregister_subscription(session, name)
+        session.subscriptions.clear()
+
+    # ------------------------------------------------------------------
     # connection handling
     # ------------------------------------------------------------------
 
@@ -307,6 +498,8 @@ class QueryService:
             database_name=self.config.default_database,
             database=self.database(self.config.default_database),
             peer=str(peer),
+            writer=writer,
+            write_lock=asyncio.Lock(),
         )
         self._sessions += 1
         self._m_sessions.inc()
@@ -316,19 +509,28 @@ class QueryService:
                 try:
                     request = await read_frame(reader)
                 except ProtocolError as exc:
-                    await write_frame(
-                        writer, error_response("bad_request", str(exc))
-                    )
+                    async with session.write_lock:
+                        await write_frame(
+                            writer, error_response("bad_request", str(exc))
+                        )
                     break
                 if request is None:
                     break  # client closed cleanly
                 response = await self._handle_request(session, request)
-                await write_frame(writer, response)
+                # Push frames this request itself caused (view deltas from
+                # a mutate) flush *before* the response: a session that
+                # mutates a view it subscribes to reads the delta, then
+                # the acknowledgement.
+                await self._flush_session(session)
+                async with session.write_lock:
+                    await write_frame(writer, response)
                 if request.get("op") == "close":
                     break
         except (ConnectionError, asyncio.CancelledError):
             pass  # peer went away or the server is closing down
         finally:
+            self._drop_session_subscriptions(session)
+            session.writer = None
             self._connections.discard(writer)
             self._m_sessions.dec()
             writer.close()
@@ -396,6 +598,16 @@ class QueryService:
             return await self._op_mutate(session, request)
         if op == "fetch":
             return self._op_fetch(session, request)
+        if op == "views":
+            return self._op_views(session)
+        if op == "subscribe":
+            return self._op_subscribe(session, request)
+        if op == "unsubscribe":
+            return self._op_unsubscribe(session, request)
+        if op == "create_view":
+            return await self._op_create_view(session, request)
+        if op == "drop_view":
+            return await self._op_drop_view(session, request)
         if op == "metrics":
             self._count("metrics", "ok")
             return {"ok": True, "prometheus": metrics_to_prometheus(self.metrics)}
@@ -431,6 +643,7 @@ class QueryService:
             return error_response(
                 "unknown_database", f"unknown database {name!r}; known: {known}"
             )
+        self._drop_session_subscriptions(session)
         session.database_name = name
         session.database = database
         session.cursors.clear()
@@ -891,6 +1104,121 @@ class QueryService:
             cursor_out = cursor
         self._count("fetch", "ok")
         return {"ok": True, "patterns": page, "cursor": cursor_out}
+
+    # -- views ---------------------------------------------------------
+
+    def view_rows(self) -> list[dict[str, Any]]:
+        """One info row per view across mounted databases (admin ``/views``)."""
+        with self._db_lock:
+            items = sorted(self._databases.items())
+        rows: list[dict[str, Any]] = []
+        for name, db in items:
+            for info in db.views.info():
+                rows.append({"database": name, **info})
+        return rows
+
+    def _op_views(self, session: Session) -> dict[str, Any]:
+        self._count("views", "ok")
+        return {
+            "ok": True,
+            "database": session.database_name,
+            "views": session.database.views.info(),
+        }
+
+    def _op_subscribe(
+        self, session: Session, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Open a live delta feed on one view; returns the initial snapshot.
+
+        The subscription is registered *before* the snapshot is read, so
+        a delta committed concurrently is queued rather than lost; the
+        client drops queued frames whose ``version`` is not above the
+        snapshot's (added/removed are sets, so replaying one is also
+        harmless).  Subscribing twice is idempotent — the feed continues,
+        a fresh snapshot is returned.
+        """
+        name = str(request.get("view", ""))
+        try:
+            view = session.database.views.get(name)
+        except ViewError as exc:
+            self._count("subscribe", "error")
+            return error_response("unknown_view", str(exc))
+        if name not in session.subscriptions:
+            session.subscriptions[name] = _Subscription(view=name)
+            self._register_subscription(session, name)
+        self._count("subscribe", "ok")
+        return {
+            "ok": True,
+            "view": name,
+            "database": session.database_name,
+            "version": view.version,
+            "patterns": _wire_patterns(view.patterns),
+            "count": len(view.patterns),
+        }
+
+    def _op_unsubscribe(
+        self, session: Session, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        name = str(request.get("view", ""))
+        sub = session.subscriptions.pop(name, None)
+        if sub is None:
+            self._count("unsubscribe", "error")
+            return error_response("bad_request", f"no subscription on view {name!r}")
+        self._unregister_subscription(session, name)
+        self._count("unsubscribe", "ok")
+        return {"ok": True, "view": name, "unsubscribed": True}
+
+    async def _op_create_view(
+        self, session: Session, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Create and materialize a view from OQL text (worker thread)."""
+        name = str(request.get("name", ""))
+        query = request.get("q")
+        if not name or not isinstance(query, str) or not query.strip():
+            self._count("create_view", "error")
+            return error_response(
+                "bad_request", "create_view requires 'name' and a 'q' string"
+            )
+        assert self._loop is not None
+
+        def work() -> dict[str, Any]:
+            view = session.database.create_view(name, query)
+            return {
+                "ok": True,
+                "view": name,
+                "count": len(view.patterns),
+                "version": view.version,
+            }
+
+        try:
+            response = await asyncio.shield(
+                self._loop.run_in_executor(self._pool, work)
+            )
+        except ViewError as exc:
+            self._count("create_view", "error")
+            return error_response("view_error", str(exc))
+        self._count("create_view", "ok")
+        return response
+
+    async def _op_drop_view(
+        self, session: Session, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        name = str(request.get("name", ""))
+        assert self._loop is not None
+
+        def work() -> dict[str, Any]:
+            session.database.drop_view(name)
+            return {"ok": True, "view": name, "dropped": True}
+
+        try:
+            response = await asyncio.shield(
+                self._loop.run_in_executor(self._pool, work)
+            )
+        except ViewError as exc:
+            self._count("drop_view", "error")
+            return error_response("view_error", str(exc))
+        self._count("drop_view", "ok")
+        return response
 
     # -- events / slow queries -----------------------------------------
 

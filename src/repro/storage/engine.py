@@ -207,6 +207,7 @@ class MemoryEngine(StorageEngine):
             name = f"ckpt-{self._seq:06d}"
         self._checkpoints[name] = {
             "graph": graph_to_dict(db.graph),
+            "views": db.views.definitions(),
             "wal_seq": self._seq,
         }
         self._count_checkpoint(reason)
@@ -439,6 +440,10 @@ class FileEngine(StorageEngine):
                     "format": STORE_FORMAT + "+checkpoint",
                     "schema": schema_to_dict(db.schema),
                     "graph": graph_to_dict(db.graph),
+                    # Materialized-view definitions (pure JSON): recovery
+                    # re-registers them before WAL replay so replayed
+                    # mutations maintain the views incrementally.
+                    "views": db.views.definitions(),
                     "wal_seq": seq,
                     "name": name,
                     "written": time.time(),

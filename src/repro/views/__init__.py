@@ -1,0 +1,35 @@
+"""Incremental view maintenance: materialized association-set views.
+
+The paper's algebraic identities give exact delta rules for most
+operators — when a mutation changes an operand by a known delta, the
+change to the result is computable from the delta and the standing
+other side, without recomputing the expression.  This package builds
+that into a subsystem:
+
+* :mod:`repro.views.delta` — classifies mutation events into removal
+  anchors, added edges, and touched classes;
+* :mod:`repro.views.maintainer` — the per-view maintenance-node tree
+  with one delta rule per operator and scoped-recompute fallbacks where
+  no sound rule exists;
+* :mod:`repro.views.registry` — named views per database, the
+  out-of-band version guard, metrics, and change listeners (the server
+  pushes these to wire subscriptions);
+* :mod:`repro.views.serialize` — pure-JSON round-tripping of view
+  definitions for checkpoint persistence and recovery.
+"""
+
+from repro.views.delta import EventContext, classify
+from repro.views.maintainer import DeltaMaintainer, NodeDelta
+from repro.views.registry import MaterializedView, ViewRegistry
+from repro.views.serialize import expr_from_dict, expr_to_dict
+
+__all__ = [
+    "EventContext",
+    "classify",
+    "DeltaMaintainer",
+    "NodeDelta",
+    "MaterializedView",
+    "ViewRegistry",
+    "expr_from_dict",
+    "expr_to_dict",
+]

@@ -1,0 +1,302 @@
+"""JSON (de)serialization of view-defining expressions.
+
+A materialized view outlives the process: its definition rides in
+FileEngine checkpoint documents and is rebuilt on recovery, so the
+defining :class:`~repro.core.expression.Expr` must round-trip through
+pure JSON.  Every algebra operator and every *analyzable* predicate form
+serializes; the two deliberately unserializable leaves are rejected with
+:class:`~repro.errors.ViewError` at ``create_view`` time:
+
+* :class:`~repro.core.expression.Literal` — a literal wraps an
+  in-memory association-set whose patterns have no schema-level
+  identity; a view over one could never be re-derived after recovery;
+* :class:`~repro.core.predicates.Callback` — an opaque Python function
+  has no name to look up on the other side.
+
+``Apply`` predicates *are* serializable: they reference a registered
+function by name, resolved against a :class:`FunctionRegistry` (the
+database's own, or :data:`DEFAULT_REGISTRY`) at load time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.expression import (
+    AssocSpec,
+    Associate,
+    ClassExtent,
+    Complement,
+    Difference,
+    Divide,
+    Expr,
+    Intersect,
+    NonAssociate,
+    Project,
+    Select,
+    Union,
+)
+from repro.core.operators import ChainTemplate, PathLink
+from repro.core.predicates import (
+    And,
+    Apply,
+    ClassInstances,
+    ClassValues,
+    Comparison,
+    Const,
+    DEFAULT_REGISTRY,
+    FunctionRegistry,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    ValueExpr,
+    ValueUnion,
+)
+from repro.errors import ViewError
+
+__all__ = [
+    "expr_to_dict",
+    "expr_from_dict",
+    "predicate_to_dict",
+    "predicate_from_dict",
+]
+
+_BINARY_GRAPH_OPS = {
+    "associate": Associate,
+    "complement": Complement,
+    "non_associate": NonAssociate,
+}
+
+
+def _spec_to_dict(spec: AssocSpec | None) -> dict[str, Any] | None:
+    if spec is None:
+        return None
+    return {"alpha": spec.alpha_class, "beta": spec.beta_class, "name": spec.name}
+
+
+def _spec_from_dict(data: Mapping[str, Any] | None) -> AssocSpec | None:
+    if data is None:
+        return None
+    return AssocSpec(data["alpha"], data["beta"], data.get("name"))
+
+
+def _classes_to_list(classes: frozenset[str] | None) -> list[str] | None:
+    return None if classes is None else sorted(classes)
+
+
+def _classes_from_list(data: list[str] | None) -> frozenset[str] | None:
+    return None if data is None else frozenset(data)
+
+
+# ----------------------------------------------------------------------
+# value expressions and predicates
+# ----------------------------------------------------------------------
+
+
+def _value_to_dict(value: ValueExpr) -> dict[str, Any]:
+    if isinstance(value, Const):
+        return {"t": "const", "value": value.value}
+    if isinstance(value, ClassValues):
+        return {"t": "class_values", "cls": value.cls}
+    if isinstance(value, ClassInstances):
+        return {"t": "class_instances", "cls": value.cls}
+    if isinstance(value, Apply):
+        return {
+            "t": "apply",
+            "fn": value.fn_name,
+            "operand": _value_to_dict(value.operand),
+        }
+    if isinstance(value, ValueUnion):
+        return {
+            "t": "value_union",
+            "operands": [_value_to_dict(op) for op in value.operands],
+        }
+    raise ViewError(f"value expression {value!r} is not serializable")
+
+
+def _value_from_dict(
+    data: Mapping[str, Any], registry: FunctionRegistry
+) -> ValueExpr:
+    kind = data["t"]
+    if kind == "const":
+        return Const(data["value"])
+    if kind == "class_values":
+        return ClassValues(data["cls"])
+    if kind == "class_instances":
+        return ClassInstances(data["cls"])
+    if kind == "apply":
+        return Apply(data["fn"], _value_from_dict(data["operand"], registry), registry)
+    if kind == "value_union":
+        return ValueUnion(
+            *(_value_from_dict(op, registry) for op in data["operands"])
+        )
+    raise ViewError(f"unknown serialized value expression kind {kind!r}")
+
+
+def predicate_to_dict(predicate: Predicate) -> dict[str, Any]:
+    """A pure-JSON description of an analyzable predicate.
+
+    Raises :class:`ViewError` for :class:`Callback` (and any unknown
+    predicate type): opaque functions cannot survive a checkpoint.
+    """
+    if isinstance(predicate, TruePredicate):
+        return {"t": "true"}
+    if isinstance(predicate, Comparison):
+        return {
+            "t": "cmp",
+            "left": _value_to_dict(predicate.left),
+            "op": predicate.op,
+            "right": _value_to_dict(predicate.right),
+            "quantifier": predicate.quantifier,
+        }
+    if isinstance(predicate, And):
+        return {"t": "and", "operands": [predicate_to_dict(p) for p in predicate.operands]}
+    if isinstance(predicate, Or):
+        return {"t": "or", "operands": [predicate_to_dict(p) for p in predicate.operands]}
+    if isinstance(predicate, Not):
+        return {"t": "not", "operand": predicate_to_dict(predicate.operand)}
+    raise ViewError(
+        f"predicate {predicate} is not serializable; views cannot be defined "
+        "over opaque callback predicates"
+    )
+
+
+def predicate_from_dict(
+    data: Mapping[str, Any], registry: FunctionRegistry | None = None
+) -> Predicate:
+    """Rebuild a predicate from :func:`predicate_to_dict` output."""
+    registry = DEFAULT_REGISTRY if registry is None else registry
+    kind = data["t"]
+    if kind == "true":
+        return TruePredicate()
+    if kind == "cmp":
+        return Comparison(
+            _value_from_dict(data["left"], registry),
+            data["op"],
+            _value_from_dict(data["right"], registry),
+            quantifier=data.get("quantifier", "exists"),
+        )
+    if kind == "and":
+        return And(*(predicate_from_dict(p, registry) for p in data["operands"]))
+    if kind == "or":
+        return Or(*(predicate_from_dict(p, registry) for p in data["operands"]))
+    if kind == "not":
+        return Not(predicate_from_dict(data["operand"], registry))
+    raise ViewError(f"unknown serialized predicate kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+
+
+def expr_to_dict(expr: Expr) -> dict[str, Any]:
+    """A pure-JSON description of a view-definable expression.
+
+    Raises :class:`ViewError` for :class:`Literal` operands and opaque
+    predicates — a view definition must be re-derivable from the schema
+    and graph alone after recovery.
+    """
+    if isinstance(expr, ClassExtent):
+        return {"t": "extent", "name": expr.name}
+    for tag, node_cls in _BINARY_GRAPH_OPS.items():
+        if type(expr) is node_cls:
+            return {
+                "t": tag,
+                "left": expr_to_dict(expr.left),
+                "right": expr_to_dict(expr.right),
+                "spec": _spec_to_dict(expr.spec),
+            }
+    if isinstance(expr, Intersect):
+        return {
+            "t": "intersect",
+            "left": expr_to_dict(expr.left),
+            "right": expr_to_dict(expr.right),
+            "classes": _classes_to_list(expr.classes),
+        }
+    if isinstance(expr, Divide):
+        return {
+            "t": "divide",
+            "left": expr_to_dict(expr.left),
+            "right": expr_to_dict(expr.right),
+            "classes": _classes_to_list(expr.classes),
+        }
+    if isinstance(expr, Union):
+        return {
+            "t": "union",
+            "left": expr_to_dict(expr.left),
+            "right": expr_to_dict(expr.right),
+        }
+    if isinstance(expr, Difference):
+        return {
+            "t": "difference",
+            "left": expr_to_dict(expr.left),
+            "right": expr_to_dict(expr.right),
+        }
+    if isinstance(expr, Select):
+        return {
+            "t": "select",
+            "operand": expr_to_dict(expr.operand),
+            "predicate": predicate_to_dict(expr.predicate),
+        }
+    if isinstance(expr, Project):
+        return {
+            "t": "project",
+            "operand": expr_to_dict(expr.operand),
+            "templates": [list(t.classes) for t in expr.templates],
+            "links": [list(link.classes) for link in expr.links],
+        }
+    raise ViewError(
+        f"expression node {type(expr).__name__} is not serializable; views "
+        "cannot be defined over literal association-sets"
+    )
+
+
+def expr_from_dict(
+    data: Mapping[str, Any], registry: FunctionRegistry | None = None
+) -> Expr:
+    """Rebuild an expression from :func:`expr_to_dict` output."""
+    kind = data["t"]
+    if kind == "extent":
+        return ClassExtent(data["name"])
+    if kind in _BINARY_GRAPH_OPS:
+        return _BINARY_GRAPH_OPS[kind](
+            expr_from_dict(data["left"], registry),
+            expr_from_dict(data["right"], registry),
+            _spec_from_dict(data.get("spec")),
+        )
+    if kind == "intersect":
+        return Intersect(
+            expr_from_dict(data["left"], registry),
+            expr_from_dict(data["right"], registry),
+            _classes_from_list(data.get("classes")),
+        )
+    if kind == "divide":
+        return Divide(
+            expr_from_dict(data["left"], registry),
+            expr_from_dict(data["right"], registry),
+            _classes_from_list(data.get("classes")),
+        )
+    if kind == "union":
+        return Union(
+            expr_from_dict(data["left"], registry),
+            expr_from_dict(data["right"], registry),
+        )
+    if kind == "difference":
+        return Difference(
+            expr_from_dict(data["left"], registry),
+            expr_from_dict(data["right"], registry),
+        )
+    if kind == "select":
+        return Select(
+            expr_from_dict(data["operand"], registry),
+            predicate_from_dict(data["predicate"], registry),
+        )
+    if kind == "project":
+        return Project(
+            expr_from_dict(data["operand"], registry),
+            tuple(ChainTemplate(tuple(t)) for t in data["templates"]),
+            tuple(PathLink(tuple(link)) for link in data["links"]),
+        )
+    raise ViewError(f"unknown serialized expression kind {kind!r}")

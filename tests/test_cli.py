@@ -405,6 +405,67 @@ class TestObservabilitySubcommands:
         )
         assert code == 0
 
+    def test_subscribe_subcommand_streams_snapshot_then_delta(
+        self, server, capsys
+    ):
+        import threading
+
+        from repro.server import ServerClient
+
+        with ServerClient("127.0.0.1", server.port) as admin:
+            admin.create_view("v", "TA * Grad")
+            snapshot = admin.subscribe("v")
+            pattern = snapshot["patterns"][0]
+            ta = next(v for v in pattern["vertices"] if v[0] == "TA")
+            grad = next(v for v in pattern["vertices"] if v[0] == "Grad")
+            admin.unsubscribe("v")
+
+        def mutate_soon():
+            time.sleep(0.3)
+            with ServerClient("127.0.0.1", server.port) as writer:
+                writer.mutate([{"action": "unlink", "a": ta, "b": grad}])
+
+        thread = threading.Thread(target=mutate_soon)
+        thread.start()
+        try:
+            code = main(
+                [
+                    "subscribe",
+                    "v",
+                    "--port",
+                    str(server.port),
+                    "--timeout",
+                    "0.2",
+                    "--iterations",
+                    "1",
+                ]
+            )
+        finally:
+            thread.join()
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["view"] == "v" and records[0]["count"] == 2
+        assert records[-1]["notify"] == "view.delta"
+        assert len(records[-1]["removed"]) == 1
+
+    def test_subscribe_create_flag_defines_the_view(self, server, capsys):
+        code = main(
+            [
+                "subscribe",
+                "fresh",
+                "--port",
+                str(server.port),
+                "--create",
+                "TA * Grad",
+                "--iterations",
+                "0",
+            ]
+        )
+        assert code == 0
+        record = json.loads(capsys.readouterr().out.strip().splitlines()[0])
+        assert record["view"] == "fresh" and record["count"] == 2
+
     def test_slow_queries_subcommand_shows_plan(self, server, capsys):
         from repro.server import ServerClient
 

@@ -153,3 +153,36 @@ class TestSavepoints:
         db.rollback("base")
         result = db.query("pi(TA * Grad * Student * Person * SS#)[SS#]")
         assert result.values("SS#") == {333, 444}
+
+    def test_rollback_refreshes_materialized_views(self, db):
+        """Regression: restore() swaps the graph — views must follow it.
+
+        Without the registry rebind, the materialization would keep
+        patterns of the pre-rollback graph (both the stale extra
+        pattern and IID objects belonging to the discarded graph).
+        """
+        view = db.create_view("gpas", "GPA")
+        db.checkpoint("clean")
+        created = db.insert_value("GPA", 0.42)
+        assert any(created in p for p in view.patterns)
+        db.rollback("clean")
+        assert not any(created in p for p in view.patterns)
+        assert view.patterns == frozenset(db.query("GPA", use_cache=False).set)
+        # And the maintainer tracks the *restored* graph from here on.
+        later = db.insert_value("GPA", 0.43)
+        assert any(later in p for p in view.patterns)
+        assert view.patterns == frozenset(db.query("GPA", use_cache=False).set)
+
+    def test_rollback_to_snapshot_refreshes_views(self, db):
+        view = db.create_view("v", "TA * Grad")
+        pattern = next(iter(view.patterns))
+        ta = next(i for i in pattern.vertices if i.cls == "TA")
+        grad = next(i for i in pattern.vertices if i.cls == "Grad")
+        snap = db.snapshot()
+        db.unlink(ta, grad)
+        assert pattern not in view.patterns
+        db.rollback(snap)
+        assert view.patterns == frozenset(
+            db.query("TA * Grad", use_cache=False).set
+        )
+        assert len(view.patterns) == 2

@@ -6,7 +6,7 @@ from repro.core.expression import Intersect, Literal, Select, Union, ref
 from repro.core.assoc_set import AssociationSet
 from repro.core.predicates import Callback, ClassValues, Comparison, Const
 from repro.exec import PlanCache, canonicalize, expr_dependencies
-from repro.exec.cache import ANY
+from repro.exec.cache import ANY, expr_value_dependencies
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -90,3 +90,63 @@ class TestPlanCache:
         )
         assert cache.get(canonicalize(ref("B") + ref("A"))) is not None
         assert len(cache) == 1
+
+
+class TestUpdateKindInvalidation:
+    """Attribute-only updates invalidate against value deps, not class deps."""
+
+    def test_value_dependencies_collect_predicate_classes_only(self):
+        join = ref("A") * ref("B")
+        assert expr_value_dependencies(join) == frozenset()
+        selected = Select(
+            join, Comparison(ClassValues("A"), "<", Const(2))
+        )
+        assert expr_value_dependencies(selected) == frozenset({"A"})
+
+    def test_update_spares_edge_only_entries(self):
+        cache = PlanCache()
+        key = canonicalize(ref("A") * ref("B"))
+        cache.put(key, AssociationSet.empty(), frozenset({"A", "B"}))
+        # An attribute-only update on A cannot change a pure join.
+        assert cache.invalidate_classes({"A"}, kind="update") == 0
+        assert cache.get(key) is not None
+        # A structural event on A still evicts.
+        assert cache.invalidate_classes({"A"}, kind="delete") == 1
+
+    def test_update_evicts_value_readers(self):
+        cache = PlanCache()
+        key = canonicalize(
+            Select(ref("A") * ref("B"), Comparison(ClassValues("A"), "<", Const(2)))
+        )
+        cache.put(key, AssociationSet.empty(), frozenset({"A", "B"}))
+        assert cache.invalidate_classes({"A"}, kind="update") == 1
+
+    def test_update_on_opaque_entry_still_evicts(self):
+        cache = PlanCache()
+        key = canonicalize(Select(ref("A"), Callback(lambda p, g: True)))
+        cache.put(key, AssociationSet.empty(), frozenset({ANY, "A"}))
+        assert cache.invalidate_classes({"A"}, kind="update") == 1
+
+    def test_database_update_keeps_join_cached(self):
+        """End-to-end: the invalidation counter stays flat on an update."""
+        from repro.datasets import university
+        from repro.engine.database import Database
+
+        db = Database.from_dataset(university())
+        db.query("TA * Grad")  # populate the cache
+        counter = db.metrics.counter("repro_plan_cache_invalidations_total")
+        gpa = next(iter(db.graph.extent("GPA")))
+        before = counter.value()
+        db.update_value(gpa, 1.11)
+        # GPA participates in plans only through edges here — the cached
+        # join result must survive and the counter must not move.
+        assert counter.value() == before
+        hits_before = db.metrics.counter("repro_plan_cache_hits_total").value()
+        db.query("TA * Grad")
+        assert (
+            db.metrics.counter("repro_plan_cache_hits_total").value()
+            > hits_before
+        )
+        # A structural mutation on a dependency class still invalidates.
+        db.delete(next(iter(db.graph.extent("TA"))))
+        assert counter.value() > before
