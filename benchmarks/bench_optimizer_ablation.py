@@ -17,13 +17,11 @@ section measures what that disagreement costs at execution time.
 ``report.py --json-optimizer`` writes it out as ``BENCH_optimizer.json``.
 """
 
-import gc
-import math
 import statistics
-import time
 
 import pytest
 from seeds import SKEWED_SEED
+from timing import sampled as _sampled
 
 from repro.core.expression import ClassExtent, EvalTrace, Intersect, Select, ref
 from repro.core.predicates import ClassValues, Comparison, Const
@@ -163,28 +161,6 @@ def _q_error(estimated: float, actual: float) -> float:
     estimated = max(estimated, 1.0)
     actual = max(actual, 1.0)
     return max(estimated, actual) / min(estimated, actual)
-
-
-def _sampled(fn, repeat: int) -> dict:
-    """``{median_ms, p95_ms, samples}`` with the cyclic GC paused."""
-    samples = []
-    for _ in range(repeat):
-        was_enabled = gc.isenabled()
-        gc.disable()
-        try:
-            started = time.perf_counter()
-            fn()
-            samples.append((time.perf_counter() - started) * 1e3)
-        finally:
-            if was_enabled:
-                gc.enable()
-    ordered = sorted(samples)
-    p95 = ordered[max(0, math.ceil(0.95 * len(ordered)) - 1)]
-    return {
-        "median_ms": round(statistics.median(samples), 4),
-        "p95_ms": round(p95, 4),
-        "samples": len(samples),
-    }
 
 
 def optimizer_sections(quick: bool) -> dict:

@@ -1,0 +1,51 @@
+"""Shared GC-paused timing helpers for every benchmark module.
+
+One implementation of the median/percentile measurement loop, imported by
+the pytest benches (``bench_*.py``) and the standalone report generator
+(``report.py``) alike, so every committed number in the ``BENCH_*.json``
+artifacts is produced by exactly the same procedure: the cyclic GC is
+paused around each sample (collection pauses would otherwise land inside
+whichever sample happens to trigger them) and re-enabled between samples.
+"""
+
+from __future__ import annotations
+
+import gc
+import math
+import statistics
+import time
+
+__all__ = ["gc_paused_samples", "median_seconds", "sampled"]
+
+
+def gc_paused_samples(fn, repeat: int) -> list[float]:
+    """``repeat`` wall-clock samples of ``fn()`` in seconds, GC paused."""
+    samples: list[float] = []
+    for _ in range(repeat):
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - started)
+        finally:
+            if was_enabled:
+                gc.enable()
+    return samples
+
+
+def median_seconds(fn, repeats: int = 3) -> float:
+    """Median wall-clock seconds of ``repeats`` GC-paused runs of ``fn``."""
+    return statistics.median(gc_paused_samples(fn, repeats))
+
+
+def sampled(fn, repeat: int = 5) -> dict:
+    """``{median_ms, p95_ms, samples}`` of GC-paused runs (report sections)."""
+    samples = [s * 1e3 for s in gc_paused_samples(fn, repeat)]
+    ordered = sorted(samples)
+    p95 = ordered[max(0, math.ceil(0.95 * len(ordered)) - 1)]
+    return {
+        "median_ms": round(statistics.median(samples), 4),
+        "p95_ms": round(p95, 4),
+        "samples": len(samples),
+    }

@@ -14,6 +14,7 @@ Commands::
     \\physical <query>    show the executor's physical plan (strategies)
     \\analyze [N]         ANALYZE the database (optional sample size N)
     \\stats               show the statistics catalog summary
+    \\shards [N|off]      sharded scatter-gather: show, start N workers, stop
     \\values <Class> <query>   print the primitive values of one class
     \\table <C1,C2> <query>    render the result as a value table
     \\save <path>         write a JSON snapshot of the database
@@ -38,7 +39,7 @@ console script)::
                   [--format prometheus|json] [--watch N [--iterations K]]
     repro serve [--host H] [--port P] [--dataset NAME | --db PATH]
                 [--max-concurrency N] [--queue-limit N] [--deadline S]
-                [--drain-timeout S] [--port-file PATH]
+                [--drain-timeout S] [--port-file PATH] [--shards N]
                 [--admin-port P] [--admin-port-file PATH]
                 [--slow-query-threshold S] [--slow-query-q-error Q]
                 [--event-capacity N]
@@ -174,6 +175,26 @@ def _cmd_stats(db: Database, args: str, out: IO[str]) -> None:
     print(db.stats.summary(), file=out)
 
 
+def _cmd_shards(db: Database, args: str, out: IO[str]) -> None:
+    arg = args.strip()
+    if arg in ("off", "0"):
+        db.stop_shards()
+    elif arg:
+        try:
+            shards = int(arg)
+        except ValueError:
+            shards = 0
+        if shards < 1:
+            print("usage: \\shards [N|off]", file=out)
+            return
+        db.start_shards(shards)
+    workers = db.shard_workers
+    if workers:
+        print(f"sharded execution: {workers} worker(s)", file=out)
+    else:
+        print("sharded execution: off", file=out)
+
+
 def _cmd_dot(db: Database, args: str, out: IO[str]) -> None:
     print(schema_to_dot(db.schema), file=out)
 
@@ -200,6 +221,7 @@ _COMMANDS = {
     "physical": _cmd_physical,
     "analyze": _cmd_analyze,
     "stats": _cmd_stats,
+    "shards": _cmd_shards,
     "values": _cmd_values,
     "table": _cmd_table,
     "dot": _cmd_dot,
@@ -520,6 +542,13 @@ def _cli_serve(args: list[str], out: IO[str]) -> int:
         metavar="N",
         help="structured event-ring size (0 disables the event log)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="scatter-gather worker processes per mounted database",
+    )
     ns = parser.parse_args(args)
     import signal
     import threading
@@ -539,6 +568,7 @@ def _cli_serve(args: list[str], out: IO[str]) -> int:
         slow_query_threshold=ns.slow_query_threshold,
         slow_query_q_error=ns.slow_query_q_error,
         event_capacity=ns.event_capacity,
+        shards=ns.shards,
     )
     handle = start_server(config)
     print(f"listening on {handle.host}:{handle.port}", file=out, flush=True)

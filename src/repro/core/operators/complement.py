@@ -51,10 +51,34 @@ def a_complement(
             out.add(pattern_b)
         return AssociationSet(out)
 
+    # Index β's participating instances once.  The original formulation
+    # materialized ``complement_partners`` (an extent-sized frozenset) per
+    # (pattern_a, a_m); probing the usually-small regular partner set per
+    # candidate pair does the same complement test without ever building
+    # the complement set.
+    b_by_inst: dict = {}
+    for pattern_b, b_instances in beta_rows:
+        for b_n in b_instances:
+            # complement edges are defined against the domain: only
+            # instances present in the extent can appear in [R(A,B)]
+            if graph.has_instance(b_n):
+                b_by_inst.setdefault(b_n, []).append(pattern_b)
+
+    recursive = assoc.left == assoc.right
+    from_parts = Pattern._from_parts
     for pattern_a, a_instances in alpha_rows:
+        va, ea = pattern_a._vertices, pattern_a._edges
         for a_m in a_instances:
-            non_partners = graph.complement_partners(assoc, a_m)
-            for pattern_b, b_instances in beta_rows:
-                for b_n in b_instances & non_partners:
-                    out.add(pattern_a.union(pattern_b, complement(a_m, b_n)))
+            partners = graph.partners(assoc, a_m)
+            for b_n, b_patterns in b_by_inst.items():
+                if b_n in partners or (recursive and b_n == a_m):
+                    continue
+                connect = frozenset((complement(a_m, b_n),))
+                for pattern_b in b_patterns:
+                    out.add(
+                        from_parts(
+                            va | pattern_b._vertices,
+                            ea | pattern_b._edges | connect,
+                        )
+                    )
     return AssociationSet(out)

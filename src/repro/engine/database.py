@@ -231,6 +231,13 @@ class Database:
         #: documents written during initialization can include view
         #: definitions.
         self.views = ViewRegistry(self)
+        #: Worker pool for sharded scatter-gather execution (created on
+        #: demand by ``query(shards=N)`` or explicitly by
+        #: :meth:`start_shards`); ``default_shards`` makes every query
+        #: consider sharding without per-call opt-in.
+        self._shard_pool = None
+        self._sharded_exec = None
+        self.default_shards: int | None = None
         #: The storage backend consuming this database's mutation events.
         self.engine = engine if engine is not None else MemoryEngine()
         self.engine.attach(self)
@@ -488,6 +495,7 @@ class Database:
         if self._closed:
             return
         self._closed = True
+        self.stop_shards()
         self.engine.close()
 
     @property
@@ -507,6 +515,78 @@ class Database:
         if self._snapshot_path is not None:
             out["snapshot_path"] = str(self._snapshot_path)
         return out
+
+    # ------------------------------------------------------------------
+    # sharded execution
+    # ------------------------------------------------------------------
+
+    def start_shards(self, shards: int) -> None:
+        """Start (or resize) the scatter-gather worker pool.
+
+        ``query(shards=N)`` does this lazily on first use; starting the
+        pool up front moves the dataset-shipping cost out of the first
+        sharded query.  Also sets :attr:`default_shards` so subsequent
+        queries consider sharding without a per-call argument.
+        """
+        self._ensure_shard_pool(shards)
+        self.default_shards = shards
+
+    @property
+    def shard_workers(self) -> int:
+        """Active shard-pool size (0 when sharded execution is off)."""
+        if self._shard_pool is not None and not self._shard_pool.closed:
+            return self._shard_pool.shards
+        return 0
+
+    def stop_shards(self) -> None:
+        """Stop the worker pool, if one is running (idempotent).
+
+        Also clears :attr:`default_shards` — a later ``query()`` without
+        an explicit ``shards=`` must not silently restart the pool.
+        """
+        pool, self._shard_pool = self._shard_pool, None
+        self._sharded_exec = None
+        self.default_shards = None
+        if pool is not None:
+            pool.stop()
+
+    def _ensure_shard_pool(self, shards: int):
+        pool = self._shard_pool
+        if pool is not None and not pool.closed and pool.shards == shards:
+            return pool
+        from repro.shard import ShardPool
+
+        # Under the write lock: the pool snapshots the graph, and every
+        # mutation from here on reaches it through event forwarding — a
+        # concurrent writer must land in exactly one of the two.
+        with self.write_lock:
+            self.stop_shards()
+            pool = ShardPool(
+                self.schema,
+                self.graph,
+                shards,
+                metrics=self.metrics,
+                events=self.events,
+            )
+            self._shard_pool = pool
+        return pool
+
+    def _sharded_executor(self, pool):
+        if self._sharded_exec is None or self._sharded_exec.pool is not pool:
+            from repro.shard import ShardedExecutor
+
+            self._sharded_exec = ShardedExecutor(
+                self.graph, pool, self.executor, self.metrics
+            )
+        return self._sharded_exec
+
+    def _dist_plan(self, expr: Expr, shards: int, force_strategy: str | None):
+        from repro.shard import DistPlanner
+
+        stats = self.stats if self.stats.analyzed else None
+        return DistPlanner(self.graph, stats).plan(
+            expr, shards, force_strategy=force_strategy
+        )
 
     # ------------------------------------------------------------------
     # statistics
@@ -568,6 +648,8 @@ class Database:
         compiled_select: bool | None = None,
         optimize: bool = False,
         replan_threshold: float | None = None,
+        shards: int | None = None,
+        shard_strategy: str | None = None,
     ) -> QueryResult:
         """Evaluate a query through the physical execution engine.
 
@@ -595,6 +677,15 @@ class Database:
         drops the remembered choice so the *next* execution re-plans with
         the feedback this one recorded (``repro_replan_total``).
 
+        With ``shards=N`` (N ≥ 2; defaults to :attr:`default_shards`) the
+        distributed planner looks for a hash partitioning that moves work
+        onto the scatter-gather worker pool — queries it cannot
+        distribute (or cannot ship) silently run single-process, so the
+        argument is always safe to pass.  ``shard_strategy`` pins a
+        distributed strategy (``"co-partitioned"``/``"broadcast"``/
+        ``"shuffle"``): plans not employing it are rejected, which the
+        equivalence tests use to cover each code path.
+
         Latency is observed in the ``repro_query_seconds`` histogram
         labelled with the plan's root strategy (``strategy="explain"``
         for EXPLAIN ANALYZE runs, whose latency is not comparable).
@@ -604,33 +695,36 @@ class Database:
         report = None
         plan_expr = expr
         plan_key = plan_entry = None
+        n_shards = shards if shards is not None else self.default_shards
         if explain:
-            from repro.obs.explain import explain_analyze
-
             strategy = "explain"
-            report = explain_analyze(
-                expr,
-                self.graph,
-                cost_model=self._cost_model(),
-                metrics=self.metrics,
-                executor=self.executor,
-            )
+            report = self._explain_report(expr, n_shards, shard_strategy)
             result = report.result
         else:
             if optimize:
                 plan_key, plan_entry = self._adaptive_plan(expr)
                 plan_expr = plan_entry.expr
-            plan = self.executor.plan(
-                plan_expr, compact=compact, compiled_select=compiled_select
-            )
-            strategy = plan.strategy
-            result = self.executor.run(
-                plan_expr,
-                trace=trace,
-                parallel=parallel,
-                use_cache=use_cache,
-                plan=plan,
-            )
+            dist_plan = None
+            if n_shards is not None and n_shards > 1:
+                dist_plan = self._dist_plan(plan_expr, n_shards, shard_strategy)
+            if dist_plan is not None:
+                strategy = "sharded"
+                pool = self._ensure_shard_pool(n_shards)
+                result = self._sharded_executor(pool).run(
+                    dist_plan, trace=trace, use_cache=use_cache
+                )
+            else:
+                plan = self.executor.plan(
+                    plan_expr, compact=compact, compiled_select=compiled_select
+                )
+                strategy = plan.strategy
+                result = self.executor.run(
+                    plan_expr,
+                    trace=trace,
+                    parallel=parallel,
+                    use_cache=use_cache,
+                    plan=plan,
+                )
             if plan_entry is not None:
                 self._adaptive_feedback(
                     plan_key, plan_entry, len(result), replan_threshold
@@ -641,6 +735,27 @@ class Database:
         )
         return QueryResult(
             result, self, expr, report, strategy=strategy, plan_expr=plan_expr
+        )
+
+    def _explain_report(
+        self, expr: Expr, n_shards: int | None, shard_strategy: str | None
+    ):
+        """EXPLAIN ANALYZE through whichever engine would run the query."""
+        if n_shards is not None and n_shards > 1:
+            dist_plan = self._dist_plan(expr, n_shards, shard_strategy)
+            if dist_plan is not None:
+                pool = self._ensure_shard_pool(n_shards)
+                return self._sharded_executor(pool).explain(
+                    dist_plan, self._cost_model(), self.metrics
+                )
+        from repro.obs.explain import explain_analyze
+
+        return explain_analyze(
+            expr,
+            self.graph,
+            cost_model=self._cost_model(),
+            metrics=self.metrics,
+            executor=self.executor,
         )
 
     def _adaptive_plan(self, expr: Expr):
@@ -770,6 +885,11 @@ class Database:
         # ``pre_version`` is the graph version the DML method saw before
         # mutating — the registry's out-of-band write guard.
         self.views.on_mutation(event, pre_version)
+        # Shard replicas next: buffered here, shipped (FIFO, before any
+        # query) on the next scatter — workers replay through the same
+        # WAL-record path recovery uses.
+        if self._shard_pool is not None and not self._shard_pool.closed:
+            self._shard_pool.buffer_event(event)
         self.events.emit(
             "mutation",
             kind=event.kind,
@@ -1031,6 +1151,11 @@ class Database:
 
         with self.write_lock:
             self._writable()
+            # Worker replicas track the graph through mutation events; a
+            # wholesale replacement emits none, so the pool is stale —
+            # stop it (the next sharded query restarts from the restored
+            # state).
+            self.stop_shards()
             self.graph = graph_from_dict(snapshot, self.schema)
             self.builder = GraphBuilder(self.schema, self.graph)
             self.graph.attach_metrics(self.metrics)

@@ -148,6 +148,11 @@ class PatternArena:
         self._decoded_sets: dict[frozenset, AssociationSet] = {}
         # --- derived caches (event-maintained, per-query reads) ---
         self._extent_csets: dict[str, CompactSet] = {}
+        # class → (extent keys the mask was built from, live-extent bitmask);
+        # the snapshot identity check makes the cache self-invalidating —
+        # extent patches replace the CompactSet, so a stale mask can never
+        # be read through a fresh extent
+        self._cls_masks: dict[str, tuple[frozenset, int]] = {}
         self._edge_csets: dict[tuple[str, str, str], CompactSet] = {}
         self._adjacency: dict[tuple[str, str, str], dict[int, tuple[int, ...]]] = {}
         self._adj_masks: dict[tuple[str, str, str], dict[int, int]] = {}
@@ -330,6 +335,25 @@ class PatternArena:
                 self._extent_csets[cls] = cached
         return cached
 
+    def class_mask(self, cls: str) -> int:
+        """Bitmask of the *live* extent of ``cls`` (bit ``v`` ⇔ vid ``v``).
+
+        Cached against the extent snapshot it was built from, so extent
+        patches (insert/delete) invalidate it for free.  NonAssociate's
+        retention clause tests set complements; over this mask they become
+        single big-int AND-NOTs.
+        """
+        cset = self.extent_cset(cls)
+        cached = self._cls_masks.get(cls)
+        if cached is None or cached[0] is not cset.keys:
+            mask = 0
+            for v in cset.keys:
+                mask |= 1 << v
+            cached = (cset.keys, mask)
+            with self._lock:
+                self._cls_masks[cls] = cached
+        return cached[1]
+
     def edge_cset(self, assoc: Association) -> CompactSet:
         """One compact two-vertex pattern per regular edge of ``assoc``."""
         cached = self._edge_csets.get(assoc.key)
@@ -485,6 +509,7 @@ class PatternArena:
             self._decoded.clear()
             self._decoded_sets.clear()
             self._extent_csets.clear()
+            self._cls_masks.clear()
             self._edge_csets.clear()
             self._adjacency.clear()
             self._adj_masks.clear()

@@ -638,6 +638,52 @@ class CompactMaskSelect(CompactNode):
         return k_select_mask(base, vids)
 
 
+class CompactShardSelect(CompactNode):
+    """σ over a bare extent keeping one OID-hash partition of it.
+
+    The sharded executor rewrites a partitioned ``ClassExtent(C)`` leaf
+    into ``σ(C)[shard(C) = i/n]``; this kernel answers it by hashing each
+    extent vertex's OID directly — no Pattern is decoded and no
+    per-pattern ``evaluate`` runs, so per-shard queries stay closed over
+    the compact kernels inside worker processes.
+    """
+
+    strategy = "compact-select"
+    kernel = "shard-hash"
+
+    def __init__(self, expr, children, key, deps, flt) -> None:
+        super().__init__(expr, children, key, deps)
+        self.flt = flt
+
+    def _kernel(self, ctx, trace, span):
+        from repro.shard.partition import shard_of
+
+        base = self.children[0].execute_compact(ctx, trace)
+        iids = ctx.arena._iids
+        shard, shards = self.flt.shard, self.flt.shards
+        keys = frozenset(
+            v for v in base.keys if shard_of(iids[v].oid, shards) == shard
+        )
+        return CompactSet(keys)
+
+
+def _shard_select_probe(expr):
+    """The ShardFilter of a ``σ(C)[shard(C) = i/n]`` node, else None.
+
+    Imported lazily: :mod:`repro.shard` imports this module back.
+    """
+    from repro.shard.partition import ShardFilter
+
+    predicate = expr.predicate
+    if (
+        isinstance(predicate, ShardFilter)
+        and isinstance(expr.operand, ClassExtent)
+        and expr.operand.name == predicate.cls
+    ):
+        return predicate
+    return None
+
+
 #: Binary operators a compact region can contain (Select is handled apart).
 _KERNEL_OPS = (Associate, NonAssociate, Intersect, Union, Difference)
 
@@ -822,6 +868,8 @@ class PhysicalPlanner:
             # masks (exact only over singleton patterns).
             if value_index_probe(expr) is not None:
                 return True
+            if _shard_select_probe(expr) is not None:
+                return True
             return compiled and compiled_select_probe(expr) is not None
         return False
 
@@ -862,6 +910,9 @@ class PhysicalPlanner:
         if probe is not None:
             cls, value = probe
             return CompactValueSelect(expr, children, key, deps, cls, value)
+        flt = _shard_select_probe(expr)
+        if flt is not None:
+            return CompactShardSelect(expr, children, key, deps, flt)
         cls = compiled_select_probe(expr)
         if self._m_select_compiled is not None:
             self._m_select_compiled.inc()

@@ -51,6 +51,11 @@ class ExplainNode:
     #: node intersected with its operand (the number of vertex ids whose
     #: column values satisfy the predicate); None for every other node.
     mask_card: int | None = None
+    #: Per-shard actual cardinalities for nodes executed under the
+    #: sharded scatter-gather executor (index = shard id); None for
+    #: single-process nodes.  The spread across entries is the skew the
+    #: ``repro_shard_skew_ratio`` gauge summarizes.
+    shard_cards: tuple[int, ...] | None = None
 
     @property
     def q_error(self) -> float:
@@ -104,6 +109,8 @@ class ExplainReport:
             via = f" via {node.strategy}" if node.strategy is not None else ""
             if node.mask_card is not None:
                 via += f" (mask={node.mask_card})"
+            if node.shard_cards is not None:
+                via += f" (shards={'/'.join(str(c) for c in node.shard_cards)})"
             source = node.source if node.source is not None else "-"
             lines.append(
                 f"{node.estimated:>10.1f}  {node.actual:>8}  "

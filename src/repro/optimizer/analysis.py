@@ -126,9 +126,13 @@ def _collect_predicate(predicate: Predicate, out: set[str]) -> None:
     elif isinstance(predicate, Not):
         _collect_predicate(predicate.operand, out)
     else:
-        # Callbacks and unknown predicates may read anything: poison the
-        # analysis with a wildcard the callers treat as "all classes".
-        out.add("*")
+        reads = getattr(predicate, "reads_classes", None)
+        if reads is not None:
+            out.update(reads())
+        else:
+            # Callbacks and unknown predicates may read anything: poison
+            # the analysis with a wildcard callers treat as "all classes".
+            out.add("*")
 
 
 def edge_scannable(expr: Expr, graph) -> bool:

@@ -132,6 +132,7 @@ class ServerConfig:
     event_capacity: int = 1024  # event-ring size (0 disables the log)
     slow_query_capacity: int = 128  # slow-query ring size
     subscription_queue: int = 64  # pending push frames per subscription
+    shards: int | None = None  # worker processes per mounted database
 
 
 def _wire_patterns(patterns) -> list[dict[str, Any]]:
@@ -278,6 +279,10 @@ class QueryService:
                 raise LookupError(name)
             # Fan this database's view deltas out to wire subscriptions.
             db.views.subscribe(self._make_view_listener(name))
+            if self.config.shards is not None and self.config.shards > 1:
+                # sharded serving: queries default to scatter-gather over
+                # the pool (``shard.pool_start`` lands in the event log)
+                db.start_shards(self.config.shards)
             self._databases[name] = db
             return db
 

@@ -1,0 +1,25 @@
+"""Sharded scatter-gather execution.
+
+Hash-partitioned worker processes (:mod:`repro.shard.pool`), a
+distributed planner choosing co-partitioned / broadcast / shuffle
+strategies per node (:mod:`repro.shard.planner`), and the coordinator
+that rewrites, scatters and merges (:mod:`repro.shard.executor`).
+See ``docs/sharding.md`` for the partitioning scheme and the exactness
+argument.
+"""
+
+from repro.shard.executor import ShardedExecutor
+from repro.shard.partition import ShardFilter, shard_of
+from repro.shard.planner import STRATEGIES, DistNode, DistPlan, DistPlanner
+from repro.shard.pool import ShardPool
+
+__all__ = [
+    "STRATEGIES",
+    "DistNode",
+    "DistPlan",
+    "DistPlanner",
+    "ShardFilter",
+    "ShardPool",
+    "ShardedExecutor",
+    "shard_of",
+]

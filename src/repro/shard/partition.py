@@ -1,0 +1,70 @@
+"""Hash partitioning of class extents by OID.
+
+The partitioning scheme is the one the object-clustering literature
+recommends for association-heavy workloads: hash each instance's OID so
+every shard receives a statistically even slice of the extent, and let
+the planner decide per query which class's partitioning to anchor the
+scatter on.  The hash is Knuth's multiplicative scheme over the raw
+integer OID — deterministic across processes (Python hashes small ints
+unsalted, but we do not even rely on that), so the coordinator and every
+worker agree on placement without coordination.
+"""
+
+from __future__ import annotations
+
+from repro.core.pattern import Pattern
+from repro.core.predicates import Predicate
+from repro.objects.graph import ObjectGraph
+
+__all__ = ["shard_of", "ShardFilter"]
+
+_KNUTH = 2654435761  # 2^32 / golden ratio, Knuth multiplicative hashing
+
+
+def shard_of(oid: int, shards: int) -> int:
+    """The shard ``oid`` lives on under an ``shards``-way partitioning."""
+    return ((oid * _KNUTH) & 0xFFFFFFFF) % shards
+
+
+class ShardFilter(Predicate):
+    """Keeps the patterns whose ``cls`` instances all live on one shard.
+
+    The planner rewrites a partitioned ``ClassExtent(C)`` leaf into
+    ``σ(C)[ShardFilter(C, i, n)]`` for shard ``i`` — each worker holds the
+    full graph, so the filter *is* the partitioning.  On extent leaves
+    every pattern is an Inner-pattern with exactly one ``cls`` instance;
+    the general form (all instances must agree, at least one required)
+    keeps the predicate meaningful on any operand.
+    """
+
+    def __init__(self, cls: str, shard: int, shards: int) -> None:
+        self.cls = cls
+        self.shard = shard
+        self.shards = shards
+
+    def reads_classes(self) -> frozenset:
+        """Declares the partition class to the select-pushdown analysis
+        (keeps worker-side cache dependencies from widening to ``*``)."""
+        return frozenset((self.cls,))
+
+    def evaluate(self, pattern: Pattern, graph: ObjectGraph) -> bool:
+        matched = False
+        for iid in pattern.instances_of(self.cls):
+            if shard_of(iid.oid, self.shards) != self.shard:
+                return False
+            matched = True
+        return matched
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ShardFilter)
+            and other.cls == self.cls
+            and other.shard == self.shard
+            and other.shards == self.shards
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ShardFilter", self.cls, self.shard, self.shards))
+
+    def __str__(self) -> str:
+        return f"shard({self.cls}) = {self.shard}/{self.shards}"

@@ -1,0 +1,438 @@
+"""Distributed planning: annotate a query tree with scatter strategies.
+
+The A-algebra makes distributed execution tractable because its
+pairing-only operators distribute over a union-partitioning of one
+operand:
+
+``op(α₁ ∪ … ∪ αₙ, β)  =  op(α₁, β) ∪ … ∪ op(αₙ, β)``
+
+holds for Associate, A-Intersect (with an explicit ``{W}``), A-Union,
+A-Select and the minuend side of A-Difference — none of them has a
+clause that looks at the *whole* operand.  The operators with global
+clauses (A-Complement's and NonAssociate's retention rules, A-Divide's
+universal quantifier, A-Intersect with a data-dependent ``{W}``) must
+see complete operands and therefore run at the coordinator.
+
+The planner picks one *partition class* ``C`` and annotates every node
+with how it executes under a hash partitioning of ``C``'s extent:
+
+* **co-partitioned local** — both operands are partitioned and every
+  result pair provably meets on one shard (anchoring invariant below):
+  pure scatter-gather, no data movement.
+* **broadcast** — one operand is partitioned, the other is evaluated
+  once and made visible to every shard.  Subtrees that only read the
+  graph are "broadcast" for free — every worker holds the full dataset,
+  so the subexpression simply ships inside the per-shard query.
+* **shuffle** — both operands are partitioned but pairs may straddle
+  shards: rows are re-partitioned on the pairing class (duplicates sent
+  wherever they can match; the gather's set-union collapses them).
+
+**Anchoring invariant**: a partitioned node is *anchored* when every
+result pattern holds at least one ``C`` instance and all of its ``C``
+instances hash to the shard that produced it.  Extent leaves of ``C``
+are anchored by construction; pairing operators preserve anchoring as
+long as the other operand cannot contribute stray ``C`` instances.
+Anchoring is what makes co-partitioned A-Intersect (``C ∈ W``),
+A-Difference and A-Union exact without movement.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+
+from repro.core.expression import (
+    Associate,
+    ClassExtent,
+    Difference,
+    Expr,
+    Intersect,
+    Literal,
+    Select,
+    Union,
+)
+from repro.core.predicates import (
+    Apply,
+    Callback,
+    Comparison,
+    Predicate,
+)
+
+__all__ = ["DistNode", "DistPlan", "DistPlanner", "STRATEGIES"]
+
+#: The distributed strategies EXPLAIN ANALYZE can report.
+STRATEGIES = ("co-partitioned", "broadcast", "shuffle")
+
+
+@dataclass
+class DistNode:
+    """One expression node annotated for sharded execution."""
+
+    expr: Expr
+    children: tuple["DistNode", ...] = ()
+    #: True → this node's result is produced shard-by-shard.
+    partitioned: bool = False
+    #: Anchoring invariant holds for this node's per-shard results.
+    anchored: bool = False
+    #: "co-partitioned" / "broadcast" / "shuffle" on partitioned interior
+    #: nodes; "gather" on a local node that merges partitioned children;
+    #: None on leaves and plain local nodes.
+    strategy: str | None = None
+    #: Local subtree reads only the graph (no partitioned descendants,
+    #: no coordinator-only state) — it can ship inside a worker query.
+    embeddable: bool = False
+    #: Per-shard actual cardinalities, filled in by the executor.
+    shard_cards: list = field(default_factory=list)
+    #: Merged (coordinator-visible) actual cardinality, when known.
+    actual: int | None = None
+    #: Inclusive wall time the executor observed for this node.
+    seconds: float = 0.0
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class DistPlan:
+    """A distributed annotation of one query under one partition class."""
+
+    root: DistNode
+    cls: str
+    shards: int
+    #: Planner's relative preference score (higher = more work off the
+    #: coordinator); kept for EXPLAIN and tests.
+    score: float = 0.0
+
+    @property
+    def strategies(self) -> frozenset:
+        return frozenset(
+            n.strategy for n in self.root.walk() if n.strategy in STRATEGIES
+        )
+
+
+def _predicate_shippable(p: Predicate | object) -> bool:
+    """Whether a predicate can run inside a worker process.
+
+    Callbacks hold arbitrary closures; Apply resolves computed-value
+    functions against the coordinator's registry — neither travels.
+    """
+    if isinstance(p, Callback):
+        return False
+    if isinstance(p, Comparison):
+        return not (isinstance(p.left, Apply) or isinstance(p.right, Apply))
+    for attr in ("operands", "operand"):
+        sub = getattr(p, attr, None)
+        if sub is None:
+            continue
+        subs = sub if isinstance(sub, tuple) else (sub,)
+        if not all(_predicate_shippable(s) for s in subs):
+            return False
+    return True
+
+
+def _subtree_classes(expr: Expr) -> tuple[frozenset, bool]:
+    """``(classes the subtree's results can contain, is that exact?)``."""
+    if isinstance(expr, ClassExtent):
+        return frozenset((expr.name,)), True
+    if isinstance(expr, Literal):
+        return expr.value.classes(), True
+    children = expr.children()
+    if not children:
+        return frozenset(), False
+    exact = True
+    out: set = set()
+    if isinstance(expr, Select):
+        return _subtree_classes(expr.operand)
+    if not isinstance(expr, (Associate, Intersect, Union, Difference)):
+        # Project rewrites patterns, Complement/NonAssociate add both
+        # operands, Divide groups — be conservative about what comes out.
+        exact = False
+    for child in children:
+        classes, child_exact = _subtree_classes(child)
+        out |= classes
+        exact = exact and child_exact
+    return frozenset(out), exact
+
+
+def _may_contain(expr: Expr, cls: str) -> bool:
+    classes, exact = _subtree_classes(expr)
+    return cls in classes or not exact
+
+
+class DistPlanner:
+    """Chooses a partition class and distributed strategies for a query.
+
+    ``stats`` is the engine's :class:`StatisticsCatalog` (may be cold);
+    extent counts and association fan-outs feed the scoring that picks
+    the partition class and arbitrates broadcast vs. gather.
+    """
+
+    def __init__(self, graph, stats=None) -> None:
+        self.graph = graph
+        self.stats = stats
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+
+    def plan(
+        self,
+        expr: Expr,
+        shards: int,
+        force_strategy: str | None = None,
+    ) -> DistPlan | None:
+        """The best distributed annotation of ``expr``, or ``None``.
+
+        ``None`` means no partitioning moves meaningful work off the
+        coordinator (or the query cannot ship at all) — the caller runs
+        single-process.  ``force_strategy`` makes the planner reject any
+        candidate whose annotation does not employ the named strategy
+        (used by the equivalence tests to pin each code path).
+        """
+        if shards < 2:
+            return None
+        if not self._shippable(expr):
+            return None
+        best: DistPlan | None = None
+        for cls in sorted(self._candidate_classes(expr)):
+            root = self._annotate(expr, cls, force_strategy)
+            score = self._score(root, cls)
+            # Forcing a strategy pins a code path for the equivalence
+            # tests — profitability is beside the point there.
+            if score <= 0 and force_strategy is None:
+                continue
+            plan = DistPlan(root, cls, shards, score)
+            if force_strategy is not None and force_strategy not in plan.strategies:
+                continue
+            if best is None or plan.score > best.score:
+                best = plan
+        return best
+
+    # ------------------------------------------------------------------
+    # candidate discovery / scoring
+    # ------------------------------------------------------------------
+
+    def _candidate_classes(self, expr: Expr) -> set:
+        out: set = set()
+        if isinstance(expr, ClassExtent):
+            out.add(expr.name)
+        for child in expr.children():
+            out |= self._candidate_classes(child)
+        return out
+
+    def _extent_size(self, cls: str) -> int:
+        if self.stats is not None:
+            stats = self.stats.class_stats(cls)
+            if stats is not None:
+                return int(stats.count)
+        return self.graph.extent_size(cls)
+
+    def _fanout(self, a_cls: str, b_cls: str) -> float:
+        if self.stats is not None:
+            try:
+                assoc = self.graph.schema.resolve(a_cls, b_cls)
+            except Exception:
+                return 1.0
+            stats = self.stats.association_stats(assoc.key)
+            if stats is not None and stats.left_fanout is not None:
+                return float(stats.left_fanout.mean)
+        return 1.0
+
+    def _score(self, node: DistNode, cls: str) -> float:
+        """Work moved off the coordinator, minus movement penalties.
+
+        Partitioned extent leaves contribute their extent count scaled by
+        the mean fan-out of the associations above them (the kernels'
+        work tracks pair counts); every shuffle node pays a penalty
+        proportional to the rows it must gather and re-send; a plan whose
+        root still runs at the coordinator keeps only the distributed
+        fraction of its subtrees.
+        """
+        score = 0.0
+        for n in node.walk():
+            if isinstance(n.expr, ClassExtent) and n.partitioned:
+                score += float(self._extent_size(n.expr.name))
+            if n.strategy == "shuffle":
+                left, right = n.children
+                penalty = 0.0
+                for side in (left, right):
+                    classes, _ = _subtree_classes(side.expr)
+                    penalty += sum(self._extent_size(c) for c in classes)
+                score -= 0.5 * penalty
+            if n.strategy == "broadcast":
+                for child in n.children:
+                    if not child.partitioned and isinstance(child.expr, Literal):
+                        score -= float(len(child.expr.value.patterns))
+        return score
+
+    # ------------------------------------------------------------------
+    # annotation
+    # ------------------------------------------------------------------
+
+    def _annotate(
+        self, expr: Expr, cls: str, force: str | None = None
+    ) -> DistNode:
+        if isinstance(expr, ClassExtent):
+            if expr.name == cls:
+                return DistNode(expr, (), True, True, None, True)
+            return DistNode(expr, (), False, False, None, True)
+        if isinstance(expr, Literal):
+            return DistNode(expr, (), False, False, None, True)
+        if isinstance(expr, Select):
+            child = self._annotate(expr.operand, cls, force)
+            ok = _predicate_shippable(expr.predicate)
+            if child.partitioned and ok:
+                return DistNode(
+                    expr, (child,), True, child.anchored, None, False
+                )
+            return self._local(expr, (child,), embeddable=child.embeddable and ok)
+        if isinstance(expr, Associate):
+            return self._binary_pairing(expr, cls, force)
+        if isinstance(expr, Intersect):
+            return self._intersect(expr, cls, force)
+        if isinstance(expr, Union):
+            return self._union(expr, cls, force)
+        if isinstance(expr, Difference):
+            return self._difference(expr, cls, force)
+        # Complement, NonAssociate, Divide, Project, dynamic-W Intersect,
+        # anything future: coordinator-local, children gathered.
+        children = tuple(
+            self._annotate(c, cls, force) for c in expr.children()
+        )
+        embeddable = all(c.embeddable and not c.partitioned for c in children)
+        return self._local(expr, children, embeddable=embeddable)
+
+    def _local(
+        self, expr: Expr, children: tuple, embeddable: bool = False
+    ) -> DistNode:
+        gathers = any(c.partitioned for c in children)
+        return DistNode(
+            expr,
+            children,
+            False,
+            False,
+            "gather" if gathers else None,
+            embeddable and not gathers,
+        )
+
+    def _binary_pairing(self, expr: Associate, cls: str, force) -> DistNode:
+        left = self._annotate(expr.left, cls, force)
+        right = self._annotate(expr.right, cls, force)
+        if left.partitioned and right.partitioned:
+            # Pairs meet through graph edges, not shared instances — the
+            # two sides' anchors hash independently, so this is always a
+            # shuffle (re-partition on the pairing classes).
+            return DistNode(expr, (left, right), False, False, "shuffle")
+        if left.partitioned or right.partitioned:
+            part, other = (left, right) if left.partitioned else (right, left)
+            if not self._broadcastable(other):
+                return self._local(expr, (left, right))
+            anchored = part.anchored and not _may_contain(other.expr, cls)
+            return DistNode(expr, (left, right), True, anchored, "broadcast")
+        return self._local(
+            expr, (left, right), embeddable=left.embeddable and right.embeddable
+        )
+
+    def _intersect(self, expr: Intersect, cls: str, force) -> DistNode:
+        left = self._annotate(expr.left, cls, force)
+        right = self._annotate(expr.right, cls, force)
+        if expr.classes is None:
+            # {W} defaults to the classes both *results* share — a
+            # per-shard subset can disagree with the global answer, so
+            # dynamic-W Intersect never distributes.
+            if left.partitioned or right.partitioned:
+                return self._local(expr, (left, right))
+            return self._local(
+                expr,
+                (left, right),
+                embeddable=left.embeddable and right.embeddable,
+            )
+        if left.partitioned and right.partitioned:
+            aligned = cls in expr.classes and left.anchored and right.anchored
+            if aligned and force != "shuffle":
+                # Merging requires agreement on {W} ∋ C: both patterns
+                # carry the same C instances, so they share a shard.
+                return DistNode(expr, (left, right), True, True, "co-partitioned")
+            return DistNode(expr, (left, right), False, False, "shuffle")
+        if left.partitioned or right.partitioned:
+            part, other = (left, right) if left.partitioned else (right, left)
+            if not self._broadcastable(other):
+                return self._local(expr, (left, right))
+            anchored = part.anchored and not _may_contain(other.expr, cls)
+            return DistNode(expr, (left, right), True, anchored, "broadcast")
+        return self._local(
+            expr, (left, right), embeddable=left.embeddable and right.embeddable
+        )
+
+    def _union(self, expr: Union, cls: str, force) -> DistNode:
+        left = self._annotate(expr.left, cls, force)
+        right = self._annotate(expr.right, cls, force)
+        if left.partitioned and right.partitioned:
+            return DistNode(
+                expr,
+                (left, right),
+                True,
+                left.anchored and right.anchored,
+                "co-partitioned",
+            )
+        if left.partitioned or right.partitioned:
+            part, other = (left, right) if left.partitioned else (right, left)
+            if not self._broadcastable(other):
+                return self._local(expr, (left, right))
+            # The broadcast side surfaces on every shard (set-union dedup
+            # keeps the gather exact), so its patterns break anchoring.
+            return DistNode(expr, (left, right), True, False, "broadcast")
+        return self._local(
+            expr, (left, right), embeddable=left.embeddable and right.embeddable
+        )
+
+    def _difference(self, expr: Difference, cls: str, force) -> DistNode:
+        left = self._annotate(expr.left, cls, force)
+        right = self._annotate(expr.right, cls, force)
+        if left.partitioned and right.partitioned:
+            if left.anchored and right.anchored:
+                # A contained subtrahend's C instances are a subset of the
+                # minuend's — anchoring puts both on the same shard.
+                return DistNode(
+                    expr, (left, right), True, left.anchored, "co-partitioned"
+                )
+            return self._local(expr, (left, right))
+        if left.partitioned:
+            if not self._broadcastable(right):
+                return self._local(expr, (left, right))
+            # Broadcast the whole subtrahend; each shard's minuend slice
+            # is tested against everything it could contain.
+            return DistNode(expr, (left, right), True, left.anchored, "broadcast")
+        if right.partitioned:
+            # A partitioned subtrahend under a local minuend would need
+            # the full subtrahend anyway — gather it.
+            return self._local(expr, (left, right))
+        return self._local(
+            expr, (left, right), embeddable=left.embeddable and right.embeddable
+        )
+
+    # ------------------------------------------------------------------
+    # shippability
+    # ------------------------------------------------------------------
+
+    def _broadcastable(self, node: DistNode) -> bool:
+        """A local operand can sit under a partitioned operator if the
+        workers can see it: either the subtree ships inside the query, or
+        the coordinator can evaluate it and embed the result."""
+        return True  # non-embeddable subtrees are gathered into Literals
+
+    def _shippable(self, expr: Expr) -> bool:
+        """Whether the expression survives the trip to a worker."""
+        if isinstance(expr, Select) and not _predicate_shippable(expr.predicate):
+            return False
+        for child in expr.children():
+            if not self._shippable(child):
+                return False
+        if not expr.children():
+            try:
+                pickle.dumps(expr)
+            except Exception:
+                return False
+        return True

@@ -1,0 +1,249 @@
+"""Worker process pool: full-dataset replicas driven over pipes.
+
+Each worker holds a complete replica of the database (schema + object
+graph shipped once at startup through the storage serialization layer)
+and executes per-shard queries with the ordinary compact-kernel
+executor — the *partitioning* lives in the queries (``ShardFilter``
+selections on the partition class), not in the data placement.  This
+keeps the pool usable for any partition class the planner picks, at the
+cost of per-worker memory proportional to the dataset.
+
+Mutations are forwarded as buffered event batches and replayed through
+the same WAL-record path crash recovery uses, so worker replicas stay
+exactly as incremental maintenance leaves the coordinator.  Pipes are
+FIFO: a flush followed by a query needs no acknowledgement round-trip.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from typing import Any, Sequence
+
+__all__ = ["ShardPool"]
+
+
+def _worker_main(conn, schema_data: dict, graph_data: dict) -> None:
+    """Worker loop: rebuild the replica, then serve queries and events."""
+    import time
+
+    from repro.engine.database import Database
+    from repro.obs.span import Tracer
+    from repro.shard.wire import encode_result
+    from repro.storage.serialization import graph_from_dict, schema_from_dict
+    from repro.storage.wal import WalRecord
+
+    schema = schema_from_dict(schema_data)
+    graph = graph_from_dict(graph_data, schema)
+    db = Database(schema, graph)
+    # Pattern -> blob memo: the arena's decode caches hand back the same
+    # pattern objects run after run, so warm encodes are dict hits.
+    wire_cache: dict = {}
+    try:
+        while True:
+            message = conn.recv()
+            tag = message[0]
+            if tag == "stop":
+                break
+            if tag == "events":
+                try:
+                    for event in message[1]:
+                        db._apply_record(
+                            WalRecord(
+                                0,
+                                event.kind,
+                                event.instances,
+                                event.association,
+                                event.value,
+                            )
+                        )
+                except Exception as exc:  # surfaced on the next query
+                    conn.send(("err", f"event replay failed: {exc!r}"))
+                    break
+                continue
+            if tag == "query":
+                expr, want_trace, use_cache = message[1], message[2], message[3]
+                try:
+                    started = time.perf_counter()
+                    if want_trace:
+                        # Cache bypassed so the span tree mirrors the full
+                        # expression tree (mirrors single-process EXPLAIN).
+                        tracer = Tracer()
+                        result = db.executor.run(
+                            expr, trace=tracer, use_cache=False
+                        )
+                        span = tracer.roots[-1] if tracer.roots else None
+                    else:
+                        result = db.executor.run(expr, use_cache=use_cache)
+                        span = None
+                    elapsed = time.perf_counter() - started
+                    blobs = encode_result(result.patterns, wire_cache)
+                    conn.send(("ok", (blobs, elapsed, span)))
+                except Exception as exc:
+                    conn.send(("err", repr(exc)))
+                continue
+            conn.send(("err", f"unknown message {tag!r}"))
+            break
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        conn.close()
+
+
+class ShardPool:
+    """N worker replicas plus the coordinator-side bookkeeping."""
+
+    def __init__(
+        self,
+        schema,
+        graph,
+        shards: int,
+        metrics=None,
+        events=None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shard pool needs >= 1 worker, got {shards}")
+        self.shards = shards
+        self._events = events
+        self._pending: list = []
+        self._closed = False
+        self._g_workers = None
+        if metrics is not None:
+            self._g_workers = metrics.gauge(
+                "repro_shard_workers", "Worker processes in the shard pool"
+            )
+        from repro.storage.serialization import graph_to_dict, schema_to_dict
+
+        schema_data = schema_to_dict(schema)
+        graph_data = graph_to_dict(graph)
+        self.dataset_bytes = len(pickle.dumps((schema_data, graph_data)))
+        # fork ships the parent-built payload dicts without re-pickling
+        # and skips re-importing the engine; spawn is the portable
+        # fallback where fork is unavailable.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._conns = []
+        self._procs = []
+        for index in range(shards):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child, schema_data, graph_data),
+                name=f"repro-shard-{index}",
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+        if self._g_workers is not None:
+            self._g_workers.set(shards)
+        if events is not None:
+            events.emit(
+                "shard.pool_start",
+                shards=shards,
+                dataset_bytes=self.dataset_bytes,
+                pids=[p.pid for p in self._procs],
+            )
+
+    # ------------------------------------------------------------------
+    # mutation forwarding
+    # ------------------------------------------------------------------
+
+    def buffer_event(self, event) -> None:
+        """Queue one mutation event for the replicas (flushed lazily)."""
+        self._pending.append(event)
+
+    def flush_events(self) -> None:
+        """Ship buffered mutations to every worker (FIFO before queries)."""
+        if not self._pending or self._closed:
+            return
+        batch = list(self._pending)
+        self._pending.clear()
+        for conn in self._conns:
+            conn.send(("events", batch))
+
+    # ------------------------------------------------------------------
+    # scatter
+    # ------------------------------------------------------------------
+
+    def scatter(
+        self,
+        exprs: Sequence[Any],
+        want_trace: bool = False,
+        use_cache: bool = True,
+    ) -> list:
+        """Run ``exprs[i]`` on worker ``i``; returns per-shard results.
+
+        Each non-``None`` slot comes back as ``(blobs, seconds, span)``
+        — ``blobs`` is the result in the compact wire format (decode with
+        :func:`repro.shard.wire.decode_result`) and ``span`` is the
+        worker's span tree when ``want_trace`` is set, else ``None``.
+        ``None`` expression entries skip their worker (that shard
+        contributes the empty set).  Raises ``RuntimeError`` if any
+        worker fails — the caller decides whether to fall back to
+        single-process execution.
+        """
+        if self._closed:
+            raise RuntimeError("shard pool is closed")
+        self.flush_events()
+        sent = []
+        for index, expr in enumerate(exprs):
+            if expr is None:
+                continue
+            self._conns[index].send(("query", expr, want_trace, use_cache))
+            sent.append(index)
+        results: list = [None] * len(exprs)
+        errors = []
+        for index in sent:
+            tag, payload = self._conns[index].recv()
+            if tag == "ok":
+                results[index] = payload
+            else:
+                errors.append(f"shard {index}: {payload}")
+        if errors:
+            raise RuntimeError("; ".join(errors))
+        return results
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stop(self) -> None:
+        """Stop every worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1)
+        for conn in self._conns:
+            conn.close()
+        if self._g_workers is not None:
+            self._g_workers.set(0)
+        if self._events is not None:
+            self._events.emit("shard.pool_stop", shards=self.shards)
+
+    def __del__(self):  # pragma: no cover - interpreter teardown path
+        try:
+            self.stop()
+        except Exception:
+            pass
+
+    def __str__(self) -> str:
+        state = "closed" if self._closed else "running"
+        return f"ShardPool({self.shards} workers, {state}, pid={os.getpid()})"

@@ -1,0 +1,126 @@
+"""Compact wire format for shard results.
+
+Pattern objects pickle expensively: every :class:`~repro.core.edges.Edge`
+reduces to a ``__newobj__`` call plus a per-object state dict, and the
+receiving side rebuilds two frozensets per pattern, re-hashing every
+edge.  At chain-macro scale (10^5 patterns) that costs seconds — more
+than the kernels being parallelized — so scatter-gather ships *blobs*
+instead: one canonical ``bytes`` value per pattern.
+
+The blob is a deterministic struct packing (sorted vertex table of
+``(cls, oid)`` pairs, edges as index triples with polarity/derived
+flags), so the same pattern produces the same blob on every worker.
+That determinism is what makes both caches safe and effective:
+
+* workers memoize ``Pattern -> blob`` — the arena's decode caches hand
+  back the *same* pattern objects run after run, so a warm encode is a
+  dict hit;
+* the coordinator memoizes ``blob -> Pattern`` — a warm gather rebuilds
+  nothing, and a pattern arriving from two shards (shuffle duplicates)
+  collapses to one object before the merge union even runs.
+
+A list of small ``bytes`` objects pickles at near-memcpy speed, which is
+the point: the pipe transfer cost drops from "re-serialize the object
+graph" to "copy the blobs".
+
+Entries are value-only (patterns and blobs are immutable), so stale
+cache entries after mutations are dead weight, never wrong answers.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable
+
+from repro.core.edges import Edge, Polarity
+from repro.core.identity import IID
+from repro.core.pattern import Pattern
+
+__all__ = ["encode_pattern", "decode_pattern", "encode_result", "decode_result"]
+
+_HEADER = struct.Struct("<HH")  # vertex count, edge count
+_VERTEX = struct.Struct("<HQ")  # class-name byte length, oid
+_EDGE = struct.Struct("<HHB")  # u index, v index, flags
+
+_F_COMPLEMENT = 1
+_F_DERIVED = 2
+
+
+def encode_pattern(pattern: Pattern) -> bytes:
+    """Canonical blob for one pattern (stable across processes)."""
+    vertices = sorted(pattern.vertices)
+    index = {vertex: i for i, vertex in enumerate(vertices)}
+    edges = pattern.edges
+    out = [_HEADER.pack(len(vertices), len(edges))]
+    for vertex in vertices:
+        name = vertex.cls.encode("utf-8")
+        out.append(_VERTEX.pack(len(name), vertex.oid))
+        out.append(name)
+    rows = []
+    for edge in edges:
+        flags = 0
+        if edge.polarity is Polarity.COMPLEMENT:
+            flags |= _F_COMPLEMENT
+        if edge.derived:
+            flags |= _F_DERIVED
+        rows.append((index[edge.u], index[edge.v], flags))
+    rows.sort()
+    for row in rows:
+        out.append(_EDGE.pack(*row))
+    return b"".join(out)
+
+
+def decode_pattern(blob: bytes) -> Pattern:
+    """Rebuild the pattern a blob encodes (inverse of :func:`encode_pattern`)."""
+    n_vertices, n_edges = _HEADER.unpack_from(blob, 0)
+    offset = _HEADER.size
+    vertices: list[IID] = []
+    for _ in range(n_vertices):
+        length, oid = _VERTEX.unpack_from(blob, offset)
+        offset += _VERTEX.size
+        cls = blob[offset : offset + length].decode("utf-8")
+        offset += length
+        vertices.append(IID(cls, oid))
+    edges = []
+    for _ in range(n_edges):
+        u, v, flags = _EDGE.unpack_from(blob, offset)
+        offset += _EDGE.size
+        edges.append(
+            Edge(
+                vertices[u],
+                vertices[v],
+                Polarity.COMPLEMENT if flags & _F_COMPLEMENT else Polarity.REGULAR,
+                derived=bool(flags & _F_DERIVED),
+            )
+        )
+    return Pattern._from_parts(frozenset(vertices), frozenset(edges))
+
+
+def encode_result(
+    patterns: Iterable[Pattern], cache: dict[Pattern, bytes]
+) -> list[bytes]:
+    """Blob list for a result set, memoized per pattern (worker side)."""
+    out = []
+    cached = cache.get
+    for pattern in patterns:
+        blob = cached(pattern)
+        if blob is None:
+            blob = encode_pattern(pattern)
+            cache[pattern] = blob
+        out.append(blob)
+    return out
+
+
+def decode_result(
+    blobs: Iterable[bytes], memo: dict[bytes, Pattern]
+) -> frozenset[Pattern]:
+    """Patterns for a blob list, memoized per blob (coordinator side)."""
+    out = []
+    cached = memo.get
+    for blob in blobs:
+        pattern = cached(blob)
+        if pattern is None:
+            pattern = decode_pattern(blob)
+            memo[blob] = pattern
+        out.append(pattern)
+    return frozenset(out)

@@ -169,7 +169,11 @@ class TestComplementRetentionBreaksAssociativity:
 
 
 @given(st.data())
-@settings(max_examples=60, deadline=None)
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow],
+)
 def test_intersect_associative_under_condition(data):
     graph = data.draw(object_graphs())
     alpha = data.draw(association_sets_from(graph))

@@ -560,3 +560,11 @@ class TestMetricsWatch:
         assert "--- sample 1" in out and "--- sample 2" in out
         assert "/s)" in out  # counter deltas print as per-second rates
         assert "repro_queries_total" in out
+
+
+def test_shards_command(db):
+    out = shell(db, "\\shards\n\\shards 2\nTA * Grad\n\\shards off\n\\shards x\n")
+    assert "sharded execution: off" in out
+    assert "sharded execution: 2 worker(s)" in out
+    assert "usage: \\shards [N|off]" in out
+    assert db.shard_workers == 0  # \shards off stopped the pool
